@@ -1,0 +1,153 @@
+// Command accelsweep explores the accelerator-parameter dimension the
+// paper's §5.5 leaves open ("a much larger design space including varying
+// core and accelerator parameters"): it sweeps the DP-CGRA fabric size,
+// the NS-DF configuration budget and the Trace-P hot-trace threshold, and
+// reports the geomean speedup and energy efficiency of each variant as a
+// single-BSA design on the chosen core.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"exocore/internal/bsa/dpcgra"
+	"exocore/internal/bsa/nsdf"
+	"exocore/internal/bsa/tracep"
+	"exocore/internal/bsa/xloops"
+	"exocore/internal/cores"
+	"exocore/internal/exocore"
+	"exocore/internal/stats"
+	"exocore/internal/tdg"
+	"exocore/internal/workloads"
+)
+
+func main() {
+	maxDyn := flag.Int("maxdyn", 40000, "dynamic instruction budget per benchmark")
+	coreName := flag.String("core", "OOO2", "general core")
+	benchList := flag.String("benches", "mm,nbody,vr,cjpeg,spmv,stencil,gsmencode,hmmer", "benchmarks")
+	flag.Parse()
+
+	core, ok := cores.ConfigByName(*coreName)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "accelsweep: unknown core", *coreName)
+		os.Exit(1)
+	}
+
+	var tds []*tdg.TDG
+	for _, w := range workloads.All() {
+		if !contains(*benchList, w.Name) {
+			continue
+		}
+		tr, err := w.Trace(*maxDyn)
+		if err != nil {
+			fail(err)
+		}
+		td, err := tdg.Build(tr)
+		if err != nil {
+			fail(err)
+		}
+		tds = append(tds, td)
+	}
+
+	type variant struct {
+		label string
+		model func() tdg.BSA
+	}
+	sweeps := []struct {
+		name     string
+		variants []variant
+	}{
+		{"DP-CGRA fabric size", []variant{
+			{"16 FUs", func() tdg.BSA { return &dpcgra.Model{FUs: 16, RouteLatency: 1} }},
+			{"32 FUs", func() tdg.BSA { return &dpcgra.Model{FUs: 32, RouteLatency: 1} }},
+			{"64 FUs (paper)", func() tdg.BSA { return dpcgra.New() }},
+			{"128 FUs", func() tdg.BSA { return &dpcgra.Model{FUs: 128, RouteLatency: 1} }},
+		}},
+		{"DP-CGRA routing latency", []variant{
+			{"0 hops", func() tdg.BSA { return &dpcgra.Model{FUs: 64, RouteLatency: 0} }},
+			{"1 hop (paper)", func() tdg.BSA { return dpcgra.New() }},
+			{"3 hops", func() tdg.BSA { return &dpcgra.Model{FUs: 64, RouteLatency: 3} }},
+		}},
+		{"NS-DF configuration budget", []variant{
+			{"64 insts", func() tdg.BSA { m := nsdf.New(); m.MaxStaticInsts = 64; return m }},
+			{"128 insts", func() tdg.BSA { m := nsdf.New(); m.MaxStaticInsts = 128; return m }},
+			{"256 insts (paper)", func() tdg.BSA { return nsdf.New() }},
+			{"512 insts", func() tdg.BSA { m := nsdf.New(); m.MaxStaticInsts = 512; return m }},
+		}},
+		{"XLoops lane count (extension)", []variant{
+			{"2 lanes", func() tdg.BSA { m := xloops.New(); m.Lanes = 2; return m }},
+			{"4 lanes", func() tdg.BSA { return xloops.New() }},
+			{"8 lanes", func() tdg.BSA { m := xloops.New(); m.Lanes = 8; return m }},
+		}},
+		{"Trace-P hot-path threshold", []variant{
+			{"0.40", func() tdg.BSA { m := tracep.New(); m.MinHotFrac = 0.40; return m }},
+			{"0.55 (paper-ish)", func() tdg.BSA { return tracep.New() }},
+			{"0.80", func() tdg.BSA { m := tracep.New(); m.MinHotFrac = 0.80; return m }},
+		}},
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "SWEEP\tVARIANT\tGEOMEAN SPEEDUP\tGEOMEAN EN-EFF\tCOVERAGE\n")
+	for _, sweep := range sweeps {
+		for _, v := range sweep.variants {
+			sp, en, cov := evalVariant(tds, core, v.model)
+			fmt.Fprintf(w, "%s\t%s\t%.2fx\t%.2fx\t%.0f%%\n", sweep.name, v.label, sp, en, 100*cov)
+		}
+	}
+	w.Flush()
+}
+
+// evalVariant runs every TDG with all of the variant's planned regions
+// assigned (single-BSA solo), returning geomean speedup, geomean energy
+// efficiency, and mean offload coverage.
+func evalVariant(tds []*tdg.TDG, core cores.Config, mk func() tdg.BSA) (float64, float64, float64) {
+	var sps, ens []float64
+	var cov float64
+	for _, td := range tds {
+		model := mk()
+		bsas := map[string]tdg.BSA{model.Name(): model}
+		plans := map[string]*tdg.Plan{model.Name(): model.Analyze(td)}
+		base, err := exocore.Run(td, core, bsas, plans, nil, exocore.RunOpts{})
+		if err != nil {
+			fail(err)
+		}
+		assign := exocore.Assignment{}
+		for l := range plans[model.Name()].Regions {
+			assign[l] = model.Name()
+		}
+		acc, err := exocore.Run(td, core, bsas, plans, assign, exocore.RunOpts{})
+		if err != nil {
+			fail(err)
+		}
+		sps = append(sps, float64(base.Cycles)/float64(acc.Cycles))
+		baseE := exocore.EnergyOf(base, core, bsas).TotalNJ()
+		accE := exocore.EnergyOf(acc, core, bsas).TotalNJ()
+		ens = append(ens, baseE/accE)
+		cov += 1 - acc.UnacceleratedFraction()
+	}
+	return stats.Geomean(sps), stats.Geomean(ens), cov / float64(len(tds))
+}
+
+func contains(list, name string) bool {
+	for len(list) > 0 {
+		i := 0
+		for i < len(list) && list[i] != ',' {
+			i++
+		}
+		if list[:i] == name {
+			return true
+		}
+		if i == len(list) {
+			break
+		}
+		list = list[i+1:]
+	}
+	return false
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "accelsweep:", err)
+	os.Exit(1)
+}

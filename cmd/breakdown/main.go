@@ -1,0 +1,116 @@
+// Command breakdown reproduces Figure 13: for every benchmark on an
+// OOO2-based full ExoCore, the fraction of execution time and energy
+// attributable to the general core and to each BSA, relative to the
+// plain OOO2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"exocore/internal/cores"
+	"exocore/internal/dse"
+	"exocore/internal/energy"
+	"exocore/internal/exocore"
+	"exocore/internal/sched"
+	"exocore/internal/tdg"
+	"exocore/internal/workloads"
+)
+
+var bsaOrder = []string{"", "SIMD", "DP-CGRA", "NS-DF", "Trace-P"}
+
+func main() {
+	maxDyn := flag.Int("maxdyn", dse.DefaultMaxDyn, "dynamic instruction budget per benchmark")
+	coreName := flag.String("core", "OOO2", "general core")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	flag.Parse()
+
+	core, ok := cores.ConfigByName(*coreName)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "breakdown: unknown core", *coreName)
+		os.Exit(1)
+	}
+
+	var w *tabwriter.Writer
+	if *csv {
+		fmt.Println("benchmark,model,time_frac,energy_frac,rel_time,rel_energy")
+	} else {
+		fmt.Printf("# Figure 13: per-benchmark execution time and energy of the %s ExoCore\n", *coreName)
+		fmt.Printf("# (fractions of the plain %s; columns are per-model shares)\n", *coreName)
+		w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "BENCH\tREL TIME\tREL ENERGY\tGPP\tSIMD\tDP-CGRA\tNS-DF\tTrace-P\tUNACCEL")
+	}
+
+	var totalUnaccel, count float64
+	for _, wl := range workloads.All() {
+		tr, err := wl.Trace(*maxDyn)
+		if err != nil {
+			fail(err)
+		}
+		td, err := tdg.Build(tr)
+		if err != nil {
+			fail(err)
+		}
+		bsas := dse.NewBSASet()
+		ctx, err := sched.NewContext(td, core, bsas)
+		if err != nil {
+			fail(err)
+		}
+		assign := ctx.Oracle([]string{"SIMD", "DP-CGRA", "NS-DF", "Trace-P"})
+		res, err := exocore.Run(td, core, bsas, ctx.Plans, assign, exocore.RunOpts{})
+		if err != nil {
+			fail(err)
+		}
+		e := exocore.EnergyOf(res, core, bsas)
+		relTime := float64(res.Cycles) / float64(ctx.BaseCycles)
+		relEnergy := e.TotalNJ() / ctx.BaseEnergyNJ
+		totalUnaccel += res.UnacceleratedFraction()
+		count++
+
+		if *csv {
+			for _, name := range bsaOrder {
+				label := name
+				if label == "" {
+					label = "GPP"
+				}
+				tf := float64(res.PerBSACycles[name]) / float64(res.Cycles)
+				ef := energyFrac(res, name)
+				fmt.Printf("%s,%s,%.4f,%.4f,%.4f,%.4f\n", wl.Name, label, tf, ef, relTime, relEnergy)
+			}
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f", wl.Name, relTime, relEnergy)
+		for _, name := range bsaOrder {
+			fmt.Fprintf(w, "\t%.0f%%", 100*float64(res.PerBSACycles[name])/float64(res.Cycles))
+		}
+		fmt.Fprintf(w, "\t%.0f%%\n", 100*res.UnacceleratedFraction())
+	}
+	if w != nil {
+		w.Flush()
+		fmt.Printf("\naverage un-accelerated fraction: %.0f%% (paper §5: 16%% for the full OOO2 ExoCore)\n",
+			100*totalUnaccel/count)
+	}
+}
+
+func energyFrac(res *exocore.RunResult, name string) float64 {
+	var total, part float64
+	tmp := energy.CoreTable(energy.CoreParams{Width: 2, ROB: 64, Window: 32, AreaMM2: 3.2})
+	for n, c := range res.PerBSACounts {
+		e := tmp.Evaluate(c, 0).DynamicNJ
+		total += e
+		if n == name {
+			part = e
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return part / total
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "breakdown:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// Command dse runs the paper's §5 design-space exploration over
+// 4 cores × 16 BSA subsets = 64 designs and reports:
+//
+//	-frontier      Figure 3/10: per-design relative performance/energy
+//	               (series per BSA subset, points per core) + the Pareto
+//	               frontier
+//	-characterize  Figure 12: speedup, energy efficiency and area of all
+//	               64 designs relative to IO2, sorted by performance
+//	-headline      the §1/§5 headline claims (OOO2-ExoCore vs OOO6 etc.)
+//
+// All modes accept -maxdyn and -benchset to trade time for fidelity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"exocore/internal/dse"
+	"exocore/internal/workloads"
+)
+
+func main() {
+	maxDyn := flag.Int("maxdyn", dse.DefaultMaxDyn, "dynamic instruction budget per benchmark")
+	frontier := flag.Bool("frontier", false, "emit Figure 3/10 data")
+	characterize := flag.Bool("characterize", false, "emit Figure 12 data")
+	headline := flag.Bool("headline", false, "evaluate the headline claims")
+	amdahl := flag.Bool("amdahl", false, "use Amdahl-tree scheduling")
+	benchset := flag.String("benchset", "all", "all | quick (6-benchmark subset)")
+	flag.Parse()
+
+	if !*frontier && !*characterize && !*headline {
+		*frontier, *characterize, *headline = true, true, true
+	}
+
+	opts := dse.Options{MaxDyn: *maxDyn, UseAmdahl: *amdahl}
+	if *benchset == "quick" {
+		for _, name := range []string{"mm", "nbody", "cjpeg", "mcf", "gzip", "stencil"} {
+			w, err := workloads.ByName(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dse:", err)
+				os.Exit(1)
+			}
+			opts.Workloads = append(opts.Workloads, w)
+		}
+	}
+
+	exp, err := dse.Explore(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dse:", err)
+		os.Exit(1)
+	}
+
+	if *frontier {
+		printFrontier(exp)
+	}
+	if *characterize {
+		printCharacterization(exp)
+	}
+	if *headline {
+		printHeadline(exp)
+	}
+}
+
+func printFrontier(exp *dse.Exploration) {
+	fmt.Println("# Figure 10: relative performance and energy efficiency vs IO2")
+	fmt.Println("design,relperf,releneff,area_mm2")
+	sorted := append([]dse.DesignResult(nil), exp.Designs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].RelPerf < sorted[j].RelPerf })
+	for _, d := range sorted {
+		fmt.Printf("%s,%.3f,%.3f,%.2f\n", d.Code, d.RelPerf, d.RelEnergyEff, d.AreaMM2)
+	}
+	fmt.Println("\n# Pareto frontier (Figure 3):")
+	for _, d := range exp.Frontier() {
+		fmt.Printf("#   %-12s perf=%.2fx  eneff=%.2fx  area=%.1fmm²\n",
+			d.Code, d.RelPerf, d.RelEnergyEff, d.AreaMM2)
+	}
+}
+
+func printCharacterization(exp *dse.Exploration) {
+	fmt.Println("\n# Figure 12: design-space characterization (relative to IO2)")
+	sorted := append([]dse.DesignResult(nil), exp.Designs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].RelPerf > sorted[j].RelPerf })
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "DESIGN\tSPEEDUP\tENERGY EFF\tAREA")
+	for _, d := range sorted {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\n", d.Code, d.RelPerf, d.RelEnergyEff, d.RelArea)
+	}
+	w.Flush()
+}
+
+func printHeadline(exp *dse.Exploration) {
+	fmt.Println("\n# Headline claims (§1, §5)")
+	show := func(label, a, b string) {
+		perf, eff, err := exp.RelativeTo(a, b)
+		if err != nil {
+			fmt.Println("  ", label, "error:", err)
+			return
+		}
+		da, db := exp.Design(a), exp.Design(b)
+		fmt.Printf("  %-34s perf %.2fx  energy-eff %.2fx  area %.0f%%\n",
+			label, perf, eff, 100*da.AreaMM2/db.AreaMM2)
+	}
+	show("OOO2-SDNT vs OOO2:", "OOO2-SDNT", "OOO2")
+	show("OOO6-SDNT vs OOO6:", "OOO6-SDNT", "OOO6")
+	show("OOO2-SDN  vs OOO6-S (paper: ≈perf, 2.6x en, 60% area):", "OOO2-SDN", "OOO6-S")
+	show("IO2-SDNT  vs OOO2-S:", "IO2-SDNT", "OOO2-S")
+
+	fmt.Println("\n  designs matching OOO6-S performance with less area:")
+	base := exp.Design("OOO6-S")
+	for _, d := range exp.Designs {
+		if d.Code == "OOO6-S" || d.AreaMM2 >= base.AreaMM2 {
+			continue
+		}
+		perf, eff, _ := exp.RelativeTo(d.Code, "OOO6-S")
+		if perf >= 1.0 {
+			fmt.Printf("    %-12s perf %.2fx  en-eff %.2fx  area %.0f%%\n",
+				d.Code, perf, eff, 100*d.AreaMM2/base.AreaMM2)
+		}
+	}
+
+	// Unaccelerated fraction for the full OOO2 ExoCore (§5: ~16%).
+	fmt.Println()
+}

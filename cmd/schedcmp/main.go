@@ -1,0 +1,79 @@
+// Command schedcmp reproduces Figure 15: the practicality comparison of
+// the Oracle scheduler against the Amdahl-tree scheduler on the
+// Mediabench workloads (the benchmarks that need multiple accelerators
+// within one application).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"exocore/internal/cores"
+	"exocore/internal/dse"
+	"exocore/internal/sched"
+	"exocore/internal/stats"
+	"exocore/internal/tdg"
+	"exocore/internal/workloads"
+)
+
+func main() {
+	maxDyn := flag.Int("maxdyn", dse.DefaultMaxDyn, "dynamic instruction budget")
+	coreName := flag.String("core", "OOO2", "general core")
+	suite := flag.String("suite", "Mediabench", "suite to compare on (or 'all')")
+	flag.Parse()
+
+	core, ok := cores.ConfigByName(*coreName)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "schedcmp: unknown core", *coreName)
+		os.Exit(1)
+	}
+	avail := []string{"SIMD", "DP-CGRA", "NS-DF", "Trace-P"}
+
+	fmt.Printf("# Figure 15: Oracle vs Amdahl-tree scheduler (%s ExoCore, relative to plain %s)\n",
+		*coreName, *coreName)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "BENCH\tORACLE TIME\tAMDAHL TIME\tORACLE ENERGY\tAMDAHL ENERGY")
+
+	var perfRatio, energyRatio []float64
+	for _, wl := range workloads.All() {
+		if *suite != "all" && wl.Suite != *suite {
+			continue
+		}
+		tr, err := wl.Trace(*maxDyn)
+		if err != nil {
+			fail(err)
+		}
+		td, err := tdg.Build(tr)
+		if err != nil {
+			fail(err)
+		}
+		ctx, err := sched.NewContext(td, core, dse.NewBSASet())
+		if err != nil {
+			fail(err)
+		}
+		oc, oe, err := ctx.Evaluate(ctx.Oracle(avail))
+		if err != nil {
+			fail(err)
+		}
+		ac, ae, err := ctx.Evaluate(ctx.AmdahlTree(avail))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\t%.2f\n", wl.Name,
+			float64(oc)/float64(ctx.BaseCycles), float64(ac)/float64(ctx.BaseCycles),
+			oe/ctx.BaseEnergyNJ, ae/ctx.BaseEnergyNJ)
+		perfRatio = append(perfRatio, float64(oc)/float64(ac))
+		energyRatio = append(energyRatio, oe/ae)
+	}
+	w.Flush()
+	fmt.Printf("\nAmdahl vs Oracle geomean: %.2fx performance, %.2fx energy efficiency\n",
+		stats.Geomean(perfRatio), stats.Geomean(energyRatio))
+	fmt.Println("(paper §5.4: Amdahl gives 0.89x the Oracle's performance, 1.21x energy efficiency)")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "schedcmp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Command switching reproduces Figure 14: the dynamic accelerator-
+// switching behavior of a full ExoCore over program execution. For each
+// requested benchmark it emits the segment timeline — which model ran,
+// from which cycle to which cycle, and the local speedup of that window
+// over the plain core — demonstrating fine-grain affinity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"exocore/internal/cores"
+	"exocore/internal/dse"
+	"exocore/internal/exocore"
+	"exocore/internal/sched"
+	"exocore/internal/tdg"
+	"exocore/internal/workloads"
+)
+
+func main() {
+	maxDyn := flag.Int("maxdyn", dse.DefaultMaxDyn, "dynamic instruction budget")
+	benchList := flag.String("benches", "djpeg,h264ref", "comma-separated benchmarks (paper uses djpeg and 464.h264ref)")
+	coreName := flag.String("core", "OOO2", "general core")
+	flag.Parse()
+
+	core, ok := cores.ConfigByName(*coreName)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "switching: unknown core", *coreName)
+		os.Exit(1)
+	}
+
+	fmt.Println("benchmark,model,start_cycle,end_cycle,dyn_insts,local_speedup")
+	for _, name := range strings.Split(*benchList, ",") {
+		name = strings.TrimSpace(name)
+		if err := emit(name, core, *maxDyn); err != nil {
+			fmt.Fprintln(os.Stderr, "switching:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func emit(name string, core cores.Config, maxDyn int) error {
+	wl, err := workloads.ByName(name)
+	if err != nil {
+		return err
+	}
+	tr, err := wl.Trace(maxDyn)
+	if err != nil {
+		return err
+	}
+	td, err := tdg.Build(tr)
+	if err != nil {
+		return err
+	}
+	bsas := dse.NewBSASet()
+	ctx, err := sched.NewContext(td, core, bsas)
+	if err != nil {
+		return err
+	}
+	assign := ctx.Oracle([]string{"SIMD", "DP-CGRA", "NS-DF", "Trace-P"})
+	res, err := exocore.Run(td, core, bsas, ctx.Plans, assign, exocore.RunOpts{RecordSegments: true})
+	if err != nil {
+		return err
+	}
+
+	// Baseline cycles-per-instruction, to express each segment's local
+	// speedup over the plain core (Figure 14's y-axis).
+	baseCPI := float64(ctx.BaseCycles) / float64(tr.Len())
+	for _, s := range res.Segments {
+		model := s.BSA
+		if model == "" {
+			model = "Gen. Core"
+		}
+		dur := float64(s.EndCycle - s.StartCycle)
+		if dur <= 0 {
+			dur = 1
+		}
+		local := baseCPI * float64(s.Dyn) / dur
+		fmt.Printf("%s,%s,%d,%d,%d,%.2f\n", name, model, s.StartCycle, s.EndCycle, s.Dyn, local)
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+// Command tdgsim runs one benchmark on one design point through the TDG
+// framework and reports cycles, energy, per-model attribution and the
+// critical-path stall breakdown.
+//
+// Usage:
+//
+//	tdgsim -bench mm -core OOO2 -bsas SIMD,NS-DF
+//	tdgsim -list        # Table 3: the benchmark suite
+//	tdgsim -cores       # Table 4: the general-core configurations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"exocore/internal/cores"
+	"exocore/internal/dg"
+	"exocore/internal/dse"
+	"exocore/internal/exocore"
+	"exocore/internal/fusion"
+	"exocore/internal/sched"
+	"exocore/internal/tdg"
+	"exocore/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "mm", "benchmark name")
+	core := flag.String("core", "OOO2", "general core: IO2, OOO2, OOO4, OOO6")
+	bsas := flag.String("bsas", "SIMD,DP-CGRA,NS-DF,Trace-P", "comma-separated BSAs available (empty for none)")
+	maxDyn := flag.Int("maxdyn", 100000, "dynamic instruction budget")
+	list := flag.Bool("list", false, "list the benchmark suite (Table 3)")
+	listCores := flag.Bool("cores", false, "list core configurations (Table 4)")
+	amdahl := flag.Bool("amdahl", false, "use the Amdahl-tree scheduler instead of the oracle")
+	fuse := flag.Bool("fuse", false, "also report the instruction-fusion DSL result (standard rules)")
+	flag.Parse()
+
+	if *list {
+		listBenchmarks()
+		return
+	}
+	if *listCores {
+		listCoreConfigs()
+		return
+	}
+	if err := run(*bench, *core, *bsas, *maxDyn, *amdahl, *fuse); err != nil {
+		fmt.Fprintln(os.Stderr, "tdgsim:", err)
+		os.Exit(1)
+	}
+}
+
+func listBenchmarks() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "BENCHMARK\tSUITE\tCATEGORY")
+	for _, wl := range workloads.All() {
+		fmt.Fprintf(w, "%s\t%s\t%s\n", wl.Name, wl.Suite, wl.Category)
+	}
+	w.Flush()
+}
+
+func listCoreConfigs() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "CORE\tWIDTH\tROB\tWINDOW\tD$PORTS\tFUs(ALU,MUL,FP)\tAREA(mm²)")
+	for _, c := range cores.Configs {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d,%d,%d\t%.1f\n",
+			c.Name, c.Width, c.ROB, c.Window, c.DCachePorts,
+			c.IntAlu, c.IntMulDiv, c.FpUnits, c.AreaMM2)
+	}
+	w.Flush()
+}
+
+func run(bench, coreName, bsaList string, maxDyn int, amdahl, fuse bool) error {
+	wl, err := workloads.ByName(bench)
+	if err != nil {
+		return err
+	}
+	core, ok := cores.ConfigByName(coreName)
+	if !ok {
+		return fmt.Errorf("unknown core %q", coreName)
+	}
+	tr, err := wl.Trace(maxDyn)
+	if err != nil {
+		return err
+	}
+	td, err := tdg.Build(tr)
+	if err != nil {
+		return err
+	}
+
+	all := dse.NewBSASet()
+	avail := map[string]tdg.BSA{}
+	var names []string
+	if bsaList != "" {
+		for _, n := range strings.Split(bsaList, ",") {
+			n = strings.TrimSpace(n)
+			b, ok := all[n]
+			if !ok {
+				return fmt.Errorf("unknown BSA %q (have SIMD, DP-CGRA, NS-DF, Trace-P)", n)
+			}
+			avail[n] = b
+			names = append(names, n)
+		}
+	}
+
+	ctx, err := sched.NewContext(td, core, dse.NewBSASet())
+	if err != nil {
+		return err
+	}
+	var assign exocore.Assignment
+	if amdahl {
+		assign = ctx.AmdahlTree(names)
+	} else {
+		assign = ctx.Oracle(names)
+	}
+
+	res, err := exocore.Run(td, core, dse.NewBSASet(), ctx.Plans, assign, exocore.RunOpts{})
+	if err != nil {
+		return err
+	}
+	e := exocore.EnergyOf(res, core, dse.NewBSASet())
+
+	fmt.Printf("benchmark %s on %s (trace: %d dynamic instructions)\n", bench, coreName, tr.Len())
+	fmt.Printf("baseline:  %8d cycles  %10.1f nJ\n", ctx.BaseCycles, ctx.BaseEnergyNJ)
+	fmt.Printf("exocore:   %8d cycles  %10.1f nJ   (speedup %.2fx, energy eff %.2fx)\n",
+		res.Cycles, e.TotalNJ(),
+		float64(ctx.BaseCycles)/float64(res.Cycles), ctx.BaseEnergyNJ/e.TotalNJ())
+	fmt.Printf("avg power: %.2f W   unaccelerated: %.0f%%\n", e.AvgPowerW(), 100*res.UnacceleratedFraction())
+
+	if len(assign) > 0 {
+		fmt.Println("\nregion assignment:")
+		var loops []int
+		for l := range assign {
+			loops = append(loops, l)
+		}
+		sort.Ints(loops)
+		for _, l := range loops {
+			fmt.Printf("  loop L%d (%.0f%% of execution) -> %s\n",
+				l, 100*td.Prof.LoopShare(l), assign[l])
+		}
+	}
+
+	fmt.Println("\nper-model attribution:")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "  MODEL\tINSTS\tCYCLES")
+	var keys []string
+	for k := range res.PerBSADyn {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		name := k
+		if name == "" {
+			name = "general core"
+		}
+		fmt.Fprintf(w, "  %s\t%d\t%d\n", name, res.PerBSADyn[k], res.PerBSACycles[k])
+	}
+	w.Flush()
+
+	if fuse {
+		plan := fusion.Analyze(td, fusion.StandardRules)
+		fc, _ := fusion.Evaluate(td, core, plan)
+		fmt.Printf("\nfusion DSL (%s): %d cycles (%.2fx over baseline)\n",
+			plan.Summary(), fc, float64(ctx.BaseCycles)/float64(fc))
+	}
+
+	// Baseline stall breakdown for reference.
+	_, _, bd := cores.EvaluateWithBreakdown(core, tr)
+	fmt.Println("\nbaseline critical-path breakdown:")
+	for c := dg.EdgeClass(0); c < dg.NumEdgeClasses; c++ {
+		if bd[c] > 0 {
+			fmt.Printf("  %-14s %8d cycles (%4.1f%%)\n", c, bd[c],
+				100*float64(bd[c])/float64(ctx.BaseCycles))
+		}
+	}
+	return nil
+}

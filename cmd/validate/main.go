@@ -1,0 +1,51 @@
+// Command validate reproduces the paper's §2.5 validation: Table 1 (the
+// summary of model errors per accelerator) and, with -scatter, the
+// underlying per-benchmark reference-vs-projected pairs of Figure 5 as
+// CSV suitable for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"exocore/internal/validate"
+)
+
+func main() {
+	maxDyn := flag.Int("maxdyn", 100000, "dynamic instruction budget per benchmark")
+	scatter := flag.Bool("scatter", false, "emit Figure 5 scatter data as CSV")
+	flag.Parse()
+
+	reports, err := validate.Table1(*maxDyn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
+
+	if *scatter {
+		fmt.Println("accel,benchmark,metric,reference,projected")
+		for _, r := range reports {
+			for i := range r.Perf {
+				fmt.Printf("%s,%s,perf,%.4f,%.4f\n",
+					r.Accel, r.Perf[i].Bench, r.Perf[i].Reference, r.Perf[i].Projected)
+				fmt.Printf("%s,%s,energy,%.4f,%.4f\n",
+					r.Accel, r.Energy[i].Bench, r.Energy[i].Reference, r.Energy[i].Projected)
+			}
+		}
+		return
+	}
+
+	fmt.Println("Table 1: Validation Results (P: Perf, E: Energy)")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "ACCEL\tBASE\tP ERR\tP RANGE\tE ERR\tE RANGE")
+	for _, r := range reports {
+		pl, ph, el, eh := r.Ranges()
+		fmt.Fprintf(w, "%s\t%s\t%.0f%%\t%.2f-%.2f\t%.0f%%\t%.2f-%.2f\n",
+			r.Accel, r.Base, 100*r.PerfErr(), pl, ph, 100*r.EnergyErr(), el, eh)
+	}
+	w.Flush()
+	fmt.Println("\n(OOO rows: reference = independent cycle-level simulator;")
+	fmt.Println(" accelerator rows: reference = digitized published results — see EXPERIMENTS.md)")
+}

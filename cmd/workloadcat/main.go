@@ -1,0 +1,61 @@
+// Command workloadcat reproduces Figure 11: the interaction between
+// accelerators, general cores and workload categories. For each category
+// (regular / semi-regular / irregular) it prints the relative
+// performance and energy of every single-BSA design and the full ExoCore,
+// one series per BSA combination with one point per core.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"exocore/internal/cores"
+	"exocore/internal/dse"
+	"exocore/internal/workloads"
+)
+
+func main() {
+	maxDyn := flag.Int("maxdyn", dse.DefaultMaxDyn, "dynamic instruction budget per benchmark")
+	flag.Parse()
+
+	exp, err := dse.Explore(dse.Options{MaxDyn: *maxDyn})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "workloadcat:", err)
+		os.Exit(1)
+	}
+
+	// The Figure 11 series: plain core, each single BSA, full ExoCore.
+	series := []struct {
+		label string
+		mask  int
+	}{
+		{"Gen. Core Only", 0},
+		{"SIMD", 1},
+		{"DP-CGRA", 2},
+		{"NS-DF", 4},
+		{"TRACE-P", 8},
+		{"ExoCore", 15},
+	}
+	coresOrder := []string{"IO2", "OOO2", "OOO4", "OOO6"}
+
+	fmt.Println("# Figure 11: category,series,core,relperf,releneff (relative to IO2 overall)")
+	for _, cat := range []workloads.Category{workloads.Regular, workloads.SemiRegular, workloads.Irregular} {
+		for _, s := range series {
+			for _, core := range coresOrder {
+				code := dse.DesignCode(mustCore(core), s.mask)
+				perf, eff := exp.CategoryAggregate(code, cat)
+				fmt.Printf("%s,%s,%s,%.3f,%.3f\n", cat, s.label, core, perf, eff)
+			}
+		}
+	}
+}
+
+func mustCore(name string) cores.Config {
+	cc, ok := cores.ConfigByName(name)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "workloadcat: unknown core", name)
+		os.Exit(1)
+	}
+	return cc
+}

@@ -1,0 +1,3 @@
+module exocore
+
+go 1.22

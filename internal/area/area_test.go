@@ -1,0 +1,50 @@
+package area
+
+import (
+	"testing"
+
+	"exocore/internal/bsa/nsdf"
+	"exocore/internal/bsa/simd"
+	"exocore/internal/cores"
+	"exocore/internal/tdg"
+)
+
+func TestTotalSumsComponents(t *testing.T) {
+	s, n := simd.New(), nsdf.New()
+	got := Total(cores.OOO2, []tdg.BSA{s, n})
+	want := cores.OOO2.AreaMM2 + s.AreaMM2() + n.AreaMM2()
+	if got != want {
+		t.Errorf("Total = %v, want %v", got, want)
+	}
+	if Total(cores.IO2, nil) != cores.IO2.AreaMM2 {
+		t.Error("bare core area wrong")
+	}
+}
+
+func TestRelative(t *testing.T) {
+	r := Relative(cores.OOO6, nil, cores.OOO6, nil)
+	if r != 1 {
+		t.Errorf("self-relative = %v", r)
+	}
+	if Relative(cores.OOO6, nil, cores.IO2, nil) <= 1 {
+		t.Error("OOO6 must be bigger than IO2")
+	}
+}
+
+func TestCoreAreaOrdering(t *testing.T) {
+	// The paper's area story requires strictly increasing core areas.
+	prev := 0.0
+	for _, c := range cores.Configs {
+		if c.AreaMM2 <= prev {
+			t.Errorf("%s area %v not greater than previous %v", c.Name, c.AreaMM2, prev)
+		}
+		prev = c.AreaMM2
+	}
+	// And the headline: OOO2 + three BSAs must be well under OOO6+SIMD.
+	s, n := simd.New(), nsdf.New()
+	small := Total(cores.OOO2, []tdg.BSA{s, n})
+	big := Total(cores.OOO6, []tdg.BSA{s})
+	if small/big > 0.65 {
+		t.Errorf("OOO2-ExoCore area fraction %.2f, want well under OOO6-S", small/big)
+	}
+}

@@ -1,0 +1,331 @@
+// Package bsautil holds machinery shared by the BSA transform models:
+// splitting a region occurrence into loop iterations, and a configurable
+// dataflow executor used by both the non-speculative dataflow (NS-DF) and
+// trace-speculative (Trace-P) models, which differ mainly in control
+// handling and structure sizes (paper §3.1, Table 2).
+package bsautil
+
+import (
+	"exocore/internal/dg"
+	"exocore/internal/energy"
+	"exocore/internal/isa"
+	"exocore/internal/tdg"
+	"exocore/internal/trace"
+)
+
+// Iteration is a half-open dynamic-index range covering one loop
+// iteration within a region occurrence.
+type Iteration struct {
+	Start, End int
+}
+
+// SplitIterations splits trace[start:end) into iterations of the given
+// loop, detecting iteration boundaries at header-block entry. Any prefix
+// before the first header entry is folded into the first iteration.
+func SplitIterations(t *tdg.TDG, loopID, start, end int) []Iteration {
+	headerStart := t.CFG.Blocks[t.Nest.Loops[loopID].Header].Start
+	var iters []Iteration
+	cur := Iteration{Start: start, End: start}
+	started := false
+	for i := start; i < end; i++ {
+		si := int(t.Trace.Insts[i].SI)
+		if si == headerStart {
+			if started && i > cur.Start {
+				cur.End = i
+				iters = append(iters, cur)
+				cur = Iteration{Start: i, End: i}
+			}
+			started = true
+		}
+	}
+	cur.End = end
+	if cur.End > cur.Start {
+		iters = append(iters, cur)
+	}
+	return iters
+}
+
+// BlocksOf returns the distinct basic-block entry sequence of a dynamic
+// range (the iteration's path).
+func BlocksOf(t *tdg.TDG, start, end int) []int {
+	var blocks []int
+	prev := -1
+	prevSI := -1
+	for i := start; i < end; i++ {
+		si := int(t.Trace.Insts[i].SI)
+		b := t.CFG.BlockOf[si]
+		if b != prev || si <= prevSI {
+			blocks = append(blocks, b)
+			prev = b
+		}
+		prevSI = si
+	}
+	return blocks
+}
+
+// DataflowConfig parameterizes the dataflow executor.
+type DataflowConfig struct {
+	// IssueBandwidth is ops the CFU array can begin per cycle.
+	IssueBandwidth int
+	// BusBandwidth is result transfers per cycle on the writeback bus.
+	BusBandwidth int
+	// BusEvery books the bus for one of every N produced values: only
+	// values consumed by a *different* compound unit traverse the bus,
+	// approximated as a fixed fraction of results.
+	BusEvery int
+	// MemPorts is the accelerator's own cache interface width.
+	MemPorts int
+	// SerializeControl makes every op additionally depend on the last
+	// resolved branch (non-speculative dataflow). When false the executor
+	// runs the trace's resolved path speculatively (Trace-P).
+	SerializeControl bool
+	// ChainOps issues operations strictly in order (each op waits for the
+	// previous op's issue): the serialized compound-FU execution style of
+	// BERET and C-Cores, trading parallelism for energy.
+	ChainOps bool
+	// OpsPerCompound is the average compound-FU grouping, amortizing
+	// dispatch energy.
+	OpsPerCompound int
+	// DispatchEvent/OpEvent/StorageEvent configure energy accounting.
+	DispatchEvent energy.Event
+	OpEvent       energy.Event
+	StorageEvent  energy.Event
+	MemEvent      energy.Event // charged per memory op (SB or LSQ analog)
+}
+
+// Dataflow models dataflow execution of dynamic instructions on an
+// offload accelerator sharing the cache hierarchy. It tracks register and
+// memory dependences locally and exposes entry/exit state for region
+// handoff.
+type Dataflow struct {
+	Cfg    DataflowConfig
+	G      *dg.Graph
+	Counts *energy.Counts
+
+	regNode  [isa.NumRegs]dg.NodeID
+	ctrlNode dg.NodeID
+	stores   map[uint64]dg.NodeID
+
+	issueRT *dg.ResourceTable
+	busRT   *dg.ResourceTable
+	memRT   *dg.ResourceTable
+
+	lastNode dg.NodeID
+	lastExec dg.NodeID
+	ops      int64
+	values   int64
+	written  map[isa.Reg]bool
+}
+
+// NewDataflow returns an executor whose inputs become available at the
+// entry node (live-in transfer complete).
+func NewDataflow(cfg DataflowConfig, g *dg.Graph, counts *energy.Counts, entry dg.NodeID) *Dataflow {
+	d := &Dataflow{
+		Cfg: cfg, G: g, Counts: counts,
+		stores:  make(map[uint64]dg.NodeID),
+		issueRT: dg.NewResourceTable(cfg.IssueBandwidth),
+		busRT:   dg.NewResourceTable(cfg.BusBandwidth),
+		memRT:   dg.NewResourceTable(cfg.MemPorts),
+		written: make(map[isa.Reg]bool),
+	}
+	for i := range d.regNode {
+		d.regNode[i] = entry
+	}
+	d.ctrlNode = entry
+	d.lastNode = entry
+	d.lastExec = dg.None
+	return d
+}
+
+// Exec models one dynamic instruction on the accelerator and returns its
+// completion node.
+func (d *Dataflow) Exec(in *isa.Inst, dyn *trace.DynInst, dynIdx int32) dg.NodeID {
+	g := d.G
+	e := g.NewNode(dg.KindAccel, dynIdx)
+
+	// Data dependences.
+	if in.Src1.Valid() && in.Src1 != isa.RZ {
+		g.AddEdge(d.regNode[in.Src1], e, 0, dg.EdgeData)
+	}
+	if in.Src2.Valid() && in.Src2 != isa.RZ {
+		g.AddEdge(d.regNode[in.Src2], e, 0, dg.EdgeData)
+	}
+	if in.Op == isa.FMA && in.Dst.Valid() {
+		g.AddEdge(d.regNode[in.Dst], e, 0, dg.EdgeData)
+	}
+	// Non-speculative control: wait for the branch that admitted this op.
+	if d.Cfg.SerializeControl {
+		g.AddEdge(d.ctrlNode, e, 1, dg.EdgeAccelCompute)
+	}
+	// Serialized compound execution: in-order issue.
+	if d.Cfg.ChainOps && d.lastExec != dg.None {
+		g.AddEdge(d.lastExec, e, 0, dg.EdgeInOrder)
+	}
+	// Memory dependence through the (store buffer / cache) interface.
+	if in.Op.IsLoad() {
+		if dep, ok := d.stores[dyn.Addr&^7]; ok {
+			g.AddEdge(dep, e, 1, dg.EdgeMemDep)
+		}
+	}
+
+	// Resources.
+	g.PushTime(e, d.issueRT.Book(g.Time(e)), dg.EdgeFU)
+	if in.Op.IsMem() {
+		g.PushTime(e, d.memRT.Book(g.Time(e)), dg.EdgeCachePort)
+	}
+
+	// Completion.
+	p := g.NewNode(dg.KindAccel, dynIdx)
+	lat := int64(in.Op.Latency())
+	if in.Op.IsMem() {
+		lat = int64(dyn.MemLat)
+		if in.Op.IsStore() {
+			lat = 1
+		}
+	}
+	if lat < 1 {
+		lat = 1
+	}
+	g.AddEdge(e, p, lat, dg.EdgeExec)
+	if in.HasDst() {
+		d.values++
+		// Cross-CFU results traverse the writeback bus (a fixed fraction
+		// of values stay local to their compound unit).
+		if d.Cfg.BusEvery <= 1 || d.values%int64(d.Cfg.BusEvery) == 0 {
+			g.PushTime(p, d.busRT.Book(g.Time(p)), dg.EdgeFU)
+			d.Counts.Add(energy.EvDFBus, 1)
+		}
+		d.regNode[in.Dst] = p
+		d.written[in.Dst] = true
+		d.Counts.Add(d.Cfg.StorageEvent, 1)
+	}
+	if in.Op.IsStore() {
+		d.stores[dyn.Addr&^7] = p
+		if len(d.stores) > 8192 {
+			d.stores = map[uint64]dg.NodeID{dyn.Addr &^ 7: p}
+		}
+	}
+	if in.Op.IsCtrl() {
+		d.ctrlNode = p
+	}
+
+	// Energy: compound-amortized dispatch + per-op firing + memory.
+	d.ops++
+	if d.Cfg.OpsPerCompound > 0 && d.ops%int64(d.Cfg.OpsPerCompound) == 0 {
+		d.Counts.Add(d.Cfg.DispatchEvent, 1)
+	}
+	d.Counts.Add(d.Cfg.OpEvent, 1)
+	if in.Op.IsMem() {
+		d.Counts.Add(d.Cfg.MemEvent, 1)
+		d.Counts.Add(energy.EvL1Access, 1)
+		switch dyn.Level {
+		case trace.LevelL2:
+			d.Counts.Add(energy.EvL2Access, 1)
+		case trace.LevelMem:
+			d.Counts.Add(energy.EvL2Access, 1)
+			d.Counts.Add(energy.EvMemAccess, 1)
+		}
+	}
+
+	d.lastNode = p
+	d.lastExec = e
+	return p
+}
+
+// RegNode returns the node currently producing register r.
+func (d *Dataflow) RegNode(r isa.Reg) dg.NodeID { return d.regNode[r] }
+
+// CtrlNode returns the last resolved-control node.
+func (d *Dataflow) CtrlNode() dg.NodeID { return d.ctrlNode }
+
+// LastNode returns the most recent completion node.
+func (d *Dataflow) LastNode() dg.NodeID { return d.lastNode }
+
+// Ops returns the number of executed operations.
+func (d *Dataflow) Ops() int64 { return d.ops }
+
+// WrittenRegs returns the set of registers written during execution.
+func (d *Dataflow) WrittenRegs() map[isa.Reg]bool { return d.written }
+
+// Stores exposes the address → completion-node map of performed stores,
+// for forwarding into the core's dependence state at region exit.
+func (d *Dataflow) Stores() map[uint64]dg.NodeID { return d.stores }
+
+// ResetControl re-anchors the control chain (lane-local control: each
+// loop iteration resolves its own branches independently, as in
+// XLOOPS-style lane execution).
+func (d *Dataflow) ResetControl(node dg.NodeID) { d.ctrlNode = node }
+
+// RegSource lets Resume read the core's architectural dependence state
+// without importing the cores package.
+type RegSource interface {
+	RegDef(r isa.Reg) dg.NodeID
+}
+
+// Resume re-synchronizes the executor after a misspeculation replay on
+// the host core: every register's producer becomes the core's current
+// producer (at earliest the resume node), and control restarts at resume.
+func (d *Dataflow) Resume(resume dg.NodeID, regs RegSource) {
+	rt := d.G.Time(resume)
+	for r := range d.regNode {
+		n := regs.RegDef(isa.Reg(r))
+		// Take whichever producer is later: the replay's register writer
+		// or the resume handshake itself.
+		if n == dg.None || d.G.Time(n) < rt {
+			n = resume
+		}
+		d.regNode[r] = n
+	}
+	d.ctrlNode = resume
+	d.lastNode = resume
+	d.lastExec = resume
+}
+
+// ExitNode builds a join node at which all written registers and the last
+// control decision are available (region completion).
+func (d *Dataflow) ExitNode(extraLat int64) dg.NodeID {
+	g := d.G
+	exit := g.NewNode(dg.KindAccel, -1)
+	g.AddEdge(d.ctrlNode, exit, extraLat, dg.EdgeAccelComm)
+	g.AddEdge(d.lastNode, exit, extraLat, dg.EdgeAccelComm)
+	for r := range d.written {
+		g.AddEdge(d.regNode[r], exit, extraLat, dg.EdgeAccelComm)
+	}
+	return exit
+}
+
+// TransferLatency models live-value transfer time between core and
+// accelerator: a fixed handshake plus bus-width-limited register moves.
+func TransferLatency(nregs int) int64 {
+	lat := int64(2 + (nregs+1)/2)
+	return lat
+}
+
+// ConfigCache is a small LRU of accelerator configurations keyed by loop
+// ID; a miss costs a configuration load (paper §3.2, DP-CGRA keeps "a
+// small configuration cache"; NS-DF and Trace-P behave likewise).
+type ConfigCache struct {
+	cap   int
+	order []int
+}
+
+// NewConfigCache returns an LRU config cache with the given capacity.
+func NewConfigCache(capacity int) *ConfigCache {
+	return &ConfigCache{cap: capacity}
+}
+
+// Lookup touches loopID, returning true on hit; on miss the entry is
+// installed (evicting LRU).
+func (c *ConfigCache) Lookup(loopID int) bool {
+	for i, id := range c.order {
+		if id == loopID {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), loopID)
+			return true
+		}
+	}
+	c.order = append(c.order, loopID)
+	if len(c.order) > c.cap {
+		c.order = c.order[1:]
+	}
+	return false
+}

@@ -1,0 +1,42 @@
+package ccores
+
+import (
+	"testing"
+
+	"exocore/internal/cores"
+	"exocore/internal/testutil"
+)
+
+func TestEnergyFirstOffload(t *testing.T) {
+	// C-Cores' published profile: roughly core-neutral performance with
+	// substantial energy reduction, on an in-order host.
+	for _, bench := range []string{"cjpeg2", "vpr", "bzip2"} {
+		td := testutil.TDGFor(t, bench, 25000)
+		base, accel, baseE, accelE := testutil.SoloRun(t, td, cores.IO2, New())
+		sp := float64(base) / float64(accel)
+		en := baseE / accelE
+		t.Logf("%s: %.2fx perf, %.2fx energy", bench, sp, en)
+		if sp < 0.7 || sp > 1.6 {
+			t.Errorf("%s: c-cores performance %.2fx outside the plausible band", bench, sp)
+		}
+		if en < 1.1 {
+			t.Errorf("%s: energy win %.2fx < 1.1x", bench, en)
+		}
+	}
+}
+
+func TestBudgetEnforced(t *testing.T) {
+	td := testutil.TDGFor(t, "cjpeg2", 20000)
+	m := New()
+	m.MaxStaticInsts = 1
+	if plan := m.Analyze(td); len(plan.Regions) != 0 {
+		t.Error("budget not enforced")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	m := New()
+	if m.Name() != "C-Cores" || !m.OffloadsCore() || m.AreaMM2() <= 0 {
+		t.Error("metadata wrong")
+	}
+}

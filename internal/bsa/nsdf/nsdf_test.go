@@ -1,0 +1,85 @@
+package nsdf
+
+import (
+	"testing"
+
+	"exocore/internal/cores"
+	"exocore/internal/testutil"
+)
+
+func TestAnalyzerEligibility(t *testing.T) {
+	td := testutil.TDGFor(t, "mm", 25000)
+	plan := New().Analyze(td)
+	// mm's whole nest fits 256 static instructions: every loop level is
+	// eligible (the scheduler picks the granularity, §3.3).
+	if len(plan.Regions) != len(td.Nest.Loops) {
+		t.Errorf("regions = %d, want all %d loops", len(plan.Regions), len(td.Nest.Loops))
+	}
+}
+
+func TestAnalyzerRespectsBudget(t *testing.T) {
+	td := testutil.TDGFor(t, "mm", 25000)
+	m := New()
+	m.MaxStaticInsts = 2 // nothing fits
+	if plan := m.Analyze(td); len(plan.Regions) != 0 {
+		t.Errorf("regions = %d with a 2-instruction budget", len(plan.Regions))
+	}
+}
+
+func TestEstimatePenalizesControl(t *testing.T) {
+	// Dense mm should carry a higher estimate than branchy gobmk.
+	tdMM := testutil.TDGFor(t, "mm", 20000)
+	tdGo := testutil.TDGFor(t, "gobmk", 20000)
+	m := New()
+	pm := m.Analyze(tdMM)
+	pg := m.Analyze(tdGo)
+	hotMM := tdMM.Prof.SortedLoopsByShare()[0]
+	hotGo := tdGo.Prof.SortedLoopsByShare()[0]
+	rm, rg := pm.Region(hotMM), pg.Region(hotGo)
+	if rm == nil || rg == nil {
+		t.Skip("plans missing for hottest loops")
+	}
+	if rm.EstSpeedup <= rg.EstSpeedup {
+		t.Errorf("control-heavy gobmk estimate %.2f >= dense mm %.2f",
+			rg.EstSpeedup, rm.EstSpeedup)
+	}
+}
+
+func TestOffloadImprovesEnergyAcrossBehaviors(t *testing.T) {
+	// NS-DF's defining property (Table 2): large energy wins broadly, with
+	// performance between "wins" (non-DP, high-ILP) and "modest losses"
+	// (control-critical).
+	for _, bench := range []string{"mm", "spmv", "needle", "sjeng"} {
+		td := testutil.TDGFor(t, bench, 25000)
+		base, accel, baseE, accelE := testutil.SoloRun(t, td, cores.OOO2, New())
+		sp := float64(base) / float64(accel)
+		en := baseE / accelE
+		t.Logf("%s: %.2fx perf, %.2fx energy", bench, sp, en)
+		if en < 1.1 {
+			t.Errorf("%s: NS-DF energy win %.2fx < 1.1x", bench, en)
+		}
+		if sp < 0.5 {
+			t.Errorf("%s: NS-DF slowdown %.2fx catastrophic", bench, sp)
+		}
+	}
+}
+
+func TestControlCriticalCodeSlowsDown(t *testing.T) {
+	// treesearch: control on the critical path — NS-DF should NOT be
+	// faster than the OOO core (Table 2's drawback column).
+	td := testutil.TDGFor(t, "treesearch", 25000)
+	base, accel, _, _ := testutil.SoloRun(t, td, cores.OOO4, New())
+	if accel < base {
+		t.Errorf("NS-DF beat OOO4 on control-critical treesearch: %d vs %d", accel, base)
+	}
+}
+
+func TestModelMetadata(t *testing.T) {
+	m := New()
+	if m.Name() != "NS-DF" || !m.OffloadsCore() || m.AreaMM2() <= 0 {
+		t.Error("metadata wrong")
+	}
+	if m.MaxStaticInsts != 256 {
+		t.Errorf("budget = %d, want the paper's 256", m.MaxStaticInsts)
+	}
+}

@@ -1,0 +1,92 @@
+package simd
+
+import (
+	"testing"
+
+	"exocore/internal/cores"
+	"exocore/internal/testutil"
+)
+
+func TestAnalyzerAcceptsDenseLoops(t *testing.T) {
+	for _, bench := range []string{"stencil", "mm", "conv", "lbm", "nnw"} {
+		td := testutil.TDGFor(t, bench, 25000)
+		plan := New().Analyze(td)
+		if len(plan.Regions) == 0 {
+			t.Errorf("%s: no vectorizable loops found", bench)
+			continue
+		}
+		for l, r := range plan.Regions {
+			if !td.Nest.Loops[l].Inner() {
+				t.Errorf("%s: planned non-inner loop L%d", bench, l)
+			}
+			if r.EstSpeedup <= 1 {
+				t.Errorf("%s: unprofitable estimate %.2f", bench, r.EstSpeedup)
+			}
+		}
+	}
+}
+
+func TestAnalyzerRejectsRecurrences(t *testing.T) {
+	// needle: loop-carried through a register and memory.
+	// jpg2000dec's vertical pass: carried through memory.
+	// treesearch: pointer-chase, no countable trip.
+	for _, bench := range []string{"needle", "treesearch", "merge", "bzip2"} {
+		td := testutil.TDGFor(t, bench, 25000)
+		plan := New().Analyze(td)
+		// The *dominant* loop must not be claimed; small auxiliary loops may.
+		hot := td.Prof.SortedLoopsByShare()[0]
+		for _, l := range td.Prof.SortedLoopsByShare() {
+			if td.Nest.Loops[l].Inner() {
+				hot = l
+				break
+			}
+		}
+		if plan.Region(hot) != nil {
+			t.Errorf("%s: dominant recurrence loop L%d wrongly vectorized", bench, hot)
+		}
+	}
+}
+
+func TestTransformSpeedsUpAndSavesEnergy(t *testing.T) {
+	td := testutil.TDGFor(t, "stencil", 25000)
+	base, accel, baseE, accelE := testutil.SoloRun(t, td, cores.OOO2, New())
+	if sp := float64(base) / float64(accel); sp < 1.3 {
+		t.Errorf("speedup %.2f < 1.3", sp)
+	}
+	if accelE >= baseE {
+		t.Errorf("no energy saving: %.0f vs %.0f nJ", accelE, baseE)
+	}
+}
+
+func TestTransformScalesWithVectorHardware(t *testing.T) {
+	// SIMD benefit must be larger on a core with more FP/vector units.
+	td := testutil.TDGFor(t, "lbm", 25000)
+	b2, a2, _, _ := testutil.SoloRun(t, td, cores.OOO2, New())
+	b6, a6, _, _ := testutil.SoloRun(t, td, cores.OOO6, New())
+	s2 := float64(b2) / float64(a2)
+	s6 := float64(b6) / float64(a6)
+	t.Logf("lbm SIMD speedup: OOO2 %.2fx, OOO6 %.2fx", s2, s6)
+	if s2 < 1.2 {
+		t.Errorf("OOO2 speedup too small: %.2f", s2)
+	}
+}
+
+func TestDivergentLoopsPayMaskCost(t *testing.T) {
+	// kmeans (divergent running-min) must gain less than stencil (straight).
+	tdS := testutil.TDGFor(t, "stencil", 25000)
+	tdK := testutil.TDGFor(t, "kmeans", 25000)
+	bS, aS, _, _ := testutil.SoloRun(t, tdS, cores.OOO4, New())
+	bK, aK, _, _ := testutil.SoloRun(t, tdK, cores.OOO4, New())
+	sS := float64(bS) / float64(aS)
+	sK := float64(bK) / float64(aK)
+	if sK >= sS {
+		t.Errorf("divergent kmeans (%.2fx) should gain less than stencil (%.2fx)", sK, sS)
+	}
+}
+
+func TestModelMetadata(t *testing.T) {
+	m := New()
+	if m.Name() != "SIMD" || m.OffloadsCore() || m.AreaMM2() <= 0 {
+		t.Error("metadata wrong")
+	}
+}

@@ -1,0 +1,88 @@
+package xloops
+
+import (
+	"testing"
+
+	"exocore/internal/cores"
+	"exocore/internal/testutil"
+)
+
+func TestTargetsCarriedRecurrences(t *testing.T) {
+	// needle (wavefront DP) and hmmer (Viterbi) carry dependences SIMD
+	// rejects; XLOOPS claims them and must at least win on energy —
+	// performance depends on how tight the carried chain is (needle's
+	// register chain pipelines; hmmer's memory-carried row chain binds
+	// the accelerator exactly as it binds the core).
+	cases := []struct {
+		bench          string
+		minSp, minEner float64
+	}{
+		{"needle", 1.1, 1.4},
+		{"hmmer", 0.8, 1.4},
+	}
+	for _, c := range cases {
+		td := testutil.TDGFor(t, c.bench, 25000)
+		plan := New().Analyze(td)
+		if len(plan.Regions) == 0 {
+			t.Errorf("%s: no XLoops plan", c.bench)
+			continue
+		}
+		base, accel, baseE, accelE := testutil.SoloRun(t, td, cores.OOO2, New())
+		sp := float64(base) / float64(accel)
+		en := baseE / accelE
+		t.Logf("%s: %.2fx perf, %.2fx energy", c.bench, sp, en)
+		if sp < c.minSp {
+			t.Errorf("%s: speedup %.2f < %.2f", c.bench, sp, c.minSp)
+		}
+		if en < c.minEner {
+			t.Errorf("%s: energy win %.2f < %.2f", c.bench, en, c.minEner)
+		}
+	}
+}
+
+func TestIIBoundsEstimate(t *testing.T) {
+	td := testutil.TDGFor(t, "needle", 25000)
+	m := New()
+	plan := m.Analyze(td)
+	for _, r := range plan.Regions {
+		p := r.Config.(*loopPlan)
+		if p.ii < 1 {
+			t.Errorf("ii = %d", p.ii)
+		}
+		if r.EstSpeedup > float64(m.Lanes) {
+			t.Errorf("estimate %.2f exceeds lane count", r.EstSpeedup)
+		}
+	}
+}
+
+func TestLaneCountMatters(t *testing.T) {
+	td := testutil.TDGFor(t, "hmmer", 25000)
+	two := &Model{Lanes: 2, MaxStaticInsts: 128, MinAvgTrip: 8}
+	eight := &Model{Lanes: 8, MaxStaticInsts: 128, MinAvgTrip: 8}
+	_, a2, _, _ := testutil.SoloRun(t, td, cores.OOO2, two)
+	_, a8, _, _ := testutil.SoloRun(t, td, cores.OOO2, eight)
+	if a8 > a2 {
+		t.Errorf("more lanes slower: %d vs %d", a8, a2)
+	}
+}
+
+func TestRejectsHugeOrShortLoops(t *testing.T) {
+	td := testutil.TDGFor(t, "needle", 25000)
+	m := New()
+	m.MaxStaticInsts = 2
+	if plan := m.Analyze(td); len(plan.Regions) != 0 {
+		t.Error("size budget not enforced")
+	}
+	m = New()
+	m.MinAvgTrip = 1e9
+	if plan := m.Analyze(td); len(plan.Regions) != 0 {
+		t.Error("trip threshold not enforced")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	m := New()
+	if m.Name() != "XLoops" || !m.OffloadsCore() || m.Lanes != 4 {
+		t.Error("metadata wrong")
+	}
+}

@@ -1,0 +1,518 @@
+// Package cores builds the general-purpose-processor portion of the µDG:
+// the TDG_GPP,∅ constructor of the paper (Figure 4b). It models in-order
+// and out-of-order pipelines of configurable width with ROB/window
+// occupancy, register and memory dependences, functional-unit and cache-
+// port contention, and branch-misprediction refill. The four
+// configurations of Table 4 (IO2, OOO2, OOO4, OOO6) are predefined.
+package cores
+
+import (
+	"exocore/internal/dg"
+	"exocore/internal/energy"
+	"exocore/internal/isa"
+	"exocore/internal/trace"
+)
+
+// Config is a general-purpose core configuration (paper Table 4).
+type Config struct {
+	Name  string
+	Width int // fetch/dispatch/issue/writeback width
+	// ROB and Window are zero for in-order cores.
+	ROB         int
+	Window      int
+	DCachePorts int
+	IntAlu      int
+	IntMulDiv   int
+	FpUnits     int
+	InOrder     bool
+	// InFlight bounds outstanding instructions on in-order cores (the
+	// scoreboard/MSHR limit); OOO cores use ROB instead.
+	InFlight int
+	// FrontendDepth is the pipeline refill penalty on a branch
+	// misprediction, and the fetch→dispatch depth contribution.
+	FrontendDepth int
+	// AreaMM2 is the core area (22nm-class, McPAT-calibrated ballpark).
+	AreaMM2 float64
+}
+
+// The paper's four general-core configurations (Table 4).
+var (
+	IO2 = Config{
+		Name: "IO2", Width: 2, ROB: 0, Window: 0, DCachePorts: 1,
+		IntAlu: 2, IntMulDiv: 1, FpUnits: 1, InOrder: true, InFlight: 16,
+		FrontendDepth: 7, AreaMM2: 1.6,
+	}
+	OOO2 = Config{
+		Name: "OOO2", Width: 2, ROB: 64, Window: 32, DCachePorts: 1,
+		IntAlu: 2, IntMulDiv: 1, FpUnits: 1,
+		FrontendDepth: 10, AreaMM2: 3.2,
+	}
+	OOO4 = Config{
+		Name: "OOO4", Width: 4, ROB: 168, Window: 48, DCachePorts: 2,
+		IntAlu: 3, IntMulDiv: 2, FpUnits: 2,
+		FrontendDepth: 12, AreaMM2: 7.8,
+	}
+	OOO6 = Config{
+		Name: "OOO6", Width: 6, ROB: 192, Window: 52, DCachePorts: 3,
+		IntAlu: 4, IntMulDiv: 2, FpUnits: 3,
+		FrontendDepth: 14, AreaMM2: 12.4,
+	}
+)
+
+// Configs lists the four general cores in the order used by the paper.
+var Configs = []Config{IO2, OOO2, OOO4, OOO6}
+
+// ConfigByName returns the named predefined configuration.
+func ConfigByName(name string) (Config, bool) {
+	for _, c := range Configs {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Config{}, false
+}
+
+// EnergyParams returns the core's energy-scaling parameters.
+func (c Config) EnergyParams() energy.CoreParams {
+	return energy.CoreParams{
+		Width: c.Width, ROB: c.ROB, Window: c.Window,
+		InOrder: c.InOrder, AreaMM2: c.AreaMM2,
+	}
+}
+
+// Custom returns a copy of cfg with a new name, for DSE variants.
+func (c Config) Custom(name string) Config {
+	c.Name = name
+	return c
+}
+
+// UOp is the micro-operation unit the GPP graph constructor consumes.
+// Trace instructions convert 1:1; transforms (eg. SIMD vectorization)
+// synthesize new UOps that never appeared in the original trace.
+type UOp struct {
+	Op     isa.Op
+	Dst    isa.Reg
+	Src1   isa.Reg
+	Src2   isa.Reg
+	Addr   uint64
+	MemLat uint16
+	Level  trace.MemLevel
+	// Mispred marks a mispredicted branch (refill penalty applies).
+	Mispred bool
+	// Taken marks a taken control transfer: the fetch group ends at it
+	// (the target is fetched the following cycle).
+	Taken bool
+	// Elide suppresses regfile-write energy (used for transformed ops
+	// whose result stays inside an accelerator structure).
+	Elide bool
+}
+
+// FromDyn fills a UOp from a dynamic trace instruction.
+func FromDyn(p *isa.Inst, d *trace.DynInst) UOp {
+	return UOp{
+		Op: p.Op, Dst: p.Dst, Src1: p.Src1, Src2: p.Src2,
+		Addr: d.Addr, MemLat: d.MemLat, Level: d.Level,
+		Mispred: d.Mispredicted(), Taken: d.Taken(),
+	}
+}
+
+const histSize = 256 // power of two ≥ max ROB
+
+// GPP incrementally constructs the core µDG over a stream of UOps. It
+// persists architectural dependence state (register writers, recent store
+// addresses) across accelerated regions so that core↔accelerator
+// interaction edges are modeled, as the paper requires (§2.1 item 1).
+type GPP struct {
+	Cfg    Config
+	G      *dg.Graph
+	Counts *energy.Counts
+
+	fetch    [histSize]dg.NodeID
+	dispatch [histSize]dg.NodeID
+	execute  [histSize]dg.NodeID
+	commit   [histSize]dg.NodeID
+	n        int // uops retired so far
+
+	regDef   [isa.NumRegs]dg.NodeID // complete node of last writer
+	stores   map[uint64]dg.NodeID   // execute node of last store per word
+	storeAge map[uint64]int         // retire index of that store
+
+	issueRT *dg.ResourceTable
+	aluRT   *dg.ResourceTable
+	mulRT   *dg.ResourceTable
+	fpRT    *dg.ResourceTable
+	portRT  *dg.ResourceTable
+
+	// winHeap is a min-heap of the Window largest issue times so far.
+	// An instruction may dispatch only when fewer than Window older
+	// instructions are still waiting to issue, i.e. no earlier than the
+	// Window-th largest issue time seen so far.
+	winHeap []int64
+
+	pendingRefill dg.NodeID // execute node of last mispredicted branch
+	redirectF     dg.NodeID // fetch node of last taken branch (group break)
+	barrier       dg.NodeID // node all subsequent fetches must follow
+}
+
+// NewGPP returns a constructor appending onto g, charging events to counts.
+func NewGPP(cfg Config, g *dg.Graph, counts *energy.Counts) *GPP {
+	m := &GPP{
+		Cfg: cfg, G: g, Counts: counts,
+		stores:   make(map[uint64]dg.NodeID),
+		storeAge: make(map[uint64]int),
+		issueRT:  dg.NewResourceTable(cfg.Width),
+		aluRT:    dg.NewResourceTable(cfg.IntAlu),
+		mulRT:    dg.NewResourceTable(cfg.IntMulDiv),
+		fpRT:     dg.NewResourceTable(cfg.FpUnits),
+		portRT:   dg.NewResourceTable(cfg.DCachePorts),
+		barrier:  g.Origin(),
+	}
+	for i := range m.regDef {
+		m.regDef[i] = dg.None
+	}
+	m.pendingRefill = dg.None
+	return m
+}
+
+func (m *GPP) hist(arr *[histSize]dg.NodeID, back int) dg.NodeID {
+	if back > m.n {
+		return dg.None
+	}
+	return arr[(m.n-back)&(histSize-1)]
+}
+
+// Retired returns the number of UOps run through the core so far.
+func (m *GPP) Retired() int { return m.n }
+
+// LastCommit returns the most recent commit node (or None).
+func (m *GPP) LastCommit() dg.NodeID {
+	if m.n == 0 {
+		return dg.None
+	}
+	return m.hist(&m.commit, 1)
+}
+
+// EndTime returns the completion time of the last committed uop, or the
+// barrier time if nothing has run yet.
+func (m *GPP) EndTime() int64 {
+	if c := m.LastCommit(); c != dg.None {
+		return m.G.Time(c)
+	}
+	return m.G.Time(m.barrier)
+}
+
+// Barrier forces all subsequent fetches to wait for node (region handoff:
+// returning from an offload accelerator, or loading a configuration).
+func (m *GPP) Barrier(node dg.NodeID, class dg.EdgeClass) {
+	if node == dg.None {
+		return
+	}
+	// Model via a synthetic node so the edge class is preserved.
+	b := m.G.NewNode(dg.KindAccel, -1)
+	m.G.AddEdge(node, b, 0, class)
+	m.G.AddEdge(m.barrier, b, 0, dg.EdgeProgram)
+	m.barrier = b
+}
+
+// RegDef returns the node producing register r's current value.
+func (m *GPP) RegDef(r isa.Reg) dg.NodeID {
+	if !r.Valid() {
+		return dg.None
+	}
+	return m.regDef[r]
+}
+
+// SetRegDef overrides r's producing node (accelerator live-outs).
+func (m *GPP) SetRegDef(r isa.Reg, node dg.NodeID) {
+	if r.Valid() && r != isa.RZ {
+		m.regDef[r] = node
+	}
+}
+
+// NoteStore records an accelerator-performed store so later core loads
+// observe the memory dependence.
+func (m *GPP) NoteStore(addr uint64, node dg.NodeID) {
+	m.stores[addr&^7] = node
+	m.storeAge[addr&^7] = m.n
+}
+
+// LastStoreTo returns the node of the last store to addr, or None.
+func (m *GPP) LastStoreTo(addr uint64) dg.NodeID {
+	if id, ok := m.stores[addr&^7]; ok {
+		return id
+	}
+	return dg.None
+}
+
+const storeWindow = 4096 // uops a store-forwarding entry stays visible
+
+// ExecInfo exposes the key nodes of an executed UOp so accelerator
+// transforms can attach interaction edges.
+type ExecInfo struct {
+	Exec     dg.NodeID
+	Complete dg.NodeID
+	Commit   dg.NodeID
+}
+
+// Exec runs one UOp through the pipeline model, creating its nodes and
+// edges, booking resources and charging energy events. dynIdx tags the
+// nodes for debugging (-1 for synthetic uops).
+func (m *GPP) Exec(u UOp, dynIdx int32) ExecInfo {
+	g := m.G
+	cfg := &m.Cfg
+
+	// --- Fetch ---
+	f := g.NewNode(dg.KindFetch, dynIdx)
+	g.AddEdge(m.hist(&m.fetch, 1), f, 0, dg.EdgeProgram)
+	g.AddEdge(m.hist(&m.fetch, cfg.Width), f, 1, dg.EdgeWidth)
+	g.AddEdge(m.barrier, f, 0, dg.EdgeProgram)
+	if m.pendingRefill != dg.None {
+		g.AddEdge(m.pendingRefill, f, int64(cfg.FrontendDepth), dg.EdgeMispredict)
+		m.pendingRefill = dg.None
+	}
+	if m.redirectF != dg.None {
+		// Fetch groups cannot span a taken branch: the target comes from
+		// the next fetch cycle even when correctly predicted.
+		g.AddEdge(m.redirectF, f, 1, dg.EdgeWidth)
+		m.redirectF = dg.None
+	}
+
+	// --- Dispatch ---
+	d := g.NewNode(dg.KindDispatch, dynIdx)
+	g.AddEdge(f, d, 2, dg.EdgePipe) // decode (+rename) depth
+	g.AddEdge(m.hist(&m.dispatch, 1), d, 0, dg.EdgeProgram)
+	g.AddEdge(m.hist(&m.dispatch, cfg.Width), d, 1, dg.EdgeWidth)
+	if !cfg.InOrder && cfg.ROB > 0 {
+		g.AddEdge(m.hist(&m.commit, cfg.ROB), d, 1, dg.EdgeROB)
+	}
+	if cfg.InOrder && cfg.InFlight > 0 {
+		g.AddEdge(m.hist(&m.commit, cfg.InFlight), d, 1, dg.EdgeROB)
+	}
+	if !cfg.InOrder && cfg.Window > 0 && len(m.winHeap) >= cfg.Window {
+		// Issue-window occupancy: a slot frees when the oldest of the
+		// Window latest-issuing instructions issues.
+		g.PushTime(d, m.winHeap[0], dg.EdgeWindow)
+	}
+
+	// --- Execute ---
+	e := g.NewNode(dg.KindExecute, dynIdx)
+	g.AddEdge(d, e, 1, dg.EdgePipe)
+	if cfg.InOrder {
+		g.AddEdge(m.hist(&m.execute, 1), e, 0, dg.EdgeInOrder)
+	}
+	// Register data dependences.
+	if u.Src1.Valid() && u.Src1 != isa.RZ {
+		g.AddEdge(m.regDef[u.Src1], e, 0, dg.EdgeData)
+	}
+	if u.Src2.Valid() && u.Src2 != isa.RZ {
+		g.AddEdge(m.regDef[u.Src2], e, 0, dg.EdgeData)
+	}
+	// FMA reads its accumulator (dst) too.
+	if u.Op == isa.FMA && u.Dst.Valid() {
+		g.AddEdge(m.regDef[u.Dst], e, 0, dg.EdgeData)
+	}
+	// Memory dependence: load after store to the same word.
+	if u.Op.IsLoad() {
+		if dep, ok := m.stores[u.Addr&^7]; ok && m.n-m.storeAge[u.Addr&^7] < storeWindow {
+			g.AddEdge(dep, e, 2, dg.EdgeMemDep) // store-to-load forward
+		}
+	}
+
+	// Resource booking (in instruction order — paper §2.7).
+	ready := g.Time(e)
+	issued := m.issueRT.Book(ready)
+	g.PushTime(e, issued, dg.EdgeWidth)
+	var rt *dg.ResourceTable
+	switch u.Op.ClassOf() {
+	case isa.ClassIntAlu:
+		rt = m.aluRT
+	case isa.ClassIntMul, isa.ClassIntDiv:
+		rt = m.mulRT
+	case isa.ClassFpAdd, isa.ClassFpMul, isa.ClassFpDiv:
+		rt = m.fpRT
+	case isa.ClassVecAlu, isa.ClassVecMul:
+		rt = m.fpRT // vector ops share the FP/SIMD datapath
+	case isa.ClassLoad, isa.ClassStore, isa.ClassVecMem:
+		rt = m.portRT
+	}
+	if rt != nil {
+		var when int64
+		switch {
+		case u.Op.ClassOf() == isa.ClassIntDiv || u.Op.ClassOf() == isa.ClassFpDiv:
+			when = rt.BookFor(g.Time(e), int64(u.Op.Latency())) // unpipelined divide
+		case u.Op.IsVec() && !u.Op.IsMem():
+			// A 256-bit vector op occupies the FP/SIMD datapath for two
+			// slots (issue-port pressure of wide operations).
+			when = rt.BookFor(g.Time(e), 2)
+		default:
+			when = rt.Book(g.Time(e))
+		}
+		cls := dg.EdgeFU
+		if u.Op.IsMem() {
+			cls = dg.EdgeCachePort
+		}
+		g.PushTime(e, when, cls)
+	}
+
+	// --- Complete ---
+	p := g.NewNode(dg.KindComplete, dynIdx)
+	lat := int64(u.Op.Latency())
+	if u.Op.IsMem() {
+		lat = int64(u.MemLat)
+		if u.Op.IsStore() {
+			lat = 1 // stores complete into the store queue
+		}
+	}
+	if lat < 1 {
+		lat = 1
+	}
+	g.AddEdge(e, p, lat, dg.EdgeExec)
+
+	// --- Commit ---
+	c := g.NewNode(dg.KindCommit, dynIdx)
+	g.AddEdge(p, c, 1, dg.EdgeCommit)
+	g.AddEdge(m.hist(&m.commit, 1), c, 0, dg.EdgeProgram)
+	g.AddEdge(m.hist(&m.commit, cfg.Width), c, 1, dg.EdgeWidth)
+
+	// Architectural state updates.
+	if u.Dst.Valid() && u.Dst != isa.RZ {
+		m.regDef[u.Dst] = p
+	}
+	if u.Op.IsStore() {
+		m.stores[u.Addr&^7] = e
+		m.storeAge[u.Addr&^7] = m.n
+		if len(m.stores) > 2*storeWindow {
+			m.pruneStores()
+		}
+	}
+	if u.Op.IsBranch() && u.Mispred {
+		m.pendingRefill = e
+	}
+	if u.Op.IsCtrl() && u.Taken {
+		m.redirectF = f
+	}
+
+	// Window bookkeeping: keep the Window largest issue times.
+	if !cfg.InOrder && cfg.Window > 0 {
+		et := g.Time(e)
+		if len(m.winHeap) < cfg.Window {
+			heapPush(&m.winHeap, et)
+		} else if et > m.winHeap[0] {
+			m.winHeap[0] = et
+			heapFix(m.winHeap)
+		}
+	}
+
+	// Energy accounting.
+	m.charge(&u)
+
+	// Advance history.
+	idx := m.n & (histSize - 1)
+	m.fetch[idx] = f
+	m.dispatch[idx] = d
+	m.execute[idx] = e
+	m.commit[idx] = c
+	m.n++
+	return ExecInfo{Exec: e, Complete: p, Commit: c}
+}
+
+// heapPush inserts v into the min-heap.
+func heapPush(h *[]int64, v int64) {
+	*h = append(*h, v)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+// heapFix restores the min-heap property after replacing the root.
+func heapFix(s []int64) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(s) && s[l] < s[small] {
+			small = l
+		}
+		if r < len(s) && s[r] < s[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+}
+
+func (m *GPP) pruneStores() {
+	for a, age := range m.storeAge {
+		if m.n-age >= storeWindow {
+			delete(m.storeAge, a)
+			delete(m.stores, a)
+		}
+	}
+}
+
+func (m *GPP) charge(u *UOp) {
+	c := m.Counts
+	c.Add(energy.EvFetch, 1)
+	c.Add(energy.EvDecode, 1)
+	c.Add(energy.EvCommit, 1)
+	if !m.Cfg.InOrder {
+		c.Add(energy.EvRename, 1)
+		c.Add(energy.EvIssueWakeup, 1)
+		c.Add(energy.EvROB, 1)
+	} else {
+		c.Add(energy.EvIssueWakeup, 1)
+	}
+	if u.Src1.Valid() {
+		c.Add(energy.EvRegRead, 1)
+	}
+	if u.Src2.Valid() {
+		c.Add(energy.EvRegRead, 1)
+	}
+	if u.Dst.Valid() && !u.Elide {
+		c.Add(energy.EvRegWrite, 1)
+	}
+	switch u.Op.ClassOf() {
+	case isa.ClassIntAlu:
+		c.Add(energy.EvIntAluOp, 1)
+	case isa.ClassIntMul:
+		c.Add(energy.EvIntMulOp, 1)
+	case isa.ClassIntDiv:
+		c.Add(energy.EvIntDivOp, 1)
+	case isa.ClassFpAdd:
+		c.Add(energy.EvFpAddOp, 1)
+	case isa.ClassFpMul:
+		c.Add(energy.EvFpMulOp, 1)
+	case isa.ClassFpDiv:
+		c.Add(energy.EvFpDivOp, 1)
+	case isa.ClassBranch, isa.ClassJump:
+		c.Add(energy.EvIntAluOp, 1)
+		c.Add(energy.EvBpred, 1)
+	case isa.ClassVecAlu, isa.ClassVecMul:
+		c.Add(energy.EvVecOp, 1)
+	}
+	if u.Op.IsMem() {
+		c.Add(energy.EvLSQ, 1)
+		if u.Op.IsVec() {
+			c.Add(energy.EvVecMemOp, 1)
+		} else {
+			c.Add(energy.EvL1Access, 1)
+		}
+		switch u.Level {
+		case trace.LevelL2:
+			c.Add(energy.EvL2Access, 1)
+		case trace.LevelMem:
+			c.Add(energy.EvL2Access, 1)
+			c.Add(energy.EvMemAccess, 1)
+		}
+	}
+}

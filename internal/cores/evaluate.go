@@ -1,0 +1,39 @@
+package cores
+
+import (
+	"exocore/internal/dg"
+	"exocore/internal/energy"
+	"exocore/internal/trace"
+)
+
+// Evaluate runs an entire trace through the GPP graph constructor with no
+// accelerators (TDG_GPP,∅) and returns cycles and energy event counts.
+// This is the baseline evaluation every speedup in the paper is relative
+// to.
+func Evaluate(cfg Config, tr *trace.Trace) (int64, energy.Counts) {
+	g := dg.NewGraph()
+	var counts energy.Counts
+	m := NewGPP(cfg, g, &counts)
+	for i := range tr.Insts {
+		d := &tr.Insts[i]
+		m.Exec(FromDyn(&tr.Prog.Insts[d.SI], d), int32(i))
+	}
+	return m.EndTime(), counts
+}
+
+// EvaluateWithBreakdown additionally returns the critical-path stall
+// breakdown by edge class, the paper's recommended validation aid.
+func EvaluateWithBreakdown(cfg Config, tr *trace.Trace) (int64, energy.Counts, [dg.NumEdgeClasses]int64) {
+	g := dg.NewGraph()
+	var counts energy.Counts
+	m := NewGPP(cfg, g, &counts)
+	for i := range tr.Insts {
+		d := &tr.Insts[i]
+		m.Exec(FromDyn(&tr.Prog.Insts[d.SI], d), int32(i))
+	}
+	var bd [dg.NumEdgeClasses]int64
+	if c := m.LastCommit(); c != dg.None {
+		bd = g.CriticalPathBreakdown(c)
+	}
+	return m.EndTime(), counts, bd
+}

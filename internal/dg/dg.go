@@ -1,0 +1,294 @@
+// Package dg implements the microarchitectural dependence graph (µDG) at
+// the heart of the Transformable Dependence Graph methodology (paper §2).
+// Nodes are microarchitectural events of dynamic instructions (fetch,
+// dispatch, execute, complete, commit — Figure 4); edges are dependences
+// that enforce architectural constraints (pipeline widths, ROB and window
+// occupancy, data and memory dependences, functional-unit and cache-port
+// contention, branch-misprediction refill). Node times are finalized
+// incrementally in construction order, so the final node's time is the
+// critical-path length — the execution time in cycles.
+//
+// Transforms (BSA models) build alternative node/edge structures for
+// accelerated regions; everything composes in one graph per execution.
+package dg
+
+import "fmt"
+
+// Kind classifies a node by pipeline event.
+type Kind uint8
+
+// Node kinds. Accelerator transforms reuse Execute/Complete and add
+// synthetic boundary nodes.
+const (
+	KindFetch Kind = iota
+	KindDispatch
+	KindExecute
+	KindComplete
+	KindCommit
+	KindAccel // accelerator-internal event
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindFetch:
+		return "F"
+	case KindDispatch:
+		return "D"
+	case KindExecute:
+		return "E"
+	case KindComplete:
+		return "P"
+	case KindCommit:
+		return "C"
+	case KindAccel:
+		return "A"
+	}
+	return "?"
+}
+
+// EdgeClass labels the architectural constraint an edge models, enabling
+// critical-path (stall) breakdowns — the paper's recommended way to sanity
+// check new BSA models (Appendix A).
+type EdgeClass uint8
+
+// Edge classes.
+const (
+	EdgeProgram      EdgeClass = iota // program order within a pipeline stage
+	EdgeWidth                         // fetch/dispatch/commit width
+	EdgePipe                          // pipeline depth between stages
+	EdgeROB                           // ROB occupancy
+	EdgeWindow                        // issue-window occupancy
+	EdgeData                          // register data dependence
+	EdgeMemDep                        // memory (store→load) dependence
+	EdgeExec                          // execute→complete latency (FU or memory)
+	EdgeFU                            // functional-unit contention
+	EdgeCachePort                     // data-cache port contention
+	EdgeMispredict                    // branch misprediction refill
+	EdgeInOrder                       // in-order issue/commit constraint
+	EdgeCommit                        // complete→commit
+	EdgeAccelConfig                   // accelerator configuration load
+	EdgeAccelComm                     // core↔accelerator live-value transfer
+	EdgeAccelPipe                     // accelerator pipelining constraint
+	EdgeAccelCompute                  // accelerator compute latency
+	EdgeAccelReplay                   // trace misspeculation replay
+	NumEdgeClasses
+)
+
+var edgeClassNames = [NumEdgeClasses]string{
+	"program", "width", "pipe", "rob", "window", "data", "memdep", "exec",
+	"fu", "cacheport", "mispredict", "inorder", "commit",
+	"accel-config", "accel-comm", "accel-pipe", "accel-compute", "accel-replay",
+}
+
+// String implements fmt.Stringer.
+func (c EdgeClass) String() string {
+	if c < NumEdgeClasses {
+		return edgeClassNames[c]
+	}
+	return fmt.Sprintf("edge(%d)", uint8(c))
+}
+
+// NodeID indexes a node within a Graph. The zero NodeID is the graph's
+// origin node (time 0); use None for "no node".
+type NodeID int32
+
+// None is the absent node.
+const None NodeID = -1
+
+type node struct {
+	time     int64
+	critPred NodeID
+	critLat  int32
+	class    EdgeClass
+	kind     Kind
+	dynIdx   int32
+}
+
+// Graph is a µDG being constructed and solved incrementally. Nodes must be
+// created after all their predecessors; AddEdge relaxes the target's time
+// immediately, so Time(id) of any already-constructed node is final.
+type Graph struct {
+	nodes []node
+}
+
+// NewGraph returns a graph containing only the origin node at time 0.
+func NewGraph() *Graph {
+	g := &Graph{nodes: make([]node, 1, 4096)}
+	g.nodes[0] = node{critPred: None, kind: KindFetch, dynIdx: -1}
+	return g
+}
+
+// Reset clears the graph for reuse, keeping capacity.
+func (g *Graph) Reset() {
+	g.nodes = g.nodes[:1]
+	g.nodes[0] = node{critPred: None, kind: KindFetch, dynIdx: -1}
+}
+
+// Origin returns the time-0 origin node.
+func (g *Graph) Origin() NodeID { return 0 }
+
+// NewNode creates a node for dynamic-instruction index dynIdx (or -1 for
+// synthetic nodes) with no predecessors yet (time 0).
+func (g *Graph) NewNode(k Kind, dynIdx int32) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, node{critPred: None, kind: k, dynIdx: dynIdx})
+	return id
+}
+
+// AddEdge adds a dependence from → to with the given latency and class,
+// relaxing to's time. from must be an existing node; to must not yet be
+// used as a predecessor itself (incremental construction).
+func (g *Graph) AddEdge(from, to NodeID, lat int64, class EdgeClass) {
+	if from == None || to == None {
+		return
+	}
+	t := g.nodes[from].time + lat
+	n := &g.nodes[to]
+	if t > n.time || n.critPred == None {
+		n.time = t
+		n.critPred = from
+		n.critLat = int32(lat)
+		n.class = class
+	}
+}
+
+// PushTime moves a node's time forward to at least t (resource booking).
+// The structural critical predecessor is preserved so path backtracking
+// stays connected; the added wait is attributed to the given class.
+func (g *Graph) PushTime(id NodeID, t int64, class EdgeClass) {
+	n := &g.nodes[id]
+	if t > n.time {
+		if n.critPred == None {
+			n.critPred = 0
+		}
+		n.critLat += int32(t - n.time)
+		n.time = t
+		n.class = class
+	}
+}
+
+// Time returns a node's (final, once constructed) time.
+func (g *Graph) Time(id NodeID) int64 {
+	if id == None {
+		return 0
+	}
+	return g.nodes[id].time
+}
+
+// Kind returns a node's kind.
+func (g *Graph) KindOf(id NodeID) Kind { return g.nodes[id].kind }
+
+// DynIdx returns the dynamic-instruction index a node belongs to (-1 for
+// synthetic nodes).
+func (g *Graph) DynIdx(id NodeID) int32 { return g.nodes[id].dynIdx }
+
+// Len returns the number of nodes including the origin.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// CriticalPathBreakdown walks the critical path backwards from the given
+// node and accumulates the latency attributed to each edge class. The
+// result explains where cycles went (compute vs memory vs width vs ...).
+func (g *Graph) CriticalPathBreakdown(from NodeID) [NumEdgeClasses]int64 {
+	var out [NumEdgeClasses]int64
+	id := from
+	for id != None && id != 0 {
+		n := &g.nodes[id]
+		out[n.class] += int64(n.critLat)
+		id = n.critPred
+	}
+	return out
+}
+
+// CriticalPathNodes returns the node IDs on the critical path ending at
+// from, in reverse (from → origin) order. Used by tests and debugging.
+func (g *Graph) CriticalPathNodes(from NodeID) []NodeID {
+	var out []NodeID
+	for id := from; id != None; id = g.nodes[id].critPred {
+		out = append(out, id)
+		if id == 0 {
+			break
+		}
+	}
+	return out
+}
+
+// resourceWindow is the cycle span the table remembers. In-flight
+// instructions span at most ROB-size × memory-latency cycles, far below
+// this; colliding slots past the window are simply reclaimed (the
+// windowed-resource approximation of §2.7).
+const resourceWindow = 1 << 15
+
+// ResourceTable books fully-pipelined units via a cycle-indexed
+// occupancy ring: a booking occupies one of n units for one cycle, and
+// later (program-order) requests may back-fill earlier cycles — only
+// same-cycle conflicts are resolved in instruction order, the paper's
+// "resources preferentially given in instruction order" approximation.
+type ResourceTable struct {
+	units  uint8
+	cycles [resourceWindow]int64
+	counts [resourceWindow]uint8
+}
+
+// NewResourceTable returns a table with n units.
+func NewResourceTable(n int) *ResourceTable {
+	if n < 1 {
+		n = 1
+	}
+	if n > 255 {
+		n = 255
+	}
+	rt := &ResourceTable{units: uint8(n)}
+	for i := range rt.cycles {
+		rt.cycles[i] = -1
+	}
+	return rt
+}
+
+func (r *ResourceTable) at(c int64) *uint8 {
+	slot := c & (resourceWindow - 1)
+	if r.cycles[slot] != c {
+		r.cycles[slot] = c
+		r.counts[slot] = 0
+	}
+	return &r.counts[slot]
+}
+
+// Book finds the earliest cycle ≥ ready with a free unit, books it, and
+// returns the granted cycle.
+func (r *ResourceTable) Book(ready int64) int64 {
+	for c := ready; ; c++ {
+		if n := r.at(c); *n < r.units {
+			*n++
+			return c
+		}
+	}
+}
+
+// BookFor books one unit for `busy` consecutive cycles (unpipelined units
+// such as dividers or accelerator CFUs).
+func (r *ResourceTable) BookFor(ready, busy int64) int64 {
+	if busy < 1 {
+		busy = 1
+	}
+search:
+	for c := ready; ; c++ {
+		for k := int64(0); k < busy; k++ {
+			if *r.at(c + k) >= r.units {
+				c += k
+				continue search
+			}
+		}
+		for k := int64(0); k < busy; k++ {
+			*r.at(c + k)++
+		}
+		return c
+	}
+}
+
+// Reset clears all bookings.
+func (r *ResourceTable) Reset() {
+	for i := range r.cycles {
+		r.cycles[i] = -1
+	}
+}

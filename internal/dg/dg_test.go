@@ -1,0 +1,178 @@
+package dg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLongestPathRelaxation(t *testing.T) {
+	g := NewGraph()
+	a := g.NewNode(KindExecute, 0)
+	g.AddEdge(g.Origin(), a, 3, EdgeExec)
+	b := g.NewNode(KindExecute, 1)
+	g.AddEdge(g.Origin(), b, 1, EdgeExec)
+	c := g.NewNode(KindComplete, 2)
+	g.AddEdge(a, c, 2, EdgeData)
+	g.AddEdge(b, c, 10, EdgeMemDep)
+	if got := g.Time(c); got != 11 {
+		t.Errorf("Time(c) = %d, want 11 (max path)", got)
+	}
+}
+
+func TestCriticalPathBreakdown(t *testing.T) {
+	g := NewGraph()
+	a := g.NewNode(KindExecute, 0)
+	g.AddEdge(g.Origin(), a, 5, EdgeExec)
+	b := g.NewNode(KindComplete, 0)
+	g.AddEdge(a, b, 7, EdgeMemDep)
+	bd := g.CriticalPathBreakdown(b)
+	if bd[EdgeExec] != 5 || bd[EdgeMemDep] != 7 {
+		t.Errorf("breakdown = %v", bd)
+	}
+	nodes := g.CriticalPathNodes(b)
+	if len(nodes) != 3 { // b, a, origin
+		t.Errorf("critical path nodes = %v", nodes)
+	}
+}
+
+func TestPushTime(t *testing.T) {
+	g := NewGraph()
+	a := g.NewNode(KindExecute, 0)
+	g.AddEdge(g.Origin(), a, 2, EdgeExec)
+	g.PushTime(a, 9, EdgeFU)
+	if g.Time(a) != 9 {
+		t.Errorf("Time = %d, want 9", g.Time(a))
+	}
+	g.PushTime(a, 4, EdgeFU) // must not move backwards
+	if g.Time(a) != 9 {
+		t.Errorf("PushTime moved node backwards to %d", g.Time(a))
+	}
+	// The node's whole arrival (2 structural + 7 resource wait) is now
+	// attributed to the resource class, and the path stays connected.
+	bd := g.CriticalPathBreakdown(a)
+	if bd[EdgeFU] != 9 {
+		t.Errorf("resource wait not attributed to FU: %v", bd)
+	}
+	if nodes := g.CriticalPathNodes(a); len(nodes) != 2 {
+		t.Errorf("path disconnected: %v", nodes)
+	}
+}
+
+func TestEdgeToNoneIgnored(t *testing.T) {
+	g := NewGraph()
+	a := g.NewNode(KindExecute, 0)
+	g.AddEdge(None, a, 100, EdgeData)
+	if g.Time(a) != 0 {
+		t.Errorf("edge from None changed time to %d", g.Time(a))
+	}
+	g.AddEdge(a, None, 100, EdgeData) // must not panic
+}
+
+func TestReset(t *testing.T) {
+	g := NewGraph()
+	g.NewNode(KindFetch, 0)
+	g.Reset()
+	if g.Len() != 1 {
+		t.Errorf("Len after reset = %d, want 1", g.Len())
+	}
+	if g.Time(g.Origin()) != 0 {
+		t.Error("origin time must be 0 after reset")
+	}
+}
+
+func TestResourceTableSingleUnit(t *testing.T) {
+	rt := NewResourceTable(1)
+	if got := rt.Book(0); got != 0 {
+		t.Errorf("first booking = %d, want 0", got)
+	}
+	if got := rt.Book(0); got != 1 {
+		t.Errorf("second booking = %d, want 1 (contention)", got)
+	}
+	if got := rt.Book(10); got != 10 {
+		t.Errorf("late booking = %d, want 10", got)
+	}
+}
+
+func TestResourceTableMultiUnit(t *testing.T) {
+	rt := NewResourceTable(2)
+	a := rt.Book(0)
+	b := rt.Book(0)
+	c := rt.Book(0)
+	if a != 0 || b != 0 {
+		t.Errorf("two units should both grant cycle 0: %d %d", a, b)
+	}
+	if c != 1 {
+		t.Errorf("third booking = %d, want 1", c)
+	}
+}
+
+func TestResourceTableBookFor(t *testing.T) {
+	rt := NewResourceTable(1)
+	if got := rt.BookFor(0, 10); got != 0 {
+		t.Errorf("BookFor start = %d, want 0", got)
+	}
+	if got := rt.Book(0); got != 10 {
+		t.Errorf("booking after busy period = %d, want 10", got)
+	}
+}
+
+func TestResourceTableReset(t *testing.T) {
+	rt := NewResourceTable(1)
+	rt.Book(5)
+	rt.Reset()
+	if got := rt.Book(0); got != 0 {
+		t.Errorf("after reset booking = %d, want 0", got)
+	}
+}
+
+func TestResourceNeverGrantsBeforeReady(t *testing.T) {
+	rt := NewResourceTable(3)
+	f := func(readies []uint16) bool {
+		for _, r := range readies {
+			ready := int64(r % 1000)
+			if rt.Book(ready) < ready {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimesMonotoneAlongEdges(t *testing.T) {
+	// Property: a node's time is >= every predecessor's time + latency,
+	// exercised with a chain built from random latencies.
+	f := func(lats []uint8) bool {
+		g := NewGraph()
+		prev := g.Origin()
+		total := int64(0)
+		for _, l := range lats {
+			n := g.NewNode(KindExecute, -1)
+			g.AddEdge(prev, n, int64(l), EdgeExec)
+			total += int64(l)
+			if g.Time(n) != total {
+				return false
+			}
+			prev = n
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgeClassStrings(t *testing.T) {
+	for c := EdgeClass(0); c < NumEdgeClasses; c++ {
+		if c.String() == "" {
+			t.Errorf("edge class %d has no name", c)
+		}
+	}
+	for _, k := range []Kind{KindFetch, KindDispatch, KindExecute, KindComplete, KindCommit, KindAccel} {
+		if k.String() == "?" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}

@@ -1,0 +1,409 @@
+// Package dse drives the paper's design-space exploration (§5): all
+// combinations of the four general cores and the 16 subsets of the four
+// BSAs (64 designs), evaluated over the full workload suite with the
+// Oracle scheduler (one result set uses the Amdahl-tree scheduler for the
+// §5.4 comparison). Per-(benchmark, core) scheduling contexts are built
+// once and shared across the 16 subsets; identical assignments are
+// memoized.
+package dse
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"exocore/internal/area"
+	"exocore/internal/bsa/dpcgra"
+	"exocore/internal/bsa/nsdf"
+	"exocore/internal/bsa/simd"
+	"exocore/internal/bsa/tracep"
+	"exocore/internal/cores"
+	"exocore/internal/exocore"
+	"exocore/internal/sched"
+	"exocore/internal/stats"
+	"exocore/internal/tdg"
+	"exocore/internal/workloads"
+)
+
+// BSA letter codes as used in the paper's Figure 12.
+var bsaLetters = []struct {
+	Letter byte
+	Name   string
+}{
+	{'S', "SIMD"},
+	{'D', "DP-CGRA"},
+	{'N', "NS-DF"},
+	{'T', "Trace-P"},
+}
+
+// NewBSASet instantiates fresh models for all four BSAs.
+func NewBSASet() map[string]tdg.BSA {
+	return map[string]tdg.BSA{
+		"SIMD":    simd.New(),
+		"DP-CGRA": dpcgra.New(),
+		"NS-DF":   nsdf.New(),
+		"Trace-P": tracep.New(),
+	}
+}
+
+// SubsetName renders a BSA bitmask (bit i = bsaLetters[i]) as the paper's
+// letter code, eg. "SDN"; the empty subset renders as "".
+func SubsetName(mask int) string {
+	var sb strings.Builder
+	for i, bl := range bsaLetters {
+		if mask&(1<<i) != 0 {
+			sb.WriteByte(bl.Letter)
+		}
+	}
+	return sb.String()
+}
+
+// SubsetBSAs returns the BSA names in a bitmask.
+func SubsetBSAs(mask int) []string {
+	var out []string
+	for i, bl := range bsaLetters {
+		if mask&(1<<i) != 0 {
+			out = append(out, bl.Name)
+		}
+	}
+	return out
+}
+
+// DesignCode names a design point: "OOO2-SDN", or just "IO2" for no BSAs.
+func DesignCode(core cores.Config, mask int) string {
+	s := SubsetName(mask)
+	if s == "" {
+		return core.Name
+	}
+	return core.Name + "-" + s
+}
+
+// BenchResult is one benchmark's outcome on one design point.
+type BenchResult struct {
+	Bench    string
+	Category workloads.Category
+	Cycles   int64
+	EnergyNJ float64
+}
+
+// DesignResult aggregates one design point.
+type DesignResult struct {
+	Core     cores.Config
+	Mask     int
+	Code     string
+	AreaMM2  float64
+	PerBench []BenchResult
+
+	// Aggregates relative to the reference design (set by Explore).
+	RelPerf      float64
+	RelEnergyEff float64
+	RelArea      float64
+}
+
+// Options configures an exploration.
+type Options struct {
+	// MaxDyn is the per-benchmark dynamic-instruction budget (0 =
+	// DefaultMaxDyn).
+	MaxDyn int
+	// Workloads restricts the benchmark set (nil = all).
+	Workloads []*workloads.Workload
+	// Cores restricts the core set (nil = all four).
+	Cores []cores.Config
+	// UseAmdahl selects the Amdahl-tree scheduler instead of the Oracle.
+	UseAmdahl bool
+	// Parallelism bounds worker goroutines (0 = NumCPU).
+	Parallelism int
+}
+
+// DefaultMaxDyn is the exploration trace budget per benchmark.
+const DefaultMaxDyn = 100_000
+
+// Exploration is the full design-space result.
+type Exploration struct {
+	Designs []DesignResult
+	// Reference is the design all Rel* metrics are normalized to (IO2
+	// with no BSAs, as in Figure 12).
+	Reference string
+}
+
+// benchCtx is the per-(benchmark, core) scheduling context plus memoized
+// assignment evaluations.
+type benchCtx struct {
+	w   *workloads.Workload
+	ctx *sched.Context
+
+	mu   sync.Mutex
+	memo map[string][2]float64 // assignment signature -> cycles, energy
+}
+
+func assignmentKey(a exocore.Assignment) string {
+	keys := make([]int, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%d=%s;", k, a[k])
+	}
+	return sb.String()
+}
+
+func (bc *benchCtx) eval(assign exocore.Assignment) (int64, float64, error) {
+	key := assignmentKey(assign)
+	bc.mu.Lock()
+	if v, ok := bc.memo[key]; ok {
+		bc.mu.Unlock()
+		return int64(v[0]), v[1], nil
+	}
+	bc.mu.Unlock()
+	cycles, energy, err := bc.ctx.Evaluate(assign)
+	if err != nil {
+		return 0, 0, err
+	}
+	bc.mu.Lock()
+	bc.memo[key] = [2]float64{float64(cycles), energy}
+	bc.mu.Unlock()
+	return cycles, energy, nil
+}
+
+// Explore runs the full exploration.
+func Explore(opts Options) (*Exploration, error) {
+	ws := opts.Workloads
+	if ws == nil {
+		ws = workloads.All()
+	}
+	cs := opts.Cores
+	if cs == nil {
+		cs = cores.Configs
+	}
+	maxDyn := opts.MaxDyn
+	if maxDyn <= 0 {
+		maxDyn = DefaultMaxDyn
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+
+	// Phase 1: build scheduling contexts for every (bench, core).
+	type ctxKey struct {
+		bench string
+		core  string
+	}
+	ctxs := make(map[ctxKey]*benchCtx)
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for _, w := range ws {
+		for _, core := range cs {
+			w, core := w, core
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				tr, err := w.Trace(maxDyn)
+				if err == nil {
+					var td *tdg.TDG
+					td, err = tdg.Build(tr)
+					if err == nil {
+						var sc *sched.Context
+						sc, err = sched.NewContext(td, core, NewBSASet())
+						if err == nil {
+							mu.Lock()
+							ctxs[ctxKey{w.Name, core.Name}] = &benchCtx{
+								w: w, ctx: sc, memo: make(map[string][2]float64),
+							}
+							mu.Unlock()
+							return
+						}
+					}
+				}
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("dse: %s on %s: %w", w.Name, core.Name, err)
+				}
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Phase 2: evaluate all 16 subsets per (bench, core).
+	exp := &Exploration{Reference: "IO2"}
+	designs := make([]DesignResult, 0, len(cs)*16)
+	for _, core := range cs {
+		for mask := 0; mask < 16; mask++ {
+			bsaNames := SubsetBSAs(mask)
+			var bsaModels []tdg.BSA
+			set := NewBSASet()
+			for _, n := range bsaNames {
+				bsaModels = append(bsaModels, set[n])
+			}
+			dr := DesignResult{
+				Core: core, Mask: mask,
+				Code:    DesignCode(core, mask),
+				AreaMM2: area.Total(core, bsaModels),
+			}
+			designs = append(designs, dr)
+		}
+	}
+
+	var dmu sync.Mutex
+	for di := range designs {
+		di := di
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			d := &designs[di]
+			avail := SubsetBSAs(d.Mask)
+			for _, w := range ws {
+				bc := ctxs[ctxKey{w.Name, d.Core.Name}]
+				var assign exocore.Assignment
+				if opts.UseAmdahl {
+					assign = bc.ctx.AmdahlTree(avail)
+				} else {
+					assign = bc.ctx.Oracle(avail)
+				}
+				cycles, energy, err := bc.eval(assign)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				dmu.Lock()
+				d.PerBench = append(d.PerBench, BenchResult{
+					Bench: w.Name, Category: w.Category,
+					Cycles: cycles, EnergyNJ: energy,
+				})
+				dmu.Unlock()
+			}
+			dmu.Lock()
+			sort.Slice(d.PerBench, func(a, b int) bool { return d.PerBench[a].Bench < d.PerBench[b].Bench })
+			dmu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	exp.Designs = designs
+	exp.normalize()
+	return exp, nil
+}
+
+// normalize computes Rel* aggregates against the reference design.
+func (e *Exploration) normalize() {
+	ref := e.Design(e.Reference)
+	if ref == nil {
+		return
+	}
+	refBench := make(map[string]BenchResult, len(ref.PerBench))
+	for _, b := range ref.PerBench {
+		refBench[b.Bench] = b
+	}
+	for i := range e.Designs {
+		d := &e.Designs[i]
+		var perf, eff []float64
+		for _, b := range d.PerBench {
+			r := refBench[b.Bench]
+			perf = append(perf, float64(r.Cycles)/float64(b.Cycles))
+			eff = append(eff, r.EnergyNJ/b.EnergyNJ)
+		}
+		d.RelPerf = stats.Geomean(perf)
+		d.RelEnergyEff = stats.Geomean(eff)
+		d.RelArea = d.AreaMM2 / ref.AreaMM2
+	}
+}
+
+// Design returns the named design point, or nil.
+func (e *Exploration) Design(code string) *DesignResult {
+	for i := range e.Designs {
+		if e.Designs[i].Code == code {
+			return &e.Designs[i]
+		}
+	}
+	return nil
+}
+
+// RelativeTo recomputes (perf, energy-eff) of design `code` against an
+// arbitrary baseline design, per-benchmark geomean — used for headline
+// claims like "OOO2-SDN vs OOO6-S".
+func (e *Exploration) RelativeTo(code, baseline string) (float64, float64, error) {
+	d := e.Design(code)
+	b := e.Design(baseline)
+	if d == nil || b == nil {
+		return 0, 0, fmt.Errorf("dse: unknown design %q or %q", code, baseline)
+	}
+	baseBench := make(map[string]BenchResult, len(b.PerBench))
+	for _, r := range b.PerBench {
+		baseBench[r.Bench] = r
+	}
+	var perf, eff []float64
+	for _, r := range d.PerBench {
+		base := baseBench[r.Bench]
+		perf = append(perf, float64(base.Cycles)/float64(r.Cycles))
+		eff = append(eff, base.EnergyNJ/r.EnergyNJ)
+	}
+	return stats.Geomean(perf), stats.Geomean(eff), nil
+}
+
+// CategoryAggregate returns (relPerf, relEff) of a design over one
+// workload category, normalized to the reference design (Figure 11).
+func (e *Exploration) CategoryAggregate(code string, cat workloads.Category) (float64, float64) {
+	d := e.Design(code)
+	ref := e.Design(e.Reference)
+	if d == nil || ref == nil {
+		return 0, 0
+	}
+	refBench := make(map[string]BenchResult, len(ref.PerBench))
+	for _, b := range ref.PerBench {
+		refBench[b.Bench] = b
+	}
+	var perf, eff []float64
+	for _, b := range d.PerBench {
+		if b.Category != cat {
+			continue
+		}
+		r := refBench[b.Bench]
+		perf = append(perf, float64(r.Cycles)/float64(b.Cycles))
+		eff = append(eff, r.EnergyNJ/b.EnergyNJ)
+	}
+	if len(perf) == 0 {
+		return 0, 0
+	}
+	return stats.Geomean(perf), stats.Geomean(eff)
+}
+
+// Frontier returns the Pareto-optimal designs by (RelPerf ↑,
+// RelEnergyEff ↑), sorted by performance — the Figure 3/10 frontier.
+func (e *Exploration) Frontier() []DesignResult {
+	sorted := append([]DesignResult(nil), e.Designs...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].RelPerf > sorted[b].RelPerf })
+	var out []DesignResult
+	bestEff := 0.0
+	for _, d := range sorted {
+		if d.RelEnergyEff > bestEff {
+			out = append(out, d)
+			bestEff = d.RelEnergyEff
+		}
+	}
+	// Return in ascending performance order.
+	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
+		out[l], out[r] = out[r], out[l]
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+// Package energy is the event-based power/energy model standing in for
+// McPAT + CACTI in the paper's toolchain (§2.4). Graph construction emits
+// per-structure events (fetch, rename, issue wakeup, register file, FUs,
+// caches, accelerator structures); the model converts event counts plus
+// cycle counts into dynamic + static energy. Coefficients are calibrated
+// to 22nm-class published values; as in the paper, only *relative*
+// energy between design points is meaningful.
+package energy
+
+import "fmt"
+
+// Event enumerates every energy event the models emit.
+type Event int
+
+// Energy events. Core-pipeline events first, then memory, then
+// accelerator-specific events.
+const (
+	EvFetch Event = iota
+	EvDecode
+	EvRename
+	EvIssueWakeup // instruction window insert + wakeup + select
+	EvRegRead
+	EvRegWrite
+	EvROB
+	EvCommit
+	EvBpred
+
+	EvIntAluOp
+	EvIntMulOp
+	EvIntDivOp
+	EvFpAddOp
+	EvFpMulOp
+	EvFpDivOp
+
+	EvLSQ // load/store queue insert+search
+	EvL1Access
+	EvL2Access
+	EvMemAccess
+
+	// SIMD: a vector op costs more than scalar but replaces VecLanes ops.
+	EvVecOp
+	EvVecMemOp
+
+	// DP-CGRA (DySER-like).
+	EvCGRAOp     // one functional unit firing in the fabric
+	EvCGRARoute  // switch traversal
+	EvCGRAInput  // vector interface in
+	EvCGRAOutput // vector interface out
+	EvCGRAConfig // configuration load
+
+	// NS-DF (SEED-like).
+	EvCFUOp       // compound functional unit firing
+	EvDFDispatch  // dataflow tag match + dispatch
+	EvDFOpStorage // operand storage read/write
+	EvDFBus       // writeback bus transfer
+
+	// Trace-P (BERET-like).
+	EvSBAccess   // iteration-versioned store buffer
+	EvTraceFetch // trace sequencing
+	EvReplay     // misspeculated iteration replayed on the core
+
+	NumEvents
+)
+
+var eventNames = [NumEvents]string{
+	"fetch", "decode", "rename", "issue", "regread", "regwrite", "rob",
+	"commit", "bpred",
+	"intalu", "intmul", "intdiv", "fpadd", "fpmul", "fpdiv",
+	"lsq", "l1", "l2", "mem",
+	"vecop", "vecmem",
+	"cgraop", "cgraroute", "cgrain", "cgraout", "cgraconfig",
+	"cfuop", "dfdispatch", "dfopstore", "dfbus",
+	"sbaccess", "tracefetch", "replay",
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	if e >= 0 && e < NumEvents {
+		return eventNames[e]
+	}
+	return fmt.Sprintf("event(%d)", int(e))
+}
+
+// Counts accumulates event occurrences during graph construction.
+type Counts [NumEvents]int64
+
+// Add records n occurrences of event e.
+func (c *Counts) Add(e Event, n int64) { c[e] += n }
+
+// AddCounts merges other into c.
+func (c *Counts) AddCounts(other *Counts) {
+	for i := range c {
+		c[i] += other[i]
+	}
+}
+
+// Total returns the total event count (for tests).
+func (c *Counts) Total() int64 {
+	var t int64
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// Table holds per-event dynamic energy in picojoules plus static power in
+// watts for one hardware configuration.
+type Table struct {
+	PerEvent [NumEvents]float64 // pJ per event
+	StaticW  float64            // leakage + clock power while active, watts
+}
+
+// FrequencyGHz is the modeled clock. All designs run at the same clock, as
+// in the paper's comparisons.
+const FrequencyGHz = 2.0
+
+// Result is the energy outcome of one evaluated execution.
+type Result struct {
+	DynamicNJ float64
+	StaticNJ  float64
+	Cycles    int64
+}
+
+// TotalNJ returns total energy in nanojoules.
+func (r Result) TotalNJ() float64 { return r.DynamicNJ + r.StaticNJ }
+
+// Seconds returns wall-clock time at the modeled frequency.
+func (r Result) Seconds() float64 { return float64(r.Cycles) / (FrequencyGHz * 1e9) }
+
+// AvgPowerW returns average power in watts.
+func (r Result) AvgPowerW() float64 {
+	s := r.Seconds()
+	if s == 0 {
+		return 0
+	}
+	return r.TotalNJ() * 1e-9 / s
+}
+
+// Evaluate converts counts + cycles into energy under this table.
+func (t *Table) Evaluate(c *Counts, cycles int64) Result {
+	var dynPJ float64
+	for e := Event(0); e < NumEvents; e++ {
+		dynPJ += float64(c[e]) * t.PerEvent[e]
+	}
+	staticNJ := t.StaticW * float64(cycles) / (FrequencyGHz * 1e9) * 1e9
+	return Result{DynamicNJ: dynPJ / 1000, StaticNJ: staticNJ, Cycles: cycles}
+}
+
+// baseEvents is the 22nm-class per-event energy (pJ) for a 2-wide OOO
+// reference pipeline; structure-dependent events are scaled per config.
+var baseEvents = [NumEvents]float64{
+	EvFetch:       8.0, // I$ read + predecode per instruction
+	EvDecode:      3.0,
+	EvRename:      6.0,
+	EvIssueWakeup: 10.0,
+	EvRegRead:     2.5,
+	EvRegWrite:    3.5,
+	EvROB:         4.0,
+	EvCommit:      2.0,
+	EvBpred:       2.0,
+
+	EvIntAluOp: 2.0,
+	EvIntMulOp: 8.0,
+	EvIntDivOp: 20.0,
+	EvFpAddOp:  6.0,
+	EvFpMulOp:  10.0,
+	EvFpDivOp:  30.0,
+
+	EvLSQ:       6.0,
+	EvL1Access:  15.0,
+	EvL2Access:  80.0,
+	EvMemAccess: 600.0,
+
+	EvVecOp:    10.0, // 4 lanes in one op: ~1.25x scalar FU energy total
+	EvVecMemOp: 22.0,
+
+	EvCGRAOp:     1.2, // no fetch/decode/rename: near-FU-only cost
+	EvCGRARoute:  0.6,
+	EvCGRAInput:  4.0,
+	EvCGRAOutput: 4.0,
+	EvCGRAConfig: 800.0,
+
+	EvCFUOp:       3.0, // compound op amortizes dispatch over sub-ops
+	EvDFDispatch:  2.5,
+	EvDFOpStorage: 2.0,
+	EvDFBus:       1.5,
+
+	EvSBAccess:   3.0,
+	EvTraceFetch: 1.5,
+	EvReplay:     0.0, // replay energy comes from re-executed core events
+}
+
+// CoreParams describes the structure sizes that scale core energy.
+type CoreParams struct {
+	Width   int
+	ROB     int // 0 for in-order
+	Window  int // 0 for in-order
+	InOrder bool
+	AreaMM2 float64
+}
+
+// CoreTable builds the per-event energy table for a general-purpose core.
+// Scaling rules (documented so ablations are interpretable):
+//   - rename/issue/ROB events scale with width and window/ROB size
+//     (superlinear wakeup cost, the classic OOO energy tax);
+//   - in-order cores pay no rename/issue/ROB energy at all;
+//   - static power scales with area.
+func CoreTable(p CoreParams) Table {
+	t := Table{PerEvent: baseEvents}
+	w := float64(p.Width) / 2.0
+	if p.InOrder {
+		t.PerEvent[EvRename] = 0
+		t.PerEvent[EvIssueWakeup] = 1.0 // scoreboard check only
+		t.PerEvent[EvROB] = 0
+		t.PerEvent[EvFetch] *= 0.9
+	} else {
+		t.PerEvent[EvRename] *= w * w
+		t.PerEvent[EvIssueWakeup] *= (float64(p.Window) / 32.0) * w
+		t.PerEvent[EvROB] *= float64(p.ROB) / 64.0
+		t.PerEvent[EvRegRead] *= w
+		t.PerEvent[EvRegWrite] *= w
+	}
+	t.StaticW = 0.09 * p.AreaMM2
+	return t
+}
+
+// AccelParams describes an accelerator's static power contribution while
+// it is powered on.
+type AccelParams struct {
+	AreaMM2 float64
+}
+
+// AccelStaticW returns an accelerator's static power in watts.
+func AccelStaticW(p AccelParams) float64 { return 0.06 * p.AreaMM2 }

@@ -1,0 +1,111 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCountsAddAndMerge(t *testing.T) {
+	var a, b Counts
+	a.Add(EvFetch, 10)
+	b.Add(EvFetch, 5)
+	b.Add(EvL1Access, 3)
+	a.AddCounts(&b)
+	if a[EvFetch] != 15 || a[EvL1Access] != 3 {
+		t.Errorf("merge wrong: %v %v", a[EvFetch], a[EvL1Access])
+	}
+	if a.Total() != 18 {
+		t.Errorf("total = %d, want 18", a.Total())
+	}
+}
+
+func TestEvaluateDynamicAndStatic(t *testing.T) {
+	tbl := Table{StaticW: 1.0}
+	tbl.PerEvent[EvFetch] = 1000 // 1000 pJ = 1 nJ per fetch
+	var c Counts
+	c.Add(EvFetch, 5)
+	r := tbl.Evaluate(&c, 2_000_000_000) // 1 second at 2GHz
+	if r.DynamicNJ != 5 {
+		t.Errorf("dynamic = %v nJ, want 5", r.DynamicNJ)
+	}
+	if r.StaticNJ < 0.99e9 || r.StaticNJ > 1.01e9 { // 1W for 1s = 1e9 nJ
+		t.Errorf("static = %v nJ, want ~1e9", r.StaticNJ)
+	}
+	if r.Seconds() != 1.0 {
+		t.Errorf("seconds = %v, want 1", r.Seconds())
+	}
+	if p := r.AvgPowerW(); p < 1.0 || p > 1.1 {
+		t.Errorf("power = %v W, want ~1", p)
+	}
+}
+
+func TestCoreTableInOrderCheaper(t *testing.T) {
+	io := CoreTable(CoreParams{Width: 2, InOrder: true, AreaMM2: 1.6})
+	ooo := CoreTable(CoreParams{Width: 2, ROB: 64, Window: 32, AreaMM2: 3.2})
+	if io.PerEvent[EvRename] != 0 || io.PerEvent[EvROB] != 0 {
+		t.Error("in-order core must not pay rename/ROB energy")
+	}
+	if io.PerEvent[EvIssueWakeup] >= ooo.PerEvent[EvIssueWakeup] {
+		t.Error("in-order issue must be cheaper than OOO wakeup")
+	}
+	if io.StaticW >= ooo.StaticW {
+		t.Error("smaller core must have lower static power")
+	}
+}
+
+func TestCoreTableScalesWithWidth(t *testing.T) {
+	ooo2 := CoreTable(CoreParams{Width: 2, ROB: 64, Window: 32, AreaMM2: 3.2})
+	ooo6 := CoreTable(CoreParams{Width: 6, ROB: 192, Window: 52, AreaMM2: 12.4})
+	for _, e := range []Event{EvRename, EvIssueWakeup, EvROB, EvRegRead} {
+		if ooo6.PerEvent[e] <= ooo2.PerEvent[e] {
+			t.Errorf("%v: OOO6 (%v pJ) should cost more than OOO2 (%v pJ)",
+				e, ooo6.PerEvent[e], ooo2.PerEvent[e])
+		}
+	}
+}
+
+func TestAcceleratorEventsCheaperThanPipeline(t *testing.T) {
+	tbl := CoreTable(CoreParams{Width: 2, ROB: 64, Window: 32, AreaMM2: 3.2})
+	perInstPipeline := tbl.PerEvent[EvFetch] + tbl.PerEvent[EvDecode] +
+		tbl.PerEvent[EvRename] + tbl.PerEvent[EvIssueWakeup] + tbl.PerEvent[EvROB]
+	if tbl.PerEvent[EvCGRAOp]+tbl.PerEvent[EvCGRARoute] >= perInstPipeline {
+		t.Error("CGRA op must be far cheaper than full pipeline traversal")
+	}
+	if tbl.PerEvent[EvCFUOp]+tbl.PerEvent[EvDFDispatch] >= perInstPipeline {
+		t.Error("CFU op must be far cheaper than full pipeline traversal")
+	}
+}
+
+func TestEventNamesComplete(t *testing.T) {
+	for e := Event(0); e < NumEvents; e++ {
+		if e.String() == "" {
+			t.Errorf("event %d has no name", int(e))
+		}
+	}
+	if Event(NumEvents).String() == "" {
+		t.Error("out-of-range event should still render")
+	}
+}
+
+func TestEvaluateNonNegativeProperty(t *testing.T) {
+	tbl := CoreTable(CoreParams{Width: 4, ROB: 168, Window: 48, AreaMM2: 7.8})
+	f := func(fetch, l1, cycles uint32) bool {
+		var c Counts
+		c.Add(EvFetch, int64(fetch))
+		c.Add(EvL1Access, int64(l1))
+		r := tbl.Evaluate(&c, int64(cycles))
+		return r.DynamicNJ >= 0 && r.StaticNJ >= 0 && r.TotalNJ() >= r.DynamicNJ
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccelStatic(t *testing.T) {
+	if AccelStaticW(AccelParams{AreaMM2: 1.0}) <= 0 {
+		t.Error("accelerator static power must be positive")
+	}
+	if AccelStaticW(AccelParams{AreaMM2: 2}) <= AccelStaticW(AccelParams{AreaMM2: 1}) {
+		t.Error("static power must scale with area")
+	}
+}

@@ -1,0 +1,237 @@
+// Package exocore composes a general-purpose core with a set of
+// behavior-specialized accelerator models over a single µDG, implementing
+// the ExoCore organization of the paper (§3). Execution migrates between
+// the core and accelerators at loop boundaries according to a per-region
+// assignment; the shared graph captures the handoff edges, and energy is
+// accounted per component including frontend power-gating during offload
+// (§5.3).
+package exocore
+
+import (
+	"fmt"
+	"sort"
+
+	"exocore/internal/cores"
+	"exocore/internal/dg"
+	"exocore/internal/energy"
+	"exocore/internal/tdg"
+)
+
+// Assignment maps loop IDs to the name of the BSA chosen for them. Loops
+// not present run on the general core. Assigned loops must not be nested
+// inside one another; if they are, the outermost assignment wins.
+type Assignment map[int]string
+
+// Segment is a maximal run of dynamic instructions executing under one
+// model: LoopID == -1 means the general core.
+type Segment struct {
+	LoopID int
+	Start  int // dynamic index, inclusive
+	End    int // exclusive
+}
+
+// SegmentRecord captures one executed segment for affinity analysis
+// (Figure 13/14).
+type SegmentRecord struct {
+	LoopID     int
+	BSA        string // "" for the general core
+	StartCycle int64
+	EndCycle   int64
+	Dyn        int // original dynamic instructions covered
+}
+
+// RunOpts controls optional engine outputs.
+type RunOpts struct {
+	// RecordSegments retains the per-segment timeline (Figure 14).
+	RecordSegments bool
+}
+
+// RunResult is the outcome of executing one benchmark on one design point.
+type RunResult struct {
+	Cycles int64
+	Counts energy.Counts
+	// PerBSADyn counts original dynamic instructions covered by each
+	// model ("" = general core) — the paper's "% of cycles un-accelerated"
+	// analysis (§5).
+	PerBSADyn map[string]int64
+	// PerBSACycles attributes execution cycles to each model.
+	PerBSACycles map[string]int64
+	// PerBSACounts attributes energy events to each model.
+	PerBSACounts map[string]*energy.Counts
+	// OffloadCycles counts cycles during which an offload BSA (NS-DF,
+	// Trace-P) ran and the core frontend could be power-gated.
+	OffloadCycles int64
+	// ActiveCycles counts cycles each accelerator was powered.
+	ActiveCycles map[string]int64
+	Segments     []SegmentRecord
+}
+
+// Segmentize splits the trace into GPP and region segments under an
+// assignment. A dynamic instruction belongs to the outermost assigned
+// loop in its loop chain.
+func Segmentize(t *tdg.TDG, assign Assignment) []Segment {
+	var segs []Segment
+	cur := Segment{LoopID: -2}
+	nest := t.Nest
+	for i := range t.Trace.Insts {
+		si := int(t.Trace.Insts[i].SI)
+		region := -1
+		for l := nest.InnermostOfInst(si); l != -1; l = nest.Loops[l].Parent {
+			if _, ok := assign[l]; ok {
+				region = l // keep walking: outermost assigned wins
+			}
+		}
+		if region != cur.LoopID {
+			if cur.LoopID != -2 {
+				segs = append(segs, cur)
+			}
+			cur = Segment{LoopID: region, Start: i, End: i + 1}
+		} else {
+			cur.End = i + 1
+		}
+	}
+	if cur.LoopID != -2 {
+		segs = append(segs, cur)
+	}
+	return segs
+}
+
+// Run executes the benchmark under the given core and assignment,
+// returning cycles, energy events and attribution. bsas maps BSA name to
+// model; plans maps BSA name to its analysis plan (so TransformRegion
+// receives its region config).
+func Run(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA,
+	plans map[string]*tdg.Plan, assign Assignment, opts RunOpts) (*RunResult, error) {
+
+	// Validate the assignment before doing any work.
+	for loopID, name := range assign {
+		if loopID < 0 || loopID >= len(t.Nest.Loops) {
+			return nil, fmt.Errorf("exocore: assignment names unknown loop %d", loopID)
+		}
+		if _, ok := bsas[name]; !ok {
+			return nil, fmt.Errorf("exocore: assignment names unknown BSA %q", name)
+		}
+		if plans[name].Region(loopID) == nil {
+			return nil, fmt.Errorf("exocore: BSA %q has no plan for loop %d", name, loopID)
+		}
+	}
+
+	g := dg.NewGraph()
+	res := &RunResult{
+		PerBSADyn:    make(map[string]int64),
+		PerBSACycles: make(map[string]int64),
+		PerBSACounts: make(map[string]*energy.Counts),
+		ActiveCycles: make(map[string]int64),
+	}
+	gpp := cores.NewGPP(core, g, &res.Counts)
+	ctx := &tdg.Ctx{TDG: t, G: g, GPP: gpp, Counts: &res.Counts, State: make(map[string]any)}
+
+	segs := Segmentize(t, assign)
+	var lastEnd int64
+	snapshot := res.Counts
+	for _, seg := range segs {
+		name := ""
+		var endNode dg.NodeID = dg.None
+		if seg.LoopID >= 0 {
+			name = assign[seg.LoopID]
+			r := plans[name].Region(seg.LoopID)
+			endNode = bsas[name].TransformRegion(ctx, r, seg.Start, seg.End)
+		} else {
+			for i := seg.Start; i < seg.End; i++ {
+				d := &t.Trace.Insts[i]
+				gpp.Exec(cores.FromDyn(&t.Trace.Prog.Insts[d.SI], d), int32(i))
+			}
+		}
+		end := gpp.EndTime()
+		if endNode != dg.None && g.Time(endNode) > end {
+			end = g.Time(endNode)
+		}
+		if end < lastEnd {
+			end = lastEnd
+		}
+		dur := end - lastEnd
+
+		res.PerBSADyn[name] += int64(seg.End - seg.Start)
+		res.PerBSACycles[name] += dur
+		delta := diffCounts(&res.Counts, &snapshot)
+		if res.PerBSACounts[name] == nil {
+			res.PerBSACounts[name] = &energy.Counts{}
+		}
+		res.PerBSACounts[name].AddCounts(&delta)
+		snapshot = res.Counts
+
+		if name != "" {
+			res.ActiveCycles[name] += dur
+			if bsas[name].OffloadsCore() {
+				res.OffloadCycles += dur
+			}
+		}
+		if opts.RecordSegments {
+			res.Segments = append(res.Segments, SegmentRecord{
+				LoopID: seg.LoopID, BSA: name,
+				StartCycle: lastEnd, EndCycle: end,
+				Dyn: seg.End - seg.Start,
+			})
+		}
+		lastEnd = end
+	}
+	res.Cycles = lastEnd
+	return res, nil
+}
+
+func diffCounts(now, before *energy.Counts) energy.Counts {
+	var d energy.Counts
+	for i := range now {
+		d[i] = now[i] - before[i]
+	}
+	return d
+}
+
+// GatedCoreStaticFraction is the fraction of core static power still paid
+// while an offload BSA runs (frontend, window and FUs power-gated; caches
+// and MMU stay on, shared with the accelerator).
+const GatedCoreStaticFraction = 0.35
+
+// EnergyOf converts a run result into total energy for a design point:
+// core dynamic + core static (gated during offload) + accelerator static
+// while active. Idle accelerators are assumed fully power-gated (the
+// dark-silicon premise of §1).
+func EnergyOf(res *RunResult, core cores.Config, bsas map[string]tdg.BSA) energy.Result {
+	tbl := energy.CoreTable(core.EnergyParams())
+	dyn := tbl.Evaluate(&res.Counts, 0).DynamicNJ
+
+	cyclesToSec := 1.0 / (energy.FrequencyGHz * 1e9)
+	onCycles := float64(res.Cycles - res.OffloadCycles)
+	gated := float64(res.OffloadCycles)
+	staticNJ := tbl.StaticW * (onCycles + GatedCoreStaticFraction*gated) * cyclesToSec * 1e9
+	for name, active := range res.ActiveCycles {
+		w := energy.AccelStaticW(energy.AccelParams{AreaMM2: bsas[name].AreaMM2()})
+		staticNJ += w * float64(active) * cyclesToSec * 1e9
+	}
+	return energy.Result{DynamicNJ: dyn, StaticNJ: staticNJ, Cycles: res.Cycles}
+}
+
+// UnacceleratedFraction returns the fraction of original dynamic
+// instructions that stayed on the general core.
+func (r *RunResult) UnacceleratedFraction() float64 {
+	var total int64
+	for _, n := range r.PerBSADyn {
+		total += n
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(r.PerBSADyn[""]) / float64(total)
+}
+
+// BSAsUsed lists the models that actually covered instructions, sorted.
+func (r *RunResult) BSAsUsed() []string {
+	var out []string
+	for name, n := range r.PerBSADyn {
+		if name != "" && n > 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,217 @@
+// Package ir reconstructs a program IR from the static instruction stream
+// and the dynamic trace, exactly as the TDG constructor does (paper §2.3):
+// basic blocks and the CFG from binary analysis, dominators and natural
+// loop nests, def-use chains, induction/reduction detection, path profiles
+// and inter-iteration memory-dependence analysis from the trace. Every µDG
+// node maps one-to-one onto a static instruction in this IR.
+package ir
+
+import (
+	"fmt"
+	"sort"
+
+	"exocore/internal/prog"
+)
+
+// Block is a basic block: the half-open static-instruction range
+// [Start, End) plus CFG edges (block IDs).
+type Block struct {
+	ID    int
+	Start int
+	End   int
+	Succs []int
+	Preds []int
+}
+
+// Len returns the number of static instructions in the block.
+func (b *Block) Len() int { return b.End - b.Start }
+
+// CFG is the control-flow graph recovered from a program.
+type CFG struct {
+	Prog    *prog.Program
+	Blocks  []Block
+	BlockOf []int // static instruction index -> block ID
+
+	// IDom[b] is the immediate dominator of block b (-1 for entry).
+	IDom []int
+}
+
+// BuildCFG recovers basic blocks and edges from the instruction stream.
+func BuildCFG(p *prog.Program) (*CFG, error) {
+	n := len(p.Insts)
+	if n == 0 {
+		return nil, fmt.Errorf("ir: program %q is empty", p.Name)
+	}
+	// Leaders: entry, every control target, every instruction after control.
+	leader := make([]bool, n)
+	leader[0] = true
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if !in.Op.IsCtrl() {
+			continue
+		}
+		t := int(in.Imm)
+		if t >= 0 && t < n {
+			leader[t] = true
+		} else if in.Op.IsBranch() || t != n {
+			// A jump to exactly n is a clean exit; anything else is a bug
+			// in the kernel under test.
+			if t < 0 || t > n {
+				return nil, fmt.Errorf("ir: program %q: control target %d out of range at inst %d", p.Name, t, i)
+			}
+		}
+		if i+1 < n {
+			leader[i+1] = true
+		}
+	}
+
+	cfg := &CFG{Prog: p, BlockOf: make([]int, n)}
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || leader[i] {
+			id := len(cfg.Blocks)
+			cfg.Blocks = append(cfg.Blocks, Block{ID: id, Start: start, End: i})
+			for j := start; j < i; j++ {
+				cfg.BlockOf[j] = id
+			}
+			start = i
+		}
+	}
+
+	// Edges.
+	for bi := range cfg.Blocks {
+		b := &cfg.Blocks[bi]
+		last := &p.Insts[b.End-1]
+		addEdge := func(toInst int) {
+			if toInst < 0 || toInst >= n {
+				return // program exit
+			}
+			to := cfg.BlockOf[toInst]
+			b.Succs = append(b.Succs, to)
+		}
+		switch {
+		case last.Op.IsBranch():
+			addEdge(int(last.Imm)) // taken
+			addEdge(b.End)         // fall-through
+		case last.Op.IsCtrl(): // jump
+			addEdge(int(last.Imm))
+		default:
+			addEdge(b.End)
+		}
+	}
+	for bi := range cfg.Blocks {
+		for _, s := range cfg.Blocks[bi].Succs {
+			cfg.Blocks[s].Preds = append(cfg.Blocks[s].Preds, bi)
+		}
+	}
+
+	cfg.computeDominators()
+	return cfg, nil
+}
+
+// computeDominators runs the classic iterative dataflow algorithm
+// (Cooper/Harvey/Kennedy style on RPO) to fill IDom.
+func (c *CFG) computeDominators() {
+	nb := len(c.Blocks)
+	rpo := c.ReversePostOrder()
+	rpoIndex := make([]int, nb)
+	for i, b := range rpo {
+		rpoIndex[b] = i
+	}
+	idom := make([]int, nb)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoIndex[a] > rpoIndex[b] {
+				a = idom[a]
+			}
+			for rpoIndex[b] > rpoIndex[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range c.Blocks[b].Preds {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[0] = -1
+	c.IDom = idom
+}
+
+// Dominates reports whether block a dominates block b.
+func (c *CFG) Dominates(a, b int) bool {
+	for b != -1 {
+		if a == b {
+			return true
+		}
+		b = c.IDom[b]
+	}
+	return false
+}
+
+// ReversePostOrder returns block IDs in reverse post-order from the entry.
+// Unreachable blocks are appended at the end in ID order so every block
+// appears exactly once.
+func (c *CFG) ReversePostOrder() []int {
+	nb := len(c.Blocks)
+	seen := make([]bool, nb)
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range c.Blocks[b].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(0)
+	rpo := make([]int, 0, nb)
+	for i := len(post) - 1; i >= 0; i-- {
+		rpo = append(rpo, post[i])
+	}
+	var unreachable []int
+	for b := 0; b < nb; b++ {
+		if !seen[b] {
+			unreachable = append(unreachable, b)
+		}
+	}
+	sort.Ints(unreachable)
+	return append(rpo, unreachable...)
+}
+
+// String renders the CFG for debugging.
+func (c *CFG) String() string {
+	s := fmt.Sprintf("cfg of %q: %d blocks\n", c.Prog.Name, len(c.Blocks))
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		s += fmt.Sprintf("  B%d [%d,%d) -> %v\n", b.ID, b.Start, b.End, b.Succs)
+	}
+	return s
+}

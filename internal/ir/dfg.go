@@ -1,0 +1,282 @@
+package ir
+
+import (
+	"sort"
+
+	"exocore/internal/isa"
+)
+
+// InductionVar describes a basic induction variable r = r ± imm.
+type InductionVar struct {
+	SI   int // static index of the update instruction
+	Reg  isa.Reg
+	Step int64 // signed step per iteration
+}
+
+// LoopDataflow is the per-loop dataflow summary the BSA analyzers consume:
+// inductions and reductions (for vectorization legality), live-in/live-out
+// registers (for accelerator communication cost), and the access/compute
+// slicing used by the DP-CGRA model (paper §3.2).
+type LoopDataflow struct {
+	LoopID int
+
+	// DefCount counts static definitions of each register inside the loop.
+	DefCount map[isa.Reg]int
+	// Inductions maps the update instruction's static index to its info.
+	Inductions map[int]InductionVar
+	// Reductions marks static indexes of reduction updates (x = x op y).
+	Reductions map[int]bool
+	// LiveIns are registers read inside the loop whose value can originate
+	// outside the loop (approximate, from static order).
+	LiveIns []isa.Reg
+	// LiveOuts are registers defined in the loop and read after it.
+	LiveOuts []isa.Reg
+	// AccessSlice marks static instructions belonging to the memory-access
+	// slice (memory ops plus their address backward slice plus control
+	// and its backward slice).
+	AccessSlice map[int]bool
+	// AddrSlice is the narrower slice of memory ops plus only their
+	// address computation. Control conditions are NOT included: a CGRA
+	// can compute predicates in-fabric (paper §3.2: "control instructions
+	// without forward memory dependences are offloaded to the CGRA").
+	AddrSlice map[int]bool
+	// CarriedRegDep marks registers carrying a cross-iteration dependence
+	// that is neither an induction nor a reduction — these block
+	// vectorization.
+	CarriedRegDep []isa.Reg
+}
+
+// AnalyzeLoopDataflow computes the dataflow summary for one loop.
+func AnalyzeLoopDataflow(cfg *CFG, nest *LoopNest, loopID int) *LoopDataflow {
+	loop := &nest.Loops[loopID]
+	p := cfg.Prog
+	ld := &LoopDataflow{
+		LoopID:      loopID,
+		DefCount:    make(map[isa.Reg]int),
+		Inductions:  make(map[int]InductionVar),
+		Reductions:  make(map[int]bool),
+		AccessSlice: make(map[int]bool),
+		AddrSlice:   make(map[int]bool),
+	}
+
+	// Membership and instruction ranges.
+	inLoop := func(si int) bool { return loop.Contains(cfg.BlockOf[si]) }
+	var loopInsts []int
+	for _, b := range loop.Blocks {
+		for si := cfg.Blocks[b].Start; si < cfg.Blocks[b].End; si++ {
+			loopInsts = append(loopInsts, si)
+		}
+	}
+	sort.Ints(loopInsts)
+
+	// Def counts.
+	for _, si := range loopInsts {
+		in := &p.Insts[si]
+		if in.HasDst() {
+			ld.DefCount[in.Dst]++
+		}
+	}
+
+	// Inductions: single-def r = r ± imm whose update executes on every
+	// iteration (its block dominates every latch) — a conditionally
+	// advanced cursor is a true recurrence, not an induction.
+	unconditional := func(si int) bool {
+		b := cfg.BlockOf[si]
+		for _, latch := range loop.Latches {
+			if !cfg.Dominates(b, latch) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, si := range loopInsts {
+		in := &p.Insts[si]
+		if !in.HasDst() || ld.DefCount[in.Dst] != 1 || in.Src1 != in.Dst {
+			continue
+		}
+		if !unconditional(si) {
+			continue
+		}
+		switch in.Op {
+		case isa.AddI:
+			ld.Inductions[si] = InductionVar{SI: si, Reg: in.Dst, Step: in.Imm}
+		case isa.SubI:
+			ld.Inductions[si] = InductionVar{SI: si, Reg: in.Dst, Step: -in.Imm}
+		}
+	}
+
+	// Reductions: single-def x = x op y for associative-ish ops.
+	for _, si := range loopInsts {
+		in := &p.Insts[si]
+		if !in.HasDst() || ld.DefCount[in.Dst] != 1 {
+			continue
+		}
+		if _, isInd := ld.Inductions[si]; isInd {
+			continue
+		}
+		switch in.Op {
+		case isa.FAdd, isa.FMul, isa.Add, isa.Mul, isa.And, isa.Or, isa.Xor:
+			if in.Src1 == in.Dst || in.Src2 == in.Dst {
+				ld.Reductions[si] = true
+			}
+		}
+	}
+
+	// Cross-iteration register dependences that are neither inductions nor
+	// reductions: a register that is both defined in the loop and read in
+	// the loop at-or-before its (only) definition point, or multi-def regs
+	// read in-loop. This is conservative in the right direction for
+	// vectorization legality.
+	firstDef := make(map[isa.Reg]int)
+	for _, si := range loopInsts {
+		in := &p.Insts[si]
+		if in.HasDst() {
+			if _, ok := firstDef[in.Dst]; !ok {
+				firstDef[in.Dst] = si
+			}
+		}
+	}
+	carried := make(map[isa.Reg]bool)
+	var srcs []isa.Reg
+	for _, si := range loopInsts {
+		in := &p.Insts[si]
+		srcs = srcs[:0]
+		for _, r := range in.Srcs(srcs) {
+			def, defined := firstDef[r]
+			if !defined {
+				continue
+			}
+			// A read at or before the register's first in-loop definition
+			// consumes the previous iteration's value (it flows around the
+			// back edge). Reads after a def are iteration-local — this is
+			// optimistic for values defined only on some paths (§2.7).
+			if si <= def {
+				if _, isInd := ld.Inductions[def]; isInd && ld.DefCount[r] == 1 {
+					continue
+				}
+				if ld.Reductions[def] && ld.DefCount[r] == 1 {
+					continue
+				}
+				carried[r] = true
+			}
+		}
+	}
+	for r := range carried {
+		ld.CarriedRegDep = append(ld.CarriedRegDep, r)
+	}
+	SortRegs(ld.CarriedRegDep)
+
+	// Live-ins: registers read in the loop that are not defined earlier in
+	// the same straight-line region before every read (approximation:
+	// reads whose register is never defined in-loop, or is defined in-loop
+	// but also carried across the back edge).
+	liveIn := make(map[isa.Reg]bool)
+	for _, si := range loopInsts {
+		in := &p.Insts[si]
+		srcs = srcs[:0]
+		for _, r := range in.Srcs(srcs) {
+			if ld.DefCount[r] == 0 || carried[r] {
+				liveIn[r] = true
+			}
+			if def, ok := firstDef[r]; ok && si <= def {
+				liveIn[r] = true
+			}
+			if d, isInd := firstDef[r]; isInd {
+				if _, ok := ld.Inductions[d]; ok {
+					liveIn[r] = true // seed value comes from outside
+				}
+			}
+		}
+	}
+	for r := range liveIn {
+		ld.LiveIns = append(ld.LiveIns, r)
+	}
+	SortRegs(ld.LiveIns)
+
+	// Live-outs: defined in loop, read anywhere outside the loop.
+	usedOutside := make(map[isa.Reg]bool)
+	for si := range p.Insts {
+		if inLoop(si) {
+			continue
+		}
+		in := &p.Insts[si]
+		srcs = srcs[:0]
+		for _, r := range in.Srcs(srcs) {
+			usedOutside[r] = true
+		}
+	}
+	for r := range ld.DefCount {
+		if usedOutside[r] {
+			ld.LiveOuts = append(ld.LiveOuts, r)
+		}
+	}
+	SortRegs(ld.LiveOuts)
+
+	ld.computeAccessSlice(p.Insts, loopInsts)
+	return ld
+}
+
+// computeAccessSlice marks memory instructions, their address backward
+// slices (within the loop, one iteration), and control instructions (with
+// their backward slices) as the "access" slice, and separately the
+// narrower address-only slice.
+func (ld *LoopDataflow) computeAccessSlice(insts []isa.Inst, loopInsts []int) {
+	inst := func(si int) *isa.Inst { return &insts[si] }
+	// Def map in static order for the backward slice.
+	defOf := make(map[isa.Reg][]int)
+	for _, si := range loopInsts {
+		in := inst(si)
+		if in.HasDst() {
+			defOf[in.Dst] = append(defOf[in.Dst], si)
+		}
+	}
+
+	backward := func(inSlice map[int]bool, seeds []int) {
+		work := append([]int(nil), seeds...)
+		var srcs []isa.Reg
+		for len(work) > 0 {
+			si := work[len(work)-1]
+			work = work[:len(work)-1]
+			in := inst(si)
+			srcs = srcs[:0]
+			for _, r := range in.Srcs(srcs) {
+				for _, d := range defOf[r] {
+					if !inSlice[d] {
+						inSlice[d] = true
+						work = append(work, d)
+					}
+				}
+			}
+		}
+	}
+
+	var addrSeeds, ctrlSeeds []int
+	for _, si := range loopInsts {
+		in := inst(si)
+		switch {
+		case in.Op.IsMem():
+			ld.AddrSlice[si] = true
+			ld.AccessSlice[si] = true
+			// Only the address operand's slice, not the stored value's.
+			for _, d := range defOf[in.Src1] {
+				if !ld.AddrSlice[d] {
+					ld.AddrSlice[d] = true
+					addrSeeds = append(addrSeeds, d)
+				}
+			}
+		case in.Op.IsCtrl():
+			ld.AccessSlice[si] = true
+			ctrlSeeds = append(ctrlSeeds, si)
+		}
+	}
+	backward(ld.AddrSlice, addrSeeds)
+	for si := range ld.AddrSlice {
+		ld.AccessSlice[si] = true
+	}
+	backward(ld.AccessSlice, ctrlSeeds)
+}
+
+// SortRegs sorts a register slice in place (deterministic plan output).
+func SortRegs(rs []isa.Reg) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+}

@@ -1,0 +1,65 @@
+package ir
+
+import "exocore/internal/isa"
+
+// RegSet is a bitset over the architectural registers (64 = 32 int + 32
+// fp, fitting one word).
+type RegSet uint64
+
+// Has reports membership.
+func (s RegSet) Has(r isa.Reg) bool { return s&(1<<uint(r)) != 0 }
+
+func (s RegSet) add(r isa.Reg) RegSet { return s | 1<<uint(r) }
+
+// Liveness holds per-block live-in/live-out register sets from a classic
+// backward dataflow fixpoint. Transforms use it to decide whether a
+// register's value escapes a block (eg. fusion legality).
+type Liveness struct {
+	LiveIn  []RegSet
+	LiveOut []RegSet
+}
+
+// ComputeLiveness runs backward liveness over the CFG.
+func ComputeLiveness(cfg *CFG) *Liveness {
+	nb := len(cfg.Blocks)
+	ue := make([]RegSet, nb)  // upward-exposed uses
+	def := make([]RegSet, nb) // defined before any use
+	var srcs []isa.Reg
+	for bi := range cfg.Blocks {
+		b := &cfg.Blocks[bi]
+		for si := b.Start; si < b.End; si++ {
+			in := &cfg.Prog.Insts[si]
+			srcs = srcs[:0]
+			for _, r := range in.Srcs(srcs) {
+				if !def[bi].Has(r) {
+					ue[bi] = ue[bi].add(r)
+				}
+			}
+			// FMA reads its destination as the accumulator.
+			if in.Op == isa.FMA && in.Dst.Valid() && !def[bi].Has(in.Dst) {
+				ue[bi] = ue[bi].add(in.Dst)
+			}
+			if in.HasDst() {
+				def[bi] = def[bi].add(in.Dst)
+			}
+		}
+	}
+
+	lv := &Liveness{LiveIn: make([]RegSet, nb), LiveOut: make([]RegSet, nb)}
+	for changed := true; changed; {
+		changed = false
+		for bi := nb - 1; bi >= 0; bi-- {
+			var out RegSet
+			for _, s := range cfg.Blocks[bi].Succs {
+				out |= lv.LiveIn[s]
+			}
+			in := ue[bi] | (out &^ def[bi])
+			if out != lv.LiveOut[bi] || in != lv.LiveIn[bi] {
+				lv.LiveOut[bi] = out
+				lv.LiveIn[bi] = in
+				changed = true
+			}
+		}
+	}
+	return lv
+}

@@ -1,0 +1,339 @@
+package ir
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"exocore/internal/isa"
+	"exocore/internal/trace"
+)
+
+// StrideInfo summarizes the observed address stride of one static memory
+// instruction across consecutive executions inside its innermost loop.
+type StrideInfo struct {
+	Samples    int64
+	Dominant   int64   // most frequent delta
+	Consistent float64 // fraction of samples equal to Dominant
+}
+
+// Contiguous reports whether the access advances by exactly one word per
+// iteration, the pattern SIMD can load/store without packing.
+func (s StrideInfo) Contiguous() bool {
+	return s.Samples > 0 && s.Dominant == 8 && s.Consistent >= 0.95
+}
+
+// Scalar reports whether the address is loop-invariant (stride 0).
+func (s StrideInfo) Scalar() bool {
+	return s.Samples > 0 && s.Dominant == 0 && s.Consistent >= 0.95
+}
+
+// Strided reports a constant non-unit stride (vectorizable with packing).
+func (s StrideInfo) Strided() bool {
+	return s.Samples > 0 && s.Consistent >= 0.95 && !s.Contiguous() && !s.Scalar()
+}
+
+// LoopProfile aggregates dynamic behavior of one loop.
+type LoopProfile struct {
+	LoopID     int
+	Entries    int64 // occurrences (entries from outside the loop)
+	Iterations int64
+	DynInsts   int64 // dynamic instructions inside (incl. nested loops)
+	// BackProb is iterations/(iterations+entries): probability control
+	// stays in the loop at the latch, the Trace-P eligibility metric.
+	BackProb float64
+	AvgTrip  float64
+	// PathCounts maps an encoded block path (one iteration of an inner
+	// loop) to its frequency: the Ball-Larus-style path profile.
+	PathCounts map[string]int64
+	// HotPath is the most frequent iteration path (block IDs), and
+	// HotPathFrac its fraction of all iterations.
+	HotPath     []int
+	HotPathFrac float64
+	// CarriedMemDep records an observed cross-iteration memory dependence
+	// (a store in one iteration, load/store to the same address in a later
+	// iteration of the same occurrence).
+	CarriedMemDep bool
+}
+
+// Profile is the trace-derived profile of a program: block counts, loop
+// statistics, path profiles and per-instruction stride classification.
+// This is the "profiling information" half of the TDG analyzer inputs.
+type Profile struct {
+	CFG  *CFG
+	Nest *LoopNest
+
+	BlockCount []int64
+	Loops      []LoopProfile
+	Strides    map[int]StrideInfo
+	TotalDyn   int64
+}
+
+type strideAcc struct {
+	lastAddr uint64
+	seen     bool
+	deltas   map[int64]int64
+	samples  int64
+}
+
+type loopState struct {
+	id         int
+	iterBlocks []int
+	// addrIter maps word address -> (iteration number << 1) | isStore,
+	// bounded; used for carried-dependence detection.
+	addrIter map[uint64]depRec
+	iter     int64
+}
+
+type depRec struct {
+	iter    int64
+	isStore bool
+}
+
+const maxDepTrack = 1 << 15 // bound the per-occurrence address map
+
+// BuildProfile derives the dynamic profile of t given its CFG and loops.
+func BuildProfile(cfg *CFG, nest *LoopNest, t *trace.Trace) *Profile {
+	p := &Profile{
+		CFG:        cfg,
+		Nest:       nest,
+		BlockCount: make([]int64, len(cfg.Blocks)),
+		Strides:    make(map[int]StrideInfo),
+		TotalDyn:   int64(len(t.Insts)),
+	}
+	p.Loops = make([]LoopProfile, len(nest.Loops))
+	for i := range p.Loops {
+		p.Loops[i] = LoopProfile{LoopID: i, PathCounts: make(map[string]int64)}
+	}
+
+	strides := make(map[int]*strideAcc)
+	var stack []*loopState
+
+	recordPath := func(ls *loopState) {
+		if len(ls.iterBlocks) == 0 {
+			return
+		}
+		lp := &p.Loops[ls.id]
+		if nest.Loops[ls.id].Inner() {
+			key := encodePath(ls.iterBlocks)
+			lp.PathCounts[key]++
+		}
+		ls.iterBlocks = ls.iterBlocks[:0]
+	}
+
+	popTo := func(depth int) {
+		for len(stack) > depth {
+			ls := stack[len(stack)-1]
+			recordPath(ls)
+			stack = stack[:len(stack)-1]
+		}
+	}
+
+	prevBlock := -1
+	for i := range t.Insts {
+		d := &t.Insts[i]
+		si := int(d.SI)
+		b := cfg.BlockOf[si]
+		enteredBlock := si == cfg.Blocks[b].Start && (i == 0 || b != prevBlock || isBlockReentry(cfg, t, i))
+		if enteredBlock {
+			p.BlockCount[b]++
+		}
+
+		// Reconcile the loop stack with the innermost loop of this block.
+		inner := nest.InnermostOf[b]
+		if inner == -1 {
+			popTo(0)
+		} else {
+			// Desired stack: ancestors of inner from outermost to inner.
+			var chain []int
+			for l := inner; l != -1; l = nest.Loops[l].Parent {
+				chain = append(chain, l)
+			}
+			// chain is inner..outer; reverse.
+			for l, r := 0, len(chain)-1; l < r; l, r = l+1, r-1 {
+				chain[l], chain[r] = chain[r], chain[l]
+			}
+			// Find common prefix with current stack.
+			common := 0
+			for common < len(stack) && common < len(chain) && stack[common].id == chain[common] {
+				common++
+			}
+			popTo(common)
+			for _, l := range chain[common:] {
+				ls := &loopState{id: l, addrIter: make(map[uint64]depRec)}
+				stack = append(stack, ls)
+				p.Loops[l].Entries++
+			}
+		}
+
+		// Attribute the instruction to every active loop.
+		for _, ls := range stack {
+			p.Loops[ls.id].DynInsts++
+		}
+
+		// Header re-entry = new iteration of the innermost matching loop.
+		if enteredBlock {
+			for _, ls := range stack {
+				if nest.Loops[ls.id].Header == b {
+					if ls.iter > 0 {
+						recordPath(ls)
+					}
+					ls.iter++
+					p.Loops[ls.id].Iterations++
+				}
+			}
+			if len(stack) > 0 {
+				top := stack[len(stack)-1]
+				if nest.Loops[top.id].Inner() {
+					top.iterBlocks = append(top.iterBlocks, b)
+				}
+			}
+		}
+
+		// Stride + memory-dependence tracking.
+		op := t.Prog.Insts[si].Op
+		if op.IsMem() {
+			sa := strides[si]
+			if sa == nil {
+				sa = &strideAcc{deltas: make(map[int64]int64)}
+				strides[si] = sa
+			}
+			if sa.seen {
+				sa.deltas[int64(d.Addr)-int64(sa.lastAddr)]++
+				sa.samples++
+			}
+			sa.lastAddr = d.Addr
+			sa.seen = true
+
+			if len(stack) > 0 {
+				top := stack[len(stack)-1]
+				if rec, ok := top.addrIter[d.Addr]; ok && rec.iter < top.iter &&
+					(rec.isStore || op.IsStore()) {
+					p.Loops[top.id].CarriedMemDep = true
+				}
+				if len(top.addrIter) < maxDepTrack {
+					prev, ok := top.addrIter[d.Addr]
+					top.addrIter[d.Addr] = depRec{iter: top.iter, isStore: op.IsStore() || (ok && prev.isStore && prev.iter == top.iter)}
+				}
+			}
+		}
+
+		prevBlock = b
+	}
+	popTo(0)
+
+	// Finalize loop stats.
+	for i := range p.Loops {
+		lp := &p.Loops[i]
+		if lp.Entries > 0 {
+			lp.AvgTrip = float64(lp.Iterations) / float64(lp.Entries)
+		}
+		if lp.Iterations > 0 {
+			lp.BackProb = float64(lp.Iterations-lp.Entries) / float64(lp.Iterations)
+			if lp.BackProb < 0 {
+				lp.BackProb = 0
+			}
+		}
+		var best string
+		var bestN, total int64
+		for k, n := range lp.PathCounts {
+			total += n
+			if n > bestN {
+				best, bestN = k, n
+			}
+		}
+		if total > 0 {
+			lp.HotPath = decodePath(best)
+			lp.HotPathFrac = float64(bestN) / float64(total)
+		}
+	}
+
+	// Finalize strides.
+	for si, sa := range strides {
+		info := StrideInfo{Samples: sa.samples}
+		var bestN int64
+		for delta, n := range sa.deltas {
+			if n > bestN {
+				info.Dominant, bestN = delta, n
+			}
+		}
+		if sa.samples > 0 {
+			info.Consistent = float64(bestN) / float64(sa.samples)
+		}
+		p.Strides[si] = info
+	}
+	return p
+}
+
+// isBlockReentry reports whether dynamic instruction i begins a fresh
+// execution of its block even though the previous instruction was in the
+// same block (single-block loops branching back to themselves).
+func isBlockReentry(cfg *CFG, t *trace.Trace, i int) bool {
+	if i == 0 {
+		return true
+	}
+	prevSI := int(t.Insts[i-1].SI)
+	curSI := int(t.Insts[i].SI)
+	return prevSI >= curSI // backwards (or same) means re-entry
+}
+
+// LoopShare returns the fraction of all dynamic instructions spent in the
+// given loop (including nested loops).
+func (p *Profile) LoopShare(loopID int) float64 {
+	if p.TotalDyn == 0 {
+		return 0
+	}
+	return float64(p.Loops[loopID].DynInsts) / float64(p.TotalDyn)
+}
+
+func encodePath(blocks []int) string {
+	buf := make([]byte, 0, len(blocks)*2)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, b := range blocks {
+		n := binary.PutUvarint(tmp[:], uint64(b))
+		buf = append(buf, tmp[:n]...)
+	}
+	return string(buf)
+}
+
+func decodePath(s string) []int {
+	var out []int
+	b := []byte(s)
+	for len(b) > 0 {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			break
+		}
+		out = append(out, int(v))
+		b = b[n:]
+	}
+	return out
+}
+
+// MarkSpills flags loads/stores whose base register is the conventional
+// stack pointer (R31) as register spills (paper §2.7's best-effort spill
+// identification). Kernels that use a stack designate R31 by convention.
+func MarkSpills(t *trace.Trace) int {
+	sp := isa.R(31)
+	count := 0
+	for i := range t.Insts {
+		d := &t.Insts[i]
+		in := &t.Prog.Insts[d.SI]
+		if in.Op.IsMem() && in.Src1 == sp {
+			d.Flags |= trace.FlagSpill
+			count++
+		}
+	}
+	return count
+}
+
+// SortedLoopsByShare returns loop IDs ordered by descending dynamic share.
+func (p *Profile) SortedLoopsByShare() []int {
+	ids := make([]int, len(p.Loops))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		return p.Loops[ids[a]].DynInsts > p.Loops[ids[b]].DynInsts
+	})
+	return ids
+}

@@ -1,0 +1,160 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegisterConstructors(t *testing.T) {
+	if R(0) != RZ {
+		t.Fatalf("R(0) = %v, want RZ", R(0))
+	}
+	if got := R(5).String(); got != "r5" {
+		t.Errorf("R(5).String() = %q, want r5", got)
+	}
+	if got := F(3).String(); got != "f3" {
+		t.Errorf("F(3).String() = %q, want f3", got)
+	}
+	if !F(0).IsFp() {
+		t.Error("F(0).IsFp() = false, want true")
+	}
+	if R(31).IsFp() {
+		t.Error("R(31).IsFp() = true, want false")
+	}
+	if NoReg.Valid() {
+		t.Error("NoReg.Valid() = true, want false")
+	}
+	if NoReg.IsFp() {
+		t.Error("NoReg.IsFp() = true, want false")
+	}
+}
+
+func TestRegisterOutOfRangePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { R(32) },
+		func() { R(-1) },
+		func() { F(32) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range register")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestOpClasses(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want Class
+	}{
+		{Add, ClassIntAlu},
+		{Mul, ClassIntMul},
+		{Div, ClassIntDiv},
+		{FAdd, ClassFpAdd},
+		{FMul, ClassFpMul},
+		{FDiv, ClassFpDiv},
+		{Ld, ClassLoad},
+		{StF, ClassStore},
+		{Beq, ClassBranch},
+		{Jmp, ClassJump},
+		{VFMul, ClassVecMul},
+		{VLd, ClassVecMem},
+	}
+	for _, c := range cases {
+		if got := c.op.ClassOf(); got != c.want {
+			t.Errorf("%v.ClassOf() = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !Ld.IsMem() || !Ld.IsLoad() || Ld.IsStore() {
+		t.Error("Ld predicates wrong")
+	}
+	if !St.IsMem() || !St.IsStore() || St.IsLoad() {
+		t.Error("St predicates wrong")
+	}
+	if !Beq.IsBranch() || !Beq.IsCtrl() {
+		t.Error("Beq predicates wrong")
+	}
+	if Jmp.IsBranch() || !Jmp.IsCtrl() {
+		t.Error("Jmp predicates wrong")
+	}
+	if !FMul.IsFp() || Add.IsFp() {
+		t.Error("IsFp predicates wrong")
+	}
+	if !VAdd.IsVec() || Add.IsVec() {
+		t.Error("IsVec predicates wrong")
+	}
+}
+
+func TestLatenciesPositiveForNonMem(t *testing.T) {
+	for op := Op(1); op < numOps; op++ {
+		if op.IsMem() {
+			if op.Latency() != 0 {
+				t.Errorf("%v: memory op latency should come from cache model", op)
+			}
+			continue
+		}
+		if op.Latency() <= 0 {
+			t.Errorf("%v has non-positive latency %d", op, op.Latency())
+		}
+	}
+}
+
+func TestAllOpsHaveNames(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if op.String() == "" || op.String()[0] == 'o' && op.String()[1] == 'p' && op.String()[2] == '(' {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+}
+
+func TestInstSrcs(t *testing.T) {
+	in := Inst{Op: Add, Dst: R(1), Src1: R(2), Src2: R(3)}
+	srcs := in.Srcs(nil)
+	if len(srcs) != 2 || srcs[0] != R(2) || srcs[1] != R(3) {
+		t.Errorf("Srcs = %v, want [r2 r3]", srcs)
+	}
+	in2 := Inst{Op: AddI, Dst: R(1), Src1: RZ, Src2: NoReg}
+	if got := in2.Srcs(nil); len(got) != 0 {
+		t.Errorf("Srcs with RZ/NoReg = %v, want empty", got)
+	}
+	in3 := Inst{Op: MovI, Dst: RZ}
+	if in3.HasDst() {
+		t.Error("writes to RZ should not count as a destination")
+	}
+}
+
+func TestInstStringForms(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: Ld, Dst: R(2), Src1: R(1), Imm: 8}, "ld r2,[r1+8]"},
+		{Inst{Op: St, Src1: R(1), Src2: R(3), Imm: -8, Dst: NoReg}, "st r3,[r1-8]"},
+		{Inst{Op: Jmp, Imm: 7, Dst: NoReg, Src1: NoReg, Src2: NoReg}, "jmp @7"},
+		{Inst{Op: Bne, Src1: R(1), Src2: RZ, Imm: 3, Dst: NoReg}, "bne r1,r0 @3"},
+		{Inst{Op: MovI, Dst: R(4), Imm: 42, Src1: NoReg, Src2: NoReg}, "movi r4,42"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRegRoundTripProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		i := int(n % NumIntRegs)
+		j := int(n % NumFpRegs)
+		return !R(i).IsFp() && F(j).IsFp() && R(i).Valid() && F(j).Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

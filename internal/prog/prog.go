@@ -1,0 +1,306 @@
+// Package prog provides the static-program representation and an
+// assembler-style builder DSL used to author the workload kernels. A
+// Program is what the paper's toolchain would obtain from a compiled
+// binary: a flat instruction sequence from which the TDG constructor
+// recovers basic blocks, the CFG and loop structure.
+package prog
+
+import (
+	"fmt"
+	"math"
+
+	"exocore/internal/isa"
+)
+
+// Program is a static instruction sequence with resolved branch targets.
+type Program struct {
+	Name  string
+	Insts []isa.Inst
+	// Labels maps label name to static instruction index (entry points of
+	// basic blocks the author named). Useful for debugging and tests.
+	Labels map[string]int
+}
+
+// Len returns the number of static instructions.
+func (p *Program) Len() int { return len(p.Insts) }
+
+// At returns the static instruction at index i.
+func (p *Program) At(i int) *isa.Inst { return &p.Insts[i] }
+
+// String renders the program as an assembly listing.
+func (p *Program) String() string {
+	rev := make(map[int]string, len(p.Labels))
+	for name, idx := range p.Labels {
+		rev[idx] = name
+	}
+	s := fmt.Sprintf("program %q (%d insts)\n", p.Name, len(p.Insts))
+	for i := range p.Insts {
+		if name, ok := rev[i]; ok {
+			s += name + ":\n"
+		}
+		s += fmt.Sprintf("  %3d: %s\n", i, p.Insts[i].String())
+	}
+	return s
+}
+
+type fixup struct {
+	instIdx int
+	label   string
+}
+
+// Builder assembles a Program. Branch targets are written as label names
+// and resolved by Build. The zero Builder is not usable; call NewBuilder.
+type Builder struct {
+	name   string
+	insts  []isa.Inst
+	labels map[string]int
+	fixups []fixup
+	err    error
+}
+
+// NewBuilder returns a Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.fail("duplicate label %q", name)
+		return b
+	}
+	b.labels[name] = len(b.insts)
+	return b
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("prog %q: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+func (b *Builder) emit(in isa.Inst) *Builder {
+	b.insts = append(b.insts, in)
+	return b
+}
+
+func (b *Builder) emitBranch(op isa.Op, s1, s2 isa.Reg, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{len(b.insts), label})
+	return b.emit(isa.Inst{Op: op, Dst: isa.NoReg, Src1: s1, Src2: s2})
+}
+
+// Build resolves labels and returns the finished Program.
+func (b *Builder) Build() (*Program, error) {
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			b.fail("undefined label %q", f.label)
+			break
+		}
+		b.insts[f.instIdx].Imm = int64(target)
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	return &Program{Name: b.name, Insts: b.insts, Labels: b.labels}, nil
+}
+
+// MustBuild is Build that panics on error; used by the workload kernels,
+// which are static and covered by tests.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// --- Integer ALU ---
+
+// Add emits dst = s1 + s2.
+func (b *Builder) Add(dst, s1, s2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.Add, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// AddI emits dst = s1 + imm.
+func (b *Builder) AddI(dst, s1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.AddI, Dst: dst, Src1: s1, Src2: isa.NoReg, Imm: imm})
+}
+
+// Sub emits dst = s1 - s2.
+func (b *Builder) Sub(dst, s1, s2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.Sub, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// SubI emits dst = s1 - imm.
+func (b *Builder) SubI(dst, s1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.SubI, Dst: dst, Src1: s1, Src2: isa.NoReg, Imm: imm})
+}
+
+// And emits dst = s1 & s2.
+func (b *Builder) And(dst, s1, s2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.And, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// Or emits dst = s1 | s2.
+func (b *Builder) Or(dst, s1, s2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.Or, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// Xor emits dst = s1 ^ s2.
+func (b *Builder) Xor(dst, s1, s2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.Xor, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// Shl emits dst = s1 << s2.
+func (b *Builder) Shl(dst, s1, s2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.Shl, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// ShlI emits dst = s1 << imm.
+func (b *Builder) ShlI(dst, s1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.ShlI, Dst: dst, Src1: s1, Src2: isa.NoReg, Imm: imm})
+}
+
+// ShrI emits dst = s1 >> imm.
+func (b *Builder) ShrI(dst, s1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.ShrI, Dst: dst, Src1: s1, Src2: isa.NoReg, Imm: imm})
+}
+
+// Slt emits dst = (s1 < s2) ? 1 : 0.
+func (b *Builder) Slt(dst, s1, s2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.Slt, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// SltI emits dst = (s1 < imm) ? 1 : 0.
+func (b *Builder) SltI(dst, s1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.SltI, Dst: dst, Src1: s1, Src2: isa.NoReg, Imm: imm})
+}
+
+// MovI emits dst = imm.
+func (b *Builder) MovI(dst isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.MovI, Dst: dst, Src1: isa.NoReg, Src2: isa.NoReg, Imm: imm})
+}
+
+// Mov emits dst = s1.
+func (b *Builder) Mov(dst, s1 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.Mov, Dst: dst, Src1: s1, Src2: isa.NoReg})
+}
+
+// Mul emits dst = s1 * s2.
+func (b *Builder) Mul(dst, s1, s2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.Mul, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// MulI emits dst = s1 * imm.
+func (b *Builder) MulI(dst, s1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.MulI, Dst: dst, Src1: s1, Src2: isa.NoReg, Imm: imm})
+}
+
+// Div emits dst = s1 / s2 (integer; divide-by-zero yields 0).
+func (b *Builder) Div(dst, s1, s2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.Div, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// Rem emits dst = s1 % s2 (remainder; mod-by-zero yields 0).
+func (b *Builder) Rem(dst, s1, s2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.Rem, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// --- Floating point ---
+
+// FAdd emits dst = s1 + s2.
+func (b *Builder) FAdd(dst, s1, s2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.FAdd, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// FSub emits dst = s1 - s2.
+func (b *Builder) FSub(dst, s1, s2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.FSub, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// FMul emits dst = s1 * s2.
+func (b *Builder) FMul(dst, s1, s2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.FMul, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// FDiv emits dst = s1 / s2 (divide-by-zero yields 0).
+func (b *Builder) FDiv(dst, s1, s2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.FDiv, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// FCvt emits dst = float(s1) for an integer source register.
+func (b *Builder) FCvt(dst, s1 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.FCvt, Dst: dst, Src1: s1, Src2: isa.NoReg})
+}
+
+// FSlt emits dst = (s1 < s2) ? 1 : 0 for fp sources and an integer dst.
+func (b *Builder) FSlt(dst, s1, s2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.FSlt, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// FMov emits dst = s1 for fp registers.
+func (b *Builder) FMov(dst, s1 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.FMov, Dst: dst, Src1: s1, Src2: isa.NoReg})
+}
+
+// FMovI emits dst = v (fp immediate).
+func (b *Builder) FMovI(dst isa.Reg, v float64) *Builder {
+	return b.emit(isa.Inst{Op: isa.FMovI, Dst: dst, Src1: isa.NoReg, Src2: isa.NoReg,
+		Imm: int64(math.Float64bits(v))})
+}
+
+// --- Memory ---
+
+// Ld emits dst = mem[base+off] (integer word).
+func (b *Builder) Ld(dst, base isa.Reg, off int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.Ld, Dst: dst, Src1: base, Src2: isa.NoReg, Imm: off})
+}
+
+// St emits mem[base+off] = val (integer word).
+func (b *Builder) St(val, base isa.Reg, off int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.St, Dst: isa.NoReg, Src1: base, Src2: val, Imm: off})
+}
+
+// LdF emits dst = mem[base+off] (fp word).
+func (b *Builder) LdF(dst, base isa.Reg, off int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.LdF, Dst: dst, Src1: base, Src2: isa.NoReg, Imm: off})
+}
+
+// StF emits mem[base+off] = val (fp word).
+func (b *Builder) StF(val, base isa.Reg, off int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.StF, Dst: isa.NoReg, Src1: base, Src2: val, Imm: off})
+}
+
+// --- Control ---
+
+// Beq emits branch-to-label if s1 == s2.
+func (b *Builder) Beq(s1, s2 isa.Reg, label string) *Builder {
+	return b.emitBranch(isa.Beq, s1, s2, label)
+}
+
+// Bne emits branch-to-label if s1 != s2.
+func (b *Builder) Bne(s1, s2 isa.Reg, label string) *Builder {
+	return b.emitBranch(isa.Bne, s1, s2, label)
+}
+
+// Blt emits branch-to-label if s1 < s2.
+func (b *Builder) Blt(s1, s2 isa.Reg, label string) *Builder {
+	return b.emitBranch(isa.Blt, s1, s2, label)
+}
+
+// Bge emits branch-to-label if s1 >= s2.
+func (b *Builder) Bge(s1, s2 isa.Reg, label string) *Builder {
+	return b.emitBranch(isa.Bge, s1, s2, label)
+}
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{len(b.insts), label})
+	return b.emit(isa.Inst{Op: isa.Jmp, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg})
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder {
+	return b.emit(isa.Inst{Op: isa.Nop, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg})
+}

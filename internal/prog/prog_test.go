@@ -1,0 +1,108 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"exocore/internal/isa"
+)
+
+func TestBuildResolvesLabels(t *testing.T) {
+	b := NewBuilder("t")
+	b.MovI(isa.R(1), 10)
+	b.Label("loop")
+	b.SubI(isa.R(1), isa.R(1), 1)
+	b.Bne(isa.R(1), isa.RZ, "loop")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", p.Len())
+	}
+	br := p.At(2)
+	if br.Op != isa.Bne || br.Imm != 1 {
+		t.Errorf("branch = %v, want bne to index 1", br)
+	}
+	if p.Labels["loop"] != 1 {
+		t.Errorf("label loop = %d, want 1", p.Labels["loop"])
+	}
+}
+
+func TestBuildUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for undefined label")
+	} else if !strings.Contains(err.Error(), "nowhere") {
+		t.Errorf("error %v does not name the label", err)
+	}
+}
+
+func TestBuildDuplicateLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("x").Nop().Label("x")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for duplicate label")
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder("t").Jmp("missing").MustBuild()
+}
+
+func TestBranchTargetEncoding(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("top")
+	b.Nop()
+	b.Beq(isa.R(1), isa.R(2), "top")
+	b.Blt(isa.R(1), isa.R(2), "end")
+	b.Bge(isa.R(1), isa.R(2), "top")
+	b.Label("end")
+	p := b.MustBuild()
+	if p.At(1).Imm != 0 || p.At(3).Imm != 0 {
+		t.Errorf("backward targets wrong: %d %d", p.At(1).Imm, p.At(3).Imm)
+	}
+	if p.At(2).Imm != 4 {
+		t.Errorf("forward target = %d, want 4", p.At(2).Imm)
+	}
+}
+
+func TestEmittersEncodeOperands(t *testing.T) {
+	b := NewBuilder("t")
+	b.Ld(isa.R(2), isa.R(1), 16)
+	b.St(isa.R(3), isa.R(1), 24)
+	b.LdF(isa.F(0), isa.R(1), 0)
+	b.StF(isa.F(1), isa.R(2), 8)
+	b.FMovI(isa.F(2), 1.5)
+	p := b.MustBuild()
+
+	ld := p.At(0)
+	if ld.Dst != isa.R(2) || ld.Src1 != isa.R(1) || ld.Imm != 16 {
+		t.Errorf("Ld encoded wrong: %v", ld)
+	}
+	st := p.At(1)
+	if st.Src2 != isa.R(3) || st.Src1 != isa.R(1) || st.Imm != 24 || st.Dst != isa.NoReg {
+		t.Errorf("St encoded wrong: %v", st)
+	}
+	if p.At(2).Dst != isa.F(0) {
+		t.Errorf("LdF dst = %v", p.At(2).Dst)
+	}
+	if p.At(3).Src2 != isa.F(1) {
+		t.Errorf("StF val = %v", p.At(3).Src2)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	b := NewBuilder("demo")
+	b.Label("entry").MovI(isa.R(1), 1)
+	s := b.MustBuild().String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "entry:") {
+		t.Errorf("String() missing name or label:\n%s", s)
+	}
+}

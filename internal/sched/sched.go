@@ -1,0 +1,231 @@
+// Package sched implements BSA selection for ExoCores: the Oracle
+// scheduler that picks the best accelerator per static region from
+// measured execution characteristics with an energy-delay metric and a
+// 10% performance-loss guard (paper §4), and the Amdahl-Tree scheduler
+// that composes approximate per-region speedup estimates bottom-up over
+// the loop nest (paper §3.3, Figure 9).
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"exocore/internal/cores"
+	"exocore/internal/exocore"
+	"exocore/internal/tdg"
+)
+
+// Candidate is one measured (loop, BSA) acceleration option.
+type Candidate struct {
+	LoopID int
+	BSA    string
+	// Cycles and EnergyNJ are whole-benchmark totals with only this
+	// region assigned ("past execution characteristics").
+	Cycles   int64
+	EnergyNJ float64
+	// EstSpeedup is the analyzer's static estimate (Amdahl tree input).
+	EstSpeedup float64
+}
+
+// Context holds everything needed to schedule one benchmark on one core:
+// plans, baseline measurements and per-candidate solo measurements.
+type Context struct {
+	TDG   *tdg.TDG
+	Core  cores.Config
+	BSAs  map[string]tdg.BSA
+	Plans map[string]*tdg.Plan
+
+	BaseCycles   int64
+	BaseEnergyNJ float64
+	Candidates   []Candidate
+}
+
+// NewContext analyzes the TDG with every BSA and measures the baseline
+// plus each (loop, BSA) candidate in isolation.
+func NewContext(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA) (*Context, error) {
+	ctx := &Context{TDG: t, Core: core, BSAs: bsas, Plans: make(map[string]*tdg.Plan)}
+	for name, b := range bsas {
+		ctx.Plans[name] = b.Analyze(t)
+	}
+	base, err := exocore.Run(t, core, bsas, ctx.Plans, nil, exocore.RunOpts{})
+	if err != nil {
+		return nil, fmt.Errorf("sched: baseline: %w", err)
+	}
+	ctx.BaseCycles = base.Cycles
+	ctx.BaseEnergyNJ = exocore.EnergyOf(base, core, bsas).TotalNJ()
+
+	var names []string
+	for name := range bsas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		plan := ctx.Plans[name]
+		var loops []int
+		for l := range plan.Regions {
+			loops = append(loops, l)
+		}
+		sort.Ints(loops)
+		for _, l := range loops {
+			res, err := exocore.Run(t, core, bsas, ctx.Plans,
+				exocore.Assignment{l: name}, exocore.RunOpts{})
+			if err != nil {
+				return nil, fmt.Errorf("sched: candidate %s@L%d: %w", name, l, err)
+			}
+			ctx.Candidates = append(ctx.Candidates, Candidate{
+				LoopID: l, BSA: name,
+				Cycles:     res.Cycles,
+				EnergyNJ:   exocore.EnergyOf(res, core, bsas).TotalNJ(),
+				EstSpeedup: plan.Regions[l].EstSpeedup,
+			})
+		}
+	}
+	return ctx, nil
+}
+
+// PerfLossGuard is the maximum region-level slowdown the Oracle accepts
+// (paper §4: "no individual region should reduce the performance by more
+// than 10%").
+const PerfLossGuard = 0.10
+
+// Oracle returns the energy-delay-optimal assignment drawing only from
+// the available BSA subset, resolved hierarchically over the loop forest
+// (a region choice covers its nested loops).
+func (c *Context) Oracle(avail []string) exocore.Assignment {
+	availSet := make(map[string]bool, len(avail))
+	for _, a := range avail {
+		availSet[a] = true
+	}
+	baseEDP := float64(c.BaseCycles) * c.BaseEnergyNJ
+
+	// Best candidate gain per loop.
+	type choice struct {
+		bsa  string
+		gain float64
+	}
+	bestAt := make(map[int]choice)
+	for _, cand := range c.Candidates {
+		if !availSet[cand.BSA] {
+			continue
+		}
+		// Perf guard: the solo slowdown must not exceed 10% of the
+		// region's share of baseline time.
+		regionBase := float64(c.BaseCycles) * c.TDG.Prof.LoopShare(cand.LoopID)
+		if float64(cand.Cycles-c.BaseCycles) > PerfLossGuard*regionBase {
+			continue
+		}
+		gain := baseEDP - float64(cand.Cycles)*cand.EnergyNJ
+		if gain <= 0 {
+			continue
+		}
+		if cur, ok := bestAt[cand.LoopID]; !ok || gain > cur.gain {
+			bestAt[cand.LoopID] = choice{bsa: cand.BSA, gain: gain}
+		}
+	}
+
+	// Tree DP: for each loop take max(own best assignment, sum of
+	// children's best solutions).
+	assign := exocore.Assignment{}
+	var solve func(loop int) float64
+	solve = func(loop int) float64 {
+		childSum := 0.0
+		for _, ch := range c.TDG.Nest.Loops[loop].Children {
+			childSum += solve(ch)
+		}
+		own, ok := bestAt[loop]
+		if ok && own.gain > childSum {
+			// Claim this loop; release any descendant assignments.
+			c.clearSubtree(assign, loop)
+			assign[loop] = own.bsa
+			return own.gain
+		}
+		return childSum
+	}
+	for _, root := range c.TDG.Nest.Roots {
+		solve(root)
+	}
+	return assign
+}
+
+func (c *Context) clearSubtree(assign exocore.Assignment, loop int) {
+	for _, ch := range c.TDG.Nest.Loops[loop].Children {
+		delete(assign, ch)
+		c.clearSubtree(assign, ch)
+	}
+}
+
+// AmdahlTree returns the assignment a profile-guided compiler would pick
+// without oracle measurements: each loop node carries estimated
+// per-BSA speedups, and a bottom-up traversal applies Amdahl's law at
+// each node to decide whether to claim the whole subtree for one BSA or
+// keep the children's choices (paper Figure 9).
+func (c *Context) AmdahlTree(avail []string) exocore.Assignment {
+	availSet := make(map[string]bool, len(avail))
+	for _, a := range avail {
+		availSet[a] = true
+	}
+	// Best estimated speedup per loop.
+	type est struct {
+		bsa     string
+		speedup float64
+	}
+	bestAt := make(map[int]est)
+	for name, plan := range c.Plans {
+		if !availSet[name] {
+			continue
+		}
+		for l, r := range plan.Regions {
+			if cur, ok := bestAt[l]; !ok || r.EstSpeedup > cur.speedup {
+				bestAt[l] = est{bsa: name, speedup: r.EstSpeedup}
+			}
+		}
+	}
+
+	assign := exocore.Assignment{}
+	// solve returns the estimated time of the loop's subtree (in units
+	// of baseline execution share).
+	var solve func(loop int) float64
+	solve = func(loop int) float64 {
+		total := c.TDG.Prof.LoopShare(loop)
+		childTime := 0.0
+		childShare := 0.0
+		for _, ch := range c.TDG.Nest.Loops[loop].Children {
+			childTime += solve(ch)
+			childShare += c.TDG.Prof.LoopShare(ch)
+		}
+		local := total - childShare
+		if local < 0 {
+			local = 0
+		}
+		timeChildren := local + childTime
+		own, ok := bestAt[loop]
+		// The scheduler is deliberately over-calibrated towards using
+		// BSAs rather than the general core (§5.4): offload is accepted
+		// even when the estimate is slightly unfavorable, because the
+		// energy savings usually pay for it.
+		const bsaBias = 1.10
+		if ok && own.speedup > 0 {
+			timeOwn := total / own.speedup
+			if timeOwn < timeChildren*bsaBias {
+				c.clearSubtree(assign, loop)
+				assign[loop] = own.bsa
+				return timeOwn
+			}
+		}
+		return timeChildren
+	}
+	for _, root := range c.TDG.Nest.Roots {
+		solve(root)
+	}
+	return assign
+}
+
+// Evaluate runs the benchmark under an assignment and returns cycles and
+// total energy.
+func (c *Context) Evaluate(assign exocore.Assignment) (int64, float64, error) {
+	res, err := exocore.Run(c.TDG, c.Core, c.BSAs, c.Plans, assign, exocore.RunOpts{})
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Cycles, exocore.EnergyOf(res, c.Core, c.BSAs).TotalNJ(), nil
+}

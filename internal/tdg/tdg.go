@@ -1,0 +1,135 @@
+// Package tdg assembles the Transformable Dependence Graph: the dynamic
+// trace, the reconstructed program IR (CFG + loop nest + dataflow), and
+// the dynamic profile, with a one-to-one mapping between dynamic
+// instructions and static IR instructions (paper §2.2-2.3). It defines
+// the BSA interface every accelerator model implements: an *analyzer*
+// that finds legal and profitable regions ("the plan"), and a graph
+// *transformer* that models accelerated execution of region occurrences.
+package tdg
+
+import (
+	"fmt"
+
+	"exocore/internal/cores"
+	"exocore/internal/dg"
+	"exocore/internal/energy"
+	"exocore/internal/ir"
+	"exocore/internal/trace"
+)
+
+// TDG is the transformable dependence graph of one program execution.
+type TDG struct {
+	Trace *trace.Trace
+	CFG   *ir.CFG
+	Nest  *ir.LoopNest
+	Prof  *ir.Profile
+
+	dataflow map[int]*ir.LoopDataflow
+}
+
+// Build constructs the TDG (IR reconstruction + profiling) from an
+// annotated trace.
+func Build(tr *trace.Trace) (*TDG, error) {
+	cfg, err := ir.BuildCFG(tr.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("tdg: %w", err)
+	}
+	nest := ir.BuildLoopNest(cfg)
+	prof := ir.BuildProfile(cfg, nest, tr)
+	return &TDG{
+		Trace: tr, CFG: cfg, Nest: nest, Prof: prof,
+		dataflow: make(map[int]*ir.LoopDataflow),
+	}, nil
+}
+
+// Dataflow returns (computing lazily) the dataflow summary of a loop.
+func (t *TDG) Dataflow(loopID int) *ir.LoopDataflow {
+	if ld, ok := t.dataflow[loopID]; ok {
+		return ld
+	}
+	ld := ir.AnalyzeLoopDataflow(t.CFG, t.Nest, loopID)
+	t.dataflow[loopID] = ld
+	return ld
+}
+
+// LoopOfDyn returns the innermost loop containing dynamic instruction i,
+// or -1.
+func (t *TDG) LoopOfDyn(i int) int {
+	return t.Nest.InnermostOfInst(int(t.Trace.Insts[i].SI))
+}
+
+// Region is one acceleratable program region in a plan: a loop (SIMD,
+// DP-CGRA, Trace-P) or a loop nest root (NS-DF).
+type Region struct {
+	LoopID int
+	// EstSpeedup is the analyzer's static/profile-based speedup estimate
+	// over the general core, consumed by the Amdahl-tree scheduler.
+	EstSpeedup float64
+	// Config carries accelerator-specific plan data (eg. the offloaded
+	// compute subgraph for DP-CGRA, the hot path for Trace-P).
+	Config any
+}
+
+// Plan is the output of a BSA analyzer: the regions it can legally and
+// profitably accelerate, keyed by loop ID.
+type Plan struct {
+	BSA     string
+	Regions map[int]*Region
+}
+
+// Region returns the plan's region for a loop, or nil.
+func (p *Plan) Region(loopID int) *Region {
+	if p == nil {
+		return nil
+	}
+	return p.Regions[loopID]
+}
+
+// Ctx is the transformation context handed to a BSA when it models one
+// region occurrence: the TDG, the µDG being constructed, the general-core
+// constructor (for interaction edges and for instructions that stay on
+// the core), and the energy accumulator.
+type Ctx struct {
+	TDG    *TDG
+	G      *dg.Graph
+	GPP    *cores.GPP
+	Counts *energy.Counts
+	// State holds per-run accelerator state (eg. configuration caches),
+	// keyed by BSA name. It lives for one engine run, so BSA models stay
+	// stateless and reusable across runs.
+	State map[string]any
+}
+
+// RunState returns the BSA's per-run state, creating it with mk on first
+// use.
+func RunState[T any](ctx *Ctx, name string, mk func() T) T {
+	if v, ok := ctx.State[name]; ok {
+		return v.(T)
+	}
+	v := mk()
+	ctx.State[name] = v
+	return v
+}
+
+// BSA is a behavior-specialized accelerator model: the pair of analyzer
+// and graph transform the paper describes in §2.3 and Appendix A.
+type BSA interface {
+	// Name returns the model's short name (eg. "SIMD", "NS-DF").
+	Name() string
+	// Analyze inspects the TDG and returns the plan of acceleratable
+	// regions with their configurations and estimated speedups.
+	Analyze(t *TDG) *Plan
+	// TransformRegion models execution of one dynamic occurrence
+	// [start, end) of the planned region on the accelerator, appending
+	// nodes/edges and charging energy. It must leave the GPP's
+	// architectural dependence state (register producers, store map)
+	// consistent at exit, and return the node representing region
+	// completion (or dg.None if it emitted everything through the GPP).
+	TransformRegion(ctx *Ctx, r *Region, start, end int) dg.NodeID
+	// AreaMM2 is the accelerator's area cost.
+	AreaMM2() float64
+	// OffloadsCore reports whether the accelerator runs independently of
+	// the core pipeline (the core's frontend can be power-gated while the
+	// region runs), as with NS-DF and Trace-P offload engines.
+	OffloadsCore() bool
+}

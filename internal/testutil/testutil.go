@@ -1,0 +1,58 @@
+// Package testutil holds shared helpers for the model test suites:
+// building TDGs from workloads and running single-BSA solo evaluations.
+package testutil
+
+import (
+	"testing"
+
+	"exocore/internal/cores"
+	"exocore/internal/exocore"
+	"exocore/internal/tdg"
+	"exocore/internal/workloads"
+)
+
+// TDGFor builds the TDG of a named workload at the given trace budget.
+func TDGFor(t *testing.T, bench string, maxDyn int) *tdg.TDG {
+	t.Helper()
+	w, err := workloads.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := w.Trace(maxDyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := tdg.Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return td
+}
+
+// SoloRun evaluates the baseline and the benchmark with every region of
+// one BSA's plan assigned, returning (baseCycles, accelCycles, baseNJ,
+// accelNJ).
+func SoloRun(t *testing.T, td *tdg.TDG, core cores.Config, model tdg.BSA) (int64, int64, float64, float64) {
+	t.Helper()
+	bsas := map[string]tdg.BSA{model.Name(): model}
+	plans := map[string]*tdg.Plan{model.Name(): model.Analyze(td)}
+
+	base, err := exocore.Run(td, core, bsas, plans, nil, exocore.RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := exocore.Assignment{}
+	for l := range plans[model.Name()].Regions {
+		assign[l] = model.Name()
+	}
+	acc, err := exocore.Run(td, core, bsas, plans, assign, exocore.RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base.Cycles, acc.Cycles,
+		exocore.EnergyOf(base, core, bsas).TotalNJ(),
+		exocore.EnergyOf(acc, core, bsas).TotalNJ()
+}
+
+// Plan returns the BSA's plan for the TDG.
+func Plan(model tdg.BSA, td *tdg.TDG) *tdg.Plan { return model.Analyze(td) }

@@ -1,0 +1,131 @@
+// Package trace defines the dynamic-instruction trace that the functional
+// simulator produces and every microarchitectural model consumes. This is
+// the substrate of the TDG: a µDG is the trace plus dependence edges, and
+// graph transforms rewrite windows of it.
+package trace
+
+import (
+	"exocore/internal/isa"
+	"exocore/internal/prog"
+)
+
+// Flag bits for DynInst.Flags.
+const (
+	// FlagTaken marks a taken control transfer.
+	FlagTaken uint8 = 1 << iota
+	// FlagMispred marks a branch the predictor got wrong.
+	FlagMispred
+	// FlagSpill marks a load/store identified as a register spill by the
+	// best-effort spill analysis (paper §2.7); transforms may bypass it.
+	FlagSpill
+)
+
+// MemLevel identifies which level of the hierarchy served an access.
+type MemLevel uint8
+
+// Memory hierarchy levels.
+const (
+	LevelNone MemLevel = iota
+	LevelL1
+	LevelL2
+	LevelMem
+)
+
+// String implements fmt.Stringer.
+func (l MemLevel) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelMem:
+		return "mem"
+	}
+	return "-"
+}
+
+// DynInst is one dynamic instruction: a static-instruction reference plus
+// the dynamic information the µDG embeds (memory address and latency,
+// branch outcome and prediction). It is kept small: traces run to hundreds
+// of thousands of entries and are retained for reuse across design points.
+type DynInst struct {
+	SI     int32    // static instruction index into the program
+	Addr   uint64   // effective address for memory ops
+	MemLat uint16   // cycles to serve a memory access (cache model)
+	Level  MemLevel // hierarchy level that served the access
+	Flags  uint8
+}
+
+// Taken reports whether the dynamic branch/jump was taken.
+func (d *DynInst) Taken() bool { return d.Flags&FlagTaken != 0 }
+
+// Mispredicted reports whether the branch predictor missed.
+func (d *DynInst) Mispredicted() bool { return d.Flags&FlagMispred != 0 }
+
+// IsSpill reports whether the access was classified as a register spill.
+func (d *DynInst) IsSpill() bool { return d.Flags&FlagSpill != 0 }
+
+// Trace is a dynamic execution of one program.
+type Trace struct {
+	Prog  *prog.Program
+	Insts []DynInst
+}
+
+// Len returns the number of dynamic instructions.
+func (t *Trace) Len() int { return len(t.Insts) }
+
+// Static returns the static instruction for the i'th dynamic instruction.
+func (t *Trace) Static(i int) *isa.Inst { return &t.Prog.Insts[t.Insts[i].SI] }
+
+// StaticOf returns the static instruction for a dynamic instruction.
+func (t *Trace) StaticOf(d *DynInst) *isa.Inst { return &t.Prog.Insts[d.SI] }
+
+// Stats summarizes a trace for reports and sanity tests.
+type Stats struct {
+	Dyn          int
+	Loads        int
+	Stores       int
+	Branches     int
+	Taken        int
+	Mispredicted int
+	L1Hits       int
+	L2Hits       int
+	MemAccesses  int
+	FpOps        int
+}
+
+// ComputeStats scans the trace and tallies Stats.
+func (t *Trace) ComputeStats() Stats {
+	var s Stats
+	s.Dyn = len(t.Insts)
+	for i := range t.Insts {
+		d := &t.Insts[i]
+		op := t.Prog.Insts[d.SI].Op
+		switch {
+		case op.IsLoad():
+			s.Loads++
+		case op.IsStore():
+			s.Stores++
+		case op.IsBranch():
+			s.Branches++
+			if d.Taken() {
+				s.Taken++
+			}
+			if d.Mispredicted() {
+				s.Mispredicted++
+			}
+		}
+		if op.IsFp() {
+			s.FpOps++
+		}
+		switch d.Level {
+		case LevelL1:
+			s.L1Hits++
+		case LevelL2:
+			s.L2Hits++
+		case LevelMem:
+			s.MemAccesses++
+		}
+	}
+	return s
+}

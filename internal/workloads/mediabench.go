@@ -1,0 +1,391 @@
+package workloads
+
+import (
+	"exocore/internal/isa"
+	"exocore/internal/prog"
+	"exocore/internal/sim"
+)
+
+// The Mediabench kernels are deliberately multi-phase: each "frame"
+// iterates through loops with *different* behaviors (a DCT-like dense
+// phase, a quantization phase, an entropy-coding-like branchy phase), so
+// a single application benefits from multiple BSAs and switches between
+// them at runtime — the behavior Figures 13–15 of the paper analyze.
+
+// dctPhase emits an 8-point DCT-ish dense loop over `blocks` blocks.
+func dctPhase(b *prog.Builder, label string, blocksReg isa.Reg, src, dst uint64) {
+	blk, k, t := isa.R(20), isa.R(21), isa.R(22)
+	pS, pD := isa.R(23), isa.R(24)
+	b.MovI(blk, 0)
+	b.Label(label + "_blocks")
+	b.ShlI(t, blk, 6) // 8 words per block
+	b.AddI(pS, t, int64(src))
+	b.ShlI(t, blk, 6)
+	b.AddI(pD, t, int64(dst))
+	b.MovI(k, 0)
+	b.Label(label + "_pts")
+	b.LdF(isa.F(1), pS, 0)
+	b.LdF(isa.F(2), pS, 8)
+	b.FMul(isa.F(3), isa.F(1), isa.F(20))
+	b.FMul(isa.F(4), isa.F(2), isa.F(21))
+	b.FAdd(isa.F(5), isa.F(3), isa.F(4))
+	b.FSub(isa.F(6), isa.F(3), isa.F(4))
+	b.FMul(isa.F(6), isa.F(6), isa.F(22))
+	b.StF(isa.F(5), pD, 0)
+	b.StF(isa.F(6), pD, 8)
+	b.AddI(pS, pS, 16)
+	b.AddI(pD, pD, 16)
+	b.AddI(k, k, 1)
+	b.SltI(t, k, 4)
+	b.Bne(t, isa.RZ, label+"_pts")
+	b.AddI(blk, blk, 1)
+	b.Blt(blk, blocksReg, label+"_blocks")
+}
+
+// quantPhase emits a quantize/saturate loop: dense with a biased clamp.
+func quantPhase(b *prog.Builder, label string, nReg isa.Reg, src, dst uint64) {
+	i, t := isa.R(25), isa.R(26)
+	pS, pD := isa.R(27), isa.R(28)
+	b.MovI(i, 0)
+	b.MovI(pS, int64(src))
+	b.MovI(pD, int64(dst))
+	b.Label(label + "_q")
+	b.LdF(isa.F(1), pS, 0)
+	b.FMul(isa.F(2), isa.F(1), isa.F(23))
+	b.FSlt(t, isa.F(24), isa.F(2)) // over max? (rare)
+	b.Beq(t, isa.RZ, label+"_noclip")
+	b.FMov(isa.F(2), isa.F(24))
+	b.Label(label + "_noclip")
+	b.StF(isa.F(2), pD, 0)
+	b.AddI(pS, pS, 8)
+	b.AddI(pD, pD, 8)
+	b.AddI(i, i, 1)
+	b.Blt(i, nReg, label+"_q")
+}
+
+// entropyPhase emits a VLC-like loop: table lookups and data-dependent
+// branches over symbol magnitude — control-critical, mildly biased.
+func entropyPhase(b *prog.Builder, label string, nReg isa.Reg, src, tab, dst uint64) {
+	i, t, sym, code, bits := isa.R(29), isa.R(15), isa.R(16), isa.R(17), isa.R(18)
+	b.MovI(i, 0)
+	b.MovI(bits, 0)
+	b.Label(label + "_sym")
+	b.ShlI(t, i, 3)
+	b.AddI(t, t, int64(src))
+	b.Ld(sym, t, 0)
+	b.SltI(t, sym, 4)
+	b.Bne(t, isa.RZ, label+"_short") // small symbols common
+	b.ShlI(t, sym, 3)
+	b.AddI(t, t, int64(tab))
+	b.Ld(code, t, 0) // long-code table lookup
+	b.AddI(bits, bits, 12)
+	b.Jmp(label + "_emit")
+	b.Label(label + "_short")
+	b.ShlI(code, sym, 1)
+	b.AddI(code, code, 1)
+	b.AddI(bits, bits, 3)
+	b.Label(label + "_emit")
+	b.ShlI(t, i, 3)
+	b.AddI(t, t, int64(dst))
+	b.St(code, t, 0)
+	b.AddI(i, i, 1)
+	b.Blt(i, nReg, label+"_sym")
+}
+
+func mediaKernel(name string, frames, blocks, syms int64, smallSymBias int64) *Workload {
+	return &Workload{
+		Name: name, Suite: "Mediabench", Category: SemiRegular,
+		Build: func() (*prog.Program, func(*sim.State)) {
+			b := prog.NewBuilder(name)
+			frame, nB, nQ, nS := isa.R(1), isa.R(10), isa.R(11), isa.R(12)
+			b.MovI(frame, 0)
+			b.Label("frames")
+			dctPhase(b, "dct", nB, baseA, baseB)
+			quantPhase(b, "quant", nQ, baseB, baseC)
+			entropyPhase(b, "vlc", nS, baseC, baseD, baseE)
+			b.AddI(frame, frame, 1)
+			b.SltI(isa.R(2), frame, frames)
+			b.Bne(isa.R(2), isa.RZ, "frames")
+			return b.MustBuild(), func(st *sim.State) {
+				st.SetInt(nB, blocks)
+				st.SetInt(nQ, blocks*8)
+				st.SetInt(nS, syms)
+				st.SetFp(isa.F(20), 0.49)
+				st.SetFp(isa.F(21), 0.51)
+				st.SetFp(isa.F(22), 0.7071)
+				st.SetFp(isa.F(23), 0.125)
+				st.SetFp(isa.F(24), 0.9)
+				fillF(st, baseA, int(blocks*8), 141)
+				fillI(st, baseC, int(syms), smallSymBias, 142)
+				fillI(st, baseD, 64, 1<<16, 143)
+			}
+		},
+	}
+}
+
+// cjpeg/djpeg and their -2 variants: encode is DCT+quant+VLC; decode is
+// the mirror with a different symbol distribution. The "-2" variants use
+// larger frames (the paper's cjpeg-2/djpeg-2 inputs).
+var (
+	_ = register(mediaKernel("cjpeg", 8, 24, 192, 6))
+	_ = register(mediaKernel("djpeg", 8, 24, 192, 12))
+	_ = register(mediaKernel("cjpeg2", 4, 48, 384, 6))
+	_ = register(mediaKernel("djpeg2", 4, 48, 384, 12))
+)
+
+// gsm: linear-prediction speech codec — integer MAC loop (autocorrelation)
+// plus a saturating filter loop with biased clamps (hot traces).
+func gsmKernel(name string, frames int64, clampBias int64) *Workload {
+	return &Workload{
+		Name: name, Suite: "Mediabench", Category: SemiRegular,
+		Build: func() (*prog.Program, func(*sim.State)) {
+			const samples, lags = 160, 8
+			b := prog.NewBuilder(name)
+			frame, lag, i, t, acc := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+			pS, pL, s1, s2 := isa.R(6), isa.R(7), isa.R(8), isa.R(9)
+			rS, rL, rF := isa.R(10), isa.R(11), isa.R(12)
+			b.MovI(frame, 0)
+			b.Label("frames")
+			// Autocorrelation: dense integer MACs.
+			b.MovI(lag, 0)
+			b.Label("lags")
+			b.MovI(acc, 0)
+			b.MovI(i, 0)
+			b.MovI(pS, baseA)
+			b.ShlI(pL, lag, 3)
+			b.AddI(pL, pL, baseA)
+			b.Label("mac")
+			b.Ld(s1, pS, 0)
+			b.Ld(s2, pL, 0)
+			b.Mul(t, s1, s2)
+			b.Add(acc, acc, t)
+			b.AddI(pS, pS, 8)
+			b.AddI(pL, pL, 8)
+			b.AddI(i, i, 1)
+			b.Blt(i, rS, "mac")
+			b.ShlI(t, lag, 3)
+			b.AddI(t, t, baseB)
+			b.St(acc, t, 0)
+			b.AddI(lag, lag, 1)
+			b.Blt(lag, rL, "lags")
+			// Saturating filter: biased clamp branches (hot path = no clamp).
+			b.MovI(i, 0)
+			b.MovI(pS, baseA)
+			b.Label("filter")
+			b.Ld(s1, pS, 0)
+			b.MulI(s1, s1, 3)
+			b.ShrI(s1, s1, 1)
+			b.SltI(t, s1, 32767)
+			b.Bne(t, isa.RZ, "nosat")
+			b.MovI(s1, 32767)
+			b.Label("nosat")
+			b.St(s1, pS, 0)
+			b.AddI(pS, pS, 8)
+			b.AddI(i, i, 1)
+			b.Blt(i, rS, "filter")
+			b.AddI(frame, frame, 1)
+			b.Blt(frame, rF, "frames")
+			return b.MustBuild(), func(st *sim.State) {
+				st.SetInt(rS, samples)
+				st.SetInt(rL, lags)
+				st.SetInt(rF, frames)
+				fillI(st, baseA, samples+lags, clampBias, 151)
+			}
+		},
+	}
+}
+
+var (
+	_ = register(gsmKernel("gsmdecode", 10, 9000))
+	_ = register(gsmKernel("gsmencode", 10, 15000))
+)
+
+// h263enc / mpeg2enc: motion-estimation SAD (integer DLP) + DCT phase.
+func videoEncKernel(name string, frames, blocks int64) *Workload {
+	return &Workload{
+		Name: name, Suite: "Mediabench", Category: SemiRegular,
+		Build: func() (*prog.Program, func(*sim.State)) {
+			b := prog.NewBuilder(name)
+			frame, blk, px, t, acc := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+			pR, pC, diff := isa.R(6), isa.R(7), isa.R(8)
+			rB, rP, rF, nB := isa.R(10), isa.R(11), isa.R(12), isa.R(13)
+			b.MovI(frame, 0)
+			b.Label("frames")
+			// Motion estimation: SAD over blocks.
+			b.MovI(blk, 0)
+			b.Label("me_blocks")
+			b.MovI(acc, 0)
+			b.Mul(t, blk, rP)
+			b.ShlI(t, t, 3)
+			b.AddI(pR, t, baseA)
+			b.AddI(pC, t, baseB)
+			b.MovI(px, 0)
+			b.Label("me_px")
+			b.Ld(isa.R(14), pR, 0)
+			b.Ld(isa.R(15), pC, 0)
+			b.Sub(diff, isa.R(14), isa.R(15))
+			// Branchless abs (mask idiom, as real codegen emits).
+			b.Slt(t, diff, isa.RZ)
+			b.Sub(isa.R(16), isa.RZ, t)
+			b.Xor(diff, diff, isa.R(16))
+			b.Add(diff, diff, t)
+			b.Add(acc, acc, diff)
+			b.AddI(pR, pR, 8)
+			b.AddI(pC, pC, 8)
+			b.AddI(px, px, 1)
+			b.Blt(px, rP, "me_px")
+			b.ShlI(t, blk, 3)
+			b.AddI(t, t, baseC)
+			b.St(acc, t, 0)
+			b.AddI(blk, blk, 1)
+			b.Blt(blk, rB, "me_blocks")
+			// Transform phase.
+			dctPhase(b, "dct", nB, baseA, baseD)
+			b.AddI(frame, frame, 1)
+			b.Blt(frame, rF, "frames")
+			return b.MustBuild(), func(st *sim.State) {
+				st.SetInt(rB, blocks)
+				st.SetInt(rP, 32)
+				st.SetInt(rF, frames)
+				st.SetInt(nB, blocks)
+				st.SetFp(isa.F(20), 0.49)
+				st.SetFp(isa.F(21), 0.51)
+				st.SetFp(isa.F(22), 0.7071)
+				fillI(st, baseA, int(blocks)*32, 255, 161)
+				fillI(st, baseB, int(blocks)*32, 255, 162)
+			}
+		},
+	}
+}
+
+var (
+	_ = register(videoEncKernel("h263enc", 6, 20))
+	_ = register(videoEncKernel("mpeg2enc", 6, 28))
+)
+
+// h264dec / mpeg2dec: sub-pixel interpolation filter (dense, short loops)
+// + residual reconstruction with clamps (biased control).
+func videoDecKernel(name string, frames int64, clampMod int64) *Workload {
+	return &Workload{
+		Name: name, Suite: "Mediabench", Category: SemiRegular,
+		Build: func() (*prog.Program, func(*sim.State)) {
+			const pixels = 512
+			b := prog.NewBuilder(name)
+			frame, i, t := isa.R(1), isa.R(2), isa.R(3)
+			pS, pD, v := isa.R(4), isa.R(5), isa.R(6)
+			rN, rF := isa.R(10), isa.R(12)
+			b.MovI(frame, 0)
+			b.Label("frames")
+			// 6-tap interpolation (integer, dense).
+			b.MovI(i, 0)
+			b.MovI(pS, baseA)
+			b.MovI(pD, baseB)
+			b.Label("interp")
+			b.Ld(isa.R(14), pS, 0)
+			b.Ld(isa.R(15), pS, 8)
+			b.Ld(isa.R(16), pS, 16)
+			b.MulI(isa.R(14), isa.R(14), 1)
+			b.MulI(isa.R(15), isa.R(15), 5)
+			b.MulI(isa.R(16), isa.R(16), 5)
+			b.Add(t, isa.R(14), isa.R(15))
+			b.Add(t, t, isa.R(16))
+			b.ShrI(t, t, 3)
+			b.St(t, pD, 0)
+			b.AddI(pS, pS, 8)
+			b.AddI(pD, pD, 8)
+			b.AddI(i, i, 1)
+			b.Blt(i, rN, "interp")
+			// Residual add + clamp (clamp rare).
+			b.MovI(i, 0)
+			b.MovI(pS, baseB)
+			b.MovI(pD, baseC)
+			b.Label("recon")
+			b.Ld(v, pS, 0)
+			b.ShlI(t, i, 3)
+			b.AddI(t, t, baseD)
+			b.Ld(isa.R(14), t, 0)
+			b.Add(v, v, isa.R(14))
+			b.SltI(t, v, 255)
+			b.Bne(t, isa.RZ, "noclamp")
+			b.MovI(v, 255)
+			b.Label("noclamp")
+			b.St(v, pD, 0)
+			b.AddI(pS, pS, 8)
+			b.AddI(pD, pD, 8)
+			b.AddI(i, i, 1)
+			b.Blt(i, rN, "recon")
+			b.AddI(frame, frame, 1)
+			b.Blt(frame, rF, "frames")
+			return b.MustBuild(), func(st *sim.State) {
+				st.SetInt(rN, pixels)
+				st.SetInt(rF, frames)
+				fillI(st, baseA, pixels+8, 200, 171)
+				fillI(st, baseD, pixels, clampMod, 172)
+			}
+		},
+	}
+}
+
+var (
+	_ = register(videoDecKernel("h264dec", 6, 40))
+	_ = register(videoDecKernel("mpeg2dec", 6, 60))
+)
+
+// jpg2000: wavelet lifting — the horizontal pass is vectorizable, the
+// vertical (in-place lifting) pass carries a dependence through memory.
+func jpeg2000Kernel(name string, frames int64) *Workload {
+	return &Workload{
+		Name: name, Suite: "Mediabench", Category: SemiRegular,
+		Build: func() (*prog.Program, func(*sim.State)) {
+			const n = 1024
+			b := prog.NewBuilder(name)
+			frame, i := isa.R(1), isa.R(2)
+			pS, pD := isa.R(4), isa.R(5)
+			rN, rF := isa.R(10), isa.R(12)
+			b.MovI(frame, 0)
+			b.Label("frames")
+			// Horizontal lifting: independent pairs (vectorizable).
+			b.MovI(i, 0)
+			b.MovI(pS, baseA)
+			b.MovI(pD, baseB)
+			b.Label("horiz")
+			b.LdF(isa.F(1), pS, 0)
+			b.LdF(isa.F(2), pS, 8)
+			b.FSub(isa.F(3), isa.F(2), isa.F(1)) // detail
+			b.FMul(isa.F(4), isa.F(3), isa.F(20))
+			b.FAdd(isa.F(5), isa.F(1), isa.F(4)) // smooth
+			b.StF(isa.F(5), pD, 0)
+			b.StF(isa.F(3), pD, 8)
+			b.AddI(pS, pS, 16)
+			b.AddI(pD, pD, 16)
+			b.AddI(i, i, 1)
+			b.Blt(i, rN, "horiz")
+			// Vertical lifting: in-place chain a[i] += k*a[i-1] (carried).
+			b.MovI(i, 1)
+			b.MovI(pS, baseB+8)
+			b.Label("vert")
+			b.LdF(isa.F(1), pS, -8)
+			b.LdF(isa.F(2), pS, 0)
+			b.FMul(isa.F(3), isa.F(1), isa.F(21))
+			b.FAdd(isa.F(2), isa.F(2), isa.F(3))
+			b.StF(isa.F(2), pS, 0)
+			b.AddI(pS, pS, 8)
+			b.AddI(i, i, 1)
+			b.Blt(i, rN, "vert")
+			b.AddI(frame, frame, 1)
+			b.Blt(frame, rF, "frames")
+			return b.MustBuild(), func(st *sim.State) {
+				st.SetInt(rN, n/2)
+				st.SetInt(rF, frames)
+				st.SetFp(isa.F(20), 0.5)
+				st.SetFp(isa.F(21), 0.25)
+				fillF(st, baseA, n, 181)
+			}
+		},
+	}
+}
+
+var (
+	_ = register(jpeg2000Kernel("jpg2000dec", 8))
+	_ = register(jpeg2000Kernel("jpg2000enc", 5))
+)

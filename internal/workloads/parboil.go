@@ -1,0 +1,219 @@
+package workloads
+
+import (
+	"exocore/internal/isa"
+	"exocore/internal/prog"
+	"exocore/internal/sim"
+)
+
+// Memory-layout bases shared by the kernels. Each array gets a disjoint
+// megabyte so cache behavior is governed by access pattern, not layout
+// accidents.
+const (
+	baseA = 0x10_0000
+	baseB = 0x20_0000
+	baseC = 0x30_0000
+	baseD = 0x40_0000
+	baseE = 0x50_0000
+)
+
+func fillF(st *sim.State, base uint64, n int, seed uint64) {
+	r := newRng(seed)
+	for i := 0; i < n; i++ {
+		st.Mem.StoreFloat(base+uint64(i)*8, r.f64()*2-1)
+	}
+}
+
+func fillI(st *sim.State, base uint64, n int, mod int64, seed uint64) {
+	r := newRng(seed)
+	for i := 0; i < n; i++ {
+		st.Mem.StoreInt(base+uint64(i)*8, r.i64(mod))
+	}
+}
+
+// mm: dense matrix multiply (ikj order: contiguous B and C rows in the
+// inner loop — data-parallel, memory/compute separable).
+var _ = register(&Workload{
+	Name: "mm", Suite: "Parboil", Category: Regular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const n = 40
+		b := prog.NewBuilder("mm")
+		i, k, j := isa.R(1), isa.R(2), isa.R(6)
+		t, pB, pC := isa.R(3), isa.R(4), isa.R(5)
+		rA, rB, rC, rN := isa.R(10), isa.R(11), isa.R(12), isa.R(13)
+		b.MovI(i, 0)
+		b.Label("outer_i")
+		b.MovI(k, 0)
+		b.Label("outer_k")
+		b.Mul(t, i, rN).Add(t, t, k).ShlI(t, t, 3).Add(t, t, rA)
+		b.LdF(isa.F(1), t, 0) // a[i][k]
+		b.Mul(pB, k, rN).ShlI(pB, pB, 3).Add(pB, pB, rB)
+		b.Mul(pC, i, rN).ShlI(pC, pC, 3).Add(pC, pC, rC)
+		b.MovI(j, 0)
+		b.Label("inner_j")
+		b.LdF(isa.F(2), pB, 0)
+		b.LdF(isa.F(3), pC, 0)
+		b.FMul(isa.F(4), isa.F(1), isa.F(2))
+		b.FAdd(isa.F(5), isa.F(3), isa.F(4))
+		b.StF(isa.F(5), pC, 0)
+		b.AddI(pB, pB, 8)
+		b.AddI(pC, pC, 8)
+		b.AddI(j, j, 1)
+		b.Blt(j, rN, "inner_j")
+		b.AddI(k, k, 1)
+		b.Blt(k, rN, "outer_k")
+		b.AddI(i, i, 1)
+		b.Blt(i, rN, "outer_i")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rA, baseA)
+			st.SetInt(rB, baseB)
+			st.SetInt(rC, baseC)
+			st.SetInt(rN, n)
+			fillF(st, baseA, n*n, 1)
+			fillF(st, baseB, n*n, 2)
+		}
+	},
+})
+
+// stencil: 1D 3-point Jacobi sweep — contiguous streams, pure data
+// parallelism, SIMD's best case.
+var _ = register(&Workload{
+	Name: "stencil", Suite: "Parboil", Category: Regular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const n = 4096
+		b := prog.NewBuilder("stencil")
+		i, pA, pB, rN := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+		b.MovI(isa.R(9), 0) // sweep counter
+		b.Label("sweep")
+		b.MovI(i, 1)
+		b.MovI(pA, baseA+8)
+		b.MovI(pB, baseB+8)
+		b.Label("loop")
+		b.LdF(isa.F(1), pA, -8)
+		b.LdF(isa.F(2), pA, 0)
+		b.LdF(isa.F(3), pA, 8)
+		b.FMul(isa.F(4), isa.F(1), isa.F(10))
+		b.FMul(isa.F(5), isa.F(2), isa.F(11))
+		b.FMul(isa.F(6), isa.F(3), isa.F(10))
+		b.FAdd(isa.F(7), isa.F(4), isa.F(5))
+		b.FAdd(isa.F(8), isa.F(7), isa.F(6))
+		b.StF(isa.F(8), pB, 0)
+		b.AddI(pA, pA, 8)
+		b.AddI(pB, pB, 8)
+		b.AddI(i, i, 1)
+		b.Blt(i, rN, "loop")
+		b.AddI(isa.R(9), isa.R(9), 1)
+		b.SltI(isa.R(10), isa.R(9), 64)
+		b.Bne(isa.R(10), isa.RZ, "sweep")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rN, n-1)
+			st.SetFp(isa.F(10), 0.25)
+			st.SetFp(isa.F(11), 0.5)
+			fillF(st, baseA, n, 3)
+		}
+	},
+})
+
+// spmv: sparse matrix-vector product in CSR form — indirect (gather)
+// loads of the dense vector defeat plain SIMD; the irregular access keeps
+// memory on the critical path.
+var _ = register(&Workload{
+	Name: "spmv", Suite: "Parboil", Category: Regular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const rows, nnzPerRow = 256, 12
+		b := prog.NewBuilder("spmv")
+		row, k, end := isa.R(1), isa.R(2), isa.R(3)
+		pVal, pCol, col, t := isa.R(4), isa.R(5), isa.R(6), isa.R(7)
+		rX, rY, rRows := isa.R(10), isa.R(11), isa.R(12)
+		b.MovI(row, 0)
+		b.MovI(pVal, baseA)
+		b.MovI(pCol, baseB)
+		b.Label("rows")
+		b.FMovI(isa.F(1), 0) // accumulator
+		b.MovI(k, 0)
+		b.MovI(end, nnzPerRow)
+		b.Label("nnz")
+		b.LdF(isa.F(2), pVal, 0) // value: contiguous
+		b.Ld(col, pCol, 0)       // column index: contiguous
+		b.ShlI(t, col, 3)
+		b.Add(t, t, rX)
+		b.LdF(isa.F(3), t, 0) // x[col]: gather
+		b.FMul(isa.F(4), isa.F(2), isa.F(3))
+		b.FAdd(isa.F(1), isa.F(1), isa.F(4)) // reduction
+		b.AddI(pVal, pVal, 8)
+		b.AddI(pCol, pCol, 8)
+		b.AddI(k, k, 1)
+		b.Blt(k, end, "nnz")
+		b.ShlI(t, row, 3)
+		b.Add(t, t, rY)
+		b.StF(isa.F(1), t, 0)
+		b.AddI(row, row, 1)
+		b.Blt(row, rRows, "rows")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rX, baseC)
+			st.SetInt(rY, baseD)
+			st.SetInt(rRows, rows)
+			fillF(st, baseA, rows*nnzPerRow, 4)
+			fillI(st, baseB, rows*nnzPerRow, 4096, 5)
+			fillF(st, baseC, 4096, 6)
+		}
+	},
+})
+
+// kmeans: nearest-centroid assignment — distance computation is
+// data-parallel compute, but the running-min update is control.
+var _ = register(&Workload{
+	Name: "kmeans", Suite: "Parboil", Category: Regular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const points, clusters, dims = 512, 8, 4
+		b := prog.NewBuilder("kmeans")
+		p, c, d := isa.R(1), isa.R(2), isa.R(3)
+		pP, pC, t := isa.R(4), isa.R(5), isa.R(6)
+		best := isa.R(7)
+		rPts, rCl, rDim := isa.R(10), isa.R(11), isa.R(12)
+		b.MovI(p, 0)
+		b.MovI(pP, baseA)
+		b.Label("points")
+		b.FMovI(isa.F(9), 1e30) // best distance
+		b.MovI(best, 0)
+		b.MovI(c, 0)
+		b.MovI(pC, baseB)
+		b.Label("clusters")
+		b.FMovI(isa.F(1), 0) // dist accumulator
+		b.MovI(d, 0)
+		b.Label("dims")
+		b.ShlI(t, d, 3)
+		b.Add(t, t, pP)
+		b.LdF(isa.F(2), t, 0)
+		b.ShlI(t, d, 3)
+		b.Add(t, t, pC)
+		b.LdF(isa.F(3), t, 0)
+		b.FSub(isa.F(4), isa.F(2), isa.F(3))
+		b.FMul(isa.F(5), isa.F(4), isa.F(4))
+		b.FAdd(isa.F(1), isa.F(1), isa.F(5))
+		b.AddI(d, d, 1)
+		b.Blt(d, rDim, "dims")
+		b.FSlt(t, isa.F(1), isa.F(9))
+		b.Beq(t, isa.RZ, "notbest")
+		b.FMov(isa.F(9), isa.F(1))
+		b.Mov(best, c)
+		b.Label("notbest")
+		b.AddI(pC, pC, dims*8)
+		b.AddI(c, c, 1)
+		b.Blt(c, rCl, "clusters")
+		// store assignment
+		b.ShlI(t, p, 3)
+		b.AddI(t, t, baseC)
+		b.St(best, t, 0)
+		b.AddI(pP, pP, dims*8)
+		b.AddI(p, p, 1)
+		b.Blt(p, rPts, "points")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rPts, points)
+			st.SetInt(rCl, clusters)
+			st.SetInt(rDim, dims)
+			fillF(st, baseA, points*dims, 7)
+			fillF(st, baseB, clusters*dims, 8)
+		}
+	},
+})

@@ -1,0 +1,356 @@
+package workloads
+
+import (
+	"exocore/internal/isa"
+	"exocore/internal/prog"
+	"exocore/internal/sim"
+)
+
+// cutcp: cutoff Coulombic potential — distance test guards heavy FP work;
+// predication-friendly data parallelism with divergent lanes.
+var _ = register(&Workload{
+	Name: "cutcp", Suite: "Parboil", Category: Regular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const points, atoms = 128, 64
+		b := prog.NewBuilder("cutcp")
+		pt, at, t := isa.R(1), isa.R(2), isa.R(3)
+		pA := isa.R(4)
+		rP, rA := isa.R(10), isa.R(11)
+		b.MovI(pt, 0)
+		b.Label("points")
+		b.FMovI(isa.F(1), 0) // potential
+		b.ShlI(t, pt, 3)
+		b.AddI(t, t, baseA)
+		b.LdF(isa.F(2), t, 0) // point coordinate (1-D for brevity)
+		b.MovI(at, 0)
+		b.MovI(pA, baseB)
+		b.Label("atoms")
+		b.LdF(isa.F(3), pA, 0) // atom coordinate
+		b.LdF(isa.F(4), pA, 8) // atom charge
+		b.FSub(isa.F(5), isa.F(3), isa.F(2))
+		b.FMul(isa.F(5), isa.F(5), isa.F(5)) // dist²
+		b.FSlt(t, isa.F(5), isa.F(10))       // within cutoff?
+		b.Beq(t, isa.RZ, "skip")
+		b.FAdd(isa.F(6), isa.F(5), isa.F(11)) // + softening
+		b.FDiv(isa.F(7), isa.F(4), isa.F(6))
+		b.FAdd(isa.F(1), isa.F(1), isa.F(7))
+		b.Label("skip")
+		b.AddI(pA, pA, 16)
+		b.AddI(at, at, 1)
+		b.Blt(at, rA, "atoms")
+		b.ShlI(t, pt, 3)
+		b.AddI(t, t, baseC)
+		b.StF(isa.F(1), t, 0)
+		b.AddI(pt, pt, 1)
+		b.Blt(pt, rP, "points")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rP, points)
+			st.SetInt(rA, atoms)
+			// Generous cutoff: ~90% of atoms are inside, as with real
+			// spatially-binned neighbor lists (mostly-biased branch).
+			st.SetFp(isa.F(10), 3.6)
+			st.SetFp(isa.F(11), 0.01)
+			fillF(st, baseA, points, 71)
+			fillF(st, baseB, atoms*2, 72)
+		}
+	},
+})
+
+// fft: radix-2 butterfly stage — strided accesses whose stride halves per
+// stage; data-parallel but with non-unit strides (pack/unpack pressure).
+var _ = register(&Workload{
+	Name: "fft", Suite: "Parboil", Category: Regular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const n = 1024
+		b := prog.NewBuilder("fft")
+		stage, i, half, t, pEven, pOdd := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5), isa.R(6)
+		rN := isa.R(10)
+		b.MovI(stage, 0)
+		b.MovI(half, n/2)
+		b.Label("stages")
+		b.MovI(i, 0)
+		b.MovI(pEven, baseA)
+		b.ShlI(t, half, 4)
+		b.Add(pOdd, t, pEven) // partner at distance `half` complex points
+		b.Label("butterfly")
+		// Interleaved complex (re,im) points: stride-16 accesses, the
+		// pack/unpack-hostile layout real FFTs fight with.
+		b.LdF(isa.F(1), pEven, 0)
+		b.LdF(isa.F(2), pEven, 8)
+		b.LdF(isa.F(3), pOdd, 0)
+		b.LdF(isa.F(4), pOdd, 8)
+		b.FMul(isa.F(5), isa.F(3), isa.F(10)) // twiddle re
+		b.FMul(isa.F(6), isa.F(4), isa.F(10)) // twiddle im
+		b.FAdd(isa.F(7), isa.F(1), isa.F(5))
+		b.FAdd(isa.F(8), isa.F(2), isa.F(6))
+		b.FSub(isa.F(5), isa.F(1), isa.F(5))
+		b.FSub(isa.F(6), isa.F(2), isa.F(6))
+		b.StF(isa.F(7), pEven, 0)
+		b.StF(isa.F(8), pEven, 8)
+		b.StF(isa.F(5), pOdd, 0)
+		b.StF(isa.F(6), pOdd, 8)
+		b.AddI(pEven, pEven, 16)
+		b.AddI(pOdd, pOdd, 16)
+		b.AddI(i, i, 1)
+		b.Blt(i, half, "butterfly")
+		b.ShrI(half, half, 1)
+		b.AddI(stage, stage, 1)
+		b.SltI(t, stage, 6)
+		b.Bne(t, isa.RZ, "stages")
+		_ = rN
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetFp(isa.F(10), 0.7071)
+			fillF(st, baseA, n, 81)
+		}
+	},
+})
+
+// lbm: lattice-Boltzmann style site update — many FP ops over several
+// contiguous distribution streams; data parallel, high FP intensity.
+var _ = register(&Workload{
+	Name: "lbm", Suite: "Parboil", Category: Regular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const sites = 1024
+		b := prog.NewBuilder("lbm")
+		i, p0, p1, p2 := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+		rN := isa.R(10)
+		b.MovI(i, 0)
+		b.MovI(p0, baseA)
+		b.MovI(p1, baseB)
+		b.MovI(p2, baseC)
+		b.Label("site")
+		b.LdF(isa.F(1), p0, 0)
+		b.LdF(isa.F(2), p1, 0)
+		b.LdF(isa.F(3), p2, 0)
+		// density and momentum
+		b.FAdd(isa.F(4), isa.F(1), isa.F(2))
+		b.FAdd(isa.F(4), isa.F(4), isa.F(3))
+		b.FSub(isa.F(5), isa.F(1), isa.F(3))
+		// equilibrium relaxation per direction
+		for d := 0; d < 3; d++ {
+			src := isa.F(1 + d)
+			b.FMul(isa.F(6), isa.F(4), isa.F(10))
+			b.FMul(isa.F(7), isa.F(5), isa.F(11))
+			b.FAdd(isa.F(6), isa.F(6), isa.F(7))
+			b.FSub(isa.F(7), isa.F(6), src)
+			b.FMul(isa.F(7), isa.F(7), isa.F(12))
+			b.FAdd(isa.F(8), src, isa.F(7))
+			switch d {
+			case 0:
+				b.StF(isa.F(8), p0, 0)
+			case 1:
+				b.StF(isa.F(8), p1, 0)
+			case 2:
+				b.StF(isa.F(8), p2, 0)
+			}
+		}
+		b.AddI(p0, p0, 8)
+		b.AddI(p1, p1, 8)
+		b.AddI(p2, p2, 8)
+		b.AddI(i, i, 1)
+		b.Blt(i, rN, "site")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rN, sites)
+			st.SetFp(isa.F(10), 0.333)
+			st.SetFp(isa.F(11), 0.166)
+			st.SetFp(isa.F(12), 0.6)
+			fillF(st, baseA, sites, 91)
+			fillF(st, baseB, sites, 92)
+			fillF(st, baseC, sites, 93)
+		}
+	},
+})
+
+// needle: Needleman-Wunsch wavefront DP — every cell depends on the
+// previous cell in the row (loop-carried through a register) and the row
+// above (carried through memory): not vectorizable, NS-DF territory.
+var _ = register(&Workload{
+	Name: "needle", Suite: "Parboil", Category: Regular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const n = 96
+		b := prog.NewBuilder("needle")
+		i, j, t, u := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+		pRow, pPrev := isa.R(5), isa.R(6)
+		left, diag, up, best := isa.R(7), isa.R(8), isa.R(9), isa.R(14)
+		rN := isa.R(10)
+		b.MovI(i, 1)
+		b.Label("rows")
+		b.Mul(t, i, rN)
+		b.ShlI(t, t, 3)
+		b.AddI(pRow, t, baseA)
+		b.SubI(pPrev, pRow, n*8)
+		b.MovI(left, 0)
+		b.MovI(j, 1)
+		b.Label("cols")
+		b.Ld(diag, pPrev, 0)
+		b.Ld(up, pPrev, 8)
+		// score = max(diag + match, max(up, left) - gap)
+		b.ShlI(t, j, 3)
+		b.AddI(t, t, baseB)
+		b.Ld(u, t, 0) // match score for this column
+		b.Add(diag, diag, u)
+		b.Slt(t, up, left)
+		b.Beq(t, isa.RZ, "useup")
+		b.Mov(best, left)
+		b.Jmp("gap")
+		b.Label("useup")
+		b.Mov(best, up)
+		b.Label("gap")
+		b.SubI(best, best, 1)
+		b.Slt(t, best, diag)
+		b.Beq(t, isa.RZ, "store")
+		b.Mov(best, diag)
+		b.Label("store")
+		b.St(best, pRow, 8)
+		b.Mov(left, best)
+		b.AddI(pRow, pRow, 8)
+		b.AddI(pPrev, pPrev, 8)
+		b.AddI(j, j, 1)
+		b.Blt(j, rN, "cols")
+		b.AddI(i, i, 1)
+		b.Blt(i, rN, "rows")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rN, n)
+			fillI(st, baseA, n, 10, 101)
+			fillI(st, baseB, n, 12, 102)
+		}
+	},
+})
+
+// nnw: fully-connected neural layer (matrix-vector + bias) — dense dot
+// products, highly regular.
+var _ = register(&Workload{
+	Name: "nnw", Suite: "Parboil", Category: Regular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const out, in = 128, 64
+		b := prog.NewBuilder("nnw")
+		o, i, t, pW, pX := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+		rOut, rIn := isa.R(10), isa.R(11)
+		b.MovI(o, 0)
+		b.MovI(pW, baseA)
+		b.Label("neurons")
+		b.FMovI(isa.F(1), 0)
+		b.MovI(i, 0)
+		b.MovI(pX, baseB)
+		b.Label("dot")
+		b.LdF(isa.F(2), pW, 0)
+		b.LdF(isa.F(3), pX, 0)
+		b.FMul(isa.F(4), isa.F(2), isa.F(3))
+		b.FAdd(isa.F(1), isa.F(1), isa.F(4))
+		b.AddI(pW, pW, 8)
+		b.AddI(pX, pX, 8)
+		b.AddI(i, i, 1)
+		b.Blt(i, rIn, "dot")
+		// bias + ReLU (biased branch: most activations positive here)
+		b.ShlI(t, o, 3)
+		b.AddI(t, t, baseC)
+		b.LdF(isa.F(5), t, 0)
+		b.FAdd(isa.F(1), isa.F(1), isa.F(5))
+		b.FSlt(t, isa.F(1), isa.F(10))
+		b.Beq(t, isa.RZ, "relu_done")
+		b.FMov(isa.F(1), isa.F(10))
+		b.Label("relu_done")
+		b.ShlI(t, o, 3)
+		b.AddI(t, t, baseD)
+		b.StF(isa.F(1), t, 0)
+		b.AddI(o, o, 1)
+		b.Blt(o, rOut, "neurons")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rOut, out)
+			st.SetInt(rIn, in)
+			st.SetFp(isa.F(10), 0)
+			fillF(st, baseA, out*in, 111)
+			fillF(st, baseB, in, 112)
+			fillF(st, baseC, out, 113)
+		}
+	},
+})
+
+// sad: sum-of-absolute-differences motion-estimation kernel — integer
+// data parallelism with a compare-subtract idiom.
+var _ = register(&Workload{
+	Name: "sad", Suite: "Parboil", Category: Regular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const blocks, pixels = 256, 64
+		b := prog.NewBuilder("sad")
+		blk, px, t, acc := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+		pRef, pCur, diff := isa.R(5), isa.R(6), isa.R(7)
+		rB, rP := isa.R(10), isa.R(11)
+		b.MovI(blk, 0)
+		b.Label("blocks")
+		b.MovI(acc, 0)
+		b.Mul(t, blk, rP)
+		b.ShlI(t, t, 3)
+		b.AddI(pRef, t, baseA)
+		b.AddI(pCur, t, baseB)
+		b.MovI(px, 0)
+		b.Label("pixels")
+		b.Ld(isa.R(8), pRef, 0)
+		b.Ld(isa.R(9), pCur, 0)
+		b.Sub(diff, isa.R(8), isa.R(9))
+		// Branchless abs, as real codegen emits (cmov/mask idiom):
+		// sign = (diff<0) ? 1 : 0; diff = (diff ^ -sign) + sign.
+		b.Slt(t, diff, isa.RZ)
+		b.Sub(isa.R(12), isa.RZ, t) // -sign mask
+		b.Xor(diff, diff, isa.R(12))
+		b.Add(diff, diff, t)
+		b.Add(acc, acc, diff)
+		b.AddI(pRef, pRef, 8)
+		b.AddI(pCur, pCur, 8)
+		b.AddI(px, px, 1)
+		b.Blt(px, rP, "pixels")
+		b.ShlI(t, blk, 3)
+		b.AddI(t, t, baseC)
+		b.St(acc, t, 0)
+		b.AddI(blk, blk, 1)
+		b.Blt(blk, rB, "blocks")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rB, blocks)
+			st.SetInt(rP, pixels)
+			fillI(st, baseA, blocks*pixels, 255, 121)
+			fillI(st, baseB, blocks*pixels, 255, 122)
+		}
+	},
+})
+
+// tpacf: angular-correlation histogram — FP compute producing an
+// unpredictable bin index, then an indirect read-modify-write: the
+// histogram update is a memory-carried dependence.
+var _ = register(&Workload{
+	Name: "tpacf", Suite: "Parboil", Category: Regular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const pairs, bins = 4096, 64
+		b := prog.NewBuilder("tpacf")
+		i, t, bin := isa.R(1), isa.R(2), isa.R(3)
+		rN, rBins := isa.R(10), isa.R(11)
+		b.MovI(i, 0)
+		b.Label("pairs")
+		b.ShlI(t, i, 3)
+		b.AddI(t, t, baseA)
+		b.LdF(isa.F(1), t, 0) // dot product of the pair (precomputed)
+		b.FMul(isa.F(2), isa.F(1), isa.F(10))
+		b.FAdd(isa.F(2), isa.F(2), isa.F(11))
+		b.FCvt(isa.F(3), rBins)
+		b.FMul(isa.F(2), isa.F(2), isa.F(3))
+		// bin = int(f2) via store/load float trick avoided: use compare ladder
+		b.FSlt(bin, isa.F(2), isa.F(12)) // crude 2-level binning
+		b.ShlI(t, bin, 3)
+		b.Mul(bin, i, rBins)
+		b.Rem(bin, bin, rBins) // pseudo-random bin spread
+		b.ShlI(t, bin, 3)
+		b.AddI(t, t, baseC)
+		b.Ld(isa.R(4), t, 0)
+		b.AddI(isa.R(4), isa.R(4), 1)
+		b.St(isa.R(4), t, 0)
+		b.AddI(i, i, 1)
+		b.Blt(i, rN, "pairs")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rN, pairs)
+			st.SetInt(rBins, bins)
+			st.SetFp(isa.F(10), 0.5)
+			st.SetFp(isa.F(11), 0.5)
+			st.SetFp(isa.F(12), 0.7)
+			fillF(st, baseA, pairs, 131)
+		}
+	},
+})

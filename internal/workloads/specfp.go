@@ -1,0 +1,370 @@
+package workloads
+
+import (
+	"exocore/internal/isa"
+	"exocore/internal/prog"
+	"exocore/internal/sim"
+)
+
+// milc: SU(3) matrix-vector multiply — dense complex FP arithmetic in
+// short fixed-trip loops (semi-regular: dense but deeply nested small
+// loops limit vector length).
+var _ = register(&Workload{
+	Name: "milc", Suite: "SPECfp", Category: SemiRegular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const sites = 384
+		b := prog.NewBuilder("milc")
+		s, r, c, t := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+		pM, pV, pO := isa.R(5), isa.R(6), isa.R(7)
+		rS := isa.R(10)
+		b.MovI(s, 0)
+		b.Label("sites")
+		b.ShlI(t, s, 6)
+		b.AddI(pM, t, baseA) // 3x3 matrix per site (9 words)
+		b.ShlI(t, s, 5)
+		b.AddI(pV, t, baseB) // 3-vector per site
+		b.ShlI(t, s, 5)
+		b.AddI(pO, t, baseC)
+		b.MovI(r, 0)
+		b.Label("rows")
+		b.FMovI(isa.F(1), 0)
+		b.MovI(c, 0)
+		b.Label("cols")
+		b.LdF(isa.F(2), pM, 0)
+		b.ShlI(t, c, 3)
+		b.Add(t, t, pV)
+		b.LdF(isa.F(3), t, 0)
+		b.FMul(isa.F(4), isa.F(2), isa.F(3))
+		b.FAdd(isa.F(1), isa.F(1), isa.F(4))
+		b.AddI(pM, pM, 8)
+		b.AddI(c, c, 1)
+		b.SltI(t, c, 3)
+		b.Bne(t, isa.RZ, "cols")
+		b.ShlI(t, r, 3)
+		b.Add(t, t, pO)
+		b.StF(isa.F(1), t, 0)
+		b.AddI(r, r, 1)
+		b.SltI(t, r, 3)
+		b.Bne(t, isa.RZ, "rows")
+		b.AddI(s, s, 1)
+		b.Blt(s, rS, "sites")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rS, sites)
+			fillF(st, baseA, sites*9, 201)
+			fillF(st, baseB, sites*4, 202)
+		}
+	},
+})
+
+// namd: pairwise force with cutoff — like cutcp but with neighbor-list
+// indirection (gathers) and a less-biased cutoff branch.
+var _ = register(&Workload{
+	Name: "namd", Suite: "SPECfp", Category: SemiRegular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const atoms, neighbors = 192, 16
+		b := prog.NewBuilder("namd")
+		a, nIdx, t, j := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+		pN := isa.R(5)
+		rA, rN := isa.R(10), isa.R(11)
+		b.MovI(a, 0)
+		b.Label("atoms")
+		b.ShlI(t, a, 3)
+		b.AddI(t, t, baseA)
+		b.LdF(isa.F(1), t, 0) // xi
+		b.FMovI(isa.F(2), 0)  // force acc
+		b.Mul(pN, a, rN)
+		b.ShlI(pN, pN, 3)
+		b.AddI(pN, pN, baseB)
+		b.MovI(nIdx, 0)
+		b.Label("pairs")
+		b.Ld(j, pN, 0) // neighbor index
+		b.ShlI(t, j, 3)
+		b.AddI(t, t, baseA)
+		b.LdF(isa.F(3), t, 0) // xj (gather)
+		b.FSub(isa.F(4), isa.F(3), isa.F(1))
+		b.FMul(isa.F(5), isa.F(4), isa.F(4))
+		b.FSlt(t, isa.F(5), isa.F(10))
+		b.Beq(t, isa.RZ, "far")
+		b.FAdd(isa.F(6), isa.F(5), isa.F(11))
+		b.FDiv(isa.F(7), isa.F(12), isa.F(6))
+		b.FMul(isa.F(7), isa.F(7), isa.F(4))
+		b.FAdd(isa.F(2), isa.F(2), isa.F(7))
+		b.Label("far")
+		b.AddI(pN, pN, 8)
+		b.AddI(nIdx, nIdx, 1)
+		b.Blt(nIdx, rN, "pairs")
+		b.ShlI(t, a, 3)
+		b.AddI(t, t, baseC)
+		b.StF(isa.F(2), t, 0)
+		b.AddI(a, a, 1)
+		b.Blt(a, rA, "atoms")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rA, atoms)
+			st.SetInt(rN, neighbors)
+			st.SetFp(isa.F(10), 0.5)
+			st.SetFp(isa.F(11), 0.05)
+			st.SetFp(isa.F(12), 1.0)
+			fillF(st, baseA, atoms, 211)
+			fillI(st, baseB, atoms*neighbors, atoms, 212)
+		}
+	},
+})
+
+// soplex: simplex pricing pass — sparse column scan with a running
+// argmin: FP compare-and-update control plus indirect access.
+var _ = register(&Workload{
+	Name: "soplex", Suite: "SPECfp", Category: SemiRegular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const cols, nnz = 256, 10
+		b := prog.NewBuilder("soplex")
+		c, k, t, idx, bestI := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+		pV, pI := isa.R(6), isa.R(7)
+		rC, rK := isa.R(10), isa.R(11)
+		b.MovI(c, 0)
+		b.MovI(bestI, 0)
+		b.FMovI(isa.F(9), 1e30)
+		b.Label("cols")
+		b.FMovI(isa.F(1), 0)
+		b.Mul(t, c, rK)
+		b.ShlI(t, t, 3)
+		b.AddI(pV, t, baseA)
+		b.Mul(t, c, rK)
+		b.ShlI(t, t, 3)
+		b.AddI(pI, t, baseB)
+		b.MovI(k, 0)
+		b.Label("scan")
+		b.LdF(isa.F(2), pV, 0)
+		b.Ld(idx, pI, 0)
+		b.ShlI(t, idx, 3)
+		b.AddI(t, t, baseC)
+		b.LdF(isa.F(3), t, 0) // dual value (gather)
+		b.FMul(isa.F(4), isa.F(2), isa.F(3))
+		b.FAdd(isa.F(1), isa.F(1), isa.F(4))
+		b.AddI(pV, pV, 8)
+		b.AddI(pI, pI, 8)
+		b.AddI(k, k, 1)
+		b.Blt(k, rK, "scan")
+		// Running argmin (data-dependent, ~unpredictable early on).
+		b.FSlt(t, isa.F(1), isa.F(9))
+		b.Beq(t, isa.RZ, "nomin")
+		b.FMov(isa.F(9), isa.F(1))
+		b.Mov(bestI, c)
+		b.Label("nomin")
+		b.AddI(c, c, 1)
+		b.Blt(c, rC, "cols")
+		b.ShlI(t, bestI, 3)
+		b.AddI(t, t, baseD)
+		b.St(bestI, t, 0)
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rC, cols)
+			st.SetInt(rK, nnz)
+			fillF(st, baseA, cols*nnz, 221)
+			fillI(st, baseB, cols*nnz, 512, 222)
+			fillF(st, baseC, 512, 223)
+		}
+	},
+})
+
+// sphinx3: Gaussian mixture scoring — dense FP with a pruning branch
+// (score below beam skips the tail), semi-regular.
+var _ = register(&Workload{
+	Name: "sphinx3", Suite: "SPECfp", Category: SemiRegular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const frames, gaussians, dims = 24, 32, 8
+		b := prog.NewBuilder("sphinx3")
+		f, g, d, t := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+		pM, pV, pX := isa.R(5), isa.R(6), isa.R(7)
+		rF, rG, rD := isa.R(10), isa.R(11), isa.R(12)
+		b.MovI(f, 0)
+		b.Label("frames")
+		b.ShlI(t, f, 6)
+		b.AddI(pX, t, baseC)
+		b.MovI(g, 0)
+		b.MovI(pM, baseA)
+		b.MovI(pV, baseB)
+		b.Label("gauss")
+		b.FMovI(isa.F(1), 0)
+		b.MovI(d, 0)
+		b.Label("dims")
+		b.ShlI(t, d, 3)
+		b.Add(t, t, pX)
+		b.LdF(isa.F(2), t, 0)
+		b.LdF(isa.F(3), pM, 0)
+		b.LdF(isa.F(4), pV, 0)
+		b.FSub(isa.F(5), isa.F(2), isa.F(3))
+		b.FMul(isa.F(5), isa.F(5), isa.F(5))
+		b.FMul(isa.F(5), isa.F(5), isa.F(4))
+		b.FAdd(isa.F(1), isa.F(1), isa.F(5))
+		// Beam prune: exit dims early when score already too bad (rare
+		// for the first dims, biased taken-through).
+		b.FSlt(t, isa.F(10), isa.F(1))
+		b.Bne(t, isa.RZ, "pruned")
+		b.AddI(pM, pM, 8)
+		b.AddI(pV, pV, 8)
+		b.AddI(d, d, 1)
+		b.Blt(d, rD, "dims")
+		b.Label("pruned")
+		b.ShlI(t, g, 3)
+		b.AddI(t, t, baseD)
+		b.StF(isa.F(1), t, 0)
+		b.AddI(g, g, 1)
+		b.Blt(g, rG, "gauss")
+		b.AddI(f, f, 1)
+		b.Blt(f, rF, "frames")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rF, frames)
+			st.SetInt(rG, gaussians)
+			st.SetInt(rD, dims)
+			st.SetFp(isa.F(10), 40.0) // generous beam: rarely prunes
+			fillF(st, baseA, gaussians*dims, 231)
+			fillF(st, baseB, gaussians*dims, 232)
+			fillF(st, baseC, frames*dims, 233)
+		}
+	},
+})
+
+// tpch1: scan-filter-aggregate (TPC-H Q1 style) — a predicated columnar
+// scan, vectorizable with masks.
+var _ = register(&Workload{
+	Name: "tpch1", Suite: "TPCH", Category: SemiRegular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const tuples = 4096
+		b := prog.NewBuilder("tpch1")
+		i, t := isa.R(1), isa.R(2)
+		pQ, pP, pD := isa.R(3), isa.R(4), isa.R(5)
+		rN := isa.R(10)
+		b.MovI(i, 0)
+		b.MovI(pQ, baseA)
+		b.MovI(pP, baseB)
+		b.MovI(pD, baseC)
+		b.FMovI(isa.F(1), 0) // sum(qty*price) for passing tuples
+		b.Label("scan")
+		b.Ld(t, pD, 0) // date column
+		b.SltI(t, t, 880)
+		b.Beq(t, isa.RZ, "fail") // selectivity ~88% (Q1 passes most rows)
+		b.LdF(isa.F(2), pQ, 0)
+		b.LdF(isa.F(3), pP, 0)
+		b.FMul(isa.F(4), isa.F(2), isa.F(3))
+		b.FAdd(isa.F(1), isa.F(1), isa.F(4))
+		b.Label("fail")
+		b.AddI(pQ, pQ, 8)
+		b.AddI(pP, pP, 8)
+		b.AddI(pD, pD, 8)
+		b.AddI(i, i, 1)
+		b.Blt(i, rN, "scan")
+		b.StF(isa.F(1), isa.RZ, baseD)
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rN, tuples)
+			fillF(st, baseA, tuples, 241)
+			fillF(st, baseB, tuples, 242)
+			fillI(st, baseC, tuples, 1000, 243)
+		}
+	},
+})
+
+// tpch2: hash-join probe (TPC-H Q2 style) — hashed bucket lookups with a
+// short chain walk: irregular access, data-dependent control.
+var _ = register(&Workload{
+	Name: "tpch2", Suite: "TPCH", Category: SemiRegular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const probes, buckets = 2048, 1024
+		b := prog.NewBuilder("tpch2")
+		i, key, h, node, nk, t := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5), isa.R(6)
+		rN, rMask := isa.R(10), isa.R(11)
+		b.MovI(i, 0)
+		b.Label("probe")
+		b.ShlI(t, i, 3)
+		b.AddI(t, t, baseA)
+		b.Ld(key, t, 0)
+		b.And(h, key, rMask)
+		b.ShlI(h, h, 3)
+		b.AddI(h, h, baseB)
+		b.Ld(node, h, 0) // bucket head
+		b.Label("chain")
+		b.Beq(node, isa.RZ, "miss")
+		b.Ld(nk, node, 0)
+		b.Beq(nk, key, "hit")
+		b.Ld(node, node, 8) // next
+		b.Jmp("chain")
+		b.Label("hit")
+		b.Ld(t, node, 16) // payload
+		b.ShlI(nk, i, 3)
+		b.AddI(nk, nk, baseD)
+		b.St(t, nk, 0)
+		b.Label("miss")
+		b.AddI(i, i, 1)
+		b.Blt(i, rN, "probe")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rN, probes)
+			st.SetInt(rMask, buckets-1)
+			// Build a chained hash table at baseC; heads at baseB.
+			r := newRng(251)
+			next := uint64(baseC)
+			for k := 0; k < buckets*2; k++ {
+				key := r.i64(1 << 20)
+				h := uint64(key) & (buckets - 1)
+				headAddr := uint64(baseB) + h*8
+				prev := st.Mem.LoadInt(headAddr)
+				st.Mem.StoreInt(next, key)         // key
+				st.Mem.StoreInt(next+8, prev)      // next
+				st.Mem.StoreInt(next+16, int64(k)) // payload
+				st.Mem.StoreInt(headAddr, int64(next))
+				next += 24
+			}
+			for i := 0; i < probes; i++ {
+				st.Mem.StoreInt(baseA+uint64(i)*8, r.i64(1<<20))
+			}
+		}
+	},
+})
+
+// povray: ray-sphere intersection batch — FP-heavy discriminant
+// computation with a hit/miss branch and a square-root-free fast path
+// (semi-regular: dense math, moderately biased control).
+var _ = register(&Workload{
+	Name: "povray", Suite: "SPECfp", Category: SemiRegular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const rays, spheres = 192, 12
+		b := prog.NewBuilder("povray")
+		ray, sph, t := isa.R(1), isa.R(2), isa.R(3)
+		pS := isa.R(4)
+		rR, rS := isa.R(10), isa.R(11)
+		b.MovI(ray, 0)
+		b.Label("rays")
+		b.ShlI(t, ray, 3)
+		b.AddI(t, t, baseA)
+		b.LdF(isa.F(1), t, 0)   // ray direction component (1-D proxy)
+		b.FMovI(isa.F(9), 1e30) // nearest hit
+		b.MovI(sph, 0)
+		b.MovI(pS, baseB)
+		b.Label("spheres")
+		b.LdF(isa.F(2), pS, 0)               // center
+		b.LdF(isa.F(3), pS, 8)               // radius²
+		b.FSub(isa.F(4), isa.F(2), isa.F(1)) // oc
+		b.FMul(isa.F(5), isa.F(4), isa.F(4)) // oc²
+		b.FSub(isa.F(6), isa.F(5), isa.F(3)) // discriminant proxy
+		// Miss if discriminant positive-large (common): biased branch.
+		b.FSlt(t, isa.F(6), isa.F(10))
+		b.Beq(t, isa.RZ, "miss")
+		b.FDiv(isa.F(7), isa.F(6), isa.F(3)) // hit distance proxy
+		b.FSlt(t, isa.F(7), isa.F(9))
+		b.Beq(t, isa.RZ, "miss")
+		b.FMov(isa.F(9), isa.F(7))
+		b.Label("miss")
+		b.AddI(pS, pS, 16)
+		b.AddI(sph, sph, 1)
+		b.Blt(sph, rS, "spheres")
+		b.ShlI(t, ray, 3)
+		b.AddI(t, t, baseC)
+		b.StF(isa.F(9), t, 0)
+		b.AddI(ray, ray, 1)
+		b.Blt(ray, rR, "rays")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rR, rays)
+			st.SetInt(rS, spheres)
+			st.SetFp(isa.F(10), 0.12) // ~25% of tests pass the first gate
+			fillF(st, baseA, rays, 261)
+			fillF(st, baseB, spheres*2, 262)
+		}
+	},
+})

@@ -1,0 +1,594 @@
+package workloads
+
+import (
+	"exocore/internal/isa"
+	"exocore/internal/prog"
+	"exocore/internal/sim"
+)
+
+// gzip: LZ77 longest-match search — byte-compare inner loop with a
+// data-dependent early exit; the match loop is a hot trace of variable
+// length.
+var _ = register(&Workload{
+	Name: "gzip", Suite: "SPECint", Category: Irregular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const positions, window = 512, 24
+		b := prog.NewBuilder("gzip")
+		pos, cand, t, length := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+		pA, pB, c1, c2 := isa.R(5), isa.R(6), isa.R(7), isa.R(8)
+		rP, rW := isa.R(10), isa.R(11)
+		b.MovI(pos, 0)
+		b.Label("positions")
+		b.MovI(cand, 0)
+		b.Label("cands")
+		// Compare strings at pos and pos-cand-1.
+		b.MovI(length, 0)
+		b.ShlI(t, pos, 3)
+		b.AddI(pA, t, baseA)
+		b.Sub(t, pos, cand)
+		b.ShlI(t, t, 3)
+		b.AddI(pB, t, baseB)
+		b.Label("match")
+		b.Ld(c1, pA, 0)
+		b.Ld(c2, pB, 0)
+		b.Bne(c1, c2, "mismatch") // data-dependent exit
+		b.AddI(pA, pA, 8)
+		b.AddI(pB, pB, 8)
+		b.AddI(length, length, 1)
+		b.SltI(t, length, 16)
+		b.Bne(t, isa.RZ, "match")
+		b.Label("mismatch")
+		b.ShlI(t, pos, 3)
+		b.AddI(t, t, baseC)
+		b.St(length, t, 0)
+		b.AddI(cand, cand, 1)
+		b.Blt(cand, rW, "cands")
+		b.AddI(pos, pos, 1)
+		b.Blt(pos, rP, "positions")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rP, positions)
+			st.SetInt(rW, window)
+			fillI(st, baseA, positions+16, 4, 301) // small alphabet: some matches
+			fillI(st, baseB, positions+window+16, 4, 301)
+		}
+	},
+})
+
+// mcf: network-simplex arc scan — pointer-linked arc list with
+// unpredictable profitability branches and cache-hostile node accesses.
+func mcfKernel(name string, arcs int64, seed uint64) *Workload {
+	return &Workload{
+		Name: name, Suite: "SPECint", Category: Irregular,
+		Build: func() (*prog.Program, func(*sim.State)) {
+			b := prog.NewBuilder(name)
+			arc, t, head, tail, cost, pot := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5), isa.R(6)
+			pArc, found := isa.R(7), isa.R(8)
+			rA := isa.R(10)
+			b.MovI(arc, 0)
+			b.MovI(found, 0)
+			b.MovI(pArc, baseA) // linked arc list, as in the real code
+			b.Label("arcs")
+			b.Ld(head, pArc, 0)  // head node index
+			b.Ld(tail, pArc, 8)  // tail node index
+			b.Ld(cost, pArc, 16) // arc cost
+			// Load node potentials (scattered).
+			b.ShlI(t, head, 3)
+			b.AddI(t, t, baseB)
+			b.Ld(pot, t, 0)
+			b.Sub(cost, cost, pot)
+			b.ShlI(t, tail, 3)
+			b.AddI(t, t, baseB)
+			b.Ld(pot, t, 0)
+			b.Add(cost, cost, pot)
+			// Profitable? (unpredictable)
+			b.Slt(t, cost, isa.RZ)
+			b.Beq(t, isa.RZ, "skip")
+			b.AddI(found, found, 1)
+			b.ShlI(t, found, 3)
+			b.AddI(t, t, baseC)
+			b.St(arc, t, 0)
+			b.Label("skip")
+			b.Ld(pArc, pArc, 24) // pointer-chase to the next arc
+			b.AddI(arc, arc, 1)
+			b.Blt(arc, rA, "arcs")
+			return b.MustBuild(), func(st *sim.State) {
+				st.SetInt(rA, arcs)
+				r := newRng(seed)
+				const nodes = 16384
+				// Arcs are scattered through a large region and linked in a
+				// random permutation — the cache-hostile layout of the real
+				// network-simplex arc lists.
+				stride := uint64(arcs)*5 + 1 // co-prime-ish scatter
+				slots := uint64(arcs) * 8
+				cur := uint64(0)
+				for i := int64(0); i < arcs; i++ {
+					nextSlot := (cur + stride) % slots
+					addr := uint64(baseA) + cur*32
+					st.Mem.StoreInt(addr, r.i64(nodes))
+					st.Mem.StoreInt(addr+8, r.i64(nodes))
+					st.Mem.StoreInt(addr+16, r.i64(200)-100)
+					st.Mem.StoreInt(addr+24, int64(uint64(baseA)+nextSlot*32))
+					cur = nextSlot
+				}
+				fillI(st, baseB, nodes, 100, seed+1)
+			}
+		},
+	}
+}
+
+var (
+	_ = register(mcfKernel("mcf", 3000, 311))
+	_ = register(mcfKernel("mcf429", 5000, 313))
+)
+
+// vpr: placement cost evaluation — bounding-box updates with min/max
+// branches over randomly placed nets.
+var _ = register(&Workload{
+	Name: "vpr", Suite: "SPECint", Category: Irregular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const nets, pins = 512, 6
+		b := prog.NewBuilder("vpr")
+		net, pin, t := isa.R(1), isa.R(2), isa.R(3)
+		x, minx, maxx, pP := isa.R(4), isa.R(5), isa.R(6), isa.R(7)
+		rN, rP := isa.R(10), isa.R(11)
+		cost := isa.R(8)
+		b.MovI(net, 0)
+		b.MovI(cost, 0)
+		b.Label("nets")
+		b.MovI(minx, 1<<20)
+		b.MovI(maxx, 0)
+		b.Mul(t, net, rP)
+		b.ShlI(t, t, 3)
+		b.AddI(pP, t, baseA)
+		b.MovI(pin, 0)
+		b.Label("pins")
+		b.Ld(x, pP, 0)
+		b.Slt(t, x, minx)
+		b.Beq(t, isa.RZ, "nomin")
+		b.Mov(minx, x)
+		b.Label("nomin")
+		b.Slt(t, maxx, x)
+		b.Beq(t, isa.RZ, "nomax")
+		b.Mov(maxx, x)
+		b.Label("nomax")
+		b.AddI(pP, pP, 8)
+		b.AddI(pin, pin, 1)
+		b.Blt(pin, rP, "pins")
+		b.Sub(t, maxx, minx)
+		b.Add(cost, cost, t)
+		b.AddI(net, net, 1)
+		b.Blt(net, rN, "nets")
+		b.St(cost, isa.RZ, baseC)
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rN, nets)
+			st.SetInt(rP, pins)
+			fillI(st, baseA, nets*pins, 1<<16, 321)
+		}
+	},
+})
+
+// parser: dictionary lookup over linked lists — pointer chasing with
+// string-compare-style inner loops (link-grammar flavored).
+var _ = register(&Workload{
+	Name: "parser", Suite: "SPECint", Category: Irregular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const words, buckets = 1024, 256
+		b := prog.NewBuilder("parser")
+		w, key, h, node, nk, t := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5), isa.R(6)
+		rW, rMask := isa.R(10), isa.R(11)
+		b.MovI(w, 0)
+		b.Label("words")
+		b.ShlI(t, w, 3)
+		b.AddI(t, t, baseA)
+		b.Ld(key, t, 0)
+		b.And(h, key, rMask)
+		b.ShlI(h, h, 3)
+		b.AddI(h, h, baseB)
+		b.Ld(node, h, 0)
+		b.Label("walk")
+		b.Beq(node, isa.RZ, "notfound")
+		b.Ld(nk, node, 0)
+		b.Beq(nk, key, "found")
+		b.Ld(node, node, 8)
+		b.Jmp("walk")
+		b.Label("found")
+		b.Ld(t, node, 16)
+		b.AddI(t, t, 1)
+		b.St(t, node, 16) // usage count
+		b.Label("notfound")
+		b.AddI(w, w, 1)
+		b.Blt(w, rW, "words")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rW, words)
+			st.SetInt(rMask, buckets-1)
+			r := newRng(331)
+			next := uint64(baseC)
+			for k := 0; k < buckets*3; k++ {
+				key := r.i64(1 << 16)
+				h := uint64(key) & (buckets - 1)
+				headAddr := uint64(baseB) + h*8
+				prev := st.Mem.LoadInt(headAddr)
+				st.Mem.StoreInt(next, key)
+				st.Mem.StoreInt(next+8, prev)
+				st.Mem.StoreInt(headAddr, int64(next))
+				next += 24
+			}
+			for i := 0; i < words; i++ {
+				st.Mem.StoreInt(baseA+uint64(i)*8, r.i64(1<<16))
+			}
+		}
+	},
+})
+
+// bzip2: move-to-front coding — a search loop with data-dependent trip
+// count followed by a shift loop (mixed short hot traces).
+func bzip2Kernel(name string, symbols int64, alphabet int64) *Workload {
+	return &Workload{
+		Name: name, Suite: "SPECint", Category: Irregular,
+		Build: func() (*prog.Program, func(*sim.State)) {
+			b := prog.NewBuilder(name)
+			s, sym, pos, t, v := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+			pM := isa.R(6)
+			rS := isa.R(10)
+			b.MovI(s, 0)
+			b.Label("symbols")
+			b.ShlI(t, s, 3)
+			b.AddI(t, t, baseA)
+			b.Ld(sym, t, 0)
+			// Find position of sym in MTF list.
+			b.MovI(pos, 0)
+			b.MovI(pM, baseB)
+			b.Label("find")
+			b.Ld(v, pM, 0)
+			b.Beq(v, sym, "shift")
+			b.AddI(pM, pM, 8)
+			b.AddI(pos, pos, 1)
+			b.Jmp("find")
+			b.Label("shift")
+			// Shift entries [0,pos) up by one (carried memory dependence).
+			b.Label("shiftloop")
+			b.Beq(pos, isa.RZ, "front")
+			b.Ld(v, pM, -8)
+			b.St(v, pM, 0)
+			b.SubI(pM, pM, 8)
+			b.SubI(pos, pos, 1)
+			b.Jmp("shiftloop")
+			b.Label("front")
+			b.St(sym, pM, 0)
+			b.ShlI(t, s, 3)
+			b.AddI(t, t, baseC)
+			b.St(pos, t, 0)
+			b.AddI(s, s, 1)
+			b.Blt(s, rS, "symbols")
+			return b.MustBuild(), func(st *sim.State) {
+				st.SetInt(rS, symbols)
+				r := newRng(341)
+				for i := int64(0); i < alphabet; i++ {
+					st.Mem.StoreInt(baseB+uint64(i)*8, i)
+				}
+				// Zipf-ish symbol stream: small symbols dominate.
+				for i := int64(0); i < symbols; i++ {
+					v := r.i64(alphabet)
+					if r.i64(4) != 0 {
+						v = r.i64(4)
+					}
+					st.Mem.StoreInt(baseA+uint64(i)*8, v)
+				}
+			}
+		},
+	}
+}
+
+var (
+	_ = register(bzip2Kernel("bzip2", 1024, 32))
+	_ = register(bzip2Kernel("bzip2-401", 1536, 48))
+)
+
+// gcc: dataflow-analysis sweep — bitset unions over a CFG worklist:
+// short loops, moderate branching, pointer-indexed block data.
+var _ = register(&Workload{
+	Name: "gcc", Suite: "SPECint", Category: Irregular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const bbs, words = 256, 4
+		b := prog.NewBuilder("gcc")
+		pass, bb, wd, t, acc, v := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5), isa.R(6)
+		pIn, pOut, succ := isa.R(7), isa.R(8), isa.R(9)
+		rB, rW := isa.R(10), isa.R(11)
+		b.MovI(pass, 0)
+		b.Label("passes")
+		b.MovI(bb, 0)
+		b.Label("bbs")
+		// successor index (irregular)
+		b.ShlI(t, bb, 3)
+		b.AddI(t, t, baseC)
+		b.Ld(succ, t, 0)
+		b.Mul(pIn, succ, rW)
+		b.ShlI(pIn, pIn, 3)
+		b.AddI(pIn, pIn, baseA)
+		b.Mul(pOut, bb, rW)
+		b.ShlI(pOut, pOut, 3)
+		b.AddI(pOut, pOut, baseB)
+		b.MovI(wd, 0)
+		b.MovI(acc, 0)
+		b.Label("words")
+		b.Ld(v, pIn, 0)
+		b.Ld(t, pOut, 0)
+		b.Or(v, v, t)
+		b.St(v, pOut, 0)
+		b.Or(acc, acc, v)
+		b.AddI(pIn, pIn, 8)
+		b.AddI(pOut, pOut, 8)
+		b.AddI(wd, wd, 1)
+		b.Blt(wd, rW, "words")
+		// Converged-block check (data dependent).
+		b.Beq(acc, isa.RZ, "skip")
+		b.AddI(isa.R(14), isa.R(14), 1)
+		b.Label("skip")
+		b.AddI(bb, bb, 1)
+		b.Blt(bb, rB, "bbs")
+		b.AddI(pass, pass, 1)
+		b.SltI(t, pass, 12)
+		b.Bne(t, isa.RZ, "passes")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rB, bbs)
+			st.SetInt(rW, words)
+			fillI(st, baseA, bbs*words, 1<<30, 351)
+			fillI(st, baseC, bbs, bbs, 352)
+		}
+	},
+})
+
+// sjeng: board-scan move generation — nested scans with many pattern
+// branches of mixed bias.
+var _ = register(&Workload{
+	Name: "sjeng", Suite: "SPECint", Category: Irregular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const plies, squares = 96, 64
+		b := prog.NewBuilder("sjeng")
+		ply, sq, t, piece, moves := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+		pB := isa.R(6)
+		rP, rS := isa.R(10), isa.R(11)
+		b.MovI(ply, 0)
+		b.Label("plies")
+		b.MovI(moves, 0)
+		b.MovI(sq, 0)
+		b.MovI(pB, baseA)
+		b.Label("squares")
+		b.Ld(piece, pB, 0)
+		b.Beq(piece, isa.RZ, "empty") // ~half empty
+		b.SltI(t, piece, 3)
+		b.Bne(t, isa.RZ, "pawn")
+		// Sliding piece: scan a ray (short inner loop).
+		b.MovI(t, 0)
+		b.Label("ray")
+		b.AddI(moves, moves, 1)
+		b.AddI(t, t, 1)
+		b.SltI(isa.R(7), t, 4)
+		b.Bne(isa.R(7), isa.RZ, "ray")
+		b.Jmp("empty")
+		b.Label("pawn")
+		b.AddI(moves, moves, 1)
+		b.Label("empty")
+		b.AddI(pB, pB, 8)
+		b.AddI(sq, sq, 1)
+		b.Blt(sq, rS, "squares")
+		b.ShlI(t, ply, 3)
+		b.AddI(t, t, baseC)
+		b.St(moves, t, 0)
+		b.AddI(ply, ply, 1)
+		b.Blt(ply, rP, "plies")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rP, plies)
+			st.SetInt(rS, squares)
+			fillI(st, baseA, squares, 6, 361)
+		}
+	},
+})
+
+// astar: grid pathfinding relaxation — neighbor expansion with bounds
+// checks and a compare-update; array-of-struct accesses.
+var _ = register(&Workload{
+	Name: "astar", Suite: "SPECint", Category: Irregular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const iterations, width = 48, 64
+		b := prog.NewBuilder("astar")
+		it, cell, t, g, ng := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+		pG, nb := isa.R(6), isa.R(7)
+		rI, rC := isa.R(10), isa.R(11)
+		b.MovI(it, 0)
+		b.Label("iters")
+		b.MovI(cell, 1)
+		b.Label("cells")
+		b.ShlI(pG, cell, 3)
+		b.AddI(pG, pG, baseA)
+		b.Ld(g, pG, 0)
+		// left neighbor relax
+		b.Ld(nb, pG, -8)
+		b.AddI(ng, nb, 1)
+		b.Slt(t, ng, g)
+		b.Beq(t, isa.RZ, "noleft")
+		b.Mov(g, ng)
+		b.St(g, pG, 0)
+		b.Label("noleft")
+		// up neighbor relax
+		b.Ld(nb, pG, -width*8)
+		b.AddI(ng, nb, 1)
+		b.Slt(t, ng, g)
+		b.Beq(t, isa.RZ, "noup")
+		b.Mov(g, ng)
+		b.St(g, pG, 0)
+		b.Label("noup")
+		b.AddI(cell, cell, 1)
+		b.Blt(cell, rC, "cells")
+		b.AddI(it, it, 1)
+		b.Blt(it, rI, "iters")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rI, iterations)
+			st.SetInt(rC, width*24)
+			fillI(st, baseA-width*8, width*25+width, 10000, 371)
+		}
+	},
+})
+
+// hmmer: Viterbi inner loop — per-cell max-of-three plus emission, with
+// a carried dependence on the previous row only (the inner loop is
+// vectorizable in real hmmer and here too).
+var _ = register(&Workload{
+	Name: "hmmer", Suite: "SPECint", Category: Irregular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const seqlen, states = 48, 64
+		b := prog.NewBuilder("hmmer")
+		i, k, t := isa.R(1), isa.R(2), isa.R(3)
+		m, ins, del, e := isa.R(4), isa.R(5), isa.R(6), isa.R(7)
+		pPrev, pCur, pE := isa.R(8), isa.R(9), isa.R(14)
+		rL, rS := isa.R(10), isa.R(11)
+		b.MovI(i, 1)
+		b.Label("seq")
+		b.Mul(t, i, rS)
+		b.ShlI(t, t, 3)
+		b.AddI(pCur, t, baseA)
+		b.SubI(pPrev, pCur, states*8)
+		b.MovI(pE, baseB)
+		b.MovI(k, 1)
+		b.AddI(pCur, pCur, 8)
+		b.Label("states")
+		b.Ld(m, pPrev, 0)   // match score diag
+		b.Ld(ins, pPrev, 8) // insert score up
+		b.Ld(del, pCur, -8) // delete score left (carried in row)
+		b.Slt(t, m, ins)
+		b.Beq(t, isa.RZ, "m_ok")
+		b.Mov(m, ins)
+		b.Label("m_ok")
+		b.Slt(t, m, del)
+		b.Beq(t, isa.RZ, "d_ok")
+		b.Mov(m, del)
+		b.Label("d_ok")
+		b.Ld(e, pE, 0)
+		b.Add(m, m, e)
+		b.St(m, pCur, 0)
+		b.AddI(pPrev, pPrev, 8)
+		b.AddI(pCur, pCur, 8)
+		b.AddI(pE, pE, 8)
+		b.AddI(k, k, 1)
+		b.Blt(k, rS, "states")
+		b.AddI(i, i, 1)
+		b.Blt(i, rL, "seq")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rL, seqlen)
+			st.SetInt(rS, states)
+			fillI(st, baseA, states, 50, 381)
+			fillI(st, baseB, states, 20, 382)
+		}
+	},
+})
+
+// gobmk: pattern matching on a board — nested neighborhood checks with
+// early exits; branch-dominated.
+var _ = register(&Workload{
+	Name: "gobmk", Suite: "SPECint", Category: Irregular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const positions, patterns = 256, 12
+		b := prog.NewBuilder("gobmk")
+		pos, pat, t, v, pv := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+		pB, pP, matched := isa.R(6), isa.R(7), isa.R(8)
+		rPos, rPat := isa.R(10), isa.R(11)
+		b.MovI(pos, 0)
+		b.MovI(matched, 0)
+		b.Label("positions")
+		b.MovI(pat, 0)
+		b.Label("patterns")
+		// Check 4 neighborhood cells against the pattern; exit on first
+		// mismatch (common).
+		b.ShlI(t, pos, 3)
+		b.AddI(pB, t, baseA)
+		b.ShlI(t, pat, 5)
+		b.AddI(pP, t, baseB)
+		b.MovI(t, 0)
+		b.Label("cells")
+		b.Ld(v, pB, 0)
+		b.Ld(pv, pP, 0)
+		b.Bne(v, pv, "nomatch")
+		b.AddI(pB, pB, 8)
+		b.AddI(pP, pP, 8)
+		b.AddI(t, t, 1)
+		b.SltI(isa.R(9), t, 4)
+		b.Bne(isa.R(9), isa.RZ, "cells")
+		b.AddI(matched, matched, 1)
+		b.Label("nomatch")
+		b.AddI(pat, pat, 1)
+		b.Blt(pat, rPat, "patterns")
+		b.AddI(pos, pos, 1)
+		b.Blt(pos, rPos, "positions")
+		b.St(matched, isa.RZ, baseC)
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rPos, positions)
+			st.SetInt(rPat, patterns)
+			fillI(st, baseA, positions+8, 3, 391)
+			fillI(st, baseB, patterns*4, 3, 392)
+		}
+	},
+})
+
+// h264ref: mixed interpolation (dense) + SATD-like transform (dense int)
+// + mode-decision branches: multiple behaviors in one app.
+var _ = register(&Workload{
+	Name: "h264ref", Suite: "SPECint", Category: Irregular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const mbs = 48
+		b := prog.NewBuilder("h264ref")
+		mb, i, t, acc, v := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+		pS, pD := isa.R(6), isa.R(7)
+		rMB, rN := isa.R(10), isa.R(11)
+		b.MovI(mb, 0)
+		b.Label("mbs")
+		// Interpolation (dense, vectorizable).
+		b.ShlI(t, mb, 7)
+		b.AddI(pS, t, baseA)
+		b.AddI(pD, t, baseB)
+		b.MovI(i, 0)
+		b.Label("interp")
+		b.Ld(isa.R(8), pS, 0)
+		b.Ld(isa.R(9), pS, 8)
+		b.Add(v, isa.R(8), isa.R(9))
+		b.ShrI(v, v, 1)
+		b.St(v, pD, 0)
+		b.AddI(pS, pS, 8)
+		b.AddI(pD, pD, 8)
+		b.AddI(i, i, 1)
+		b.Blt(i, rN, "interp")
+		// SATD-ish cost (dense int reduce with abs branches).
+		b.ShlI(t, mb, 7)
+		b.AddI(pS, t, baseB)
+		b.MovI(acc, 0)
+		b.MovI(i, 0)
+		b.Label("satd")
+		b.Ld(isa.R(8), pS, 0)
+		b.Ld(isa.R(9), pS, 8)
+		b.Sub(v, isa.R(8), isa.R(9))
+		// Branchless abs (mask idiom).
+		b.Slt(t, v, isa.RZ)
+		b.Sub(isa.R(12), isa.RZ, t)
+		b.Xor(v, v, isa.R(12))
+		b.Add(v, v, t)
+		b.Add(acc, acc, v)
+		b.AddI(pS, pS, 16)
+		b.AddI(i, i, 1)
+		b.SltI(t, i, 8)
+		b.Bne(t, isa.RZ, "satd")
+		// Mode decision (data-dependent).
+		b.SltI(t, acc, 200)
+		b.Beq(t, isa.RZ, "inter")
+		b.AddI(isa.R(14), isa.R(14), 1)
+		b.Jmp("next_mb")
+		b.Label("inter")
+		b.AddI(isa.R(15), isa.R(15), 1)
+		b.Label("next_mb")
+		b.AddI(mb, mb, 1)
+		b.Blt(mb, rMB, "mbs")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rMB, mbs)
+			st.SetInt(rN, 16)
+			fillI(st, baseA, mbs*16+8, 255, 401)
+		}
+	},
+})

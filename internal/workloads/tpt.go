@@ -1,0 +1,315 @@
+package workloads
+
+import (
+	"exocore/internal/isa"
+	"exocore/internal/prog"
+	"exocore/internal/sim"
+)
+
+// conv: 1-D convolution with a fully-unrolled 6-tap filter — one
+// point-parallel loop over contiguous data (the form a vectorizing
+// compiler produces), the canonical DLP kernel.
+var _ = register(&Workload{
+	Name: "conv", Suite: "TPT", Category: Regular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const n, taps = 2048, 6
+		b := prog.NewBuilder("conv")
+		i, pA, t := isa.R(1), isa.R(3), isa.R(5)
+		rN := isa.R(10)
+		b.MovI(i, 0)
+		b.MovI(pA, baseA)
+		b.Label("out")
+		b.FMovI(isa.F(1), 0)
+		for k := 0; k < taps; k++ {
+			b.LdF(isa.F(2), pA, int64(k*8))
+			b.FMul(isa.F(3), isa.F(2), isa.F(10+k)) // weights in registers
+			b.FAdd(isa.F(1), isa.F(1), isa.F(3))
+		}
+		b.ShlI(t, i, 3)
+		b.AddI(t, t, baseC)
+		b.StF(isa.F(1), t, 0)
+		b.AddI(pA, pA, 8)
+		b.AddI(i, i, 1)
+		b.Blt(i, rN, "out")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rN, n)
+			for k := 0; k < taps; k++ {
+				st.SetFp(isa.F(10+k), 0.1*float64(k+1))
+			}
+			fillF(st, baseA, n+taps, 11)
+		}
+	},
+})
+
+// merge: the merge step over two sorted runs — a data-dependent 50/50
+// branch steers conditionally-incremented cursors, so iterations carry
+// register dependences: not vectorizable, control on the critical path.
+var _ = register(&Workload{
+	Name: "merge", Suite: "TPT", Category: Regular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const n = 2048
+		b := prog.NewBuilder("merge")
+		pA, pB, pOut := isa.R(1), isa.R(2), isa.R(3)
+		endA, endB, t := isa.R(4), isa.R(5), isa.R(6)
+		b.MovI(pA, baseA)
+		b.MovI(pB, baseB)
+		b.MovI(pOut, baseC)
+		b.Label("merge")
+		b.Ld(isa.R(7), pA, 0)
+		b.Ld(isa.R(8), pB, 0)
+		b.Slt(t, isa.R(7), isa.R(8))
+		b.Beq(t, isa.RZ, "takeB")
+		b.St(isa.R(7), pOut, 0)
+		b.AddI(pA, pA, 8)
+		b.Jmp("next")
+		b.Label("takeB")
+		b.St(isa.R(8), pOut, 0)
+		b.AddI(pB, pB, 8)
+		b.Label("next")
+		b.AddI(pOut, pOut, 8)
+		b.Slt(t, pA, endA)
+		b.Beq(t, isa.RZ, "done")
+		b.Slt(t, pB, endB)
+		b.Bne(t, isa.RZ, "merge")
+		b.Label("done")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(endA, baseA+n*8)
+			st.SetInt(endB, baseB+n*8)
+			// Sorted runs with interleaved values.
+			r := newRng(21)
+			v1, v2 := int64(0), int64(1)
+			for i := 0; i < n; i++ {
+				v1 += r.i64(7) + 1
+				v2 += r.i64(7) + 1
+				st.Mem.StoreInt(baseA+uint64(i)*8, v1)
+				st.Mem.StoreInt(baseB+uint64(i)*8, v2)
+			}
+		}
+	},
+})
+
+// nbody: all-pairs gravity (SoA layout) — ~20 FP ops per 3 contiguous
+// loads: heavy separable computation, the DP-CGRA sweet spot.
+var _ = register(&Workload{
+	Name: "nbody", Suite: "TPT", Category: Regular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const bodies = 160
+		b := prog.NewBuilder("nbody")
+		i, j, t := isa.R(1), isa.R(2), isa.R(3)
+		pX, pY, pZ := isa.R(4), isa.R(5), isa.R(6)
+		rN := isa.R(10)
+		xi, yi, zi := isa.F(10), isa.F(11), isa.F(12)
+		fx, fy, fz := isa.F(13), isa.F(14), isa.F(15)
+		eps := isa.F(16)
+		b.MovI(i, 0)
+		b.Label("bodies_i")
+		b.ShlI(t, i, 3)
+		b.AddI(t, t, baseA)
+		b.LdF(xi, t, 0)
+		b.ShlI(t, i, 3)
+		b.AddI(t, t, baseB)
+		b.LdF(yi, t, 0)
+		b.ShlI(t, i, 3)
+		b.AddI(t, t, baseC)
+		b.LdF(zi, t, 0)
+		b.FMovI(fx, 0).FMovI(fy, 0).FMovI(fz, 0)
+		b.MovI(j, 0)
+		b.MovI(pX, baseA)
+		b.MovI(pY, baseB)
+		b.MovI(pZ, baseC)
+		b.Label("bodies_j")
+		b.LdF(isa.F(1), pX, 0)
+		b.LdF(isa.F(2), pY, 0)
+		b.LdF(isa.F(3), pZ, 0)
+		b.FSub(isa.F(4), isa.F(1), xi) // dx
+		b.FSub(isa.F(5), isa.F(2), yi) // dy
+		b.FSub(isa.F(6), isa.F(3), zi) // dz
+		b.FMul(isa.F(7), isa.F(4), isa.F(4))
+		b.FMul(isa.F(8), isa.F(5), isa.F(5))
+		b.FMul(isa.F(9), isa.F(6), isa.F(6))
+		b.FAdd(isa.F(7), isa.F(7), isa.F(8))
+		b.FAdd(isa.F(7), isa.F(7), isa.F(9))
+		b.FAdd(isa.F(7), isa.F(7), eps) // dist² + ε
+		b.FDiv(isa.F(8), isa.F(17), isa.F(7))
+		b.FMul(isa.F(9), isa.F(8), isa.F(8)) // ~1/d³ surrogate
+		b.FMul(isa.F(4), isa.F(4), isa.F(9))
+		b.FMul(isa.F(5), isa.F(5), isa.F(9))
+		b.FMul(isa.F(6), isa.F(6), isa.F(9))
+		b.FAdd(fx, fx, isa.F(4))
+		b.FAdd(fy, fy, isa.F(5))
+		b.FAdd(fz, fz, isa.F(6))
+		b.AddI(pX, pX, 8)
+		b.AddI(pY, pY, 8)
+		b.AddI(pZ, pZ, 8)
+		b.AddI(j, j, 1)
+		b.Blt(j, rN, "bodies_j")
+		b.ShlI(t, i, 3)
+		b.AddI(t, t, baseD)
+		b.StF(fx, t, 0)
+		b.AddI(i, i, 1)
+		b.Blt(i, rN, "bodies_i")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rN, bodies)
+			st.SetFp(eps, 0.01)
+			st.SetFp(isa.F(17), 1.0)
+			fillF(st, baseA, bodies, 31)
+			fillF(st, baseB, bodies, 32)
+			fillF(st, baseC, bodies, 33)
+		}
+	},
+})
+
+// radar: complex FIR (pulse compression style) — interleaved real/
+// imaginary arithmetic, 8 FP ops per 4 contiguous loads.
+var _ = register(&Workload{
+	Name: "radar", Suite: "TPT", Category: Regular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const n, taps = 1024, 16
+		b := prog.NewBuilder("radar")
+		i, k, pS, pC, t := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+		rN, rT := isa.R(10), isa.R(11)
+		b.MovI(i, 0)
+		b.Label("pulse")
+		b.FMovI(isa.F(1), 0) // acc re
+		b.FMovI(isa.F(2), 0) // acc im
+		b.ShlI(pS, i, 3)
+		b.AddI(pS, pS, baseA)
+		b.MovI(pC, baseB)
+		b.MovI(k, 0)
+		b.Label("tap")
+		// SoA complex layout: re[] at baseA, im[] at baseD (the layout
+		// vectorizing compilers prefer — contiguous lanes).
+		b.LdF(isa.F(3), pS, 0)           // sig re
+		b.LdF(isa.F(4), pS, baseD-baseA) // sig im
+		b.LdF(isa.F(5), pC, 0)           // coef re
+		b.LdF(isa.F(6), pC, baseE-baseB) // coef im
+		b.FMul(isa.F(7), isa.F(3), isa.F(5))
+		b.FMul(isa.F(8), isa.F(4), isa.F(6))
+		b.FSub(isa.F(7), isa.F(7), isa.F(8))
+		b.FAdd(isa.F(1), isa.F(1), isa.F(7))
+		b.FMul(isa.F(7), isa.F(3), isa.F(6))
+		b.FMul(isa.F(8), isa.F(4), isa.F(5))
+		b.FAdd(isa.F(7), isa.F(7), isa.F(8))
+		b.FAdd(isa.F(2), isa.F(2), isa.F(7))
+		b.AddI(pS, pS, 8)
+		b.AddI(pC, pC, 8)
+		b.AddI(k, k, 1)
+		b.Blt(k, rT, "tap")
+		b.ShlI(t, i, 4)
+		b.AddI(t, t, baseC)
+		b.StF(isa.F(1), t, 0)
+		b.StF(isa.F(2), t, 8)
+		b.AddI(i, i, 1)
+		b.Blt(i, rN, "pulse")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rN, n)
+			st.SetInt(rT, taps)
+			fillF(st, baseA, n+taps, 41)
+			fillF(st, baseD, n+taps, 43)
+			fillF(st, baseB, taps, 42)
+			fillF(st, baseE, taps, 44)
+		}
+	},
+})
+
+// treesearch: batched binary-tree lookups — pointer chasing with
+// unpredictable direction branches; memory latency and control dominate.
+var _ = register(&Workload{
+	Name: "treesearch", Suite: "TPT", Category: Regular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const queries, depth = 1024, 11
+		// Node layout: [key, left, right] (3 words, 24 bytes).
+		b := prog.NewBuilder("treesearch")
+		q, node, key, nk, t := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+		rQ := isa.R(10)
+		b.MovI(q, 0)
+		b.Label("queries")
+		b.ShlI(t, q, 3)
+		b.AddI(t, t, baseD)
+		b.Ld(key, t, 0) // query key
+		b.MovI(node, baseA)
+		b.Label("walk")
+		b.Ld(nk, node, 0) // node key
+		b.Slt(t, key, nk)
+		b.Beq(t, isa.RZ, "right")
+		b.Ld(node, node, 8) // left child
+		b.Jmp("check")
+		b.Label("right")
+		b.Ld(node, node, 16) // right child
+		b.Label("check")
+		b.Bne(node, isa.RZ, "walk")
+		b.ShlI(t, q, 3)
+		b.AddI(t, t, baseE)
+		b.St(nk, t, 0)
+		b.AddI(q, q, 1)
+		b.Blt(q, rQ, "queries")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rQ, queries)
+			// Build a complete binary tree of the given depth with keys
+			// in BFS order chosen to make comparisons unpredictable.
+			r := newRng(51)
+			nodes := (1 << depth) - 1
+			for i := 0; i < nodes; i++ {
+				addr := uint64(baseA + i*24)
+				st.Mem.StoreInt(addr, r.i64(1<<30))
+				l, rr := 2*i+1, 2*i+2
+				if l < nodes {
+					st.Mem.StoreInt(addr+8, int64(baseA+l*24))
+					st.Mem.StoreInt(addr+16, int64(baseA+rr*24))
+				}
+			}
+			for i := 0; i < queries; i++ {
+				st.Mem.StoreInt(baseD+uint64(i)*8, r.i64(1<<30))
+			}
+		}
+	},
+})
+
+// vr: volume-rendering ray march — trilinear-style interpolation with a
+// highly-biased early-exit opacity test (a hot trace for Trace-P).
+var _ = register(&Workload{
+	Name: "vr", Suite: "TPT", Category: Regular,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		const rays, steps = 256, 48
+		b := prog.NewBuilder("vr")
+		ray, s, pV, t := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+		rR, rS := isa.R(10), isa.R(11)
+		opaq := isa.F(1)
+		b.MovI(ray, 0)
+		b.Label("rays")
+		b.FMovI(opaq, 0)
+		b.MovI(s, 0)
+		b.Mul(pV, ray, rS)
+		b.ShlI(pV, pV, 3)
+		b.AddI(pV, pV, baseA)
+		b.Label("march")
+		b.LdF(isa.F(2), pV, 0)
+		b.LdF(isa.F(3), pV, 8)
+		b.FMul(isa.F(4), isa.F(2), isa.F(10))
+		b.FMul(isa.F(5), isa.F(3), isa.F(11))
+		b.FAdd(isa.F(4), isa.F(4), isa.F(5))
+		b.FMul(isa.F(6), isa.F(4), isa.F(12))
+		b.FAdd(opaq, opaq, isa.F(6))
+		// Early exit once opaque — rare until the ray end (biased branch).
+		b.FSlt(t, isa.F(13), opaq)
+		b.Bne(t, isa.RZ, "rayend")
+		b.AddI(pV, pV, 8)
+		b.AddI(s, s, 1)
+		b.Blt(s, rS, "march")
+		b.Label("rayend")
+		b.ShlI(t, ray, 3)
+		b.AddI(t, t, baseC)
+		b.StF(opaq, t, 0)
+		b.AddI(ray, ray, 1)
+		b.Blt(ray, rR, "rays")
+		return b.MustBuild(), func(st *sim.State) {
+			st.SetInt(rR, rays)
+			st.SetInt(rS, steps)
+			st.SetFp(isa.F(10), 0.4)
+			st.SetFp(isa.F(11), 0.6)
+			st.SetFp(isa.F(12), 0.02)
+			st.SetFp(isa.F(13), 0.95) // opacity threshold
+			fillF(st, baseA, rays*steps+steps, 61)
+		}
+	},
+})

@@ -1,0 +1,130 @@
+// Package workloads provides the ~46 synthetic benchmark kernels standing
+// in for the paper's suites (Table 3): TPT and Parboil (regular),
+// Mediabench, TPCH and SPECfp (semi-regular), SPECint (irregular). Each
+// kernel is written to exhibit the *program behaviors* (Figure 6) of its
+// original — data parallelism, memory/compute separability, control
+// criticality and bias — so the BSA analyzers and transforms exercise the
+// same code paths they would on the real binaries (see DESIGN.md
+// substitutions).
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"exocore/internal/bpred"
+	"exocore/internal/cache"
+	"exocore/internal/prog"
+	"exocore/internal/sim"
+	"exocore/internal/trace"
+)
+
+// Category classifies workloads as the paper's Figure 11 does.
+type Category string
+
+// Workload categories.
+const (
+	Regular     Category = "regular"      // TPT, Parboil
+	SemiRegular Category = "semi-regular" // Mediabench, TPCH, SPECfp
+	Irregular   Category = "irregular"    // SPECint
+)
+
+// Workload is one benchmark kernel.
+type Workload struct {
+	Name     string
+	Suite    string
+	Category Category
+	// Build returns the program and a state-preparation function that
+	// initializes memory and seed registers (the "fast-forwarded"
+	// pre-region state of the paper's methodology).
+	Build func() (*prog.Program, func(*sim.State))
+}
+
+var registry []*Workload
+
+func register(w *Workload) *Workload {
+	registry = append(registry, w)
+	return w
+}
+
+// All returns every registered workload, ordered by suite then name.
+func All() []*Workload {
+	out := append([]*Workload(nil), registry...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Suite != out[j].Suite {
+			return out[i].Suite < out[j].Suite
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ByCategory returns the workloads in a category.
+func ByCategory(c Category) []*Workload {
+	var out []*Workload
+	for _, w := range All() {
+		if w.Category == c {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ByName returns the named workload or an error.
+func ByName(name string) (*Workload, error) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Trace builds, functionally executes and annotates the workload with the
+// default cache hierarchy and branch predictor, producing the trace the
+// TDG is constructed from. maxDyn ≤ 0 selects the default budget.
+func (w *Workload) Trace(maxDyn int) (*trace.Trace, error) {
+	return w.TraceWith(maxDyn, cache.DefaultHierarchy())
+}
+
+// TraceWith is Trace with a caller-supplied cache hierarchy (memory-system
+// ablations). The hierarchy must be fresh: annotation mutates its state.
+func (w *Workload) TraceWith(maxDyn int, h *cache.Hierarchy) (*trace.Trace, error) {
+	p, prep := w.Build()
+	st := sim.NewState()
+	if prep != nil {
+		prep(st)
+	}
+	tr, err := sim.Run(p, st, sim.Config{MaxDyn: maxDyn})
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", w.Name, err)
+	}
+	h.Annotate(tr)
+	bpred.New(bpred.DefaultConfig()).Annotate(tr)
+	return tr, nil
+}
+
+// rng is a tiny deterministic xorshift generator for kernel input data.
+type rng uint64
+
+func newRng(seed uint64) *rng { r := rng(seed*2685821657736338717 + 1); return &r }
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = rng(x)
+	return x
+}
+
+// i64 returns a pseudo-random integer in [0, n).
+func (r *rng) i64(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// f64 returns a pseudo-random float in [0, 1).
+func (r *rng) f64() float64 { return float64(r.next()%(1<<52)) / (1 << 52) }
