@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: check build vet test race tier1 tools clean
+
+# The full pre-merge gate: vet + build + race-enabled tests + tier-1.
+check: vet build race tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-enabled run of the concurrency-sensitive packages (the runner
+# engine and the exploration that fans out over it).
+race:
+	$(GO) test -race -count=1 ./internal/runner ./internal/dse
+
+# Tier-1 suite (ROADMAP.md): everything must build and all tests pass.
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+test:
+	$(GO) test ./...
+
+# Build the seven drivers into ./bin.
+tools:
+	$(GO) build -o bin/ ./cmd/...
+
+clean:
+	rm -rf bin

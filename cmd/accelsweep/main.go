@@ -3,11 +3,11 @@
 // core and accelerator parameters"): it sweeps the DP-CGRA fabric size,
 // the NS-DF configuration budget and the Trace-P hot-trace threshold, and
 // reports the geomean speedup and energy efficiency of each variant as a
-// single-BSA design on the chosen core.
+// single-BSA design on the chosen core. Variants are evaluated over the
+// engine's worker pool; -json emits one schema row per variant.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
@@ -16,93 +16,113 @@ import (
 	"exocore/internal/bsa/nsdf"
 	"exocore/internal/bsa/tracep"
 	"exocore/internal/bsa/xloops"
+	"exocore/internal/cli"
 	"exocore/internal/cores"
 	"exocore/internal/exocore"
+	"exocore/internal/report"
+	"exocore/internal/runner"
 	"exocore/internal/stats"
 	"exocore/internal/tdg"
-	"exocore/internal/workloads"
 )
 
 func main() {
-	maxDyn := flag.Int("maxdyn", 40000, "dynamic instruction budget per benchmark")
-	coreName := flag.String("core", "OOO2", "general core")
-	benchList := flag.String("benches", "mm,nbody,vr,cjpeg,spmv,stencil,gsmencode,hmmer", "benchmarks")
-	flag.Parse()
-
-	core, ok := cores.ConfigByName(*coreName)
-	if !ok {
-		fmt.Fprintln(os.Stderr, "accelsweep: unknown core", *coreName)
-		os.Exit(1)
-	}
+	app := cli.New("accelsweep", "mm,nbody,vr,cjpeg,spmv,stencil,gsmencode,hmmer")
+	app.SetMaxDynDefault(40000)
+	app.MustParse()
+	eng := app.Engine()
+	core := app.CoreConfig()
 
 	var tds []*tdg.TDG
-	for _, w := range workloads.All() {
-		if !contains(*benchList, w.Name) {
-			continue
-		}
-		tr, err := w.Trace(*maxDyn)
+	for _, w := range app.Workloads() {
+		td, err := eng.TDG(w)
 		if err != nil {
-			fail(err)
-		}
-		td, err := tdg.Build(tr)
-		if err != nil {
-			fail(err)
+			app.Fail(err)
 		}
 		tds = append(tds, td)
 	}
 
 	type variant struct {
+		sweep string
 		label string
 		model func() tdg.BSA
 	}
-	sweeps := []struct {
-		name     string
-		variants []variant
-	}{
-		{"DP-CGRA fabric size", []variant{
-			{"16 FUs", func() tdg.BSA { return &dpcgra.Model{FUs: 16, RouteLatency: 1} }},
-			{"32 FUs", func() tdg.BSA { return &dpcgra.Model{FUs: 32, RouteLatency: 1} }},
-			{"64 FUs (paper)", func() tdg.BSA { return dpcgra.New() }},
-			{"128 FUs", func() tdg.BSA { return &dpcgra.Model{FUs: 128, RouteLatency: 1} }},
-		}},
-		{"DP-CGRA routing latency", []variant{
-			{"0 hops", func() tdg.BSA { return &dpcgra.Model{FUs: 64, RouteLatency: 0} }},
-			{"1 hop (paper)", func() tdg.BSA { return dpcgra.New() }},
-			{"3 hops", func() tdg.BSA { return &dpcgra.Model{FUs: 64, RouteLatency: 3} }},
-		}},
-		{"NS-DF configuration budget", []variant{
-			{"64 insts", func() tdg.BSA { m := nsdf.New(); m.MaxStaticInsts = 64; return m }},
-			{"128 insts", func() tdg.BSA { m := nsdf.New(); m.MaxStaticInsts = 128; return m }},
-			{"256 insts (paper)", func() tdg.BSA { return nsdf.New() }},
-			{"512 insts", func() tdg.BSA { m := nsdf.New(); m.MaxStaticInsts = 512; return m }},
-		}},
-		{"XLoops lane count (extension)", []variant{
-			{"2 lanes", func() tdg.BSA { m := xloops.New(); m.Lanes = 2; return m }},
-			{"4 lanes", func() tdg.BSA { return xloops.New() }},
-			{"8 lanes", func() tdg.BSA { m := xloops.New(); m.Lanes = 8; return m }},
-		}},
-		{"Trace-P hot-path threshold", []variant{
-			{"0.40", func() tdg.BSA { m := tracep.New(); m.MinHotFrac = 0.40; return m }},
-			{"0.55 (paper-ish)", func() tdg.BSA { return tracep.New() }},
-			{"0.80", func() tdg.BSA { m := tracep.New(); m.MinHotFrac = 0.80; return m }},
-		}},
+	var variants []variant
+	addSweep := func(name string, vs ...variant) {
+		for _, v := range vs {
+			v.sweep = name
+			variants = append(variants, v)
+		}
+	}
+	addSweep("DP-CGRA fabric size",
+		variant{label: "16 FUs", model: func() tdg.BSA { return &dpcgra.Model{FUs: 16, RouteLatency: 1} }},
+		variant{label: "32 FUs", model: func() tdg.BSA { return &dpcgra.Model{FUs: 32, RouteLatency: 1} }},
+		variant{label: "64 FUs (paper)", model: func() tdg.BSA { return dpcgra.New() }},
+		variant{label: "128 FUs", model: func() tdg.BSA { return &dpcgra.Model{FUs: 128, RouteLatency: 1} }},
+	)
+	addSweep("DP-CGRA routing latency",
+		variant{label: "0 hops", model: func() tdg.BSA { return &dpcgra.Model{FUs: 64, RouteLatency: 0} }},
+		variant{label: "1 hop (paper)", model: func() tdg.BSA { return dpcgra.New() }},
+		variant{label: "3 hops", model: func() tdg.BSA { return &dpcgra.Model{FUs: 64, RouteLatency: 3} }},
+	)
+	addSweep("NS-DF configuration budget",
+		variant{label: "64 insts", model: func() tdg.BSA { m := nsdf.New(); m.MaxStaticInsts = 64; return m }},
+		variant{label: "128 insts", model: func() tdg.BSA { m := nsdf.New(); m.MaxStaticInsts = 128; return m }},
+		variant{label: "256 insts (paper)", model: func() tdg.BSA { return nsdf.New() }},
+		variant{label: "512 insts", model: func() tdg.BSA { m := nsdf.New(); m.MaxStaticInsts = 512; return m }},
+	)
+	addSweep("XLoops lane count (extension)",
+		variant{label: "2 lanes", model: func() tdg.BSA { m := xloops.New(); m.Lanes = 2; return m }},
+		variant{label: "4 lanes", model: func() tdg.BSA { return xloops.New() }},
+		variant{label: "8 lanes", model: func() tdg.BSA { m := xloops.New(); m.Lanes = 8; return m }},
+	)
+	addSweep("Trace-P hot-path threshold",
+		variant{label: "0.40", model: func() tdg.BSA { m := tracep.New(); m.MinHotFrac = 0.40; return m }},
+		variant{label: "0.55 (paper-ish)", model: func() tdg.BSA { return tracep.New() }},
+		variant{label: "0.80", model: func() tdg.BSA { m := tracep.New(); m.MinHotFrac = 0.80; return m }},
+	)
+
+	type outcome struct {
+		speedup, eneff, coverage float64
+	}
+	results, err := runner.Map(eng, len(variants), func(i int) (outcome, error) {
+		sp, en, cov, err := evalVariant(tds, core, variants[i].model)
+		return outcome{sp, en, cov}, err
+	})
+	if err != nil {
+		app.Fail(err)
+	}
+
+	if app.JSON {
+		doc := report.New("accelsweep")
+		for i, v := range variants {
+			doc.Add(report.Result{
+				Design: core.Name, Core: core.Name,
+				Params: map[string]string{"sweep": v.sweep, "variant": v.label},
+				Extra: map[string]float64{
+					"geomean_speedup":    results[i].speedup,
+					"geomean_energy_eff": results[i].eneff,
+					"coverage":           results[i].coverage,
+				},
+			})
+		}
+		app.Emit(doc)
+		return
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "SWEEP\tVARIANT\tGEOMEAN SPEEDUP\tGEOMEAN EN-EFF\tCOVERAGE\n")
-	for _, sweep := range sweeps {
-		for _, v := range sweep.variants {
-			sp, en, cov := evalVariant(tds, core, v.model)
-			fmt.Fprintf(w, "%s\t%s\t%.2fx\t%.2fx\t%.0f%%\n", sweep.name, v.label, sp, en, 100*cov)
-		}
+	for i, v := range variants {
+		fmt.Fprintf(w, "%s\t%s\t%.2fx\t%.2fx\t%.0f%%\n",
+			v.sweep, v.label, results[i].speedup, results[i].eneff, 100*results[i].coverage)
 	}
 	w.Flush()
+	app.Finish()
 }
 
 // evalVariant runs every TDG with all of the variant's planned regions
 // assigned (single-BSA solo), returning geomean speedup, geomean energy
 // efficiency, and mean offload coverage.
-func evalVariant(tds []*tdg.TDG, core cores.Config, mk func() tdg.BSA) (float64, float64, float64) {
+func evalVariant(tds []*tdg.TDG, core cores.Config, mk func() tdg.BSA) (float64, float64, float64, error) {
 	var sps, ens []float64
 	var cov float64
 	for _, td := range tds {
@@ -111,7 +131,7 @@ func evalVariant(tds []*tdg.TDG, core cores.Config, mk func() tdg.BSA) (float64,
 		plans := map[string]*tdg.Plan{model.Name(): model.Analyze(td)}
 		base, err := exocore.Run(td, core, bsas, plans, nil, exocore.RunOpts{})
 		if err != nil {
-			fail(err)
+			return 0, 0, 0, err
 		}
 		assign := exocore.Assignment{}
 		for l := range plans[model.Name()].Regions {
@@ -119,7 +139,7 @@ func evalVariant(tds []*tdg.TDG, core cores.Config, mk func() tdg.BSA) (float64,
 		}
 		acc, err := exocore.Run(td, core, bsas, plans, assign, exocore.RunOpts{})
 		if err != nil {
-			fail(err)
+			return 0, 0, 0, err
 		}
 		sps = append(sps, float64(base.Cycles)/float64(acc.Cycles))
 		baseE := exocore.EnergyOf(base, core, bsas).TotalNJ()
@@ -127,27 +147,5 @@ func evalVariant(tds []*tdg.TDG, core cores.Config, mk func() tdg.BSA) (float64,
 		ens = append(ens, baseE/accE)
 		cov += 1 - acc.UnacceleratedFraction()
 	}
-	return stats.Geomean(sps), stats.Geomean(ens), cov / float64(len(tds))
-}
-
-func contains(list, name string) bool {
-	for len(list) > 0 {
-		i := 0
-		for i < len(list) && list[i] != ',' {
-			i++
-		}
-		if list[:i] == name {
-			return true
-		}
-		if i == len(list) {
-			break
-		}
-		list = list[i+1:]
-	}
-	return false
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "accelsweep:", err)
-	os.Exit(1)
+	return stats.Geomean(sps), stats.Geomean(ens), cov / float64(len(tds)), nil
 }

@@ -1,67 +1,55 @@
-// Command breakdown reproduces Figure 13: for every benchmark on an
-// OOO2-based full ExoCore, the fraction of execution time and energy
-// attributable to the general core and to each BSA, relative to the
-// plain OOO2.
+// Command breakdown reproduces Figure 13: for every benchmark on a full
+// ExoCore (all four BSAs on the -core general core), the fraction of
+// execution time and energy attributable to the general core and to each
+// BSA, relative to the plain core. -json emits the shared result schema
+// with per-model coverage.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"text/tabwriter"
 
-	"exocore/internal/cores"
-	"exocore/internal/dse"
+	"exocore/internal/cli"
 	"exocore/internal/energy"
 	"exocore/internal/exocore"
-	"exocore/internal/sched"
-	"exocore/internal/tdg"
-	"exocore/internal/workloads"
+	"exocore/internal/report"
+	"exocore/internal/runner"
 )
 
 var bsaOrder = []string{"", "SIMD", "DP-CGRA", "NS-DF", "Trace-P"}
 
 func main() {
-	maxDyn := flag.Int("maxdyn", dse.DefaultMaxDyn, "dynamic instruction budget per benchmark")
-	coreName := flag.String("core", "OOO2", "general core")
-	csv := flag.Bool("csv", false, "emit CSV instead of a table")
-	flag.Parse()
+	app := cli.New("breakdown", "all")
+	app.MustParse()
+	eng := app.Engine()
+	core := app.CoreConfig()
 
-	core, ok := cores.ConfigByName(*coreName)
-	if !ok {
-		fmt.Fprintln(os.Stderr, "breakdown: unknown core", *coreName)
-		os.Exit(1)
-	}
-
+	doc := report.New("breakdown")
 	var w *tabwriter.Writer
-	if *csv {
-		fmt.Println("benchmark,model,time_frac,energy_frac,rel_time,rel_energy")
-	} else {
-		fmt.Printf("# Figure 13: per-benchmark execution time and energy of the %s ExoCore\n", *coreName)
-		fmt.Printf("# (fractions of the plain %s; columns are per-model shares)\n", *coreName)
+	if !app.JSON {
+		fmt.Printf("# Figure 13: per-benchmark execution time and energy of the %s ExoCore\n", core.Name)
+		fmt.Printf("# (fractions of the plain %s; columns are per-model shares)\n", core.Name)
 		w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(w, "BENCH\tREL TIME\tREL ENERGY\tGPP\tSIMD\tDP-CGRA\tNS-DF\tTrace-P\tUNACCEL")
 	}
 
 	var totalUnaccel, count float64
-	for _, wl := range workloads.All() {
-		tr, err := wl.Trace(*maxDyn)
+	for _, wl := range app.Workloads() {
+		td, err := eng.TDG(wl)
 		if err != nil {
-			fail(err)
+			app.Fail(err)
 		}
-		td, err := tdg.Build(tr)
+		ctx, err := eng.Context(wl, core)
 		if err != nil {
-			fail(err)
+			app.Fail(err)
 		}
-		bsas := dse.NewBSASet()
-		ctx, err := sched.NewContext(td, core, bsas)
-		if err != nil {
-			fail(err)
-		}
-		assign := ctx.Oracle([]string{"SIMD", "DP-CGRA", "NS-DF", "Trace-P"})
+		assign := ctx.Oracle(runner.BSANames)
+		bsas := runner.NewBSASet()
 		res, err := exocore.Run(td, core, bsas, ctx.Plans, assign, exocore.RunOpts{})
 		if err != nil {
-			fail(err)
+			app.Fail(err)
 		}
 		e := exocore.EnergyOf(res, core, bsas)
 		relTime := float64(res.Cycles) / float64(ctx.BaseCycles)
@@ -69,16 +57,32 @@ func main() {
 		totalUnaccel += res.UnacceleratedFraction()
 		count++
 
-		if *csv {
+		if app.JSON {
+			coverage := make(map[string]float64, len(bsaOrder))
+			energyCov := make(map[string]float64, len(bsaOrder))
 			for _, name := range bsaOrder {
 				label := name
 				if label == "" {
 					label = "GPP"
 				}
-				tf := float64(res.PerBSACycles[name]) / float64(res.Cycles)
-				ef := energyFrac(res, name)
-				fmt.Printf("%s,%s,%.4f,%.4f,%.4f,%.4f\n", wl.Name, label, tf, ef, relTime, relEnergy)
+				coverage[label] = float64(res.PerBSACycles[name]) / float64(res.Cycles)
+				energyCov["energy_frac_"+label] = energyFrac(res, name)
 			}
+			r := report.Result{
+				Design: core.Name + "-SDNT", Core: core.Name, BSAs: runner.BSANames,
+				Bench: wl.Name, Category: string(wl.Category),
+				Cycles: res.Cycles, EnergyNJ: e.TotalNJ(),
+				Coverage: coverage,
+				Extra: map[string]float64{
+					"rel_time":           relTime,
+					"rel_energy":         relEnergy,
+					"unaccelerated_frac": res.UnacceleratedFraction(),
+				},
+			}
+			for k, v := range energyCov {
+				r.Extra[k] = v
+			}
+			doc.Add(r)
 			continue
 		}
 		fmt.Fprintf(w, "%s\t%.2f\t%.2f", wl.Name, relTime, relEnergy)
@@ -87,18 +91,27 @@ func main() {
 		}
 		fmt.Fprintf(w, "\t%.0f%%\n", 100*res.UnacceleratedFraction())
 	}
-	if w != nil {
-		w.Flush()
-		fmt.Printf("\naverage un-accelerated fraction: %.0f%% (paper §5: 16%% for the full OOO2 ExoCore)\n",
-			100*totalUnaccel/count)
+	if app.JSON {
+		app.Emit(doc)
+		return
 	}
+	w.Flush()
+	fmt.Printf("\naverage un-accelerated fraction: %.0f%% (paper §5: 16%% for the full OOO2 ExoCore)\n",
+		100*totalUnaccel/count)
+	app.Finish()
 }
 
 func energyFrac(res *exocore.RunResult, name string) float64 {
 	var total, part float64
 	tmp := energy.CoreTable(energy.CoreParams{Width: 2, ROB: 64, Window: 32, AreaMM2: 3.2})
-	for n, c := range res.PerBSACounts {
-		e := tmp.Evaluate(c, 0).DynamicNJ
+	// Sorted-name order keeps the float sum bit-identical across runs.
+	names := make([]string, 0, len(res.PerBSACounts))
+	for n := range res.PerBSACounts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		e := tmp.Evaluate(res.PerBSACounts[n], 0).DynamicNJ
 		total += e
 		if n == name {
 			part = e
@@ -108,9 +121,4 @@ func energyFrac(res *exocore.RunResult, name string) float64 {
 		return 0
 	}
 	return part / total
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "breakdown:", err)
-	os.Exit(1)
 }

@@ -8,49 +8,60 @@
 //	               64 designs relative to IO2, sorted by performance
 //	-headline      the §1/§5 headline claims (OOO2-ExoCore vs OOO6 etc.)
 //
-// All modes accept -maxdyn and -benchset to trade time for fidelity.
+// It accepts the unified flag set (-bench, -sched, -maxdyn, -workers,
+// -json, -v); -json emits every design point in the shared result schema.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"text/tabwriter"
 
+	"exocore/internal/cli"
 	"exocore/internal/dse"
-	"exocore/internal/workloads"
+	"exocore/internal/report"
 )
 
 func main() {
-	maxDyn := flag.Int("maxdyn", dse.DefaultMaxDyn, "dynamic instruction budget per benchmark")
-	frontier := flag.Bool("frontier", false, "emit Figure 3/10 data")
-	characterize := flag.Bool("characterize", false, "emit Figure 12 data")
-	headline := flag.Bool("headline", false, "evaluate the headline claims")
-	amdahl := flag.Bool("amdahl", false, "use Amdahl-tree scheduling")
-	benchset := flag.String("benchset", "all", "all | quick (6-benchmark subset)")
-	flag.Parse()
+	app := cli.New("dse", "all")
+	frontier := app.Flags().Bool("frontier", false, "emit Figure 3/10 data")
+	characterize := app.Flags().Bool("characterize", false, "emit Figure 12 data")
+	headline := app.Flags().Bool("headline", false, "evaluate the headline claims")
+	app.MustParse()
 
 	if !*frontier && !*characterize && !*headline {
 		*frontier, *characterize, *headline = true, true, true
 	}
 
-	opts := dse.Options{MaxDyn: *maxDyn, UseAmdahl: *amdahl}
-	if *benchset == "quick" {
-		for _, name := range []string{"mm", "nbody", "cjpeg", "mcf", "gzip", "stencil"} {
-			w, err := workloads.ByName(name)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "dse:", err)
-				os.Exit(1)
-			}
-			opts.Workloads = append(opts.Workloads, w)
-		}
+	exp, err := dse.Explore(dse.Options{
+		Workloads: app.Workloads(),
+		UseAmdahl: app.UseAmdahl(),
+		Engine:    app.Engine(),
+	})
+	if err != nil {
+		app.Fail(err)
 	}
 
-	exp, err := dse.Explore(opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dse:", err)
-		os.Exit(1)
+	if app.JSON {
+		doc := report.New("dse")
+		for _, d := range exp.Designs {
+			agg := report.Result{
+				Design: d.Code, Core: d.Core.Name, BSAs: dse.SubsetBSAs(d.Mask),
+				AreaMM2: d.AreaMM2,
+				RelPerf: d.RelPerf, RelEnergyEff: d.RelEnergyEff, RelArea: d.RelArea,
+			}
+			doc.Add(agg)
+			for _, b := range d.PerBench {
+				doc.Add(report.Result{
+					Design: d.Code, Core: d.Core.Name, Bench: b.Bench,
+					Category: string(b.Category),
+					Cycles:   b.Cycles, EnergyNJ: b.EnergyNJ,
+				})
+			}
+		}
+		app.Emit(doc)
+		return
 	}
 
 	if *frontier {
@@ -62,14 +73,29 @@ func main() {
 	if *headline {
 		printHeadline(exp)
 	}
+	app.Finish()
+}
+
+// byPerf sorts designs by relative performance with a deterministic
+// design-code tiebreak, so output is byte-stable across runs.
+func byPerf(designs []dse.DesignResult, descending bool) []dse.DesignResult {
+	sorted := append([]dse.DesignResult(nil), designs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].RelPerf != sorted[j].RelPerf {
+			if descending {
+				return sorted[i].RelPerf > sorted[j].RelPerf
+			}
+			return sorted[i].RelPerf < sorted[j].RelPerf
+		}
+		return sorted[i].Code < sorted[j].Code
+	})
+	return sorted
 }
 
 func printFrontier(exp *dse.Exploration) {
 	fmt.Println("# Figure 10: relative performance and energy efficiency vs IO2")
 	fmt.Println("design,relperf,releneff,area_mm2")
-	sorted := append([]dse.DesignResult(nil), exp.Designs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].RelPerf < sorted[j].RelPerf })
-	for _, d := range sorted {
+	for _, d := range byPerf(exp.Designs, false) {
 		fmt.Printf("%s,%.3f,%.3f,%.2f\n", d.Code, d.RelPerf, d.RelEnergyEff, d.AreaMM2)
 	}
 	fmt.Println("\n# Pareto frontier (Figure 3):")
@@ -81,11 +107,9 @@ func printFrontier(exp *dse.Exploration) {
 
 func printCharacterization(exp *dse.Exploration) {
 	fmt.Println("\n# Figure 12: design-space characterization (relative to IO2)")
-	sorted := append([]dse.DesignResult(nil), exp.Designs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].RelPerf > sorted[j].RelPerf })
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "DESIGN\tSPEEDUP\tENERGY EFF\tAREA")
-	for _, d := range sorted {
+	for _, d := range byPerf(exp.Designs, true) {
 		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\n", d.Code, d.RelPerf, d.RelEnergyEff, d.RelArea)
 	}
 	w.Flush()
@@ -120,7 +144,5 @@ func printHeadline(exp *dse.Exploration) {
 				d.Code, perf, eff, 100*d.AreaMM2/base.AreaMM2)
 		}
 	}
-
-	// Unaccelerated fraction for the full OOO2 ExoCore (§5: ~16%).
 	fmt.Println()
 }

@@ -2,72 +2,67 @@
 // switching behavior of a full ExoCore over program execution. For each
 // requested benchmark it emits the segment timeline — which model ran,
 // from which cycle to which cycle, and the local speedup of that window
-// over the plain core — demonstrating fine-grain affinity.
+// over the plain core — demonstrating fine-grain affinity. -json emits
+// one schema row per segment.
 package main
 
 import (
-	"flag"
 	"fmt"
-	"os"
-	"strings"
 
-	"exocore/internal/cores"
-	"exocore/internal/dse"
+	"exocore/internal/cli"
 	"exocore/internal/exocore"
-	"exocore/internal/sched"
-	"exocore/internal/tdg"
+	"exocore/internal/report"
+	"exocore/internal/runner"
 	"exocore/internal/workloads"
 )
 
 func main() {
-	maxDyn := flag.Int("maxdyn", dse.DefaultMaxDyn, "dynamic instruction budget")
-	benchList := flag.String("benches", "djpeg,h264ref", "comma-separated benchmarks (paper uses djpeg and 464.h264ref)")
-	coreName := flag.String("core", "OOO2", "general core")
-	flag.Parse()
+	// The paper uses djpeg and 464.h264ref for Figure 14.
+	app := cli.New("switching", "djpeg,h264ref")
+	app.MustParse()
 
-	core, ok := cores.ConfigByName(*coreName)
-	if !ok {
-		fmt.Fprintln(os.Stderr, "switching: unknown core", *coreName)
-		os.Exit(1)
+	doc := report.New("switching")
+	if !app.JSON {
+		fmt.Println("benchmark,model,start_cycle,end_cycle,dyn_insts,local_speedup")
 	}
-
-	fmt.Println("benchmark,model,start_cycle,end_cycle,dyn_insts,local_speedup")
-	for _, name := range strings.Split(*benchList, ",") {
-		name = strings.TrimSpace(name)
-		if err := emit(name, core, *maxDyn); err != nil {
-			fmt.Fprintln(os.Stderr, "switching:", err)
-			os.Exit(1)
+	for _, wl := range app.Workloads() {
+		if err := emit(app, doc, wl); err != nil {
+			app.Fail(err)
 		}
 	}
+	if app.JSON {
+		app.Emit(doc)
+		return
+	}
+	app.Finish()
 }
 
-func emit(name string, core cores.Config, maxDyn int) error {
-	wl, err := workloads.ByName(name)
+func emit(app *cli.App, doc *report.Document, wl *workloads.Workload) error {
+	eng := app.Engine()
+	core := app.CoreConfig()
+	td, err := eng.TDG(wl)
 	if err != nil {
 		return err
 	}
-	tr, err := wl.Trace(maxDyn)
+	ctx, err := eng.Context(wl, core)
 	if err != nil {
 		return err
 	}
-	td, err := tdg.Build(tr)
-	if err != nil {
-		return err
+	var assign exocore.Assignment
+	if app.UseAmdahl() {
+		assign = ctx.AmdahlTree(runner.BSANames)
+	} else {
+		assign = ctx.Oracle(runner.BSANames)
 	}
-	bsas := dse.NewBSASet()
-	ctx, err := sched.NewContext(td, core, bsas)
-	if err != nil {
-		return err
-	}
-	assign := ctx.Oracle([]string{"SIMD", "DP-CGRA", "NS-DF", "Trace-P"})
-	res, err := exocore.Run(td, core, bsas, ctx.Plans, assign, exocore.RunOpts{RecordSegments: true})
+	res, err := exocore.Run(td, core, runner.NewBSASet(), ctx.Plans, assign,
+		exocore.RunOpts{RecordSegments: true})
 	if err != nil {
 		return err
 	}
 
 	// Baseline cycles-per-instruction, to express each segment's local
 	// speedup over the plain core (Figure 14's y-axis).
-	baseCPI := float64(ctx.BaseCycles) / float64(tr.Len())
+	baseCPI := float64(ctx.BaseCycles) / float64(td.Trace.Len())
 	for _, s := range res.Segments {
 		model := s.BSA
 		if model == "" {
@@ -78,7 +73,20 @@ func emit(name string, core cores.Config, maxDyn int) error {
 			dur = 1
 		}
 		local := baseCPI * float64(s.Dyn) / dur
-		fmt.Printf("%s,%s,%d,%d,%d,%.2f\n", name, model, s.StartCycle, s.EndCycle, s.Dyn, local)
+		if app.JSON {
+			doc.Add(report.Result{
+				Design: core.Name + "-SDNT", Core: core.Name, Bench: wl.Name,
+				Params: map[string]string{"model": model},
+				Extra: map[string]float64{
+					"start_cycle":   float64(s.StartCycle),
+					"end_cycle":     float64(s.EndCycle),
+					"dyn_insts":     float64(s.Dyn),
+					"local_speedup": local,
+				},
+			})
+			continue
+		}
+		fmt.Printf("%s,%s,%d,%d,%d,%.2f\n", wl.Name, model, s.StartCycle, s.EndCycle, s.Dyn, local)
 	}
 	return nil
 }

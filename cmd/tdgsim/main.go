@@ -1,42 +1,37 @@
-// Command tdgsim runs one benchmark on one design point through the TDG
+// Command tdgsim runs benchmarks on one design point through the TDG
 // framework and reports cycles, energy, per-model attribution and the
 // critical-path stall breakdown.
 //
 // Usage:
 //
 //	tdgsim -bench mm -core OOO2 -bsas SIMD,NS-DF
+//	tdgsim -bench mm -json      # shared result schema
 //	tdgsim -list        # Table 3: the benchmark suite
 //	tdgsim -cores       # Table 4: the general-core configurations
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 	"text/tabwriter"
 
+	"exocore/internal/cli"
 	"exocore/internal/cores"
 	"exocore/internal/dg"
-	"exocore/internal/dse"
 	"exocore/internal/exocore"
 	"exocore/internal/fusion"
-	"exocore/internal/sched"
-	"exocore/internal/tdg"
+	"exocore/internal/report"
+	"exocore/internal/runner"
 	"exocore/internal/workloads"
 )
 
 func main() {
-	bench := flag.String("bench", "mm", "benchmark name")
-	core := flag.String("core", "OOO2", "general core: IO2, OOO2, OOO4, OOO6")
-	bsas := flag.String("bsas", "SIMD,DP-CGRA,NS-DF,Trace-P", "comma-separated BSAs available (empty for none)")
-	maxDyn := flag.Int("maxdyn", 100000, "dynamic instruction budget")
-	list := flag.Bool("list", false, "list the benchmark suite (Table 3)")
-	listCores := flag.Bool("cores", false, "list core configurations (Table 4)")
-	amdahl := flag.Bool("amdahl", false, "use the Amdahl-tree scheduler instead of the oracle")
-	fuse := flag.Bool("fuse", false, "also report the instruction-fusion DSL result (standard rules)")
-	flag.Parse()
+	app := cli.New("tdgsim", "mm")
+	list := app.Flags().Bool("list", false, "list the benchmark suite (Table 3)")
+	listCores := app.Flags().Bool("cores", false, "list core configurations (Table 4)")
+	fuse := app.Flags().Bool("fuse", false, "also report the instruction-fusion DSL result (standard rules)")
+	app.MustParse()
 
 	if *list {
 		listBenchmarks()
@@ -46,10 +41,18 @@ func main() {
 		listCoreConfigs()
 		return
 	}
-	if err := run(*bench, *core, *bsas, *maxDyn, *amdahl, *fuse); err != nil {
-		fmt.Fprintln(os.Stderr, "tdgsim:", err)
-		os.Exit(1)
+
+	doc := report.New("tdgsim")
+	for _, wl := range app.Workloads() {
+		if err := run(app, doc, wl, *fuse); err != nil {
+			app.Fail(err)
+		}
 	}
+	if app.JSON {
+		app.Emit(doc)
+		return
+	}
+	app.Finish()
 }
 
 func listBenchmarks() {
@@ -72,57 +75,63 @@ func listCoreConfigs() {
 	w.Flush()
 }
 
-func run(bench, coreName, bsaList string, maxDyn int, amdahl, fuse bool) error {
-	wl, err := workloads.ByName(bench)
-	if err != nil {
-		return err
-	}
-	core, ok := cores.ConfigByName(coreName)
-	if !ok {
-		return fmt.Errorf("unknown core %q", coreName)
-	}
-	tr, err := wl.Trace(maxDyn)
-	if err != nil {
-		return err
-	}
-	td, err := tdg.Build(tr)
-	if err != nil {
-		return err
-	}
+func run(app *cli.App, doc *report.Document, wl *workloads.Workload, fuse bool) error {
+	eng := app.Engine()
+	core := app.CoreConfig()
+	names := app.BSANames()
 
-	all := dse.NewBSASet()
-	avail := map[string]tdg.BSA{}
-	var names []string
-	if bsaList != "" {
-		for _, n := range strings.Split(bsaList, ",") {
-			n = strings.TrimSpace(n)
-			b, ok := all[n]
-			if !ok {
-				return fmt.Errorf("unknown BSA %q (have SIMD, DP-CGRA, NS-DF, Trace-P)", n)
-			}
-			avail[n] = b
-			names = append(names, n)
-		}
+	td, err := eng.TDG(wl)
+	if err != nil {
+		return err
 	}
-
-	ctx, err := sched.NewContext(td, core, dse.NewBSASet())
+	ctx, err := eng.Context(wl, core)
 	if err != nil {
 		return err
 	}
 	var assign exocore.Assignment
-	if amdahl {
+	if app.UseAmdahl() {
 		assign = ctx.AmdahlTree(names)
 	} else {
 		assign = ctx.Oracle(names)
 	}
 
-	res, err := exocore.Run(td, core, dse.NewBSASet(), ctx.Plans, assign, exocore.RunOpts{})
+	bsas := runner.NewBSASet()
+	res, err := exocore.Run(td, core, bsas, ctx.Plans, assign, exocore.RunOpts{})
 	if err != nil {
 		return err
 	}
-	e := exocore.EnergyOf(res, core, dse.NewBSASet())
+	e := exocore.EnergyOf(res, core, bsas)
 
-	fmt.Printf("benchmark %s on %s (trace: %d dynamic instructions)\n", bench, coreName, tr.Len())
+	if app.JSON {
+		coverage := make(map[string]float64, len(res.PerBSACycles))
+		for name, c := range res.PerBSACycles {
+			label := name
+			if label == "" {
+				label = "GPP"
+			}
+			coverage[label] = float64(c) / float64(res.Cycles)
+		}
+		doc.Add(report.Result{
+			Design: designCode(core.Name, names), Core: core.Name,
+			BSAs: names, Bench: wl.Name, Category: string(wl.Category),
+			Cycles: res.Cycles, EnergyNJ: e.TotalNJ(),
+			Coverage: coverage,
+			Params:   map[string]string{"sched": app.Sched},
+			Extra: map[string]float64{
+				"baseline_cycles":     float64(ctx.BaseCycles),
+				"baseline_energy_nj":  ctx.BaseEnergyNJ,
+				"speedup":             float64(ctx.BaseCycles) / float64(res.Cycles),
+				"energy_eff":          ctx.BaseEnergyNJ / e.TotalNJ(),
+				"avg_power_w":         e.AvgPowerW(),
+				"unaccelerated_frac":  res.UnacceleratedFraction(),
+				"dynamic_instructions": float64(td.Trace.Len()),
+			},
+		})
+		return nil
+	}
+
+	tr := td.Trace
+	fmt.Printf("benchmark %s on %s (trace: %d dynamic instructions)\n", wl.Name, core.Name, tr.Len())
 	fmt.Printf("baseline:  %8d cycles  %10.1f nJ\n", ctx.BaseCycles, ctx.BaseEnergyNJ)
 	fmt.Printf("exocore:   %8d cycles  %10.1f nJ   (speedup %.2fx, energy eff %.2fx)\n",
 		res.Cycles, e.TotalNJ(),
@@ -176,4 +185,21 @@ func run(bench, coreName, bsaList string, maxDyn int, amdahl, fuse bool) error {
 		}
 	}
 	return nil
+}
+
+// designCode mirrors dse.DesignCode for an explicit BSA list.
+func designCode(core string, bsas []string) string {
+	letters := map[string]byte{"SIMD": 'S', "DP-CGRA": 'D', "NS-DF": 'N', "Trace-P": 'T'}
+	var suffix []byte
+	for _, n := range runner.BSANames {
+		for _, have := range bsas {
+			if have == n {
+				suffix = append(suffix, letters[n])
+			}
+		}
+	}
+	if len(suffix) == 0 {
+		return core
+	}
+	return core + "-" + string(suffix)
 }

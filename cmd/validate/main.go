@@ -1,27 +1,64 @@
 // Command validate reproduces the paper's §2.5 validation: Table 1 (the
 // summary of model errors per accelerator) and, with -scatter, the
 // underlying per-benchmark reference-vs-projected pairs of Figure 5 as
-// CSV suitable for plotting.
+// CSV suitable for plotting. -json emits the shared result schema with
+// one row per (accelerator, benchmark, metric) plus per-line summaries.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
 
+	"exocore/internal/cli"
+	"exocore/internal/report"
 	"exocore/internal/validate"
 )
 
 func main() {
-	maxDyn := flag.Int("maxdyn", 100000, "dynamic instruction budget per benchmark")
-	scatter := flag.Bool("scatter", false, "emit Figure 5 scatter data as CSV")
-	flag.Parse()
+	app := cli.New("validate", "all")
+	scatter := app.Flags().Bool("scatter", false, "emit Figure 5 scatter data as CSV")
+	app.MustParse()
 
-	reports, err := validate.Table1(*maxDyn)
+	reports, err := validate.Table1With(app.Engine())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "validate:", err)
-		os.Exit(1)
+		app.Fail(err)
+	}
+
+	if app.JSON {
+		doc := report.New("validate")
+		for _, r := range reports {
+			for i := range r.Perf {
+				doc.Add(report.Result{
+					Design: r.Accel, Bench: r.Perf[i].Bench,
+					Params: map[string]string{"accel": r.Accel, "base": r.Base, "metric": "perf"},
+					Extra: map[string]float64{
+						"reference": r.Perf[i].Reference,
+						"projected": r.Perf[i].Projected,
+						"rel_err":   r.Perf[i].Err(),
+					},
+				})
+				doc.Add(report.Result{
+					Design: r.Accel, Bench: r.Energy[i].Bench,
+					Params: map[string]string{"accel": r.Accel, "base": r.Base, "metric": "energy"},
+					Extra: map[string]float64{
+						"reference": r.Energy[i].Reference,
+						"projected": r.Energy[i].Projected,
+						"rel_err":   r.Energy[i].Err(),
+					},
+				})
+			}
+			doc.Add(report.Result{
+				Design: r.Accel,
+				Params: map[string]string{"accel": r.Accel, "base": r.Base, "aggregate": "mean_abs_err"},
+				Extra: map[string]float64{
+					"perf_err":   r.PerfErr(),
+					"energy_err": r.EnergyErr(),
+				},
+			})
+		}
+		app.Emit(doc)
+		return
 	}
 
 	if *scatter {
@@ -48,4 +85,5 @@ func main() {
 	w.Flush()
 	fmt.Println("\n(OOO rows: reference = independent cycle-level simulator;")
 	fmt.Println(" accelerator rows: reference = digitized published results — see EXPERIMENTS.md)")
+	app.Finish()
 }

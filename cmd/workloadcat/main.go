@@ -2,27 +2,31 @@
 // accelerators, general cores and workload categories. For each category
 // (regular / semi-regular / irregular) it prints the relative
 // performance and energy of every single-BSA design and the full ExoCore,
-// one series per BSA combination with one point per core.
+// one series per BSA combination with one point per core. -json emits the
+// shared result schema with one row per (category, design).
 package main
 
 import (
-	"flag"
 	"fmt"
-	"os"
 
+	"exocore/internal/cli"
 	"exocore/internal/cores"
 	"exocore/internal/dse"
+	"exocore/internal/report"
 	"exocore/internal/workloads"
 )
 
 func main() {
-	maxDyn := flag.Int("maxdyn", dse.DefaultMaxDyn, "dynamic instruction budget per benchmark")
-	flag.Parse()
+	app := cli.New("workloadcat", "all")
+	app.MustParse()
 
-	exp, err := dse.Explore(dse.Options{MaxDyn: *maxDyn})
+	exp, err := dse.Explore(dse.Options{
+		Workloads: app.Workloads(),
+		UseAmdahl: app.UseAmdahl(),
+		Engine:    app.Engine(),
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "workloadcat:", err)
-		os.Exit(1)
+		app.Fail(err)
 	}
 
 	// The Figure 11 series: plain core, each single BSA, full ExoCore.
@@ -38,24 +42,37 @@ func main() {
 		{"ExoCore", 15},
 	}
 	coresOrder := []string{"IO2", "OOO2", "OOO4", "OOO6"}
+	cats := []workloads.Category{workloads.Regular, workloads.SemiRegular, workloads.Irregular}
 
-	fmt.Println("# Figure 11: category,series,core,relperf,releneff (relative to IO2 overall)")
-	for _, cat := range []workloads.Category{workloads.Regular, workloads.SemiRegular, workloads.Irregular} {
+	doc := report.New("workloadcat")
+	if !app.JSON {
+		fmt.Println("# Figure 11: category,series,core,relperf,releneff (relative to IO2 overall)")
+	}
+	for _, cat := range cats {
 		for _, s := range series {
-			for _, core := range coresOrder {
-				code := dse.DesignCode(mustCore(core), s.mask)
+			for _, coreName := range coresOrder {
+				core, ok := cores.ConfigByName(coreName)
+				if !ok {
+					app.Fail(fmt.Errorf("unknown core %q", coreName))
+				}
+				code := dse.DesignCode(core, s.mask)
 				perf, eff := exp.CategoryAggregate(code, cat)
-				fmt.Printf("%s,%s,%s,%.3f,%.3f\n", cat, s.label, core, perf, eff)
+				if app.JSON {
+					doc.Add(report.Result{
+						Design: code, Core: coreName, BSAs: dse.SubsetBSAs(s.mask),
+						Category: string(cat),
+						RelPerf:  perf, RelEnergyEff: eff,
+						Params: map[string]string{"series": s.label},
+					})
+					continue
+				}
+				fmt.Printf("%s,%s,%s,%.3f,%.3f\n", cat, s.label, coreName, perf, eff)
 			}
 		}
 	}
-}
-
-func mustCore(name string) cores.Config {
-	cc, ok := cores.ConfigByName(name)
-	if !ok {
-		fmt.Fprintln(os.Stderr, "workloadcat: unknown core", name)
-		os.Exit(1)
+	if app.JSON {
+		app.Emit(doc)
+		return
 	}
-	return cc
+	app.Finish()
 }

@@ -17,6 +17,7 @@ import (
 	"exocore/internal/dg"
 	"exocore/internal/energy"
 	"exocore/internal/exocore"
+	"exocore/internal/runner"
 	"exocore/internal/tdg"
 	"exocore/internal/workloads"
 )
@@ -136,14 +137,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tr, err := wl.Trace(60000)
+	// Trace + TDG through the shared evaluation engine: a custom-BSA
+	// study that also sweeps cores or parameters would reuse them free.
+	eng := runner.New(runner.Options{MaxDyn: 60000})
+	td, err := eng.TDG(wl)
 	if err != nil {
 		log.Fatal(err)
 	}
-	td, err := tdg.Build(tr)
-	if err != nil {
-		log.Fatal(err)
-	}
+	tr := td.Trace
 
 	model := &ReduceEngine{}
 	bsas := map[string]tdg.BSA{model.Name(): model}

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"exocore/internal/dse"
+	"exocore/internal/runner"
 	"exocore/internal/workloads"
 )
 
@@ -25,11 +26,18 @@ func main() {
 		ws = append(ws, w)
 	}
 
-	exp, err := dse.Explore(dse.Options{MaxDyn: 30000, Workloads: ws})
+	// An explicit engine makes the artifact caches visible: repeated
+	// explorations (or other tools in the same process) reuse them.
+	eng := runner.New(runner.Options{MaxDyn: 30000})
+	exp, err := dse.Explore(dse.Options{Workloads: ws, Engine: eng})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("explored %d designs over %d benchmarks\n\n", len(exp.Designs), len(ws))
+	m := eng.Metrics()
+	fmt.Printf("explored %d designs over %d benchmarks\n", len(exp.Designs), len(ws))
+	fmt.Printf("engine: %d sched contexts built, %d evals (%d served from cache)\n\n",
+		m.Stage(runner.StageSched).Misses,
+		m.Stage(runner.StageEval).Calls, m.Stage(runner.StageEval).Hits)
 
 	fmt.Println("Pareto frontier (performance vs energy efficiency, relative to IO2):")
 	for _, d := range exp.Frontier() {

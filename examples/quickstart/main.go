@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"exocore/internal/bpred"
 	"exocore/internal/bsa/simd"
@@ -18,6 +19,7 @@ import (
 	"exocore/internal/exocore"
 	"exocore/internal/isa"
 	"exocore/internal/prog"
+	"exocore/internal/runner"
 	"exocore/internal/sim"
 	"exocore/internal/tdg"
 )
@@ -59,11 +61,16 @@ func main() {
 	bpred.New(bpred.DefaultConfig()).Annotate(tr)
 	fmt.Printf("trace: %d dynamic instructions\n", tr.Len())
 
-	// 3. Build the TDG: IR reconstruction + profiling.
-	td, err := tdg.Build(tr)
+	// 3. Build the TDG (IR reconstruction + profiling) through the shared
+	//    evaluation engine — ad-hoc traces get a keyed cache slot, and the
+	//    engine's stage metrics time the construction.
+	eng := runner.New(runner.Options{})
+	td, err := eng.TDGFor("axpy", tr)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("TDG build: %.1fms (engine stage %q)\n",
+		float64(eng.Metrics().Stage(runner.StageTDG).WallNS)/1e6, runner.StageTDG)
 	fmt.Printf("TDG: %d basic blocks, %d loops (hot loop covers %.0f%%)\n",
 		len(td.CFG.Blocks), len(td.Nest.Loops),
 		100*td.Prof.LoopShare(td.Prof.SortedLoopsByShare()[0]))
@@ -88,10 +95,15 @@ func main() {
 	bsas := map[string]tdg.BSA{model.Name(): model}
 	plans := map[string]*tdg.Plan{model.Name(): model.Analyze(td)}
 	assign := exocore.Assignment{}
-	for l, r := range plans[model.Name()].Regions {
+	var planned []int
+	for l := range plans[model.Name()].Regions {
+		planned = append(planned, l)
+	}
+	sort.Ints(planned)
+	for _, l := range planned {
 		assign[l] = model.Name()
 		fmt.Printf("\nSIMD analyzer: loop L%d is vectorizable (estimated %.1fx)\n",
-			l, r.EstSpeedup)
+			l, plans[model.Name()].Regions[l].EstSpeedup)
 	}
 	res, err := exocore.Run(td, cores.OOO2, bsas, plans, assign, exocore.RunOpts{})
 	if err != nil {

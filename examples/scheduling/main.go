@@ -12,9 +12,7 @@ import (
 	"sort"
 
 	"exocore/internal/cores"
-	"exocore/internal/dse"
-	"exocore/internal/sched"
-	"exocore/internal/tdg"
+	"exocore/internal/runner"
 	"exocore/internal/workloads"
 )
 
@@ -23,18 +21,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tr, err := wl.Trace(60000)
+	// The engine builds trace → TDG → scheduling context in one cached
+	// call; a second Context lookup would be free.
+	eng := runner.New(runner.Options{MaxDyn: 60000})
+	ctx, err := eng.Context(wl, cores.OOO2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	td, err := tdg.Build(tr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ctx, err := sched.NewContext(td, cores.OOO2, dse.NewBSASet())
-	if err != nil {
-		log.Fatal(err)
-	}
+	td := ctx.TDG
 
 	// The Amdahl tree's inputs: per-loop estimated speedups per BSA.
 	fmt.Println("loop tree with per-BSA speedup estimates (Figure 9):")

@@ -1,0 +1,242 @@
+// Package cli is the one flag surface shared by every cmd/ tool: a
+// unified flag set (-bench, -core, -bsas, -sched, -json, -v, -maxdyn,
+// -workers) with consistent parsing and validation, a lazily-constructed
+// shared evaluation engine wired to -v progress output, and the common
+// -json emission path producing the versioned report schema.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"exocore/internal/cores"
+	"exocore/internal/report"
+	"exocore/internal/runner"
+	"exocore/internal/workloads"
+)
+
+// QuickSet is the 6-benchmark subset used by -bench quick: two benchmarks
+// per workload category, for fast iteration.
+var QuickSet = []string{"mm", "nbody", "cjpeg", "mcf", "gzip", "stencil"}
+
+// App holds the unified flag values for one tool invocation.
+type App struct {
+	// Tool is the binary name, used in error messages and the JSON
+	// document header.
+	Tool string
+
+	// Unified flags.
+	Bench   string // "all" | "quick" | comma-separated benchmark names
+	Core    string // general-core name (Table 4)
+	BSAs    string // "all" | "none" | comma-separated BSA names
+	Sched   string // "oracle" | "amdahl"
+	JSON    bool   // emit the versioned JSON schema instead of text
+	Verbose bool   // progress + engine metrics on stderr
+	MaxDyn  int    // dynamic-instruction budget per benchmark
+	Workers int    // worker-pool bound (0 = GOMAXPROCS)
+
+	// Stderr receives -v progress and Fail output (defaults to
+	// os.Stderr; overridable for tests).
+	Stderr io.Writer
+
+	fs     *flag.FlagSet
+	engine *runner.Engine
+
+	// Resolved during Parse.
+	core  cores.Config
+	wls   []*workloads.Workload
+	bsas  []string
+}
+
+// New creates an App and registers the unified flag set on its own
+// FlagSet. benchDefault customizes -bench's default ("all" for sweep
+// tools, a single benchmark for point tools).
+func New(tool, benchDefault string) *App {
+	a := &App{
+		Tool:   tool,
+		Stderr: os.Stderr,
+		fs:     flag.NewFlagSet(tool, flag.ExitOnError),
+	}
+	a.fs.StringVar(&a.Bench, "bench", benchDefault, "benchmarks: all | quick | comma-separated names")
+	a.fs.StringVar(&a.Core, "core", "OOO2", "general core: IO2, OOO2, OOO4, OOO6")
+	a.fs.StringVar(&a.BSAs, "bsas", "all", "BSAs available: all | none | comma-separated of "+strings.Join(runner.BSANames, ","))
+	a.fs.StringVar(&a.Sched, "sched", "oracle", "scheduler: oracle | amdahl")
+	a.fs.BoolVar(&a.JSON, "json", false, "emit the versioned JSON result schema ("+report.Schema+")")
+	a.fs.BoolVar(&a.Verbose, "v", false, "progress and engine metrics on stderr")
+	a.fs.IntVar(&a.MaxDyn, "maxdyn", runner.DefaultMaxDyn, "dynamic instruction budget per benchmark")
+	a.fs.IntVar(&a.Workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	return a
+}
+
+// Flags exposes the flag set so tools can register tool-specific flags
+// before Parse.
+func (a *App) Flags() *flag.FlagSet { return a.fs }
+
+// SetMaxDynDefault overrides -maxdyn's default before Parse (tools with
+// a cheaper customary budget). An explicit -maxdyn still wins.
+func (a *App) SetMaxDynDefault(n int) {
+	a.MaxDyn = n
+	a.fs.Lookup("maxdyn").DefValue = fmt.Sprint(n)
+}
+
+// Parse parses args and validates every unified flag, resolving the core
+// config, workload list and BSA names.
+func (a *App) Parse(args []string) error {
+	if err := a.fs.Parse(args); err != nil {
+		return err
+	}
+	core, ok := cores.ConfigByName(a.Core)
+	if !ok {
+		return fmt.Errorf("unknown core %q (have IO2, OOO2, OOO4, OOO6)", a.Core)
+	}
+	a.core = core
+
+	wls, err := ResolveBenchSpec(a.Bench)
+	if err != nil {
+		return err
+	}
+	a.wls = wls
+
+	bsas, err := ResolveBSASpec(a.BSAs)
+	if err != nil {
+		return err
+	}
+	a.bsas = bsas
+
+	switch a.Sched {
+	case "oracle", "amdahl":
+	default:
+		return fmt.Errorf("unknown scheduler %q (have oracle, amdahl)", a.Sched)
+	}
+	if a.MaxDyn <= 0 {
+		a.MaxDyn = runner.DefaultMaxDyn
+	}
+	return nil
+}
+
+// MustParse parses os.Args[1:] and exits with a tool-prefixed message on
+// invalid flags.
+func (a *App) MustParse() {
+	if err := a.Parse(os.Args[1:]); err != nil {
+		a.Fail(err)
+	}
+}
+
+// ResolveBenchSpec expands a -bench value ("all", "quick" or a comma
+// list) into workloads.
+func ResolveBenchSpec(spec string) ([]*workloads.Workload, error) {
+	switch spec {
+	case "", "all":
+		return workloads.All(), nil
+	case "quick":
+		spec = strings.Join(QuickSet, ",")
+	}
+	var out []*workloads.Workload
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty benchmark list %q", spec)
+	}
+	return out, nil
+}
+
+// ResolveBSASpec expands a -bsas value ("all", "none"/"" or a comma
+// list) into validated BSA names, in canonical order for "all".
+func ResolveBSASpec(spec string) ([]string, error) {
+	switch spec {
+	case "all":
+		return append([]string(nil), runner.BSANames...), nil
+	case "", "none":
+		return nil, nil
+	}
+	valid := make(map[string]bool, len(runner.BSANames))
+	for _, n := range runner.BSANames {
+		valid[n] = true
+	}
+	var out []string
+	for _, n := range strings.Split(spec, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if !valid[n] {
+			return nil, fmt.Errorf("unknown BSA %q (have %s)", n, strings.Join(runner.BSANames, ", "))
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// CoreConfig returns the validated -core config.
+func (a *App) CoreConfig() cores.Config { return a.core }
+
+// Workloads returns the validated -bench workload list.
+func (a *App) Workloads() []*workloads.Workload { return a.wls }
+
+// BSANames returns the validated -bsas list.
+func (a *App) BSANames() []string { return a.bsas }
+
+// UseAmdahl reports whether -sched amdahl was selected.
+func (a *App) UseAmdahl() bool { return a.Sched == "amdahl" }
+
+// Engine returns the tool's shared evaluation engine, constructing it on
+// first use. With -v, cache misses are narrated to stderr.
+func (a *App) Engine() *runner.Engine {
+	if a.engine == nil {
+		opts := runner.Options{MaxDyn: a.MaxDyn, Workers: a.Workers}
+		if a.Verbose {
+			opts.Progress = func(ev runner.Event) {
+				if !ev.CacheHit {
+					fmt.Fprintf(a.Stderr, "%s: %-5s %-28s %8.1fms\n",
+						a.Tool, ev.Stage, ev.Key, float64(ev.Wall.Microseconds())/1000)
+				}
+			}
+		}
+		a.engine = runner.New(opts)
+	}
+	return a.engine
+}
+
+// Emit writes the document to stdout as indented JSON, attaching the
+// engine metrics snapshot first (if an engine was used).
+func (a *App) Emit(doc *report.Document) {
+	if a.engine != nil {
+		m := a.engine.Metrics()
+		doc.Metrics = &m
+	}
+	if err := doc.Write(os.Stdout); err != nil {
+		a.Fail(err)
+	}
+}
+
+// Finish prints the engine metrics to stderr when -v is set. Text-mode
+// tools call it after their report; JSON mode embeds metrics instead.
+func (a *App) Finish() {
+	if !a.Verbose || a.engine == nil {
+		return
+	}
+	m := a.engine.Metrics()
+	fmt.Fprintf(a.Stderr, "%s: engine metrics:\n", a.Tool)
+	for _, s := range m.Stages {
+		fmt.Fprintf(a.Stderr, "%s:   %-5s calls=%-4d hits=%-4d misses=%-4d wall=%8.1fms insts=%d\n",
+			a.Tool, s.Stage, s.Calls, s.Hits, s.Misses, float64(s.WallNS)/1e6, s.Insts)
+	}
+}
+
+// Fail prints a tool-prefixed error and exits 1.
+func (a *App) Fail(err error) {
+	fmt.Fprintf(a.Stderr, "%s: %v\n", a.Tool, err)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+package dse
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"exocore/internal/cores"
+	"exocore/internal/runner"
+	"exocore/internal/workloads"
+)
+
+func detWorkloads(t *testing.T) []*workloads.Workload {
+	t.Helper()
+	var ws []*workloads.Workload
+	for _, name := range []string{"mm", "cjpeg", "mcf"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+// marshal renders an exploration to canonical bytes (the same designs
+// slice cmd/dse prints), for byte-identity comparison.
+func marshal(t *testing.T, exp *Exploration) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(exp.Designs, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSerialParallelByteIdentical asserts the exploration output is
+// byte-identical between workers=1 and a heavily parallel run, so worker
+// count and completion order can never leak into results.
+func TestSerialParallelByteIdentical(t *testing.T) {
+	ws := detWorkloads(t)
+	cs := []cores.Config{cores.IO2, cores.OOO2}
+
+	serial, err := Explore(Options{
+		Workloads: ws, Cores: cs,
+		Engine: runner.New(runner.Options{MaxDyn: 10_000, Workers: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Explore(Options{
+		Workloads: ws, Cores: cs,
+		Engine: runner.New(runner.Options{MaxDyn: 10_000, Workers: 16}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sb, pb := marshal(t, serial), marshal(t, parallel)
+	if !bytes.Equal(sb, pb) {
+		for i := range sb {
+			if i >= len(pb) || sb[i] != pb[i] {
+				lo := i - 80
+				if lo < 0 {
+					lo = 0
+				}
+				t.Fatalf("serial and parallel output diverge at byte %d:\nserial:   ...%s\nparallel: ...%s",
+					i, sb[lo:min(i+80, len(sb))], pb[lo:min(i+80, len(pb))])
+			}
+		}
+		t.Fatalf("serial (%d bytes) is a prefix of parallel (%d bytes)", len(sb), len(pb))
+	}
+}
+
+// TestExploreReusesCache asserts the engine does strictly less redundant
+// work than the naive per-design loop: across the 16 subsets per core,
+// scheduling contexts are built exactly once per (bench, core) and
+// repeated assignments are served from the eval cache.
+func TestExploreReusesCache(t *testing.T) {
+	ws := detWorkloads(t)
+	cs := []cores.Config{cores.IO2, cores.OOO2}
+	eng := runner.New(runner.Options{MaxDyn: 10_000})
+	if _, err := Explore(Options{Workloads: ws, Cores: cs, Engine: eng}); err != nil {
+		t.Fatal(err)
+	}
+	m := eng.Metrics()
+
+	if got, want := m.Stage(runner.StageSched).Misses, int64(len(ws)*len(cs)); got != want {
+		t.Errorf("sched contexts built = %d, want exactly %d (one per bench×core)", got, want)
+	}
+	ev := m.Stage(runner.StageEval)
+	// 16 subsets × benches × cores evaluations requested, but distinct
+	// assignments are far fewer: the hit counter must be positive.
+	if got, want := ev.Calls, int64(16*len(ws)*len(cs)); got != want {
+		t.Errorf("eval calls = %d, want %d", got, want)
+	}
+	if ev.Hits == 0 {
+		t.Error("eval cache hits = 0: the 16 subsets did not share any work")
+	}
+	if ev.Misses >= ev.Calls {
+		t.Error("every evaluation missed: memoization is not effective")
+	}
+	t.Logf("eval: %d calls, %d served from cache (%.0f%%)",
+		ev.Calls, ev.Hits, 100*float64(ev.Hits)/float64(ev.Calls))
+}
+
+// TestSharedEngineAcrossExplorations asserts a second exploration on the
+// same engine is served almost entirely from cache.
+func TestSharedEngineAcrossExplorations(t *testing.T) {
+	ws := detWorkloads(t)
+	cs := []cores.Config{cores.IO2}
+	eng := runner.New(runner.Options{MaxDyn: 10_000})
+	first, err := Explore(Options{Workloads: ws, Cores: cs, Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missesAfterFirst := eng.Metrics().Stage(runner.StageEval).Misses
+
+	second, err := Explore(Options{Workloads: ws, Cores: cs, Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Metrics().Stage(runner.StageEval).Misses; got != missesAfterFirst {
+		t.Errorf("second exploration recomputed %d evaluations", got-missesAfterFirst)
+	}
+	if !bytes.Equal(marshal(t, first), marshal(t, second)) {
+		t.Error("cached re-exploration produced different results")
+	}
+}

@@ -2,26 +2,20 @@
 // combinations of the four general cores and the 16 subsets of the four
 // BSAs (64 designs), evaluated over the full workload suite with the
 // Oracle scheduler (one result set uses the Amdahl-tree scheduler for the
-// §5.4 comparison). Per-(benchmark, core) scheduling contexts are built
-// once and shared across the 16 subsets; identical assignments are
-// memoized.
+// §5.4 comparison). All pipeline stages — trace, TDG, scheduling context,
+// assignment evaluation — run through the shared runner.Engine, so
+// per-(benchmark, core) artifacts are built once and identical
+// assignments across the 16 subsets are evaluated once.
 package dse
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"exocore/internal/area"
-	"exocore/internal/bsa/dpcgra"
-	"exocore/internal/bsa/nsdf"
-	"exocore/internal/bsa/simd"
-	"exocore/internal/bsa/tracep"
 	"exocore/internal/cores"
-	"exocore/internal/exocore"
-	"exocore/internal/sched"
+	"exocore/internal/runner"
 	"exocore/internal/stats"
 	"exocore/internal/tdg"
 	"exocore/internal/workloads"
@@ -39,14 +33,7 @@ var bsaLetters = []struct {
 }
 
 // NewBSASet instantiates fresh models for all four BSAs.
-func NewBSASet() map[string]tdg.BSA {
-	return map[string]tdg.BSA{
-		"SIMD":    simd.New(),
-		"DP-CGRA": dpcgra.New(),
-		"NS-DF":   nsdf.New(),
-		"Trace-P": tracep.New(),
-	}
-}
+func NewBSASet() map[string]tdg.BSA { return runner.NewBSASet() }
 
 // SubsetName renders a BSA bitmask (bit i = bsaLetters[i]) as the paper's
 // letter code, eg. "SDN"; the empty subset renders as "".
@@ -105,7 +92,7 @@ type DesignResult struct {
 // Options configures an exploration.
 type Options struct {
 	// MaxDyn is the per-benchmark dynamic-instruction budget (0 =
-	// DefaultMaxDyn).
+	// DefaultMaxDyn). Ignored when Engine is supplied.
 	MaxDyn int
 	// Workloads restricts the benchmark set (nil = all).
 	Workloads []*workloads.Workload
@@ -113,12 +100,17 @@ type Options struct {
 	Cores []cores.Config
 	// UseAmdahl selects the Amdahl-tree scheduler instead of the Oracle.
 	UseAmdahl bool
-	// Parallelism bounds worker goroutines (0 = NumCPU).
+	// Parallelism bounds worker goroutines (0 = GOMAXPROCS). Ignored
+	// when Engine is supplied.
 	Parallelism int
+	// Engine, if non-nil, is the shared evaluation engine to use —
+	// repeated explorations (or other tools in the same process) then
+	// reuse its artifact caches.
+	Engine *runner.Engine
 }
 
 // DefaultMaxDyn is the exploration trace budget per benchmark.
-const DefaultMaxDyn = 100_000
+const DefaultMaxDyn = runner.DefaultMaxDyn
 
 // Exploration is the full design-space result.
 type Exploration struct {
@@ -128,117 +120,45 @@ type Exploration struct {
 	Reference string
 }
 
-// benchCtx is the per-(benchmark, core) scheduling context plus memoized
-// assignment evaluations.
-type benchCtx struct {
-	w   *workloads.Workload
-	ctx *sched.Context
-
-	mu   sync.Mutex
-	memo map[string][2]float64 // assignment signature -> cycles, energy
-}
-
-func assignmentKey(a exocore.Assignment) string {
-	keys := make([]int, 0, len(a))
-	for k := range a {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
-	var sb strings.Builder
-	for _, k := range keys {
-		fmt.Fprintf(&sb, "%d=%s;", k, a[k])
-	}
-	return sb.String()
-}
-
-func (bc *benchCtx) eval(assign exocore.Assignment) (int64, float64, error) {
-	key := assignmentKey(assign)
-	bc.mu.Lock()
-	if v, ok := bc.memo[key]; ok {
-		bc.mu.Unlock()
-		return int64(v[0]), v[1], nil
-	}
-	bc.mu.Unlock()
-	cycles, energy, err := bc.ctx.Evaluate(assign)
-	if err != nil {
-		return 0, 0, err
-	}
-	bc.mu.Lock()
-	bc.memo[key] = [2]float64{float64(cycles), energy}
-	bc.mu.Unlock()
-	return cycles, energy, nil
-}
-
 // Explore runs the full exploration.
 func Explore(opts Options) (*Exploration, error) {
 	ws := opts.Workloads
 	if ws == nil {
 		ws = workloads.All()
 	}
+	eng := opts.Engine
+	if eng == nil {
+		eng = runner.New(runner.Options{MaxDyn: opts.MaxDyn, Workers: opts.Parallelism})
+	}
+
+	// Phase 1: warm the per-(bench, core) scheduling contexts in
+	// parallel. The engine computes each exactly once.
 	cs := opts.Cores
 	if cs == nil {
 		cs = cores.Configs
 	}
-	maxDyn := opts.MaxDyn
-	if maxDyn <= 0 {
-		maxDyn = DefaultMaxDyn
+	type pair struct {
+		w    *workloads.Workload
+		core cores.Config
 	}
-	par := opts.Parallelism
-	if par <= 0 {
-		par = runtime.NumCPU()
-	}
-
-	// Phase 1: build scheduling contexts for every (bench, core).
-	type ctxKey struct {
-		bench string
-		core  string
-	}
-	ctxs := make(map[ctxKey]*benchCtx)
-	var mu sync.Mutex
-	var firstErr error
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
+	var pairs []pair
 	for _, w := range ws {
 		for _, core := range cs {
-			w, core := w, core
-			wg.Add(1)
-			sem <- struct{}{}
-			go func() {
-				defer wg.Done()
-				defer func() { <-sem }()
-				tr, err := w.Trace(maxDyn)
-				if err == nil {
-					var td *tdg.TDG
-					td, err = tdg.Build(tr)
-					if err == nil {
-						var sc *sched.Context
-						sc, err = sched.NewContext(td, core, NewBSASet())
-						if err == nil {
-							mu.Lock()
-							ctxs[ctxKey{w.Name, core.Name}] = &benchCtx{
-								w: w, ctx: sc, memo: make(map[string][2]float64),
-							}
-							mu.Unlock()
-							return
-						}
-					}
-				}
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("dse: %s on %s: %w", w.Name, core.Name, err)
-				}
-				mu.Unlock()
-			}()
+			pairs = append(pairs, pair{w, core})
 		}
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := eng.ForEach(len(pairs), func(i int) error {
+		_, err := eng.Context(pairs[i].w, pairs[i].core)
+		return err
+	}); err != nil {
+		return nil, err
 	}
 
-	// Phase 2: evaluate all 16 subsets per (bench, core).
-	exp := &Exploration{Reference: "IO2"}
-	designs := make([]DesignResult, 0, len(cs)*16)
+	// Phase 2: evaluate all 16 subsets per core. Designs are laid out in
+	// a fixed order and filled by index, so the result is identical
+	// regardless of worker count or completion order; the engine's eval
+	// cache deduplicates identical assignments across subsets.
+	var protos []DesignResult
 	for _, core := range cs {
 		for mask := 0; mask < 16; mask++ {
 			bsaNames := SubsetBSAs(mask)
@@ -247,60 +167,45 @@ func Explore(opts Options) (*Exploration, error) {
 			for _, n := range bsaNames {
 				bsaModels = append(bsaModels, set[n])
 			}
-			dr := DesignResult{
+			protos = append(protos, DesignResult{
 				Core: core, Mask: mask,
 				Code:    DesignCode(core, mask),
 				AreaMM2: area.Total(core, bsaModels),
-			}
-			designs = append(designs, dr)
+			})
 		}
 	}
 
-	var dmu sync.Mutex
-	for di := range designs {
-		di := di
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			d := &designs[di]
-			avail := SubsetBSAs(d.Mask)
-			for _, w := range ws {
-				bc := ctxs[ctxKey{w.Name, d.Core.Name}]
-				var assign exocore.Assignment
-				if opts.UseAmdahl {
-					assign = bc.ctx.AmdahlTree(avail)
-				} else {
-					assign = bc.ctx.Oracle(avail)
-				}
-				cycles, energy, err := bc.eval(assign)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-				dmu.Lock()
-				d.PerBench = append(d.PerBench, BenchResult{
-					Bench: w.Name, Category: w.Category,
-					Cycles: cycles, EnergyNJ: energy,
-				})
-				dmu.Unlock()
+	designs, err := runner.Map(eng, len(protos), func(di int) (DesignResult, error) {
+		d := protos[di]
+		avail := SubsetBSAs(d.Mask)
+		for _, w := range ws {
+			sc, err := eng.Context(w, d.Core)
+			if err != nil {
+				return d, err
 			}
-			dmu.Lock()
-			sort.Slice(d.PerBench, func(a, b int) bool { return d.PerBench[a].Bench < d.PerBench[b].Bench })
-			dmu.Unlock()
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+			var assign map[int]string
+			if opts.UseAmdahl {
+				assign = sc.AmdahlTree(avail)
+			} else {
+				assign = sc.Oracle(avail)
+			}
+			cycles, energy, err := eng.Evaluate(w, d.Core, assign)
+			if err != nil {
+				return d, err
+			}
+			d.PerBench = append(d.PerBench, BenchResult{
+				Bench: w.Name, Category: w.Category,
+				Cycles: cycles, EnergyNJ: energy,
+			})
+		}
+		sort.Slice(d.PerBench, func(a, b int) bool { return d.PerBench[a].Bench < d.PerBench[b].Bench })
+		return d, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	exp.Designs = designs
+	exp := &Exploration{Designs: designs, Reference: "IO2"}
 	exp.normalize()
 	return exp, nil
 }
@@ -392,7 +297,12 @@ func (e *Exploration) CategoryAggregate(code string, cat workloads.Category) (fl
 // RelEnergyEff ↑), sorted by performance — the Figure 3/10 frontier.
 func (e *Exploration) Frontier() []DesignResult {
 	sorted := append([]DesignResult(nil), e.Designs...)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a].RelPerf > sorted[b].RelPerf })
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].RelPerf != sorted[b].RelPerf {
+			return sorted[a].RelPerf > sorted[b].RelPerf
+		}
+		return sorted[a].Code < sorted[b].Code
+	})
 	var out []DesignResult
 	bestEff := 0.0
 	for _, d := range sorted {

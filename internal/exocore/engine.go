@@ -204,9 +204,17 @@ func EnergyOf(res *RunResult, core cores.Config, bsas map[string]tdg.BSA) energy
 	onCycles := float64(res.Cycles - res.OffloadCycles)
 	gated := float64(res.OffloadCycles)
 	staticNJ := tbl.StaticW * (onCycles + GatedCoreStaticFraction*gated) * cyclesToSec * 1e9
-	for name, active := range res.ActiveCycles {
+	// Sum in sorted-name order: float accumulation over randomized map
+	// iteration order would make energy differ in the last ULP between
+	// otherwise identical runs.
+	names := make([]string, 0, len(res.ActiveCycles))
+	for name := range res.ActiveCycles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		w := energy.AccelStaticW(energy.AccelParams{AreaMM2: bsas[name].AreaMM2()})
-		staticNJ += w * float64(active) * cyclesToSec * 1e9
+		staticNJ += w * float64(res.ActiveCycles[name]) * cyclesToSec * 1e9
 	}
 	return energy.Result{DynamicNJ: dyn, StaticNJ: staticNJ, Cycles: res.Cycles}
 }

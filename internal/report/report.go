@@ -1,0 +1,122 @@
+// Package report defines the one versioned JSON result schema shared by
+// every cmd/ tool's -json mode, so downstream scripts parse a single
+// format instead of seven bespoke text layouts.
+//
+// A document is a flat list of results — one per (design point,
+// benchmark) observation, with aggregate rows carrying an empty Bench —
+// plus the engine's per-stage metrics. Results are always emitted sorted
+// by (benchmark, design) so output is byte-stable across runs and across
+// worker counts.
+package report
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"exocore/internal/runner"
+)
+
+// Schema identifies the document format. Bump the suffix on any
+// backwards-incompatible change.
+const Schema = "exocore-result/v1"
+
+// Result is one observation: a design point evaluated on a benchmark (or
+// an aggregate over benchmarks when Bench is empty). Numeric fields that
+// do not apply to a tool are simply omitted.
+type Result struct {
+	// Design is the design-point code, eg. "OOO2-SDN" or "IO2".
+	Design string `json:"design"`
+	// Core is the general-core name component, eg. "OOO2".
+	Core string `json:"core,omitempty"`
+	// BSAs lists the accelerators present in the design.
+	BSAs []string `json:"bsas,omitempty"`
+	// Bench is the benchmark name; empty for aggregate rows.
+	Bench string `json:"bench,omitempty"`
+	// Category is the workload category, when the row is per-category.
+	Category string `json:"category,omitempty"`
+
+	Cycles       int64   `json:"cycles,omitempty"`
+	EnergyNJ     float64 `json:"energy_nj,omitempty"`
+	AreaMM2      float64 `json:"area_mm2,omitempty"`
+	RelPerf      float64 `json:"rel_perf,omitempty"`
+	RelEnergyEff float64 `json:"rel_energy_eff,omitempty"`
+	RelArea      float64 `json:"rel_area,omitempty"`
+
+	// Coverage is the per-BSA share of execution cycles ("" in the
+	// engine becomes "GPP" here; values sum to ~1 for full rows).
+	Coverage map[string]float64 `json:"per_bsa_coverage,omitempty"`
+
+	// Params carries tool-specific string dimensions (eg. sweep/variant
+	// labels, scheduler names) without widening the schema per tool.
+	Params map[string]string `json:"params,omitempty"`
+	// Extra carries tool-specific scalars (eg. local_speedup,
+	// unaccelerated_frac) under stable snake_case keys.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Document is the top-level JSON object every tool emits under -json.
+type Document struct {
+	Schema  string   `json:"schema"`
+	Tool    string   `json:"tool"`
+	Results []Result `json:"results"`
+	// Metrics is the evaluation engine's per-stage snapshot (cache
+	// hit/miss counters, wall clock, instruction counts).
+	Metrics *runner.Metrics `json:"metrics,omitempty"`
+}
+
+// New creates an empty document for a tool.
+func New(tool string) *Document {
+	return &Document{Schema: Schema, Tool: tool}
+}
+
+// Add appends results.
+func (d *Document) Add(rs ...Result) {
+	d.Results = append(d.Results, rs...)
+}
+
+// Sort orders results by (bench, design, category, params) — the stable
+// key the spec requires before printing. Aggregate rows (empty Bench)
+// sort before per-bench rows of the same design.
+func (d *Document) Sort() {
+	sort.SliceStable(d.Results, func(i, j int) bool {
+		a, b := d.Results[i], d.Results[j]
+		if a.Bench != b.Bench {
+			return a.Bench < b.Bench
+		}
+		if a.Design != b.Design {
+			return a.Design < b.Design
+		}
+		if a.Category != b.Category {
+			return a.Category < b.Category
+		}
+		return paramsKey(a.Params) < paramsKey(b.Params)
+	})
+}
+
+func paramsKey(p map[string]string) string {
+	if len(p) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb []byte
+	for _, k := range keys {
+		sb = append(sb, k...)
+		sb = append(sb, '=')
+		sb = append(sb, p[k]...)
+		sb = append(sb, ';')
+	}
+	return string(sb)
+}
+
+// Write sorts the results and writes the document as indented JSON.
+func (d *Document) Write(w io.Writer) error {
+	d.Sort()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

@@ -1,0 +1,61 @@
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+func defaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// memo is a concurrency-safe compute-once cache ("singleflight" + store):
+// the first caller of a key computes the value while later callers — even
+// concurrent ones — block on the same entry and share the result. Errors
+// are cached too: a failed stage fails identically on every lookup
+// instead of being retried.
+type memo[V any] struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// get returns (value, cacheHit, computeWall, err). cacheHit is true when
+// this caller did not run compute — including when it blocked on another
+// goroutine's in-flight computation, since the work was still shared.
+func (t *memo[V]) get(key string, compute func() (V, error)) (V, bool, time.Duration, error) {
+	t.mu.Lock()
+	if t.m == nil {
+		t.m = make(map[string]*memoEntry[V])
+	}
+	if ent, ok := t.m[key]; ok {
+		t.mu.Unlock()
+		<-ent.done
+		return ent.val, true, 0, ent.err
+	}
+	ent := &memoEntry[V]{done: make(chan struct{})}
+	t.m[key] = ent
+	t.mu.Unlock()
+
+	start := time.Now()
+	defer close(ent.done)
+	ent.val, ent.err = compute()
+	return ent.val, false, time.Since(start), ent.err
+}
+
+// len reports the number of cached entries (for tests).
+func (t *memo[V]) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}

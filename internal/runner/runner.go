@@ -1,0 +1,380 @@
+// Package runner is the shared evaluation engine behind every driver and
+// the design-space exploration. It memoizes the expensive per-(benchmark,
+// core) pipeline stages — dynamic trace, reconstructed TDG, scheduling
+// context, assignment evaluation — in a concurrency-safe artifact cache,
+// fans work out over a bounded worker pool with deterministic result
+// ordering, and exposes per-stage wall-clock / instruction-count metrics
+// plus cache hit/miss counters and an optional progress callback.
+//
+// One Engine per tool invocation is the normal lifetime; sharing an
+// Engine across calls (eg. several dse.Explore runs) shares the caches.
+package runner
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exocore/internal/bsa/dpcgra"
+	"exocore/internal/bsa/nsdf"
+	"exocore/internal/bsa/simd"
+	"exocore/internal/bsa/tracep"
+	"exocore/internal/cores"
+	"exocore/internal/exocore"
+	"exocore/internal/sched"
+	"exocore/internal/tdg"
+	"exocore/internal/trace"
+	"exocore/internal/workloads"
+)
+
+// DefaultMaxDyn is the default per-benchmark dynamic-instruction budget.
+const DefaultMaxDyn = 100_000
+
+// BSANames is the canonical BSA order (the paper's Figure 12 letters
+// S, D, N, T).
+var BSANames = []string{"SIMD", "DP-CGRA", "NS-DF", "Trace-P"}
+
+// NewBSASet instantiates fresh models for all four BSAs.
+func NewBSASet() map[string]tdg.BSA {
+	return map[string]tdg.BSA{
+		"SIMD":    simd.New(),
+		"DP-CGRA": dpcgra.New(),
+		"NS-DF":   nsdf.New(),
+		"Trace-P": tracep.New(),
+	}
+}
+
+// Pipeline stage names, in execution order.
+const (
+	StageTrace = "trace"
+	StageTDG   = "tdg"
+	StageSched = "sched"
+	StageEval  = "eval"
+)
+
+var stageOrder = []string{StageTrace, StageTDG, StageSched, StageEval}
+
+// Event describes one cache lookup, delivered to the progress callback.
+type Event struct {
+	Stage    string        // StageTrace, StageTDG, StageSched or StageEval
+	Key      string        // "bench" or "bench/core[/assignment]"
+	CacheHit bool          // true when the artifact was already cached
+	Wall     time.Duration // compute time (zero on hits)
+}
+
+// ProgressFunc receives an Event after every stage lookup. Calls are
+// serialized; the callback may write to a terminal without locking.
+type ProgressFunc func(Event)
+
+// Options configures an Engine.
+type Options struct {
+	// MaxDyn is the per-benchmark dynamic-instruction budget (0 =
+	// DefaultMaxDyn). It is part of every cache key's identity, so one
+	// Engine serves exactly one budget.
+	MaxDyn int
+	// Workers bounds concurrent jobs in ForEach/Map (0 = GOMAXPROCS).
+	Workers int
+	// Progress, if non-nil, observes every stage lookup.
+	Progress ProgressFunc
+}
+
+// StageMetrics aggregates one pipeline stage's counters.
+type StageMetrics struct {
+	Stage  string `json:"stage"`
+	Calls  int64  `json:"calls"`
+	Hits   int64  `json:"cache_hits"`
+	Misses int64  `json:"cache_misses"`
+	WallNS int64  `json:"wall_ns"`
+	// Insts counts dynamic instructions processed by cache misses (the
+	// work actually done, as opposed to work served from cache).
+	Insts int64 `json:"instructions"`
+}
+
+// Metrics is a point-in-time snapshot of the engine's counters.
+type Metrics struct {
+	Stages []StageMetrics `json:"stages"`
+}
+
+// Stage returns the named stage's snapshot (zero value if unknown).
+func (m Metrics) Stage(name string) StageMetrics {
+	for _, s := range m.Stages {
+		if s.Stage == name {
+			return s
+		}
+	}
+	return StageMetrics{}
+}
+
+// Hits sums cache hits over all stages.
+func (m Metrics) Hits() int64 {
+	var n int64
+	for _, s := range m.Stages {
+		n += s.Hits
+	}
+	return n
+}
+
+// Misses sums cache misses over all stages.
+func (m Metrics) Misses() int64 {
+	var n int64
+	for _, s := range m.Stages {
+		n += s.Misses
+	}
+	return n
+}
+
+// stageCounters holds one stage's atomic counters.
+type stageCounters struct {
+	calls, hits, misses, wallNS, insts atomic.Int64
+}
+
+// evalResult is the memoized outcome of one assignment evaluation.
+type evalResult struct {
+	cycles   int64
+	energyNJ float64
+}
+
+// Engine is the shared evaluation engine. Safe for concurrent use.
+type Engine struct {
+	maxDyn  int
+	workers int
+
+	progressMu sync.Mutex
+	progress   ProgressFunc
+
+	traces memo[*trace.Trace]
+	tdgs   memo[*tdg.TDG]
+	scheds memo[*sched.Context]
+	evals  memo[evalResult]
+
+	counters map[string]*stageCounters
+}
+
+// New creates an Engine.
+func New(opts Options) *Engine {
+	maxDyn := opts.MaxDyn
+	if maxDyn <= 0 {
+		maxDyn = DefaultMaxDyn
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	e := &Engine{
+		maxDyn:   maxDyn,
+		workers:  workers,
+		progress: opts.Progress,
+		counters: make(map[string]*stageCounters, len(stageOrder)),
+	}
+	for _, s := range stageOrder {
+		e.counters[s] = &stageCounters{}
+	}
+	return e
+}
+
+// MaxDyn returns the engine's dynamic-instruction budget.
+func (e *Engine) MaxDyn() int { return e.maxDyn }
+
+// Workers returns the worker-pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Metrics snapshots the per-stage counters in pipeline order.
+func (e *Engine) Metrics() Metrics {
+	var m Metrics
+	for _, name := range stageOrder {
+		c := e.counters[name]
+		m.Stages = append(m.Stages, StageMetrics{
+			Stage:  name,
+			Calls:  c.calls.Load(),
+			Hits:   c.hits.Load(),
+			Misses: c.misses.Load(),
+			WallNS: c.wallNS.Load(),
+			Insts:  c.insts.Load(),
+		})
+	}
+	return m
+}
+
+func (e *Engine) emit(ev Event) {
+	if e.progress == nil {
+		return
+	}
+	e.progressMu.Lock()
+	e.progress(ev)
+	e.progressMu.Unlock()
+}
+
+// account records one lookup's counters and fires the progress callback.
+func (e *Engine) account(stage, key string, hit bool, wall time.Duration, insts int64) {
+	c := e.counters[stage]
+	c.calls.Add(1)
+	if hit {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+		c.wallNS.Add(int64(wall))
+		c.insts.Add(insts)
+	}
+	e.emit(Event{Stage: stage, Key: key, CacheHit: hit, Wall: wall})
+}
+
+// Trace returns the workload's annotated dynamic trace, computing it at
+// most once per Engine.
+func (e *Engine) Trace(w *workloads.Workload) (*trace.Trace, error) {
+	key := w.Name
+	tr, hit, wall, err := e.traces.get(key, func() (*trace.Trace, error) {
+		return w.Trace(e.maxDyn)
+	})
+	var insts int64
+	if tr != nil {
+		insts = int64(tr.Len())
+	}
+	e.account(StageTrace, key, hit, wall, insts)
+	return tr, err
+}
+
+// TDG returns the workload's reconstructed TDG (trace + IR + profile),
+// computing it at most once per Engine.
+func (e *Engine) TDG(w *workloads.Workload) (*tdg.TDG, error) {
+	key := w.Name
+	td, hit, wall, err := e.tdgs.get(key, func() (*tdg.TDG, error) {
+		tr, err := e.Trace(w)
+		if err != nil {
+			return nil, err
+		}
+		return tdg.Build(tr)
+	})
+	var insts int64
+	if td != nil {
+		insts = int64(td.Trace.Len())
+	}
+	e.account(StageTDG, key, hit, wall, insts)
+	return td, err
+}
+
+// TDGFor builds (and caches) the TDG of an ad-hoc trace under an explicit
+// key — the escape hatch for programs authored outside the workload
+// registry (eg. the quickstart example). Keys live in their own namespace
+// and cannot collide with workload names.
+func (e *Engine) TDGFor(key string, tr *trace.Trace) (*tdg.TDG, error) {
+	k := "adhoc:" + key
+	td, hit, wall, err := e.tdgs.get(k, func() (*tdg.TDG, error) {
+		return tdg.Build(tr)
+	})
+	e.account(StageTDG, k, hit, wall, int64(tr.Len()))
+	return td, err
+}
+
+// Context returns the (benchmark, core) scheduling context — plans for
+// all four BSAs, the baseline measurement and every solo candidate
+// measurement — computing it at most once per Engine.
+func (e *Engine) Context(w *workloads.Workload, core cores.Config) (*sched.Context, error) {
+	key := w.Name + "/" + core.Name
+	sc, hit, wall, err := e.scheds.get(key, func() (*sched.Context, error) {
+		td, err := e.TDG(w)
+		if err != nil {
+			return nil, err
+		}
+		return sched.NewContext(td, core, NewBSASet())
+	})
+	var insts int64
+	if sc != nil {
+		insts = int64(sc.TDG.Trace.Len())
+	}
+	e.account(StageSched, key, hit, wall, insts)
+	return sc, err
+}
+
+// AssignmentKey renders an assignment as a canonical signature usable as
+// a cache key: loop ids sorted ascending, "loop=bsa;" pairs.
+func AssignmentKey(a exocore.Assignment) string {
+	loops := make([]int, 0, len(a))
+	for l := range a {
+		loops = append(loops, l)
+	}
+	for i := 1; i < len(loops); i++ { // insertion sort; assignments are tiny
+		for j := i; j > 0 && loops[j] < loops[j-1]; j-- {
+			loops[j], loops[j-1] = loops[j-1], loops[j]
+		}
+	}
+	var sb []byte
+	for _, l := range loops {
+		sb = fmt.Appendf(sb, "%d=%s;", l, a[l])
+	}
+	return string(sb)
+}
+
+// Evaluate runs the benchmark on the core under an assignment and returns
+// (cycles, total energy in nJ). Identical assignments — which recur
+// constantly across the 16 BSA subsets of a sweep — are evaluated once
+// and served from cache afterwards.
+func (e *Engine) Evaluate(w *workloads.Workload, core cores.Config, assign exocore.Assignment) (int64, float64, error) {
+	key := w.Name + "/" + core.Name + "/" + AssignmentKey(assign)
+	res, hit, wall, err := e.evals.get(key, func() (evalResult, error) {
+		sc, err := e.Context(w, core)
+		if err != nil {
+			return evalResult{}, err
+		}
+		cycles, energy, err := sc.Evaluate(assign)
+		if err != nil {
+			return evalResult{}, err
+		}
+		return evalResult{cycles: cycles, energyNJ: energy}, nil
+	})
+	e.account(StageEval, key, hit, wall, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.cycles, res.energyNJ, nil
+}
+
+// ForEach runs fn(0..n-1) over the bounded worker pool and waits for all
+// of them. The returned error is deterministic regardless of completion
+// order: the one produced by the lowest index that failed.
+func (e *Engine) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn(0..n-1) over the engine's worker pool and returns the
+// results in index order — deterministic regardless of which worker
+// finished first. On error, the partial results are still returned.
+func Map[R any](e *Engine, n int, fn func(i int) (R, error)) ([]R, error) {
+	out := make([]R, n)
+	err := e.ForEach(n, func(i int) error {
+		r, err := fn(i)
+		out[i] = r
+		return err
+	})
+	return out, err
+}

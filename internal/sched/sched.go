@@ -170,11 +170,18 @@ func (c *Context) AmdahlTree(avail []string) exocore.Assignment {
 		speedup float64
 	}
 	bestAt := make(map[int]est)
-	for name, plan := range c.Plans {
-		if !availSet[name] {
-			continue
+	// Visit plans in sorted-name order so exact EstSpeedup ties break the
+	// same way every run (map iteration order would pick an arbitrary
+	// winner).
+	var planNames []string
+	for name := range c.Plans {
+		if availSet[name] {
+			planNames = append(planNames, name)
 		}
-		for l, r := range plan.Regions {
+	}
+	sort.Strings(planNames)
+	for _, name := range planNames {
+		for l, r := range c.Plans[name].Regions {
 			if cur, ok := bestAt[l]; !ok || r.EstSpeedup > cur.speedup {
 				bestAt[l] = est{bsa: name, speedup: r.EstSpeedup}
 			}

@@ -9,6 +9,7 @@ package tdg
 
 import (
 	"fmt"
+	"sync"
 
 	"exocore/internal/cores"
 	"exocore/internal/dg"
@@ -18,12 +19,16 @@ import (
 )
 
 // TDG is the transformable dependence graph of one program execution.
+// A built TDG is shared read-only between concurrent evaluations (the
+// runner engine caches one per benchmark), so all lazy state behind it
+// must be lock-protected.
 type TDG struct {
 	Trace *trace.Trace
 	CFG   *ir.CFG
 	Nest  *ir.LoopNest
 	Prof  *ir.Profile
 
+	dfMu     sync.Mutex
 	dataflow map[int]*ir.LoopDataflow
 }
 
@@ -43,7 +48,11 @@ func Build(tr *trace.Trace) (*TDG, error) {
 }
 
 // Dataflow returns (computing lazily) the dataflow summary of a loop.
+// Safe for concurrent use: BSA transforms call this from parallel
+// evaluations sharing one TDG.
 func (t *TDG) Dataflow(loopID int) *ir.LoopDataflow {
+	t.dfMu.Lock()
+	defer t.dfMu.Unlock()
 	if ld, ok := t.dataflow[loopID]; ok {
 		return ld
 	}

@@ -22,6 +22,7 @@ import (
 	"exocore/internal/energy"
 	"exocore/internal/exocore"
 	"exocore/internal/refsim"
+	"exocore/internal/runner"
 	"exocore/internal/stats"
 	"exocore/internal/tdg"
 	"exocore/internal/trace"
@@ -162,6 +163,13 @@ func refEnergyNJ(cfg cores.Config, tr *trace.Trace, cycles int64) float64 {
 // reports ("OOO8→1" and "OOO1→8" in Table 1's terms: the graph model
 // projecting each extreme, judged against the independent reference).
 func CrossValidate(maxDyn int) ([]Report, error) {
+	return CrossValidateWith(runner.New(runner.Options{MaxDyn: maxDyn}))
+}
+
+// CrossValidateWith is CrossValidate on a shared evaluation engine, so
+// each benchmark's trace is built once and reused across both extreme
+// design points (and by ValidateBSAWith on the same engine).
+func CrossValidateWith(eng *runner.Engine) ([]Report, error) {
 	var reports []Report
 	for _, cfg := range []cores.Config{OOO1, OOO8} {
 		rep := Report{Accel: "OOO-" + cfg.Name, Base: "-"}
@@ -170,7 +178,7 @@ func CrossValidate(maxDyn int) ([]Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			tr, err := w.Trace(maxDyn)
+			tr, err := eng.Trace(w)
 			if err != nil {
 				return nil, err
 			}
@@ -246,6 +254,13 @@ var bsaSetup = map[string]struct {
 // accelerator over its validation benchmarks and pairs them with the
 // published references.
 func ValidateBSA(accel string, maxDyn int) (Report, error) {
+	return ValidateBSAWith(runner.New(runner.Options{MaxDyn: maxDyn}), accel)
+}
+
+// ValidateBSAWith is ValidateBSA on a shared evaluation engine: the
+// trace and TDG of benchmarks shared between accelerator lines (vpr,
+// mcf429, cjpeg2, ...) are reconstructed once instead of per line.
+func ValidateBSAWith(eng *runner.Engine, accel string) (Report, error) {
 	setup, ok := bsaSetup[accel]
 	if !ok {
 		return Report{}, fmt.Errorf("validate: unknown accelerator %q", accel)
@@ -263,11 +278,7 @@ func ValidateBSA(accel string, maxDyn int) (Report, error) {
 		if err != nil {
 			return Report{}, err
 		}
-		tr, err := w.Trace(maxDyn)
-		if err != nil {
-			return Report{}, err
-		}
-		td, err := tdg.Build(tr)
+		td, err := eng.TDG(w)
 		if err != nil {
 			return Report{}, err
 		}
@@ -307,16 +318,23 @@ func ValidateBSA(accel string, maxDyn int) (Report, error) {
 
 // Table1 runs the full validation suite (the paper's Table 1).
 func Table1(maxDyn int) ([]Report, error) {
-	reports, err := CrossValidate(maxDyn)
+	return Table1With(runner.New(runner.Options{MaxDyn: maxDyn}))
+}
+
+// Table1With runs the full validation suite on a shared evaluation
+// engine; the six experiment lines reuse each other's cached traces and
+// TDGs, and the accelerator lines run over the engine's worker pool.
+func Table1With(eng *runner.Engine) ([]Report, error) {
+	reports, err := CrossValidateWith(eng)
 	if err != nil {
 		return nil, err
 	}
-	for _, accel := range []string{"C-Cores", "BERET", "SIMD", "DySER"} {
-		rep, err := ValidateBSA(accel, maxDyn)
-		if err != nil {
-			return nil, err
-		}
-		reports = append(reports, rep)
+	accels := []string{"C-Cores", "BERET", "SIMD", "DySER"}
+	accelReps, err := runner.Map(eng, len(accels), func(i int) (Report, error) {
+		return ValidateBSAWith(eng, accels[i])
+	})
+	if err != nil {
+		return nil, err
 	}
-	return reports, nil
+	return append(reports, accelReps...), nil
 }
