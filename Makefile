@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test race tier1 tools clean
+.PHONY: check build vet test race tier1 bench benchsmoke tools clean
 
-# The full pre-merge gate: vet + build + race-enabled tests + tier-1.
-check: vet build race tier1
+# The full pre-merge gate: vet + build + race-enabled tests + tier-1 +
+# a single-iteration pass over every benchmark so they can't rot.
+check: vet build race tier1 benchsmoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +23,19 @@ tier1:
 
 test:
 	$(GO) test ./...
+
+# Run the tracked benchmarks and record them (with the frozen
+# pre-optimization baselines) in BENCH_2.json.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkExocoreRun|BenchmarkDSESweep' \
+		-benchmem -benchtime=3x . | tee bench.out
+	awk -f scripts/bench2json.awk bench.out > BENCH_2.json
+	@rm -f bench.out
+	@cat BENCH_2.json
+
+# One iteration of every benchmark: catches compile breaks and panics.
+benchsmoke:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x . > /dev/null
 
 # Build the seven drivers into ./bin.
 tools:

@@ -29,6 +29,7 @@ func main() {
 	app := cli.New("accelsweep", "mm,nbody,vr,cjpeg,spmv,stencil,gsmencode,hmmer")
 	app.SetMaxDynDefault(40000)
 	app.MustParse()
+	defer app.Close()
 	eng := app.Engine()
 	core := app.CoreConfig()
 

@@ -8,7 +8,6 @@ package main
 import (
 	"fmt"
 	"os"
-	"sort"
 	"text/tabwriter"
 
 	"exocore/internal/cli"
@@ -23,6 +22,7 @@ var bsaOrder = []string{"", "SIMD", "DP-CGRA", "NS-DF", "Trace-P"}
 func main() {
 	app := cli.New("breakdown", "all")
 	app.MustParse()
+	defer app.Close()
 	eng := app.Engine()
 	core := app.CoreConfig()
 
@@ -65,7 +65,7 @@ func main() {
 				if label == "" {
 					label = "GPP"
 				}
-				coverage[label] = float64(res.PerBSACycles[name]) / float64(res.Cycles)
+				coverage[label] = float64(res.CyclesOf(name)) / float64(res.Cycles)
 				energyCov["energy_frac_"+label] = energyFrac(res, name)
 			}
 			r := report.Result{
@@ -87,7 +87,7 @@ func main() {
 		}
 		fmt.Fprintf(w, "%s\t%.2f\t%.2f", wl.Name, relTime, relEnergy)
 		for _, name := range bsaOrder {
-			fmt.Fprintf(w, "\t%.0f%%", 100*float64(res.PerBSACycles[name])/float64(res.Cycles))
+			fmt.Fprintf(w, "\t%.0f%%", 100*float64(res.CyclesOf(name))/float64(res.Cycles))
 		}
 		fmt.Fprintf(w, "\t%.0f%%\n", 100*res.UnacceleratedFraction())
 	}
@@ -104,16 +104,13 @@ func main() {
 func energyFrac(res *exocore.RunResult, name string) float64 {
 	var total, part float64
 	tmp := energy.CoreTable(energy.CoreParams{Width: 2, ROB: 64, Window: 32, AreaMM2: 3.2})
-	// Sorted-name order keeps the float sum bit-identical across runs.
-	names := make([]string, 0, len(res.PerBSACounts))
-	for n := range res.PerBSACounts {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		e := tmp.Evaluate(res.PerBSACounts[n], 0).DynamicNJ
+	// res.Models is name-sorted, keeping the float sum bit-identical
+	// across runs.
+	for i := range res.Models {
+		m := &res.Models[i]
+		e := tmp.Evaluate(&m.Counts, 0).DynamicNJ
 		total += e
-		if n == name {
+		if m.Name == name {
 			part = e
 		}
 	}

@@ -29,6 +29,7 @@ func main() {
 	characterize := app.Flags().Bool("characterize", false, "emit Figure 12 data")
 	headline := app.Flags().Bool("headline", false, "evaluate the headline claims")
 	app.MustParse()
+	defer app.Close()
 
 	if !*frontier && !*characterize && !*headline {
 		*frontier, *characterize, *headline = true, true, true

@@ -21,6 +21,7 @@ func main() {
 	app := cli.New("schedcmp", "all")
 	suite := app.Flags().String("suite", "Mediabench", "suite to compare on (or 'all')")
 	app.MustParse()
+	defer app.Close()
 	eng := app.Engine()
 	core := app.CoreConfig()
 
@@ -33,11 +34,11 @@ func main() {
 	}
 
 	type row struct {
-		bench          string
-		oc, ac         int64
-		oe, ae         float64
-		baseC          int64
-		baseE          float64
+		bench  string
+		oc, ac int64
+		oe, ae float64
+		baseC  int64
+		baseE  float64
 	}
 	rows, err := runner.Map(eng, len(wls), func(i int) (row, error) {
 		wl := wls[i]
@@ -75,14 +76,14 @@ func main() {
 				Bench:  r.bench,
 				Params: map[string]string{"suite": *suite},
 				Extra: map[string]float64{
-					"oracle_cycles":      float64(r.oc),
-					"amdahl_cycles":      float64(r.ac),
-					"oracle_energy_nj":   r.oe,
-					"amdahl_energy_nj":   r.ae,
-					"oracle_rel_time":    float64(r.oc) / float64(r.baseC),
-					"amdahl_rel_time":    float64(r.ac) / float64(r.baseC),
-					"oracle_rel_energy":  r.oe / r.baseE,
-					"amdahl_rel_energy":  r.ae / r.baseE,
+					"oracle_cycles":     float64(r.oc),
+					"amdahl_cycles":     float64(r.ac),
+					"oracle_energy_nj":  r.oe,
+					"amdahl_energy_nj":  r.ae,
+					"oracle_rel_time":   float64(r.oc) / float64(r.baseC),
+					"amdahl_rel_time":   float64(r.ac) / float64(r.baseC),
+					"oracle_rel_energy": r.oe / r.baseE,
+					"amdahl_rel_energy": r.ae / r.baseE,
 				},
 			})
 		}

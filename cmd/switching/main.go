@@ -20,6 +20,7 @@ func main() {
 	// The paper uses djpeg and 464.h264ref for Figure 14.
 	app := cli.New("switching", "djpeg,h264ref")
 	app.MustParse()
+	defer app.Close()
 
 	doc := report.New("switching")
 	if !app.JSON {

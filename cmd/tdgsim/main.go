@@ -32,6 +32,7 @@ func main() {
 	listCores := app.Flags().Bool("cores", false, "list core configurations (Table 4)")
 	fuse := app.Flags().Bool("fuse", false, "also report the instruction-fusion DSL result (standard rules)")
 	app.MustParse()
+	defer app.Close()
 
 	if *list {
 		listBenchmarks()
@@ -103,13 +104,14 @@ func run(app *cli.App, doc *report.Document, wl *workloads.Workload, fuse bool) 
 	e := exocore.EnergyOf(res, core, bsas)
 
 	if app.JSON {
-		coverage := make(map[string]float64, len(res.PerBSACycles))
-		for name, c := range res.PerBSACycles {
-			label := name
+		coverage := make(map[string]float64, len(res.Models))
+		for i := range res.Models {
+			m := &res.Models[i]
+			label := m.Name
 			if label == "" {
 				label = "GPP"
 			}
-			coverage[label] = float64(c) / float64(res.Cycles)
+			coverage[label] = float64(m.Cycles) / float64(res.Cycles)
 		}
 		doc.Add(report.Result{
 			Design: designCode(core.Name, names), Core: core.Name,
@@ -118,12 +120,12 @@ func run(app *cli.App, doc *report.Document, wl *workloads.Workload, fuse bool) 
 			Coverage: coverage,
 			Params:   map[string]string{"sched": app.Sched},
 			Extra: map[string]float64{
-				"baseline_cycles":     float64(ctx.BaseCycles),
-				"baseline_energy_nj":  ctx.BaseEnergyNJ,
-				"speedup":             float64(ctx.BaseCycles) / float64(res.Cycles),
-				"energy_eff":          ctx.BaseEnergyNJ / e.TotalNJ(),
-				"avg_power_w":         e.AvgPowerW(),
-				"unaccelerated_frac":  res.UnacceleratedFraction(),
+				"baseline_cycles":      float64(ctx.BaseCycles),
+				"baseline_energy_nj":   ctx.BaseEnergyNJ,
+				"speedup":              float64(ctx.BaseCycles) / float64(res.Cycles),
+				"energy_eff":           ctx.BaseEnergyNJ / e.TotalNJ(),
+				"avg_power_w":          e.AvgPowerW(),
+				"unaccelerated_frac":   res.UnacceleratedFraction(),
 				"dynamic_instructions": float64(td.Trace.Len()),
 			},
 		})
@@ -154,17 +156,13 @@ func run(app *cli.App, doc *report.Document, wl *workloads.Workload, fuse bool) 
 	fmt.Println("\nper-model attribution:")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "  MODEL\tINSTS\tCYCLES")
-	var keys []string
-	for k := range res.PerBSADyn {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		name := k
+	for i := range res.Models {
+		m := &res.Models[i]
+		name := m.Name
 		if name == "" {
 			name = "general core"
 		}
-		fmt.Fprintf(w, "  %s\t%d\t%d\n", name, res.PerBSADyn[k], res.PerBSACycles[k])
+		fmt.Fprintf(w, "  %s\t%d\t%d\n", name, m.Dyn, m.Cycles)
 	}
 	w.Flush()
 

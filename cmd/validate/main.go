@@ -19,6 +19,7 @@ func main() {
 	app := cli.New("validate", "all")
 	scatter := app.Flags().Bool("scatter", false, "emit Figure 5 scatter data as CSV")
 	app.MustParse()
+	defer app.Close()
 
 	reports, err := validate.Table1With(app.Engine())
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 func main() {
 	app := cli.New("workloadcat", "all")
 	app.MustParse()
+	defer app.Close()
 
 	exp, err := dse.Explore(dse.Options{
 		Workloads: app.Workloads(),

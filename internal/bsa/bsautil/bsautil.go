@@ -6,6 +6,8 @@
 package bsautil
 
 import (
+	"sync"
+
 	"exocore/internal/dg"
 	"exocore/internal/energy"
 	"exocore/internal/isa"
@@ -24,7 +26,14 @@ type Iteration struct {
 // before the first header entry is folded into the first iteration.
 func SplitIterations(t *tdg.TDG, loopID, start, end int) []Iteration {
 	headerStart := t.CFG.Blocks[t.Nest.Loops[loopID].Header].Start
-	var iters []Iteration
+	// Count header entries first so the result is built in one allocation.
+	n := 0
+	for i := start; i < end; i++ {
+		if int(t.Trace.Insts[i].SI) == headerStart {
+			n++
+		}
+	}
+	iters := make([]Iteration, 0, n+1)
 	cur := Iteration{Start: start, End: start}
 	started := false
 	for i := start; i < end; i++ {
@@ -48,7 +57,13 @@ func SplitIterations(t *tdg.TDG, loopID, start, end int) []Iteration {
 // BlocksOf returns the distinct basic-block entry sequence of a dynamic
 // range (the iteration's path).
 func BlocksOf(t *tdg.TDG, start, end int) []int {
-	var blocks []int
+	return BlocksOfInto(nil, t, start, end)
+}
+
+// BlocksOfInto is BlocksOf building into buf (overwritten), so per-
+// iteration callers can reuse one allocation.
+func BlocksOfInto(buf []int, t *tdg.TDG, start, end int) []int {
+	blocks := buf[:0]
 	prev := -1
 	prevSI := -1
 	for i := start; i < end; i++ {
@@ -117,24 +132,44 @@ type Dataflow struct {
 	written  map[isa.Reg]bool
 }
 
-// NewDataflow returns an executor whose inputs become available at the
-// entry node (live-in transfer complete).
-func NewDataflow(cfg DataflowConfig, g *dg.Graph, counts *energy.Counts, entry dg.NodeID) *Dataflow {
-	d := &Dataflow{
-		Cfg: cfg, G: g, Counts: counts,
+// dfPool recycles Dataflow executors (and their two maps) across regions;
+// every offload model creates one per region occurrence.
+var dfPool = sync.Pool{New: func() any {
+	return &Dataflow{
 		stores:  make(map[uint64]dg.NodeID),
-		issueRT: dg.NewResourceTable(cfg.IssueBandwidth),
-		busRT:   dg.NewResourceTable(cfg.BusBandwidth),
-		memRT:   dg.NewResourceTable(cfg.MemPorts),
 		written: make(map[isa.Reg]bool),
 	}
+}}
+
+// NewDataflow returns an executor whose inputs become available at the
+// entry node (live-in transfer complete). The executor is pooled: pair
+// with Release.
+func NewDataflow(cfg DataflowConfig, g *dg.Graph, counts *energy.Counts, entry dg.NodeID) *Dataflow {
+	d := dfPool.Get().(*Dataflow)
+	d.Cfg, d.G, d.Counts = cfg, g, counts
+	clear(d.stores)
+	clear(d.written)
+	d.issueRT = g.BorrowRT(cfg.IssueBandwidth)
+	d.busRT = g.BorrowRT(cfg.BusBandwidth)
+	d.memRT = g.BorrowRT(cfg.MemPorts)
 	for i := range d.regNode {
 		d.regNode[i] = entry
 	}
 	d.ctrlNode = entry
 	d.lastNode = entry
 	d.lastExec = dg.None
+	d.ops, d.values = 0, 0
 	return d
+}
+
+// Release recycles the dataflow's resource tables into the graph's pool
+// and the executor itself into the package pool. Call (usually defer)
+// once the Dataflow is no longer used; it must not be touched afterwards.
+func (d *Dataflow) Release() {
+	d.G.ReturnRT(d.issueRT, d.busRT, d.memRT)
+	d.issueRT, d.busRT, d.memRT = nil, nil, nil
+	d.G, d.Counts = nil, nil
+	dfPool.Put(d)
 }
 
 // Exec models one dynamic instruction on the accelerator and returns its
@@ -319,13 +354,17 @@ func NewConfigCache(capacity int) *ConfigCache {
 func (c *ConfigCache) Lookup(loopID int) bool {
 	for i, id := range c.order {
 		if id == loopID {
-			c.order = append(append(c.order[:i:i], c.order[i+1:]...), loopID)
+			// Move to MRU position in place.
+			copy(c.order[i:], c.order[i+1:])
+			c.order[len(c.order)-1] = loopID
 			return true
 		}
 	}
-	c.order = append(c.order, loopID)
-	if len(c.order) > c.cap {
-		c.order = c.order[1:]
+	if len(c.order) < c.cap {
+		c.order = append(c.order, loopID)
+	} else {
+		copy(c.order, c.order[1:])
+		c.order[len(c.order)-1] = loopID
 	}
 	return false
 }

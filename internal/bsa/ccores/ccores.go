@@ -77,6 +77,7 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 	}
 
 	df := bsautil.NewDataflow(dfConfig, g, ctx.Counts, entry)
+	defer df.Release()
 	tr := ctx.TDG.Trace
 	for i := start; i < end; i++ {
 		d := &tr.Insts[i]

@@ -10,6 +10,7 @@ package dpcgra
 
 import (
 	"sort"
+	"sync"
 
 	"exocore/internal/bsa/bsautil"
 	"exocore/internal/cores"
@@ -59,6 +60,10 @@ type loopPlan struct {
 	memKinds   map[int]byte // 0 contig, 1 scalar, 2 strided (access slice)
 	latchSIs   map[int]bool
 	computeN   int
+	// Emission orders for the induction/latch map entries: op emission
+	// books FU slots, so it must not follow Go's randomized map order.
+	inductionOrder []int
+	latchOrder     []int
 }
 
 // Analyze implements tdg.BSA: the plan is the set of legal and profitable
@@ -273,14 +278,18 @@ func (m *Model) buildPlan(t *tdg.TDG, l int, ld *ir.LoopDataflow) *loopPlan {
 			}
 		}
 	}
+	for si := range p.inductions {
+		p.inductionOrder = append(p.inductionOrder, si)
+	}
+	sort.Ints(p.inductionOrder)
+	for si := range p.latchSIs {
+		p.latchOrder = append(p.latchOrder, si)
+	}
+	sort.Ints(p.latchOrder)
 	return p
 }
 
 func r0(r isa.Reg) isa.Reg { return r }
-
-type runState struct {
-	cache *bsautil.ConfigCache
-}
 
 // TransformRegion implements tdg.BSA: per (possibly vectorized) loop
 // instance, the core executes the access slice, sends inputs through the
@@ -289,14 +298,11 @@ type runState struct {
 // two extra pipelining edges — instance pipelining and in-order
 // completion — modeled via the instance chain).
 func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.NodeID {
-	st := tdg.RunState(ctx, m.Name(), func() *runState {
-		return &runState{cache: bsautil.NewConfigCache(8)}
-	})
 	p := r.Config.(*loopPlan)
 	g := ctx.G
 	gpp := ctx.GPP
 
-	if !st.cache.Lookup(r.LoopID) {
+	if !ctx.ConfigResident {
 		cfgNode := g.NewNode(dg.KindAccel, int32(start))
 		g.AddEdge(gpp.LastCommit(), cfgNode, ConfigLatency, dg.EdgeAccelConfig)
 		gpp.Barrier(cfgNode, dg.EdgeAccelConfig)
@@ -305,6 +311,8 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 
 	iters := bsautil.SplitIterations(ctx.TDG, r.LoopID, start, end)
 	groupSize := p.lanes
+	scratch := scratchPool.Get().(*instScratch)
+	defer scratchPool.Put(scratch)
 	var prevStart dg.NodeID = dg.None
 	for gi := 0; gi < len(iters); gi += groupSize {
 		hi := gi + groupSize
@@ -319,7 +327,7 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 			}
 			continue
 		}
-		prevStart = m.instance(ctx, p, group, prevStart)
+		prevStart = m.instance(ctx, p, group, prevStart, scratch)
 	}
 	return dg.None // completion flows through core receives
 }
@@ -332,8 +340,40 @@ func (m *Model) scalar(ctx *tdg.Ctx, start, end int) {
 	}
 }
 
+// scratchPool recycles instScratch records across regions (TransformRegion
+// runs concurrently from independent evaluation workers).
+var scratchPool = sync.Pool{New: func() any {
+	return &instScratch{mems: make(map[int]*memInfo, 16)}
+}}
+
+// instScratch recycles per-instance aggregation state across the
+// invocations of one region: the mems map, its memInfo records and the
+// sorted-key slice are reused instead of reallocated per instance.
+type instScratch struct {
+	mems  map[int]*memInfo
+	arena []memInfo
+	used  int
+	order []int
+}
+
+func (s *instScratch) get() *memInfo {
+	if s.used == len(s.arena) {
+		// Records already in the map keep pointing into the old chunk; a
+		// fresh chunk serves subsequent records.
+		n := len(s.arena) * 2
+		if n < 32 {
+			n = 32
+		}
+		s.arena = make([]memInfo, n)
+		s.used = 0
+	}
+	mi := &s.arena[s.used]
+	s.used++
+	return mi
+}
+
 // instance models one CGRA invocation covering a group of iterations.
-func (m *Model) instance(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration, prev dg.NodeID) dg.NodeID {
+func (m *Model) instance(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration, prev dg.NodeID, scratch *instScratch) dg.NodeID {
 	g := ctx.G
 	gpp := ctx.GPP
 	tr := ctx.TDG.Trace
@@ -341,7 +381,8 @@ func (m *Model) instance(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration, p
 
 	// Pass 1: aggregate per-SI memory behavior across the group, and
 	// count offloaded dynamic ops for energy.
-	mems := make(map[int]*memInfo)
+	clear(scratch.mems)
+	mems := scratch.mems
 	var offloadedOps int64
 	firstDyn := int32(group[0].Start)
 	for _, it := range group {
@@ -356,7 +397,8 @@ func (m *Model) instance(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration, p
 			if in.Op.IsMem() {
 				mi := mems[si]
 				if mi == nil {
-					mi = &memInfo{addr: d.Addr, firstDyn: int32(i),
+					mi = scratch.get()
+					*mi = memInfo{addr: d.Addr, firstDyn: int32(i),
 						isStore: in.Op.IsStore(), valueReg: in.Src2,
 						baseReg: in.Src1, dstReg: in.Dst, op: in.Op}
 					mems[si] = mi
@@ -371,7 +413,12 @@ func (m *Model) instance(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration, p
 	}
 
 	// Pass 2: loads + induction updates on the core.
-	bodyOrder := sortedKeys(mems)
+	bodyOrder := scratch.order[:0]
+	for si := range mems {
+		bodyOrder = append(bodyOrder, si)
+	}
+	sort.Ints(bodyOrder)
+	scratch.order = bodyOrder
 	for _, si := range bodyOrder {
 		mi := mems[si]
 		if mi.isStore {
@@ -379,7 +426,7 @@ func (m *Model) instance(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration, p
 		}
 		m.emitMem(ctx, p, si, mi.op, mi.dstReg, mi.baseReg, mi.valueReg, mi.maxLat, mi.level, mi.addr, mi.firstDyn, lanes)
 	}
-	for si := range p.inductions {
+	for _, si := range p.inductionOrder {
 		in := tr.Prog.At(si)
 		gpp.Exec(cores.UOp{Op: in.Op, Dst: in.Dst, Src1: in.Src1, Src2: in.Src2}, firstDyn)
 	}
@@ -419,7 +466,7 @@ func (m *Model) instance(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration, p
 		}
 		m.emitMem(ctx, p, si, mi.op, mi.dstReg, mi.baseReg, mi.valueReg, mi.maxLat, mi.level, mi.addr, mi.firstDyn, lanes)
 	}
-	for si := range p.latchSIs {
+	for _, si := range p.latchOrder {
 		in := tr.Prog.At(si)
 		lastIdx := group[len(group)-1].End - 1
 		mispred := lastIdx >= 0 && tr.Insts[lastIdx].Mispredicted()
@@ -481,11 +528,3 @@ type memInfo struct {
 	op       isa.Op
 }
 
-func sortedKeys(m map[int]*memInfo) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Ints(out)
-	return out
-}

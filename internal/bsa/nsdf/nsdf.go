@@ -104,18 +104,11 @@ func (m *Model) estimate(t *tdg.TDG, l int) float64 {
 	return est
 }
 
-type runState struct {
-	cache *bsautil.ConfigCache
-}
-
 // TransformRegion implements tdg.BSA: control dependences become dataflow
 // edges (each op waits for the branch admitting its block), compound-FU
 // and writeback-bus bandwidth is enforced, and live values transfer at
 // region boundaries (paper §3.2 NS-DF transform).
 func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.NodeID {
-	st := tdg.RunState(ctx, m.Name(), func() *runState {
-		return &runState{cache: bsautil.NewConfigCache(8)}
-	})
 	g := ctx.G
 	gpp := ctx.GPP
 	ld := ctx.TDG.Dataflow(r.LoopID)
@@ -128,7 +121,7 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 	for _, reg := range ld.LiveIns {
 		g.AddEdge(gpp.RegDef(reg), entry, inLat, dg.EdgeAccelComm)
 	}
-	if !st.cache.Lookup(r.LoopID) {
+	if !ctx.ConfigResident {
 		cfgNode := g.NewNode(dg.KindAccel, int32(start))
 		g.AddEdge(entry, cfgNode, ConfigLatency, dg.EdgeAccelConfig)
 		entry = cfgNode
@@ -136,6 +129,7 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 	}
 
 	df := bsautil.NewDataflow(dfConfig, g, ctx.Counts, entry)
+	defer df.Release()
 	tr := ctx.TDG.Trace
 	for i := start; i < end; i++ {
 		d := &tr.Insts[i]

@@ -10,6 +10,9 @@
 package simd
 
 import (
+	"sort"
+	"sync"
+
 	"exocore/internal/cores"
 	"exocore/internal/dg"
 	"exocore/internal/ir"
@@ -198,6 +201,47 @@ type laneInfo struct {
 	mispred   bool
 }
 
+// groupScratch bundles the per-region vector-group state so one pooled
+// allocation serves a whole region (TransformRegion runs concurrently
+// from independent evaluation workers).
+type groupScratch struct {
+	lanes map[int]*laneInfo
+	arena laneArena
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &groupScratch{lanes: make(map[int]*laneInfo, 32)}
+}}
+
+// laneArena recycles laneInfo records across vector groups: each group
+// needs one record per static instruction it touches, and allocating them
+// individually dominated transform cost on long traces.
+type laneArena struct {
+	buf  []laneInfo
+	used int
+}
+
+func (a *laneArena) reset() { a.used = 0 }
+
+func (a *laneArena) get() *laneInfo {
+	if a.used == len(a.buf) {
+		// Records already handed out stay valid (the lanes map holds
+		// pointers into the old chunk); a fresh chunk serves the rest.
+		n := len(a.buf) * 2
+		if n < 32 {
+			n = 32
+		}
+		a.buf = make([]laneInfo, n)
+		a.used = 0
+	}
+	li := &a.buf[a.used]
+	a.used++
+	lats := li.lats[:0]
+	*li = laneInfo{}
+	li.lats = lats
+	return li
+}
+
 // TransformRegion implements tdg.BSA (TDG_GPP,∅ → TDG_GPP,SIMD): µDG nodes
 // from VecLanes iterations are buffered, the first becomes the vectorized
 // version with predicates/masks inserted and memory latencies re-mapped,
@@ -206,7 +250,9 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 	p := r.Config.(*loopPlan)
 	iters := bsautil.SplitIterations(ctx.TDG, r.LoopID, start, end)
 
-	lanes := make(map[int]*laneInfo, len(p.bodySIs))
+	scratch := scratchPool.Get().(*groupScratch)
+	defer scratchPool.Put(scratch)
+	lanes, arena := scratch.lanes, &scratch.arena
 	flushGroup := func(group []bsautil.Iteration) {
 		if len(group) == 0 {
 			return
@@ -218,7 +264,7 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 			}
 			return
 		}
-		m.vectorGroup(ctx, p, group, lanes)
+		m.vectorGroup(ctx, p, group, lanes, arena)
 	}
 
 	var group []bsautil.Iteration
@@ -232,7 +278,13 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 	flushGroup(group)
 
 	// Reduction epilogue: one horizontal reduce per reduction register.
+	// Emission order books FU slots, so it must not follow map order.
+	redSIs := make([]int, 0, len(p.reductions))
 	for si := range p.reductions {
+		redSIs = append(redSIs, si)
+	}
+	sort.Ints(redSIs)
+	for _, si := range redSIs {
 		in := ctx.TDG.CFG.Prog.At(si)
 		ctx.GPP.Exec(cores.UOp{Op: isa.VReduce, Dst: in.Dst, Src1: in.Dst}, -1)
 	}
@@ -247,9 +299,10 @@ func (m *Model) scalar(ctx *tdg.Ctx, start, end int) {
 	}
 }
 
-func (m *Model) vectorGroup(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration, lanes map[int]*laneInfo) {
+func (m *Model) vectorGroup(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration, lanes map[int]*laneInfo, arena *laneArena) {
 	tr := ctx.TDG.Trace
 	clear(lanes)
+	arena.reset()
 	groupSize := len(group)
 	lastLaneEnd := group[len(group)-1].End
 
@@ -259,7 +312,9 @@ func (m *Model) vectorGroup(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration
 			si := int(d.SI)
 			li := lanes[si]
 			if li == nil {
-				li = &laneInfo{firstDyn: int32(i), addr: d.Addr}
+				li = arena.get()
+				li.firstDyn = int32(i)
+				li.addr = d.Addr
 				lanes[si] = li
 			}
 			li.execCount++

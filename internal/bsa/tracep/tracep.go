@@ -130,19 +130,12 @@ func (m *Model) Analyze(t *tdg.TDG) *tdg.Plan {
 	return plan
 }
 
-type runState struct {
-	cache *bsautil.ConfigCache
-}
-
 // TransformRegion implements tdg.BSA. Iterations matching the hot path
 // execute as speculative dataflow (control dependences dropped); a
 // diverging iteration charges the partially executed trace, pays the
 // squash penalty, and replays entirely on the host core
 // (TDG_GPP-Orig,∅ → TDG_GPP-New,∅ per §3.2).
 func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.NodeID {
-	st := tdg.RunState(ctx, m.Name(), func() *runState {
-		return &runState{cache: bsautil.NewConfigCache(8)}
-	})
 	plan := r.Config.(*tracePlan)
 	g := ctx.G
 	gpp := ctx.GPP
@@ -155,7 +148,7 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 	for _, reg := range ld.LiveIns {
 		g.AddEdge(gpp.RegDef(reg), entry, inLat, dg.EdgeAccelComm)
 	}
-	if !st.cache.Lookup(r.LoopID) {
+	if !ctx.ConfigResident {
 		cfgNode := g.NewNode(dg.KindAccel, int32(start))
 		g.AddEdge(entry, cfgNode, ConfigLatency, dg.EdgeAccelConfig)
 		entry = cfgNode
@@ -163,9 +156,12 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 	}
 
 	df := bsautil.NewDataflow(m.df, g, ctx.Counts, entry)
+	defer df.Release()
 	iters := bsautil.SplitIterations(ctx.TDG, r.LoopID, start, end)
+	var pathBuf []int
 	for _, it := range iters {
-		path := bsautil.BlocksOf(ctx.TDG, it.Start, it.End)
+		path := bsautil.BlocksOfInto(pathBuf, ctx.TDG, it.Start, it.End)
+		pathBuf = path
 		if pathMatches(path, plan.hotPath) {
 			for i := it.Start; i < it.End; i++ {
 				d := &tr.Insts[i]

@@ -138,19 +138,12 @@ func (m *Model) carriedChain(t *tdg.TDG, l int) int64 {
 	return ii
 }
 
-type runState struct {
-	cache *bsautil.ConfigCache
-}
-
 // TransformRegion implements tdg.BSA: iterations dispatch round-robin to
 // lanes (an iteration waits for its lane's previous occupant), carried
 // register values flow through the shared dataflow state, and each
 // iteration's control anchors to its own dispatch — cross-iteration
 // control independence.
 func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.NodeID {
-	st := tdg.RunState(ctx, m.Name(), func() *runState {
-		return &runState{cache: bsautil.NewConfigCache(8)}
-	})
 	g := ctx.G
 	gpp := ctx.GPP
 	tr := ctx.TDG.Trace
@@ -162,7 +155,7 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 	for _, reg := range ld.LiveIns {
 		g.AddEdge(gpp.RegDef(reg), entry, inLat, dg.EdgeAccelComm)
 	}
-	if !st.cache.Lookup(r.LoopID) {
+	if !ctx.ConfigResident {
 		cfgNode := g.NewNode(dg.KindAccel, int32(start))
 		g.AddEdge(entry, cfgNode, ConfigLatency, dg.EdgeAccelConfig)
 		entry = cfgNode
@@ -170,6 +163,7 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 	}
 
 	df := bsautil.NewDataflow(dfConfig, g, ctx.Counts, entry)
+	defer df.Release()
 	iters := bsautil.SplitIterations(ctx.TDG, r.LoopID, start, end)
 	laneEnd := make([]dg.NodeID, m.Lanes)
 	for i := range laneEnd {

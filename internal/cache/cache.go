@@ -23,10 +23,11 @@ type Cache struct {
 	cfg      Config
 	sets     int
 	lineBits uint
-	// tags[set][way]; lru[set][way] holds a per-set use counter.
-	tags   [][]uint64
-	valid  [][]bool
-	lru    [][]uint64
+	// Way state is stored flat (set*Ways+way): three allocations per
+	// cache regardless of set count. lru holds a per-set use counter.
+	tags   []uint64
+	valid  []bool
+	lru    []uint64
 	useClk uint64
 	hits   uint64
 	misses uint64
@@ -46,14 +47,10 @@ func New(cfg Config) *Cache {
 	for b := cfg.LineBytes; b > 1; b >>= 1 {
 		c.lineBits++
 	}
-	c.tags = make([][]uint64, sets)
-	c.valid = make([][]bool, sets)
-	c.lru = make([][]uint64, sets)
-	for i := 0; i < sets; i++ {
-		c.tags[i] = make([]uint64, cfg.Ways)
-		c.valid[i] = make([]bool, cfg.Ways)
-		c.lru[i] = make([]uint64, cfg.Ways)
-	}
+	n := sets * cfg.Ways
+	c.tags = make([]uint64, n)
+	c.valid = make([]bool, n)
+	c.lru = make([]uint64, n)
 	return c
 }
 
@@ -63,10 +60,11 @@ func (c *Cache) Access(addr uint64) bool {
 	set := int(line % uint64(c.sets))
 	tag := line / uint64(c.sets)
 	c.useClk++
-	ways := c.tags[set]
+	base := set * c.cfg.Ways
+	ways := c.tags[base : base+c.cfg.Ways]
 	for w := range ways {
-		if c.valid[set][w] && ways[w] == tag {
-			c.lru[set][w] = c.useClk
+		if c.valid[base+w] && ways[w] == tag {
+			c.lru[base+w] = c.useClk
 			c.hits++
 			return true
 		}
@@ -76,19 +74,19 @@ func (c *Cache) Access(addr uint64) bool {
 	victim := 0
 	var oldest uint64 = ^uint64(0)
 	for w := range ways {
-		if !c.valid[set][w] {
+		if !c.valid[base+w] {
 			victim = w
 			oldest = 0
 			break
 		}
-		if c.lru[set][w] < oldest {
-			oldest = c.lru[set][w]
+		if c.lru[base+w] < oldest {
+			oldest = c.lru[base+w]
 			victim = w
 		}
 	}
-	c.valid[set][victim] = true
-	c.tags[set][victim] = tag
-	c.lru[set][victim] = c.useClk
+	c.valid[base+victim] = true
+	c.tags[base+victim] = tag
+	c.lru[base+victim] = c.useClk
 	return false
 }
 

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"exocore/internal/cores"
@@ -38,17 +40,23 @@ type App struct {
 	MaxDyn  int    // dynamic-instruction budget per benchmark
 	Workers int    // worker-pool bound (0 = GOMAXPROCS)
 
+	// Profiling and measurement flags.
+	CPUProfile string // write a CPU profile to this file
+	MemProfile string // write an allocation profile to this file on Close
+	NoSegCache bool   // disable the evaluation-unit cache (A/B baseline)
+
 	// Stderr receives -v progress and Fail output (defaults to
 	// os.Stderr; overridable for tests).
 	Stderr io.Writer
 
-	fs     *flag.FlagSet
-	engine *runner.Engine
+	fs       *flag.FlagSet
+	engine   *runner.Engine
+	cpuProfF *os.File // open while CPU profiling is active
 
 	// Resolved during Parse.
-	core  cores.Config
-	wls   []*workloads.Workload
-	bsas  []string
+	core cores.Config
+	wls  []*workloads.Workload
+	bsas []string
 }
 
 // New creates an App and registers the unified flag set on its own
@@ -68,6 +76,9 @@ func New(tool, benchDefault string) *App {
 	a.fs.BoolVar(&a.Verbose, "v", false, "progress and engine metrics on stderr")
 	a.fs.IntVar(&a.MaxDyn, "maxdyn", runner.DefaultMaxDyn, "dynamic instruction budget per benchmark")
 	a.fs.IntVar(&a.Workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	a.fs.StringVar(&a.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	a.fs.StringVar(&a.MemProfile, "memprofile", "", "write an allocation profile to this file at exit")
+	a.fs.BoolVar(&a.NoSegCache, "nosegcache", false, "disable the evaluation-unit cache (A/B baseline)")
 	return a
 }
 
@@ -114,7 +125,43 @@ func (a *App) Parse(args []string) error {
 	if a.MaxDyn <= 0 {
 		a.MaxDyn = runner.DefaultMaxDyn
 	}
+	if a.CPUProfile != "" {
+		f, err := os.Create(a.CPUProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		a.cpuProfF = f
+	}
 	return nil
+}
+
+// Close stops the CPU profile and writes the allocation profile, if the
+// respective flags were given. Idempotent; called from Emit, Finish and
+// Fail, and safe to defer from main as a catch-all.
+func (a *App) Close() {
+	if a.cpuProfF != nil {
+		pprof.StopCPUProfile()
+		a.cpuProfF.Close()
+		a.cpuProfF = nil
+	}
+	if a.MemProfile != "" {
+		f, err := os.Create(a.MemProfile)
+		if err != nil {
+			fmt.Fprintf(a.Stderr, "%s: -memprofile: %v\n", a.Tool, err)
+			a.MemProfile = ""
+			return
+		}
+		runtime.GC() // materialize up-to-date allocation statistics
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(a.Stderr, "%s: -memprofile: %v\n", a.Tool, err)
+		}
+		f.Close()
+		a.MemProfile = ""
+	}
 }
 
 // MustParse parses os.Args[1:] and exits with a tool-prefixed message on
@@ -195,7 +242,8 @@ func (a *App) UseAmdahl() bool { return a.Sched == "amdahl" }
 // first use. With -v, cache misses are narrated to stderr.
 func (a *App) Engine() *runner.Engine {
 	if a.engine == nil {
-		opts := runner.Options{MaxDyn: a.MaxDyn, Workers: a.Workers}
+		opts := runner.Options{MaxDyn: a.MaxDyn, Workers: a.Workers,
+			NoSegmentCache: a.NoSegCache}
 		if a.Verbose {
 			opts.Progress = func(ev runner.Event) {
 				if !ev.CacheHit {
@@ -210,20 +258,24 @@ func (a *App) Engine() *runner.Engine {
 }
 
 // Emit writes the document to stdout as indented JSON, attaching the
-// engine metrics snapshot first (if an engine was used).
+// engine metrics snapshot first (if an engine was used), and closes any
+// active profiles.
 func (a *App) Emit(doc *report.Document) {
 	if a.engine != nil {
 		m := a.engine.Metrics()
 		doc.Metrics = &m
 	}
+	a.Close()
 	if err := doc.Write(os.Stdout); err != nil {
 		a.Fail(err)
 	}
 }
 
-// Finish prints the engine metrics to stderr when -v is set. Text-mode
-// tools call it after their report; JSON mode embeds metrics instead.
+// Finish prints the engine metrics to stderr when -v is set and closes
+// any active profiles. Text-mode tools call it after their report; JSON
+// mode embeds metrics instead.
 func (a *App) Finish() {
+	a.Close()
 	if !a.Verbose || a.engine == nil {
 		return
 	}
@@ -233,10 +285,16 @@ func (a *App) Finish() {
 		fmt.Fprintf(a.Stderr, "%s:   %-5s calls=%-4d hits=%-4d misses=%-4d wall=%8.1fms insts=%d\n",
 			a.Tool, s.Stage, s.Calls, s.Hits, s.Misses, float64(s.WallNS)/1e6, s.Insts)
 	}
+	if c := m.EvalCache; c != nil {
+		fmt.Fprintf(a.Stderr, "%s:   eval-cache hits=%-4d misses=%-4d entries=%-4d arena-reuse=%.1fMB\n",
+			a.Tool, c.Hits, c.Misses, c.Entries, float64(c.BytesReused)/(1<<20))
+	}
 }
 
-// Fail prints a tool-prefixed error and exits 1.
+// Fail prints a tool-prefixed error and exits 1 (closing profiles first,
+// since os.Exit skips deferred calls).
 func (a *App) Fail(err error) {
+	a.Close()
 	fmt.Fprintf(a.Stderr, "%s: %v\n", a.Tool, err)
 	os.Exit(1)
 }

@@ -155,6 +155,11 @@ type GPP struct {
 }
 
 // NewGPP returns a constructor appending onto g, charging events to counts.
+//
+// The initial architectural state is the drained-pipeline boundary: every
+// register reads as produced by the graph origin (time 0), so entry
+// dependences of a first-segment accelerator region resolve against the
+// boundary rather than vanishing.
 func NewGPP(cfg Config, g *dg.Graph, counts *energy.Counts) *GPP {
 	m := &GPP{
 		Cfg: cfg, G: g, Counts: counts,
@@ -168,10 +173,44 @@ func NewGPP(cfg Config, g *dg.Graph, counts *energy.Counts) *GPP {
 		barrier:  g.Origin(),
 	}
 	for i := range m.regDef {
-		m.regDef[i] = dg.None
+		m.regDef[i] = g.Origin()
 	}
 	m.pendingRefill = dg.None
+	// Execution begins with a redirect to the entry PC: the first fetch
+	// group starts one cycle after the boundary.
+	m.redirectF = g.Origin()
 	return m
+}
+
+// Reset returns the GPP to its initial (drained-boundary) state on a new
+// graph and energy accumulator, reusing the resource-table rings and map
+// storage. The configuration is unchanged — pool GPPs per core config.
+func (m *GPP) Reset(g *dg.Graph, counts *energy.Counts) {
+	m.G = g
+	m.Counts = counts
+	m.n = 0
+	clear(m.stores)
+	clear(m.storeAge)
+	m.issueRT.Reset()
+	m.aluRT.Reset()
+	m.mulRT.Reset()
+	m.fpRT.Reset()
+	m.portRT.Reset()
+	m.winHeap = m.winHeap[:0]
+	m.barrier = g.Origin()
+	for i := range m.regDef {
+		m.regDef[i] = g.Origin()
+	}
+	m.pendingRefill = dg.None
+	m.redirectF = g.Origin()
+}
+
+// MemBytes reports the memory a pooled GPP lets its next user skip
+// allocating: the five resource-table rings (the ~288 KB arrays the
+// engine used to rebuild per evaluation).
+func (m *GPP) MemBytes() int64 {
+	return m.issueRT.MemBytes() + m.aluRT.MemBytes() + m.mulRT.MemBytes() +
+		m.fpRT.MemBytes() + m.portRT.MemBytes()
 }
 
 func (m *GPP) hist(arr *[histSize]dg.NodeID, back int) dg.NodeID {
@@ -184,10 +223,13 @@ func (m *GPP) hist(arr *[histSize]dg.NodeID, back int) dg.NodeID {
 // Retired returns the number of UOps run through the core so far.
 func (m *GPP) Retired() int { return m.n }
 
-// LastCommit returns the most recent commit node (or None).
+// LastCommit returns the most recent commit node; before anything has
+// committed it returns the current barrier (the drained entry boundary),
+// so edges hung off it — accelerator entry transfers, configuration
+// loads — anchor at the boundary instead of disappearing.
 func (m *GPP) LastCommit() dg.NodeID {
 	if m.n == 0 {
-		return dg.None
+		return m.barrier
 	}
 	return m.hist(&m.commit, 1)
 }

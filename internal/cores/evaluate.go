@@ -6,12 +6,16 @@ import (
 	"exocore/internal/trace"
 )
 
+// graphHint pre-sizes a µDG for a trace: five pipeline-event nodes per
+// dynamic instruction plus origin and synthetic-node slack.
+func graphHint(insts int) int { return 5*insts + 64 }
+
 // Evaluate runs an entire trace through the GPP graph constructor with no
 // accelerators (TDG_GPP,∅) and returns cycles and energy event counts.
 // This is the baseline evaluation every speedup in the paper is relative
 // to.
 func Evaluate(cfg Config, tr *trace.Trace) (int64, energy.Counts) {
-	g := dg.NewGraph()
+	g := dg.NewGraphN(graphHint(len(tr.Insts)))
 	var counts energy.Counts
 	m := NewGPP(cfg, g, &counts)
 	for i := range tr.Insts {
@@ -24,7 +28,7 @@ func Evaluate(cfg Config, tr *trace.Trace) (int64, energy.Counts) {
 // EvaluateWithBreakdown additionally returns the critical-path stall
 // breakdown by edge class, the paper's recommended validation aid.
 func EvaluateWithBreakdown(cfg Config, tr *trace.Trace) (int64, energy.Counts, [dg.NumEdgeClasses]int64) {
-	g := dg.NewGraph()
+	g := dg.NewGraphN(graphHint(len(tr.Insts)))
 	var counts energy.Counts
 	m := NewGPP(cfg, g, &counts)
 	for i := range tr.Insts {

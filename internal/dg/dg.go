@@ -12,7 +12,10 @@
 // accelerated regions; everything composes in one graph per execution.
 package dg
 
-import "fmt"
+import (
+	"fmt"
+	"unsafe"
+)
 
 // Kind classifies a node by pipeline event.
 type Kind uint8
@@ -110,11 +113,24 @@ type node struct {
 // immediately, so Time(id) of any already-constructed node is final.
 type Graph struct {
 	nodes []node
+	// rtFree recycles ResourceTables for transient users (accelerator
+	// dataflow engines create three per region); the rings are ~300KB
+	// each, so re-allocating them per region dominated evaluation cost.
+	rtFree []*ResourceTable
 }
 
 // NewGraph returns a graph containing only the origin node at time 0.
-func NewGraph() *Graph {
-	g := &Graph{nodes: make([]node, 1, 4096)}
+func NewGraph() *Graph { return NewGraphN(0) }
+
+// NewGraphN returns a graph pre-sized for about hint nodes, so callers
+// that know the trace length (~5 µDG nodes per dynamic instruction) avoid
+// the append-doubling copies of incremental growth. hint <= 0 falls back
+// to the default capacity.
+func NewGraphN(hint int) *Graph {
+	if hint < 4096 {
+		hint = 4096
+	}
+	g := &Graph{nodes: make([]node, 1, hint)}
 	g.nodes[0] = node{critPred: None, kind: KindFetch, dynIdx: -1}
 	return g
 }
@@ -186,6 +202,35 @@ func (g *Graph) DynIdx(id NodeID) int32 { return g.nodes[id].dynIdx }
 // Len returns the number of nodes including the origin.
 func (g *Graph) Len() int { return len(g.nodes) }
 
+// MemBytes reports the node arena's allocated size plus the recycled
+// resource tables — the memory a pooled graph lets its next user skip
+// allocating.
+func (g *Graph) MemBytes() int64 {
+	b := int64(cap(g.nodes)) * int64(unsafe.Sizeof(node{}))
+	for _, rt := range g.rtFree {
+		b += rt.MemBytes()
+	}
+	return b
+}
+
+// BorrowRT hands out a recycled ResourceTable retargeted to n units (or a
+// fresh one when the free list is empty). Pair with ReturnRT when the
+// borrower is done; an unreturned table is simply garbage-collected.
+func (g *Graph) BorrowRT(n int) *ResourceTable {
+	if l := len(g.rtFree); l > 0 {
+		rt := g.rtFree[l-1]
+		g.rtFree = g.rtFree[:l-1]
+		rt.Retarget(n)
+		return rt
+	}
+	return NewResourceTable(n)
+}
+
+// ReturnRT recycles tables handed out by BorrowRT.
+func (g *Graph) ReturnRT(rts ...*ResourceTable) {
+	g.rtFree = append(g.rtFree, rts...)
+}
+
 // CriticalPathBreakdown walks the critical path backwards from the given
 // node and accumulates the latency attributed to each edge class. The
 // result explains where cycles went (compute vs memory vs width vs ...).
@@ -225,30 +270,47 @@ const resourceWindow = 1 << 15
 // same-cycle conflicts are resolved in instruction order, the paper's
 // "resources preferentially given in instruction order" approximation.
 type ResourceTable struct {
-	units  uint8
+	units uint8
+	// offset is the epoch base added to requested cycles before they key
+	// the ring. Reset advances it past every key issued so far, making all
+	// stale slots mismatch — an O(1) reset instead of clearing both rings
+	// (the rings total ~300KB; per-segment evaluation resets constantly).
+	offset int64
+	maxKey int64
 	cycles [resourceWindow]int64
 	counts [resourceWindow]uint8
 }
 
-// NewResourceTable returns a table with n units.
+// NewResourceTable returns a table with n units. The zero-valued rings
+// are directly usable: a zeroed slot can only alias key 0 on a fresh
+// table, where its zero count is exactly the initialized state.
 func NewResourceTable(n int) *ResourceTable {
+	rt := &ResourceTable{}
+	rt.Retarget(n)
+	return rt
+}
+
+// Retarget reconfigures a (possibly recycled) table to n units with no
+// bookings, in O(1).
+func (r *ResourceTable) Retarget(n int) {
 	if n < 1 {
 		n = 1
 	}
 	if n > 255 {
 		n = 255
 	}
-	rt := &ResourceTable{units: uint8(n)}
-	for i := range rt.cycles {
-		rt.cycles[i] = -1
-	}
-	return rt
+	r.units = uint8(n)
+	r.Reset()
 }
 
 func (r *ResourceTable) at(c int64) *uint8 {
-	slot := c & (resourceWindow - 1)
-	if r.cycles[slot] != c {
-		r.cycles[slot] = c
+	key := c + r.offset
+	if key > r.maxKey {
+		r.maxKey = key
+	}
+	slot := key & (resourceWindow - 1)
+	if r.cycles[slot] != key {
+		r.cycles[slot] = key
 		r.counts[slot] = 0
 	}
 	return &r.counts[slot]
@@ -286,9 +348,12 @@ search:
 	}
 }
 
-// Reset clears all bookings.
+// Reset clears all bookings in O(1) by advancing the epoch offset past
+// every key issued so far; stale ring slots are reclaimed lazily.
 func (r *ResourceTable) Reset() {
-	for i := range r.cycles {
-		r.cycles[i] = -1
-	}
+	r.offset = r.maxKey + 1
 }
+
+// MemBytes reports the table's fixed ring footprint — the allocation a
+// pooled table saves its next user.
+func (r *ResourceTable) MemBytes() int64 { return int64(unsafe.Sizeof(*r)) }

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"testing"
 
+	"exocore/internal/cli"
 	"exocore/internal/cores"
+	"exocore/internal/report"
 	"exocore/internal/runner"
 	"exocore/internal/workloads"
 )
@@ -69,6 +71,80 @@ func TestSerialParallelByteIdentical(t *testing.T) {
 			}
 		}
 		t.Fatalf("serial (%d bytes) is a prefix of parallel (%d bytes)", len(sb), len(pb))
+	}
+}
+
+// reportDoc renders an exploration as the exocore-result/v1 document
+// cmd/dse emits with -json, without the Metrics block (cache counters
+// legitimately differ between cached and uncached engines).
+func reportDoc(t *testing.T, exp *Exploration) []byte {
+	t.Helper()
+	doc := report.New("dse")
+	for _, d := range exp.Designs {
+		doc.Add(report.Result{
+			Design: d.Code, Core: d.Core.Name, BSAs: SubsetBSAs(d.Mask),
+			AreaMM2: d.AreaMM2,
+			RelPerf: d.RelPerf, RelEnergyEff: d.RelEnergyEff, RelArea: d.RelArea,
+		})
+		for _, b := range d.PerBench {
+			doc.Add(report.Result{
+				Design: d.Code, Core: d.Core.Name, Bench: b.Bench,
+				Category: string(b.Category),
+				Cycles:   b.Cycles, EnergyNJ: b.EnergyNJ,
+			})
+		}
+	}
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCachedSweepByteIdentical is the end-to-end correctness gate for the
+// evaluation-unit cache: over the quick-set workloads and all 16 BSA
+// subsets, a sweep with unit-outcome memoization must produce a
+// byte-identical exocore-result/v1 document to a sweep that rebuilds
+// every unit from scratch.
+func TestCachedSweepByteIdentical(t *testing.T) {
+	var ws []*workloads.Workload
+	for _, name := range cli.QuickSet {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	cs := []cores.Config{cores.OOO2}
+
+	cached, err := Explore(Options{
+		Workloads: ws, Cores: cs,
+		Engine: runner.New(runner.Options{MaxDyn: 10_000}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := Explore(Options{
+		Workloads: ws, Cores: cs,
+		Engine: runner.New(runner.Options{MaxDyn: 10_000, NoSegmentCache: true}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cb, ub := reportDoc(t, cached), reportDoc(t, uncached)
+	if !bytes.Equal(cb, ub) {
+		for i := range cb {
+			if i >= len(ub) || cb[i] != ub[i] {
+				lo := i - 80
+				if lo < 0 {
+					lo = 0
+				}
+				t.Fatalf("cached and uncached sweeps diverge at byte %d:\ncached:   ...%s\nuncached: ...%s",
+					i, cb[lo:min(i+80, len(cb))], ub[lo:min(i+80, len(ub))])
+			}
+		}
+		t.Fatalf("cached doc (%d bytes) is a prefix of uncached doc (%d bytes)", len(cb), len(ub))
 	}
 }
 

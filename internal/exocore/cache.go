@@ -1,0 +1,235 @@
+package exocore
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"exocore/internal/cores"
+	"exocore/internal/dg"
+	"exocore/internal/energy"
+	"exocore/internal/tdg"
+)
+
+// ConfigCacheWays is the capacity of the engine-simulated per-BSA
+// configuration LRU (paper §3.2: DP-CGRA keeps "a small configuration
+// cache"; NS-DF and Trace-P behave likewise). The engine tracks residency
+// centrally — see Run — so unit outcomes stay a pure function of their
+// key.
+const ConfigCacheWays = 8
+
+// unitKey identifies one evaluation-unit outcome under the
+// drained-boundary model: the dynamic span plus the unit's internal
+// model signature (per-segment model names and configuration-residency
+// bits — see unitSig). The core and BSA set are fixed per Cache, so they
+// are not part of the key.
+type unitKey struct {
+	start, end int32
+	sig        string
+}
+
+// modelDelta is one model's share of a unit outcome.
+type modelDelta struct {
+	name   string
+	cycles int64
+	active int64
+	counts energy.Counts
+}
+
+// unitOutcome is the memoized result of evaluating one unit from a
+// drained boundary: its duration, per-model attribution, and per-segment
+// durations (for the Figure 14 timeline). Composition is pure summation,
+// so a cached outcome is position-independent.
+type unitOutcome struct {
+	dur     int64
+	models  []modelDelta
+	segDurs []int64
+}
+
+func (o *unitOutcome) model(name string) *modelDelta {
+	for i := range o.models {
+		if o.models[i].name == name {
+			return &o.models[i]
+		}
+	}
+	o.models = append(o.models, modelDelta{name: name})
+	return &o.models[len(o.models)-1]
+}
+
+// CacheStats is a point-in-time snapshot of a Cache's counters.
+type CacheStats struct {
+	// Hits and Misses count unit-outcome lookups.
+	Hits   int64 `json:"segment_hits"`
+	Misses int64 `json:"segment_misses"`
+	// BytesReused accumulates the arena bytes (graph nodes + resource-table
+	// rings) served from the worker pool instead of freshly allocated.
+	BytesReused int64 `json:"bytes_reused"`
+	// Entries counts distinct memoized unit outcomes.
+	Entries int64 `json:"entries"`
+}
+
+// Cache memoizes evaluation-unit outcomes for one evaluation context — a
+// fixed (benchmark TDG, core config, BSA set, plans) tuple, the
+// granularity at which sched.Context creates it — and pools the graph/GPP
+// arenas unit evaluation consumes. Safe for concurrent Run calls.
+//
+// Correctness rests on the drained-boundary model (see the package
+// comment): a unit's outcome depends only on its unitKey, never on its
+// position in the composition. BSA models must therefore be pure
+// functions of (core config, region plan, span, Ctx.ConfigResident);
+// models carrying other cross-unit state through Ctx.State must not be
+// cached.
+type Cache struct {
+	core cores.Config
+	hint int // graph pre-size, in nodes
+
+	outcomes sync.Map // unitKey → *unitOutcome
+	workers  sync.Pool
+
+	hits, misses, reused, entries atomic.Int64
+}
+
+// NewCache creates a unit-outcome cache for one core config and a
+// benchmark of traceLen dynamic instructions (pre-sizes pooled graphs at
+// ~5 µDG nodes per instruction).
+func NewCache(core cores.Config, traceLen int) *Cache {
+	return &Cache{core: core, hint: 5*traceLen + 64}
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		BytesReused: c.reused.Load(),
+		Entries:     c.entries.Load(),
+	}
+}
+
+// lookup returns the memoized outcome for a key, or nil on miss.
+func (c *Cache) lookup(k unitKey) *unitOutcome {
+	if v, ok := c.outcomes.Load(k); ok {
+		c.hits.Add(1)
+		return v.(*unitOutcome)
+	}
+	c.misses.Add(1)
+	return nil
+}
+
+// store memoizes an outcome, returning the winning entry if another
+// goroutine computed the same key concurrently (outcomes are
+// deterministic, so either copy is correct).
+func (c *Cache) store(k unitKey, o *unitOutcome) *unitOutcome {
+	if v, raced := c.outcomes.LoadOrStore(k, o); raced {
+		return v.(*unitOutcome)
+	}
+	c.entries.Add(1)
+	return o
+}
+
+// getWorker returns a pooled evaluation worker, accounting reused arena
+// bytes, or builds a fresh one.
+func (c *Cache) getWorker() *segWorker {
+	if v := c.workers.Get(); v != nil {
+		w := v.(*segWorker)
+		c.reused.Add(w.memBytes())
+		return w
+	}
+	return newSegWorker(c.core, c.hint)
+}
+
+// putWorker returns a worker to the pool.
+func (c *Cache) putWorker(w *segWorker) { c.workers.Put(w) }
+
+// segWorker bundles the reusable arenas one unit evaluation needs: a µDG
+// node arena and a GPP constructor (whose five resource-table rings
+// dominated the old per-Run allocation cost), plus the per-unit scratch
+// state map. Reset between units, pooled between runs.
+type segWorker struct {
+	g      *dg.Graph
+	gpp    *cores.GPP
+	counts energy.Counts
+	state  map[string]any
+	ctx    tdg.Ctx // reused per transformed segment; models keep no reference
+}
+
+func newSegWorker(core cores.Config, hint int) *segWorker {
+	g := dg.NewGraphN(hint)
+	w := &segWorker{g: g, state: make(map[string]any)}
+	w.gpp = cores.NewGPP(core, g, &w.counts)
+	return w
+}
+
+// reset prepares the worker for one unit evaluation from a drained
+// boundary, keeping all allocations.
+func (w *segWorker) reset() {
+	w.g.Reset()
+	w.counts = energy.Counts{}
+	clear(w.state)
+	w.gpp.Reset(w.g, &w.counts)
+}
+
+// memBytes is the arena memory reusing this worker saves.
+func (w *segWorker) memBytes() int64 { return w.g.MemBytes() + w.gpp.MemBytes() }
+
+// evalUnit evaluates one unit in isolation, starting from a drained
+// pipeline at relative cycle 0, and returns its duration, per-model
+// attribution and per-segment durations. Inside the unit, segments share
+// the worker's graph and GPP exactly as the original monolithic engine
+// did, preserving frontend/window overlap across core-resident joints.
+// This is the single evaluation path for both cached and uncached runs,
+// so they agree bit-for-bit by construction.
+func evalUnit(w *segWorker, t *tdg.TDG, bsas map[string]tdg.BSA,
+	plans map[string]*tdg.Plan, u unit) unitOutcome {
+
+	w.reset()
+	out := unitOutcome{segDurs: make([]int64, len(u.segs))}
+	var lastEnd int64
+	var snapshot energy.Counts
+	for i, seg := range u.segs {
+		name := u.names[i]
+		var endNode dg.NodeID = dg.None
+		if name != "" {
+			w.ctx = tdg.Ctx{
+				TDG: t, G: w.g, GPP: w.gpp, Counts: &w.counts,
+				State: w.state, ConfigResident: u.cfgRes[i],
+			}
+			endNode = bsas[name].TransformRegion(&w.ctx, plans[name].Region(seg.LoopID), seg.Start, seg.End)
+		} else {
+			tr := t.Trace
+			for j := seg.Start; j < seg.End; j++ {
+				d := &tr.Insts[j]
+				w.gpp.Exec(cores.FromDyn(&tr.Prog.Insts[d.SI], d), int32(j))
+			}
+		}
+		end := w.gpp.EndTime()
+		if endNode != dg.None && w.g.Time(endNode) > end {
+			end = w.g.Time(endNode)
+		}
+		if end < lastEnd {
+			end = lastEnd
+		}
+		dur := end - lastEnd
+		out.segDurs[i] = dur
+
+		md := out.model(name)
+		md.cycles += dur
+		if name != "" {
+			md.active += dur
+		}
+		delta := diffCounts(&w.counts, &snapshot)
+		md.counts.AddCounts(&delta)
+		snapshot = w.counts
+
+		lastEnd = end
+	}
+	out.dur = lastEnd
+	return out
+}
+
+func diffCounts(now, before *energy.Counts) energy.Counts {
+	var d energy.Counts
+	for i := range now {
+		d[i] = now[i] - before[i]
+	}
+	return d
+}

@@ -1,0 +1,129 @@
+package exocore
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"exocore/internal/cores"
+)
+
+// TestCachedRunMatchesUncached is the correctness gate for the
+// evaluation-unit cache: for every assignment, a cache-backed Run must be
+// deeply identical — cycles, energy counts, per-model attribution,
+// offload cycles and segment timeline — to the cache-disabled Run, and a
+// second cache-backed Run (served from memoized outcomes) must reproduce
+// the first.
+func TestCachedRunMatchesUncached(t *testing.T) {
+	for _, bench := range []string{"mm", "cjpeg", "gzip"} {
+		td := buildTDG(t, bench, 15000)
+		bsas := allBSAs()
+		plans := analyzeAll(td, bsas)
+		cache := NewCache(cores.OOO2, td.Trace.Len())
+
+		assigns := []Assignment{nil, {}}
+		var names []string
+		for name := range bsas {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		mixed := Assignment{}
+		for k, name := range names {
+			full := Assignment{}
+			var loops []int
+			for l := range plans[name].Regions {
+				loops = append(loops, l)
+			}
+			sort.Ints(loops)
+			for n, l := range loops {
+				full[l] = name
+				if (n+k)%len(names) == 0 {
+					mixed[l] = name
+				}
+			}
+			if len(full) > 0 {
+				assigns = append(assigns, full)
+			}
+		}
+		if len(mixed) > 0 {
+			assigns = append(assigns, mixed)
+		}
+
+		for n, assign := range assigns {
+			opts := RunOpts{RecordSegments: true}
+			want, err := Run(td, cores.OOO2, bsas, plans, assign, opts)
+			if err != nil {
+				t.Fatalf("%s assign %d uncached: %v", bench, n, err)
+			}
+			opts.Cache = cache
+			got, err := Run(td, cores.OOO2, bsas, plans, assign, opts)
+			if err != nil {
+				t.Fatalf("%s assign %d cached: %v", bench, n, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s assign %d (%v): cached result diverges\nuncached: %+v\ncached:   %+v",
+					bench, n, assign, want, got)
+			}
+			again, err := Run(td, cores.OOO2, bsas, plans, assign, opts)
+			if err != nil {
+				t.Fatalf("%s assign %d cached rerun: %v", bench, n, err)
+			}
+			if !reflect.DeepEqual(got, again) {
+				t.Errorf("%s assign %d: memoized rerun diverges from first cached run", bench, n)
+			}
+		}
+
+		s := cache.Stats()
+		if s.Hits == 0 {
+			t.Errorf("%s: no cache hits across %d assignments", bench, len(assigns))
+		}
+		if s.Entries == 0 || s.Entries > s.Misses {
+			t.Errorf("%s: implausible cache stats %+v", bench, s)
+		}
+		if s.BytesReused == 0 {
+			t.Errorf("%s: worker pool never reused an arena", bench)
+		}
+		t.Logf("%s: %d assignments, cache stats %+v", bench, len(assigns), s)
+	}
+}
+
+// TestCacheConcurrentRuns drives one Cache from concurrent goroutines (as
+// dse.Explore does through a shared sched.Context) and checks results
+// stay identical to a serial uncached reference.
+func TestCacheConcurrentRuns(t *testing.T) {
+	td := buildTDG(t, "mm", 15000)
+	bsas := allBSAs()
+	plans := analyzeAll(td, bsas)
+
+	assign := Assignment{}
+	for l := range plans["SIMD"].Regions {
+		assign[l] = "SIMD"
+	}
+	ref, err := Run(td, cores.OOO2, bsas, plans, assign, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewCache(cores.OOO2, td.Trace.Len())
+	const goroutines = 8
+	results := make([]*RunResult, goroutines)
+	errs := make([]error, goroutines)
+	done := make(chan int)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			results[g], errs[g] = Run(td, cores.OOO2, bsas, plans, assign, RunOpts{Cache: cache})
+			done <- g
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		<-done
+	}
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if !reflect.DeepEqual(ref, results[g]) {
+			t.Errorf("goroutine %d diverged from the serial uncached reference", g)
+		}
+	}
+}

@@ -1,18 +1,52 @@
 // Package exocore composes a general-purpose core with a set of
-// behavior-specialized accelerator models over a single µDG, implementing
-// the ExoCore organization of the paper (§3). Execution migrates between
-// the core and accelerators at loop boundaries according to a per-region
-// assignment; the shared graph captures the handoff edges, and energy is
-// accounted per component including frontend power-gating during offload
-// (§5.3).
+// behavior-specialized accelerator models, implementing the ExoCore
+// organization of the paper (§3). Execution migrates between the core and
+// accelerators at loop boundaries according to a per-region assignment;
+// energy is accounted per component including frontend power-gating
+// during offload (§5.3).
+//
+// # Segment evaluation model
+//
+// Run splits the trace into segments (maximal spans under one model) and
+// groups them into evaluation units: every offload-BSA segment stands
+// alone, while each maximal run of core-resident segments (general core
+// plus coupled BSAs such as SIMD and DP-CGRA) forms one unit. Each unit
+// is evaluated independently on a fresh µDG from a drained pipeline
+// boundary — relative cycle 0, empty window/ROB, all registers available
+// at the origin — and total cycles and energy compose by summation.
+// Inside a unit, segments share one pipeline exactly as the original
+// monolithic engine did, so frontend and window overlap across coupled
+// joints is preserved.
+//
+// This drained-pipeline-handoff boundary state is an explicit
+// approximation, applied only where it is accurate: offload entry/exit
+// already serializes on live-value transfer (the model joins its inputs
+// at an entry handshake anchored at the core's last commit and hands back
+// through an exit barrier), so essentially no ILP crosses an offload
+// boundary. Core-resident joints, where a shared window keeps substantial
+// ILP in flight, never see a drained boundary — they stay inside a unit.
+// What the approximation buys is compositionality: a unit's outcome is a
+// pure function of (core, span, model sequence, config residency), which
+// makes outcomes cacheable across the 2^n-assignment design sweeps of §5
+// — a 16-mask sweep evaluates each distinct unit once. The cached and
+// uncached paths share the single evalUnit implementation, so their
+// results agree bit-for-bit by construction (gated by the equivalence
+// tests in this package and internal/dse).
+//
+// Cross-unit accelerator state — configuration residency — is simulated
+// by the engine itself in composition order (per-BSA LRU of
+// ConfigCacheWays entries) and passed into models via Ctx.ConfigResident,
+// keeping it out of the per-unit state.
 package exocore
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
+	"exocore/internal/bsa/bsautil"
 	"exocore/internal/cores"
-	"exocore/internal/dg"
 	"exocore/internal/energy"
 	"exocore/internal/tdg"
 )
@@ -40,30 +74,82 @@ type SegmentRecord struct {
 	Dyn        int // original dynamic instructions covered
 }
 
-// RunOpts controls optional engine outputs.
+// RunOpts controls optional engine inputs and outputs.
 type RunOpts struct {
 	// RecordSegments retains the per-segment timeline (Figure 14).
 	RecordSegments bool
+	// Cache, when non-nil, memoizes segment outcomes and pools evaluation
+	// arenas across Runs. It must have been created for the same core
+	// config and be used with a fixed (TDG, bsas, plans) tuple.
+	Cache *Cache
+}
+
+// ModelStat attributes one model's share of a run ("" = general core).
+type ModelStat struct {
+	Name string
+	// Dyn counts original dynamic instructions covered by the model — the
+	// paper's "% of cycles un-accelerated" analysis (§5).
+	Dyn int64
+	// Cycles attributes execution cycles to the model.
+	Cycles int64
+	// ActiveCycles counts cycles the accelerator was powered (0 for the
+	// general core).
+	ActiveCycles int64
+	// Counts attributes energy events to the model.
+	Counts energy.Counts
 }
 
 // RunResult is the outcome of executing one benchmark on one design point.
 type RunResult struct {
 	Cycles int64
 	Counts energy.Counts
-	// PerBSADyn counts original dynamic instructions covered by each
-	// model ("" = general core) — the paper's "% of cycles un-accelerated"
-	// analysis (§5).
-	PerBSADyn map[string]int64
-	// PerBSACycles attributes execution cycles to each model.
-	PerBSACycles map[string]int64
-	// PerBSACounts attributes energy events to each model.
-	PerBSACounts map[string]*energy.Counts
+	// Models holds per-model attribution, sorted by name (the "" general
+	// core row first). A small fixed slice instead of per-call maps: a DSE
+	// sweep builds millions of RunResults.
+	Models []ModelStat
 	// OffloadCycles counts cycles during which an offload BSA (NS-DF,
 	// Trace-P) ran and the core frontend could be power-gated.
 	OffloadCycles int64
-	// ActiveCycles counts cycles each accelerator was powered.
-	ActiveCycles map[string]int64
-	Segments     []SegmentRecord
+	Segments      []SegmentRecord
+}
+
+// stat returns the model's attribution row, appending one if absent. The
+// slice stays tiny (GPP + assigned BSAs), so linear scan beats a map.
+func (r *RunResult) stat(name string) *ModelStat {
+	for i := range r.Models {
+		if r.Models[i].Name == name {
+			return &r.Models[i]
+		}
+	}
+	r.Models = append(r.Models, ModelStat{Name: name})
+	return &r.Models[len(r.Models)-1]
+}
+
+// Model returns the named model's attribution row ("" = general core), or
+// nil if the model covered nothing.
+func (r *RunResult) Model(name string) *ModelStat {
+	for i := range r.Models {
+		if r.Models[i].Name == name {
+			return &r.Models[i]
+		}
+	}
+	return nil
+}
+
+// DynOf returns the dynamic instructions the named model covered.
+func (r *RunResult) DynOf(name string) int64 {
+	if m := r.Model(name); m != nil {
+		return m.Dyn
+	}
+	return 0
+}
+
+// CyclesOf returns the cycles attributed to the named model.
+func (r *RunResult) CyclesOf(name string) int64 {
+	if m := r.Model(name); m != nil {
+		return m.Cycles
+	}
+	return 0
 }
 
 // Segmentize splits the trace into GPP and region segments under an
@@ -99,7 +185,8 @@ func Segmentize(t *tdg.TDG, assign Assignment) []Segment {
 // Run executes the benchmark under the given core and assignment,
 // returning cycles, energy events and attribution. bsas maps BSA name to
 // model; plans maps BSA name to its analysis plan (so TransformRegion
-// receives its region config).
+// receives its region config). See the package comment for the segment
+// evaluation model and its boundary-state approximation.
 func Run(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA,
 	plans map[string]*tdg.Plan, assign Assignment, opts RunOpts) (*RunResult, error) {
 
@@ -116,75 +203,156 @@ func Run(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA,
 		}
 	}
 
-	g := dg.NewGraph()
-	res := &RunResult{
-		PerBSADyn:    make(map[string]int64),
-		PerBSACycles: make(map[string]int64),
-		PerBSACounts: make(map[string]*energy.Counts),
-		ActiveCycles: make(map[string]int64),
-	}
-	gpp := cores.NewGPP(core, g, &res.Counts)
-	ctx := &tdg.Ctx{TDG: t, G: g, GPP: gpp, Counts: &res.Counts, State: make(map[string]any)}
-
 	segs := Segmentize(t, assign)
+	units := unitize(t, segs, assign, bsas)
+	res := &RunResult{Models: make([]ModelStat, 0, len(assign)+1)}
+
+	// One worker (graph + GPP arenas) serves every unit of this run; with
+	// a Cache it comes from — and returns to — the shared pool.
+	var w *segWorker
+	if opts.Cache != nil {
+		w = opts.Cache.getWorker()
+		defer opts.Cache.putWorker(w)
+	} else {
+		w = newSegWorker(core, 5*len(t.Trace.Insts)+64)
+	}
+
 	var lastEnd int64
-	snapshot := res.Counts
-	for _, seg := range segs {
-		name := ""
-		var endNode dg.NodeID = dg.None
-		if seg.LoopID >= 0 {
-			name = assign[seg.LoopID]
-			r := plans[name].Region(seg.LoopID)
-			endNode = bsas[name].TransformRegion(ctx, r, seg.Start, seg.End)
+	for _, u := range units {
+		var out *unitOutcome
+		if opts.Cache != nil {
+			key := unitKey{int32(u.segs[0].Start), int32(u.segs[len(u.segs)-1].End), u.sig()}
+			out = opts.Cache.lookup(key)
+			if out == nil {
+				o := evalUnit(w, t, bsas, plans, u)
+				out = opts.Cache.store(key, &o)
+			}
 		} else {
-			for i := seg.Start; i < seg.End; i++ {
-				d := &t.Trace.Insts[i]
-				gpp.Exec(cores.FromDyn(&t.Trace.Prog.Insts[d.SI], d), int32(i))
+			o := evalUnit(w, t, bsas, plans, u)
+			out = &o
+		}
+
+		for i := range out.models {
+			md := &out.models[i]
+			st := res.stat(md.name)
+			st.Cycles += md.cycles
+			st.ActiveCycles += md.active
+			st.Counts.AddCounts(&md.counts)
+			res.Counts.AddCounts(&md.counts)
+			if md.name != "" && bsas[md.name].OffloadsCore() {
+				res.OffloadCycles += md.cycles
 			}
 		}
-		end := gpp.EndTime()
-		if endNode != dg.None && g.Time(endNode) > end {
-			end = g.Time(endNode)
-		}
-		if end < lastEnd {
-			end = lastEnd
-		}
-		dur := end - lastEnd
-
-		res.PerBSADyn[name] += int64(seg.End - seg.Start)
-		res.PerBSACycles[name] += dur
-		delta := diffCounts(&res.Counts, &snapshot)
-		if res.PerBSACounts[name] == nil {
-			res.PerBSACounts[name] = &energy.Counts{}
-		}
-		res.PerBSACounts[name].AddCounts(&delta)
-		snapshot = res.Counts
-
-		if name != "" {
-			res.ActiveCycles[name] += dur
-			if bsas[name].OffloadsCore() {
-				res.OffloadCycles += dur
+		for i, seg := range u.segs {
+			res.stat(u.names[i]).Dyn += int64(seg.End - seg.Start)
+			if opts.RecordSegments {
+				res.Segments = append(res.Segments, SegmentRecord{
+					LoopID: seg.LoopID, BSA: u.names[i],
+					StartCycle: lastEnd, EndCycle: lastEnd + out.segDurs[i],
+					Dyn: seg.End - seg.Start,
+				})
 			}
+			lastEnd += out.segDurs[i]
 		}
-		if opts.RecordSegments {
-			res.Segments = append(res.Segments, SegmentRecord{
-				LoopID: seg.LoopID, BSA: name,
-				StartCycle: lastEnd, EndCycle: end,
-				Dyn: seg.End - seg.Start,
-			})
-		}
-		lastEnd = end
 	}
 	res.Cycles = lastEnd
+	sort.Slice(res.Models, func(i, j int) bool { return res.Models[i].Name < res.Models[j].Name })
 	return res, nil
 }
 
-func diffCounts(now, before *energy.Counts) energy.Counts {
-	var d energy.Counts
-	for i := range now {
-		d[i] = now[i] - before[i]
+// unit is one evaluation unit: either a single offload-BSA segment, or a
+// maximal run of core-resident segments (general core + coupled BSAs)
+// sharing one pipeline. names and cfgRes parallel segs.
+type unit struct {
+	segs   []Segment
+	names  []string
+	cfgRes []bool
+}
+
+// dots serves pure-GPP signatures (one '.' per segment): slicing a string
+// constant shares its memory, so the common case allocates nothing.
+const dots = "................................................................"
+
+// sig encodes the unit's internal structure — each segment's model and
+// configuration residency — into the portion of its cache key that the
+// span alone does not determine.
+func (u *unit) sig() string {
+	named := false
+	for _, n := range u.names {
+		if n != "" {
+			named = true
+			break
+		}
 	}
-	return d
+	if !named {
+		if len(u.segs) <= len(dots) {
+			return dots[:len(u.segs)]
+		}
+		return strings.Repeat(".", len(u.segs))
+	}
+	b := make([]byte, 0, 12*len(u.segs))
+	for i, seg := range u.segs {
+		if u.names[i] == "" {
+			b = append(b, '.')
+			continue
+		}
+		b = strconv.AppendInt(b, int64(seg.LoopID), 10)
+		b = append(b, '=')
+		b = append(b, u.names[i]...)
+		if u.cfgRes[i] {
+			b = append(b, '+')
+		} else {
+			b = append(b, '-')
+		}
+	}
+	return string(b)
+}
+
+// unitize groups segments into evaluation units and runs the
+// configuration-residency simulation (in composition order, so residency
+// is identical whether or not unit outcomes later come from a cache).
+// Units hold subslices of segs and of two shared backing arrays, so the
+// partition costs a fixed three allocations however many units form.
+func unitize(t *tdg.TDG, segs []Segment, assign Assignment, bsas map[string]tdg.BSA) []unit {
+	if len(segs) == 0 {
+		return nil
+	}
+	names := make([]string, len(segs))
+	cfgRes := make([]bool, len(segs))
+	units := make([]unit, 0, len(segs))
+	runStart := 0
+	flush := func(end int) {
+		if end > runStart {
+			units = append(units, unit{
+				segs: segs[runStart:end], names: names[runStart:end], cfgRes: cfgRes[runStart:end],
+			})
+			runStart = end
+		}
+	}
+	var cfgCaches map[string]*bsautil.ConfigCache
+	for i, seg := range segs {
+		offload := false
+		if seg.LoopID >= 0 {
+			name := assign[seg.LoopID]
+			offload = bsas[name].OffloadsCore()
+			if cfgCaches == nil {
+				cfgCaches = make(map[string]*bsautil.ConfigCache, len(bsas))
+			}
+			cc := cfgCaches[name]
+			if cc == nil {
+				cc = bsautil.NewConfigCache(ConfigCacheWays)
+				cfgCaches[name] = cc
+			}
+			names[i] = name
+			cfgRes[i] = cc.Lookup(seg.LoopID)
+		}
+		if offload {
+			flush(i)     // close any open core-resident run
+			flush(i + 1) // the offload segment is its own unit
+		}
+	}
+	flush(len(segs))
+	return units
 }
 
 // GatedCoreStaticFraction is the fraction of core static power still paid
@@ -204,17 +372,15 @@ func EnergyOf(res *RunResult, core cores.Config, bsas map[string]tdg.BSA) energy
 	onCycles := float64(res.Cycles - res.OffloadCycles)
 	gated := float64(res.OffloadCycles)
 	staticNJ := tbl.StaticW * (onCycles + GatedCoreStaticFraction*gated) * cyclesToSec * 1e9
-	// Sum in sorted-name order: float accumulation over randomized map
-	// iteration order would make energy differ in the last ULP between
-	// otherwise identical runs.
-	names := make([]string, 0, len(res.ActiveCycles))
-	for name := range res.ActiveCycles {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		w := energy.AccelStaticW(energy.AccelParams{AreaMM2: bsas[name].AreaMM2()})
-		staticNJ += w * float64(res.ActiveCycles[name]) * cyclesToSec * 1e9
+	// Models is name-sorted, so this float accumulation is order-stable
+	// between otherwise identical runs.
+	for i := range res.Models {
+		m := &res.Models[i]
+		if m.Name == "" || m.ActiveCycles == 0 {
+			continue
+		}
+		w := energy.AccelStaticW(energy.AccelParams{AreaMM2: bsas[m.Name].AreaMM2()})
+		staticNJ += w * float64(m.ActiveCycles) * cyclesToSec * 1e9
 	}
 	return energy.Result{DynamicNJ: dyn, StaticNJ: staticNJ, Cycles: res.Cycles}
 }
@@ -223,21 +389,21 @@ func EnergyOf(res *RunResult, core cores.Config, bsas map[string]tdg.BSA) energy
 // instructions that stayed on the general core.
 func (r *RunResult) UnacceleratedFraction() float64 {
 	var total int64
-	for _, n := range r.PerBSADyn {
-		total += n
+	for i := range r.Models {
+		total += r.Models[i].Dyn
 	}
 	if total == 0 {
 		return 1
 	}
-	return float64(r.PerBSADyn[""]) / float64(total)
+	return float64(r.DynOf("")) / float64(total)
 }
 
 // BSAsUsed lists the models that actually covered instructions, sorted.
 func (r *RunResult) BSAsUsed() []string {
 	var out []string
-	for name, n := range r.PerBSADyn {
-		if name != "" && n > 0 {
-			out = append(out, name)
+	for i := range r.Models {
+		if m := &r.Models[i]; m.Name != "" && m.Dyn > 0 {
+			out = append(out, m.Name)
 		}
 	}
 	sort.Strings(out)

@@ -57,8 +57,8 @@ func TestArbitraryAssignmentsAreSane(t *testing.T) {
 				t.Errorf("%s: implausible cycles %d for %d insts", bench, res.Cycles, td.Trace.Len())
 			}
 			var dyn int64
-			for _, n := range res.PerBSADyn {
-				dyn += n
+			for i := range res.Models {
+				dyn += res.Models[i].Dyn
 			}
 			if dyn != int64(td.Trace.Len()) {
 				t.Errorf("%s: attribution covers %d of %d insts", bench, dyn, td.Trace.Len())

@@ -129,6 +129,7 @@ func BuildProfile(cfg *CFG, nest *LoopNest, t *trace.Trace) *Profile {
 	}
 
 	prevBlock := -1
+	var chain []int // reused across instructions: loop chains are shallow
 	for i := range t.Insts {
 		d := &t.Insts[i]
 		si := int(d.SI)
@@ -144,7 +145,7 @@ func BuildProfile(cfg *CFG, nest *LoopNest, t *trace.Trace) *Profile {
 			popTo(0)
 		} else {
 			// Desired stack: ancestors of inner from outermost to inner.
-			var chain []int
+			chain = chain[:0]
 			for l := inner; l != -1; l = nest.Loops[l].Parent {
 				chain = append(chain, l)
 			}

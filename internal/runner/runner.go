@@ -77,6 +77,10 @@ type Options struct {
 	Workers int
 	// Progress, if non-nil, observes every stage lookup.
 	Progress ProgressFunc
+	// NoSegmentCache disables the per-context evaluation-unit cache
+	// (exocore.Cache): every assignment evaluation rebuilds every unit
+	// from scratch. Used by the equivalence gate and for A/B measurement.
+	NoSegmentCache bool
 }
 
 // StageMetrics aggregates one pipeline stage's counters.
@@ -94,6 +98,10 @@ type StageMetrics struct {
 // Metrics is a point-in-time snapshot of the engine's counters.
 type Metrics struct {
 	Stages []StageMetrics `json:"stages"`
+	// EvalCache aggregates the evaluation-unit cache counters over every
+	// scheduling context this engine created. Nil when the cache is
+	// disabled (Options.NoSegmentCache).
+	EvalCache *exocore.CacheStats `json:"eval_cache,omitempty"`
 }
 
 // Stage returns the named stage's snapshot (zero value if unknown).
@@ -137,8 +145,9 @@ type evalResult struct {
 
 // Engine is the shared evaluation engine. Safe for concurrent use.
 type Engine struct {
-	maxDyn  int
-	workers int
+	maxDyn     int
+	workers    int
+	noSegCache bool
 
 	progressMu sync.Mutex
 	progress   ProgressFunc
@@ -149,6 +158,9 @@ type Engine struct {
 	evals  memo[evalResult]
 
 	counters map[string]*stageCounters
+
+	cachesMu sync.Mutex
+	caches   []*exocore.Cache // unit caches of every context created
 }
 
 // New creates an Engine.
@@ -162,10 +174,11 @@ func New(opts Options) *Engine {
 		workers = defaultWorkers()
 	}
 	e := &Engine{
-		maxDyn:   maxDyn,
-		workers:  workers,
-		progress: opts.Progress,
-		counters: make(map[string]*stageCounters, len(stageOrder)),
+		maxDyn:     maxDyn,
+		workers:    workers,
+		noSegCache: opts.NoSegmentCache,
+		progress:   opts.Progress,
+		counters:   make(map[string]*stageCounters, len(stageOrder)),
 	}
 	for _, s := range stageOrder {
 		e.counters[s] = &stageCounters{}
@@ -192,6 +205,19 @@ func (e *Engine) Metrics() Metrics {
 			WallNS: c.wallNS.Load(),
 			Insts:  c.insts.Load(),
 		})
+	}
+	if !e.noSegCache {
+		var agg exocore.CacheStats
+		e.cachesMu.Lock()
+		for _, c := range e.caches {
+			s := c.Stats()
+			agg.Hits += s.Hits
+			agg.Misses += s.Misses
+			agg.BytesReused += s.BytesReused
+			agg.Entries += s.Entries
+		}
+		e.cachesMu.Unlock()
+		m.EvalCache = &agg
 	}
 	return m
 }
@@ -276,7 +302,17 @@ func (e *Engine) Context(w *workloads.Workload, core cores.Config) (*sched.Conte
 		if err != nil {
 			return nil, err
 		}
-		return sched.NewContext(td, core, NewBSASet())
+		sc, err := sched.NewContextWith(td, core, NewBSASet(),
+			sched.ContextOpts{NoSegmentCache: e.noSegCache})
+		if err != nil {
+			return nil, err
+		}
+		if sc.Cache != nil {
+			e.cachesMu.Lock()
+			e.caches = append(e.caches, sc.Cache)
+			e.cachesMu.Unlock()
+		}
+		return sc, nil
 	})
 	var insts int64
 	if sc != nil {

@@ -35,19 +35,40 @@ type Context struct {
 	BSAs  map[string]tdg.BSA
 	Plans map[string]*tdg.Plan
 
+	// Cache memoizes evaluation-unit outcomes across every Run this
+	// context issues (baseline, per-candidate solos, and Evaluate calls
+	// for full designs). Nil when the cache is disabled.
+	Cache *exocore.Cache
+
 	BaseCycles   int64
 	BaseEnergyNJ float64
 	Candidates   []Candidate
 }
 
+// ContextOpts tunes context construction.
+type ContextOpts struct {
+	// NoSegmentCache disables unit-outcome memoization: every Run
+	// re-evaluates every unit from scratch. Used by the equivalence gate
+	// and for A/B measurement.
+	NoSegmentCache bool
+}
+
 // NewContext analyzes the TDG with every BSA and measures the baseline
 // plus each (loop, BSA) candidate in isolation.
 func NewContext(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA) (*Context, error) {
+	return NewContextWith(t, core, bsas, ContextOpts{})
+}
+
+// NewContextWith is NewContext with explicit options.
+func NewContextWith(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA, opts ContextOpts) (*Context, error) {
 	ctx := &Context{TDG: t, Core: core, BSAs: bsas, Plans: make(map[string]*tdg.Plan)}
+	if !opts.NoSegmentCache {
+		ctx.Cache = exocore.NewCache(core, t.Trace.Len())
+	}
 	for name, b := range bsas {
 		ctx.Plans[name] = b.Analyze(t)
 	}
-	base, err := exocore.Run(t, core, bsas, ctx.Plans, nil, exocore.RunOpts{})
+	base, err := exocore.Run(t, core, bsas, ctx.Plans, nil, exocore.RunOpts{Cache: ctx.Cache})
 	if err != nil {
 		return nil, fmt.Errorf("sched: baseline: %w", err)
 	}
@@ -68,7 +89,7 @@ func NewContext(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA) (*Contex
 		sort.Ints(loops)
 		for _, l := range loops {
 			res, err := exocore.Run(t, core, bsas, ctx.Plans,
-				exocore.Assignment{l: name}, exocore.RunOpts{})
+				exocore.Assignment{l: name}, exocore.RunOpts{Cache: ctx.Cache})
 			if err != nil {
 				return nil, fmt.Errorf("sched: candidate %s@L%d: %w", name, l, err)
 			}
@@ -230,7 +251,7 @@ func (c *Context) AmdahlTree(avail []string) exocore.Assignment {
 // Evaluate runs the benchmark under an assignment and returns cycles and
 // total energy.
 func (c *Context) Evaluate(assign exocore.Assignment) (int64, float64, error) {
-	res, err := exocore.Run(c.TDG, c.Core, c.BSAs, c.Plans, assign, exocore.RunOpts{})
+	res, err := exocore.Run(c.TDG, c.Core, c.BSAs, c.Plans, assign, exocore.RunOpts{Cache: c.Cache})
 	if err != nil {
 		return 0, 0, err
 	}

@@ -103,9 +103,18 @@ type Ctx struct {
 	G      *dg.Graph
 	GPP    *cores.GPP
 	Counts *energy.Counts
-	// State holds per-run accelerator state (eg. configuration caches),
-	// keyed by BSA name. It lives for one engine run, so BSA models stay
-	// stateless and reusable across runs.
+	// ConfigResident reports whether the accelerator's configuration for
+	// the region being transformed is already loaded. The engine simulates
+	// the per-BSA configuration LRU in composition order (see
+	// exocore.ConfigCacheWays); on false the model should charge its
+	// configuration-load latency and energy.
+	ConfigResident bool
+	// State holds per-segment accelerator scratch state, keyed by BSA
+	// name. It does NOT persist across segments: anything that must cross
+	// a segment boundary (configuration residency) is tracked by the
+	// engine itself, so segment outcomes stay cacheable. Transform results
+	// must be a pure function of (core config, region plan, span,
+	// ConfigResident).
 	State map[string]any
 }
 

@@ -1,0 +1,52 @@
+# bench2json.awk — convert `go test -bench` output for the two tracked
+# benchmarks into BENCH_2.json, pairing each current measurement with the
+# frozen pre-optimization baseline (commit e24e670, same machine class) so
+# regressions are visible without re-running the old code.
+#
+# Usage: go test -bench 'BenchmarkExocoreRun|BenchmarkDSESweep' -benchmem . \
+#        | awk -f scripts/bench2json.awk > BENCH_2.json
+
+BEGIN {
+    # Pre-change baselines: per-Run µDG rebuild, no arenas, no unit cache.
+    base_ns["ExocoreRun"] = 4183315
+    base_b["ExocoreRun"] = 11246336
+    base_allocs["ExocoreRun"] = 2726
+    base_ns["DSESweep"] = 1278732974
+    base_b["DSESweep"] = 5131870752
+    base_allocs["DSESweep"] = 641708
+    order[1] = "ExocoreRun"
+    order[2] = "DSESweep"
+}
+
+/^Benchmark(ExocoreRun|DSESweep)/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns[name] = $(i - 1)
+        if ($i == "B/op") b[name] = $(i - 1)
+        if ($i == "allocs/op") allocs[name] = $(i - 1)
+    }
+}
+
+END {
+    printf "{\n  \"schema\": \"exocore-bench/v1\",\n  \"benchmarks\": [\n"
+    n = 0
+    for (k = 1; k <= 2; k++) {
+        name = order[k]
+        if (!(name in ns)) continue
+        if (n++) printf ",\n"
+        printf "    {\n      \"name\": \"%s\",\n", name
+        printf "      \"baseline\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f},\n", \
+            base_ns[name], base_b[name], base_allocs[name]
+        printf "      \"current\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f},\n", \
+            ns[name], b[name], allocs[name]
+        printf "      \"speedup\": %.2f,\n", base_ns[name] / ns[name]
+        printf "      \"allocs_ratio\": %.2f\n    }", base_allocs[name] / allocs[name]
+    }
+    printf "\n  ]\n}\n"
+    if (n != 2) {
+        print "bench2json: missing tracked benchmark output" > "/dev/stderr"
+        exit 1
+    }
+}
