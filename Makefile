@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race tier1 bench benchsmoke tools clean
+.PHONY: check build vet test race tier1 bench benchsmoke tracesmoke tools clean
 
 # The full pre-merge gate: vet + build + race-enabled tests + tier-1 +
-# a single-iteration pass over every benchmark so they can't rot.
-check: vet build race tier1 benchsmoke
+# a single-iteration pass over every benchmark so they can't rot + a
+# trace-export smoke test.
+check: vet build race tier1 benchsmoke tracesmoke
 
 build:
 	$(GO) build ./...
@@ -36,6 +37,13 @@ bench:
 # One iteration of every benchmark: catches compile breaks and panics.
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x . > /dev/null
+
+# Trace-export smoke test: run one driver with -trace and validate the
+# output as a well-formed, properly nested Chrome trace-event array.
+tracesmoke:
+	$(GO) run ./cmd/tdgsim -bench mm -trace /tmp/exocore-tracesmoke.json > /dev/null
+	$(GO) run ./scripts/tracecheck /tmp/exocore-tracesmoke.json
+	@rm -f /tmp/exocore-tracesmoke.json
 
 # Build the seven drivers into ./bin.
 tools:

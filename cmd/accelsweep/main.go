@@ -19,6 +19,7 @@ import (
 	"exocore/internal/cli"
 	"exocore/internal/cores"
 	"exocore/internal/exocore"
+	"exocore/internal/obs"
 	"exocore/internal/report"
 	"exocore/internal/runner"
 	"exocore/internal/stats"
@@ -86,7 +87,9 @@ func main() {
 		speedup, eneff, coverage float64
 	}
 	results, err := runner.Map(eng, len(variants), func(i int) (outcome, error) {
-		sp, en, cov, err := evalVariant(tds, core, variants[i].model)
+		span := app.Tracer().Begin("stage", "variant "+variants[i].label)
+		defer span.End()
+		sp, en, cov, err := evalVariant(tds, core, variants[i].model, span)
 		return outcome{sp, en, cov}, err
 	})
 	if err != nil {
@@ -122,15 +125,16 @@ func main() {
 
 // evalVariant runs every TDG with all of the variant's planned regions
 // assigned (single-BSA solo), returning geomean speedup, geomean energy
-// efficiency, and mean offload coverage.
-func evalVariant(tds []*tdg.TDG, core cores.Config, mk func() tdg.BSA) (float64, float64, float64, error) {
+// efficiency, and mean offload coverage. span, when active, receives
+// the per-unit evaluation spans.
+func evalVariant(tds []*tdg.TDG, core cores.Config, mk func() tdg.BSA, span obs.Span) (float64, float64, float64, error) {
 	var sps, ens []float64
 	var cov float64
 	for _, td := range tds {
 		model := mk()
 		bsas := map[string]tdg.BSA{model.Name(): model}
 		plans := map[string]*tdg.Plan{model.Name(): model.Analyze(td)}
-		base, err := exocore.Run(td, core, bsas, plans, nil, exocore.RunOpts{})
+		base, err := exocore.Run(td, core, bsas, plans, nil, exocore.RunOpts{Span: span})
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -138,7 +142,7 @@ func evalVariant(tds []*tdg.TDG, core cores.Config, mk func() tdg.BSA) (float64,
 		for l := range plans[model.Name()].Regions {
 			assign[l] = model.Name()
 		}
-		acc, err := exocore.Run(td, core, bsas, plans, assign, exocore.RunOpts{})
+		acc, err := exocore.Run(td, core, bsas, plans, assign, exocore.RunOpts{Span: span})
 		if err != nil {
 			return 0, 0, 0, err
 		}

@@ -21,6 +21,7 @@ var bsaOrder = []string{"", "SIMD", "DP-CGRA", "NS-DF", "Trace-P"}
 
 func main() {
 	app := cli.New("breakdown", "all")
+	regions := app.Flags().Bool("regions", false, "print the per-region attribution table per benchmark")
 	app.MustParse()
 	defer app.Close()
 	eng := app.Engine()
@@ -36,6 +37,11 @@ func main() {
 	}
 
 	var totalUnaccel, count float64
+	type benchRegions struct {
+		bench string
+		rows  []exocore.RegionStat
+	}
+	var regionTables []benchRegions
 	for _, wl := range app.Workloads() {
 		td, err := eng.TDG(wl)
 		if err != nil {
@@ -46,12 +52,17 @@ func main() {
 			app.Fail(err)
 		}
 		assign := ctx.Oracle(runner.BSANames)
-		bsas := runner.NewBSASet()
-		res, err := exocore.Run(td, core, bsas, ctx.Plans, assign, exocore.RunOpts{})
+		// Reuse the context's models and unit cache; the scheduler already
+		// evaluated most of these units.
+		sp := app.Tracer().Begin("stage", "report "+wl.Name)
+		res, err := exocore.Run(td, core, ctx.BSAs, ctx.Plans, assign, exocore.RunOpts{
+			Cache: ctx.Cache, RecordRegions: *regions, Span: sp, Reg: eng.Registry(),
+		})
+		sp.End()
 		if err != nil {
 			app.Fail(err)
 		}
-		e := exocore.EnergyOf(res, core, bsas)
+		e := exocore.EnergyOf(res, core, ctx.BSAs)
 		relTime := float64(res.Cycles) / float64(ctx.BaseCycles)
 		relEnergy := e.TotalNJ() / ctx.BaseEnergyNJ
 		totalUnaccel += res.UnacceleratedFraction()
@@ -83,7 +94,14 @@ func main() {
 				r.Extra[k] = v
 			}
 			doc.Add(r)
+			if *regions {
+				doc.Add(report.RegionResults(core.Name+"-SDNT", core.Name,
+					wl.Name, res.Regions, core)...)
+			}
 			continue
+		}
+		if *regions {
+			regionTables = append(regionTables, benchRegions{wl.Name, res.Regions})
 		}
 		fmt.Fprintf(w, "%s\t%.2f\t%.2f", wl.Name, relTime, relEnergy)
 		for _, name := range bsaOrder {
@@ -96,6 +114,10 @@ func main() {
 		return
 	}
 	w.Flush()
+	for _, bt := range regionTables {
+		fmt.Printf("\nper-region attribution (%s):\n", bt.bench)
+		report.WriteRegionTable(os.Stdout, bt.rows, core)
+	}
 	fmt.Printf("\naverage un-accelerated fraction: %.0f%% (paper §5: 16%% for the full OOO2 ExoCore)\n",
 		100*totalUnaccel/count)
 	app.Finish()

@@ -20,6 +20,7 @@ import (
 
 	"exocore/internal/cli"
 	"exocore/internal/dse"
+	"exocore/internal/exocore"
 	"exocore/internal/report"
 )
 
@@ -28,6 +29,7 @@ func main() {
 	frontier := app.Flags().Bool("frontier", false, "emit Figure 3/10 data")
 	characterize := app.Flags().Bool("characterize", false, "emit Figure 12 data")
 	headline := app.Flags().Bool("headline", false, "evaluate the headline claims")
+	regionsFor := app.Flags().String("regions", "", "also report per-region attribution for one design code (eg. OOO2-SDNT)")
 	app.MustParse()
 	defer app.Close()
 
@@ -61,6 +63,11 @@ func main() {
 				})
 			}
 		}
+		if *regionsFor != "" {
+			if err := reportRegions(app, *regionsFor, doc); err != nil {
+				app.Fail(err)
+			}
+		}
 		app.Emit(doc)
 		return
 	}
@@ -74,7 +81,52 @@ func main() {
 	if *headline {
 		printHeadline(exp)
 	}
+	if *regionsFor != "" {
+		if err := reportRegions(app, *regionsFor, nil); err != nil {
+			app.Fail(err)
+		}
+	}
 	app.Finish()
+}
+
+// reportRegions evaluates one design over every benchmark with
+// per-region attribution on — served almost entirely from the unit
+// outcomes the exploration already cached — and either prints the paper
+// style breakdown tables (doc == nil) or appends schema rows.
+func reportRegions(app *cli.App, code string, doc *report.Document) error {
+	core, mask, err := dse.ParseDesignCode(code)
+	if err != nil {
+		return err
+	}
+	avail := dse.SubsetBSAs(mask)
+	eng := app.Engine()
+	for _, wl := range app.Workloads() {
+		sc, err := eng.Context(wl, core)
+		if err != nil {
+			return err
+		}
+		var assign exocore.Assignment
+		if app.UseAmdahl() {
+			assign = sc.AmdahlTree(avail)
+		} else {
+			assign = sc.Oracle(avail)
+		}
+		sp := app.Tracer().Begin("stage", "regions "+wl.Name)
+		res, err := exocore.Run(sc.TDG, core, sc.BSAs, sc.Plans, assign, exocore.RunOpts{
+			Cache: sc.Cache, RecordRegions: true, Span: sp, Reg: eng.Registry(),
+		})
+		sp.End()
+		if err != nil {
+			return err
+		}
+		if doc != nil {
+			doc.Add(report.RegionResults(code, core.Name, wl.Name, res.Regions, core)...)
+			continue
+		}
+		fmt.Printf("\n# per-region attribution of %s on %s\n", code, wl.Name)
+		report.WriteRegionTable(os.Stdout, res.Regions, core)
+	}
+	return nil
 }
 
 // byPerf sorts designs by relative performance with a deterministic

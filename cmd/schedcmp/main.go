@@ -2,7 +2,8 @@
 // the Oracle scheduler against the Amdahl-tree scheduler on the
 // Mediabench workloads (the benchmarks that need multiple accelerators
 // within one application). -json emits one schema row per benchmark plus
-// a geomean aggregate row.
+// a geomean aggregate row. The unified -trace/-v/-vv observability flags
+// record engine spans and progress.
 package main
 
 import (

@@ -55,8 +55,12 @@ func emit(app *cli.App, doc *report.Document, wl *workloads.Workload) error {
 	} else {
 		assign = ctx.Oracle(runner.BSANames)
 	}
-	res, err := exocore.Run(td, core, runner.NewBSASet(), ctx.Plans, assign,
-		exocore.RunOpts{RecordSegments: true})
+	// Reuse the context's models and unit cache; the timeline composes
+	// from the same memoized unit outcomes the scheduler measured.
+	sp := app.Tracer().Begin("stage", "timeline "+wl.Name)
+	res, err := exocore.Run(td, core, ctx.BSAs, ctx.Plans, assign,
+		exocore.RunOpts{RecordSegments: true, Cache: ctx.Cache, Span: sp, Reg: eng.Registry()})
+	sp.End()
 	if err != nil {
 		return err
 	}

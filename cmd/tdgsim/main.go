@@ -96,12 +96,18 @@ func run(app *cli.App, doc *report.Document, wl *workloads.Workload, fuse bool) 
 		assign = ctx.Oracle(names)
 	}
 
-	bsas := runner.NewBSASet()
-	res, err := exocore.Run(td, core, bsas, ctx.Plans, assign, exocore.RunOpts{})
+	// Reuse the context's models and unit cache: the reporting run is
+	// then served almost entirely from the outcomes the scheduler
+	// already computed.
+	sp := app.Tracer().Begin("stage", "report "+wl.Name)
+	res, err := exocore.Run(td, core, ctx.BSAs, ctx.Plans, assign, exocore.RunOpts{
+		Cache: ctx.Cache, RecordRegions: true, Span: sp, Reg: eng.Registry(),
+	})
+	sp.End()
 	if err != nil {
 		return err
 	}
-	e := exocore.EnergyOf(res, core, bsas)
+	e := exocore.EnergyOf(res, core, ctx.BSAs)
 
 	if app.JSON {
 		coverage := make(map[string]float64, len(res.Models))
@@ -129,6 +135,8 @@ func run(app *cli.App, doc *report.Document, wl *workloads.Workload, fuse bool) 
 				"dynamic_instructions": float64(td.Trace.Len()),
 			},
 		})
+		doc.Add(report.RegionResults(designCode(core.Name, names), core.Name,
+			wl.Name, res.Regions, core)...)
 		return nil
 	}
 
@@ -165,6 +173,9 @@ func run(app *cli.App, doc *report.Document, wl *workloads.Workload, fuse bool) 
 		fmt.Fprintf(w, "  %s\t%d\t%d\n", name, m.Dyn, m.Cycles)
 	}
 	w.Flush()
+
+	fmt.Println("\nper-region attribution:")
+	report.WriteRegionTable(os.Stdout, res.Regions, core)
 
 	if fuse {
 		plan := fusion.Analyze(td, fusion.StandardRules)

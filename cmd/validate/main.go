@@ -3,6 +3,8 @@
 // underlying per-benchmark reference-vs-projected pairs of Figure 5 as
 // CSV suitable for plotting. -json emits the shared result schema with
 // one row per (accelerator, benchmark, metric) plus per-line summaries.
+// The unified -trace/-v/-vv observability flags record engine spans and
+// progress.
 package main
 
 import (

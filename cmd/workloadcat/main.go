@@ -3,7 +3,8 @@
 // (regular / semi-regular / irregular) it prints the relative
 // performance and energy of every single-BSA design and the full ExoCore,
 // one series per BSA combination with one point per core. -json emits the
-// shared result schema with one row per (category, design).
+// shared result schema with one row per (category, design). The unified
+// -trace/-v/-vv observability flags record engine spans and progress.
 package main
 
 import (

@@ -313,6 +313,7 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 	groupSize := p.lanes
 	scratch := scratchPool.Get().(*instScratch)
 	defer scratchPool.Put(scratch)
+	var instances, scalarIters int64
 	var prevStart dg.NodeID = dg.None
 	for gi := 0; gi < len(iters); gi += groupSize {
 		hi := gi + groupSize
@@ -322,12 +323,20 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 		group := iters[gi:hi]
 		if len(group) < groupSize {
 			// Remainder below the vector length: scalar on the core.
+			scalarIters += int64(len(group))
 			for _, it := range group {
 				m.scalar(ctx, it.Start, it.End)
 			}
 			continue
 		}
+		instances++
 		prevStart = m.instance(ctx, p, group, prevStart, scratch)
+	}
+	if ctx.Span.Active() {
+		ctx.Span.ArgInt("iterations", int64(len(iters))).
+			ArgInt("instances", instances).
+			ArgInt("scalar_iters", scalarIters).
+			ArgInt("lanes", int64(groupSize))
 	}
 	return dg.None // completion flows through core receives
 }
@@ -527,4 +536,3 @@ type memInfo struct {
 	dstReg   isa.Reg
 	op       isa.Op
 }
-

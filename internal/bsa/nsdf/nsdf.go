@@ -112,6 +112,11 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 	g := ctx.G
 	gpp := ctx.GPP
 	ld := ctx.TDG.Dataflow(r.LoopID)
+	if ctx.Span.Active() {
+		ctx.Span.ArgInt("live_ins", int64(len(ld.LiveIns))).
+			ArgInt("live_outs", int64(len(ld.LiveOuts))).
+			ArgInt("insts", int64(end-start))
+	}
 
 	// Region entry: wait for in-flight core work, transfer live-ins, and
 	// load the configuration on a miss.

@@ -253,17 +253,20 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 	scratch := scratchPool.Get().(*groupScratch)
 	defer scratchPool.Put(scratch)
 	lanes, arena := scratch.lanes, &scratch.arena
+	var vecGroups, scalarIters int64
 	flushGroup := func(group []bsautil.Iteration) {
 		if len(group) == 0 {
 			return
 		}
 		if len(group) < isa.VecLanes {
 			// Remainder: scalar replay on the core.
+			scalarIters += int64(len(group))
 			for _, it := range group {
 				m.scalar(ctx, it.Start, it.End)
 			}
 			return
 		}
+		vecGroups++
 		m.vectorGroup(ctx, p, group, lanes, arena)
 	}
 
@@ -287,6 +290,12 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 	for _, si := range redSIs {
 		in := ctx.TDG.CFG.Prog.At(si)
 		ctx.GPP.Exec(cores.UOp{Op: isa.VReduce, Dst: in.Dst, Src1: in.Dst}, -1)
+	}
+	if ctx.Span.Active() {
+		ctx.Span.ArgInt("iterations", int64(len(iters))).
+			ArgInt("vector_groups", vecGroups).
+			ArgInt("scalar_iters", scalarIters).
+			ArgInt("reductions", int64(len(redSIs)))
 	}
 	return dg.None // everything flowed through the core pipeline
 }

@@ -1,8 +1,9 @@
 // Package cli is the one flag surface shared by every cmd/ tool: a
-// unified flag set (-bench, -core, -bsas, -sched, -json, -v, -maxdyn,
-// -workers) with consistent parsing and validation, a lazily-constructed
-// shared evaluation engine wired to -v progress output, and the common
-// -json emission path producing the versioned report schema.
+// unified flag set (-bench, -core, -bsas, -sched, -json, -v/-vv,
+// -maxdyn, -workers, -trace) with consistent parsing and validation, a
+// lazily-constructed shared evaluation engine wired to structured
+// progress logging and span tracing, and the common -json emission path
+// producing the versioned report schema.
 package cli
 
 import (
@@ -15,6 +16,7 @@ import (
 	"strings"
 
 	"exocore/internal/cores"
+	"exocore/internal/obs"
 	"exocore/internal/report"
 	"exocore/internal/runner"
 	"exocore/internal/workloads"
@@ -37,20 +39,26 @@ type App struct {
 	Sched   string // "oracle" | "amdahl"
 	JSON    bool   // emit the versioned JSON schema instead of text
 	Verbose bool   // progress + engine metrics on stderr
+	VV      bool   // debug-level logging (implies -v)
 	MaxDyn  int    // dynamic-instruction budget per benchmark
 	Workers int    // worker-pool bound (0 = GOMAXPROCS)
 
 	// Profiling and measurement flags.
 	CPUProfile string // write a CPU profile to this file
 	MemProfile string // write an allocation profile to this file on Close
+	Trace      string // write a Chrome trace-event JSON file on Close
 	NoSegCache bool   // disable the evaluation-unit cache (A/B baseline)
 
-	// Stderr receives -v progress and Fail output (defaults to
-	// os.Stderr; overridable for tests).
+	// Stderr receives progress logging and Fail output; Stdout receives
+	// Emit's JSON document. Both default to the os streams and are
+	// overridable for tests.
 	Stderr io.Writer
+	Stdout io.Writer
 
 	fs       *flag.FlagSet
 	engine   *runner.Engine
+	log      *obs.Logger
+	tracer   *obs.Tracer
 	cpuProfF *os.File // open while CPU profiling is active
 
 	// Resolved during Parse.
@@ -66,6 +74,7 @@ func New(tool, benchDefault string) *App {
 	a := &App{
 		Tool:   tool,
 		Stderr: os.Stderr,
+		Stdout: os.Stdout,
 		fs:     flag.NewFlagSet(tool, flag.ExitOnError),
 	}
 	a.fs.StringVar(&a.Bench, "bench", benchDefault, "benchmarks: all | quick | comma-separated names")
@@ -74,12 +83,36 @@ func New(tool, benchDefault string) *App {
 	a.fs.StringVar(&a.Sched, "sched", "oracle", "scheduler: oracle | amdahl")
 	a.fs.BoolVar(&a.JSON, "json", false, "emit the versioned JSON result schema ("+report.Schema+")")
 	a.fs.BoolVar(&a.Verbose, "v", false, "progress and engine metrics on stderr")
+	a.fs.BoolVar(&a.VV, "vv", false, "debug-level logging on stderr (implies -v)")
 	a.fs.IntVar(&a.MaxDyn, "maxdyn", runner.DefaultMaxDyn, "dynamic instruction budget per benchmark")
 	a.fs.IntVar(&a.Workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	a.fs.StringVar(&a.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	a.fs.StringVar(&a.MemProfile, "memprofile", "", "write an allocation profile to this file at exit")
+	a.fs.StringVar(&a.Trace, "trace", "", "write a Chrome trace-event JSON file (load in Perfetto) at exit")
 	a.fs.BoolVar(&a.NoSegCache, "nosegcache", false, "disable the evaluation-unit cache (A/B baseline)")
 	return a
+}
+
+// Verbosity maps the -v/-vv flags to a logging level: 0 (warnings
+// only), 1 (-v: info) or 2 (-vv: debug).
+func (a *App) Verbosity() int {
+	switch {
+	case a.VV:
+		return 2
+	case a.Verbose:
+		return 1
+	}
+	return 0
+}
+
+// Log returns the tool's structured logger (constructing it on first
+// use), which serializes records into whole lines so concurrent workers
+// cannot interleave mid-line.
+func (a *App) Log() *obs.Logger {
+	if a.log == nil {
+		a.log = obs.NewLogger(a.Stderr, a.Tool, a.Verbosity())
+	}
+	return a.log
 }
 
 // Flags exposes the flag set so tools can register tool-specific flags
@@ -125,6 +158,13 @@ func (a *App) Parse(args []string) error {
 	if a.MaxDyn <= 0 {
 		a.MaxDyn = runner.DefaultMaxDyn
 	}
+	if a.VV {
+		a.Verbose = true
+	}
+	a.log = obs.NewLogger(a.Stderr, a.Tool, a.Verbosity())
+	if a.Trace != "" {
+		a.tracer = obs.NewTracer(a.Tool)
+	}
 	if a.CPUProfile != "" {
 		f, err := os.Create(a.CPUProfile)
 		if err != nil {
@@ -139,29 +179,65 @@ func (a *App) Parse(args []string) error {
 	return nil
 }
 
-// Close stops the CPU profile and writes the allocation profile, if the
-// respective flags were given. Idempotent; called from Emit, Finish and
-// Fail, and safe to defer from main as a catch-all.
-func (a *App) Close() {
+// Close stops the CPU profile, writes the allocation profile and the
+// span trace, if the respective flags were given, and returns the first
+// failure so callers can surface it in the exit status. Idempotent;
+// called from Emit, Finish and Fail, and safe to defer from main as a
+// catch-all.
+func (a *App) Close() error {
+	var firstErr error
+	keep := func(err error) {
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+	}
 	if a.cpuProfF != nil {
 		pprof.StopCPUProfile()
-		a.cpuProfF.Close()
+		if err := a.cpuProfF.Close(); err != nil {
+			keep(fmt.Errorf("-cpuprofile: %w", err))
+		}
 		a.cpuProfF = nil
 	}
 	if a.MemProfile != "" {
-		f, err := os.Create(a.MemProfile)
-		if err != nil {
-			fmt.Fprintf(a.Stderr, "%s: -memprofile: %v\n", a.Tool, err)
-			a.MemProfile = ""
-			return
-		}
-		runtime.GC() // materialize up-to-date allocation statistics
-		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-			fmt.Fprintf(a.Stderr, "%s: -memprofile: %v\n", a.Tool, err)
-		}
-		f.Close()
+		path := a.MemProfile
 		a.MemProfile = ""
+		if err := writeMemProfile(path); err != nil {
+			keep(fmt.Errorf("-memprofile: %w", err))
+		}
 	}
+	if a.tracer != nil {
+		t := a.tracer
+		a.tracer = nil
+		if err := writeTrace(a.Trace, t); err != nil {
+			keep(fmt.Errorf("-trace: %w", err))
+		}
+	}
+	return firstErr
+}
+
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeTrace(path string, t *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // MustParse parses os.Args[1:] and exits with a tool-prefixed message on
@@ -239,16 +315,18 @@ func (a *App) BSANames() []string { return a.bsas }
 func (a *App) UseAmdahl() bool { return a.Sched == "amdahl" }
 
 // Engine returns the tool's shared evaluation engine, constructing it on
-// first use. With -v, cache misses are narrated to stderr.
+// first use. With -v, cache misses are narrated through the structured
+// logger; with -trace, stage/segment/transform spans are recorded.
 func (a *App) Engine() *runner.Engine {
 	if a.engine == nil {
 		opts := runner.Options{MaxDyn: a.MaxDyn, Workers: a.Workers,
-			NoSegmentCache: a.NoSegCache}
+			NoSegmentCache: a.NoSegCache, Tracer: a.tracer, Log: a.Log()}
 		if a.Verbose {
+			log := a.Log()
 			opts.Progress = func(ev runner.Event) {
 				if !ev.CacheHit {
-					fmt.Fprintf(a.Stderr, "%s: %-5s %-28s %8.1fms\n",
-						a.Tool, ev.Stage, ev.Key, float64(ev.Wall.Microseconds())/1000)
+					log.Info(fmt.Sprintf("%-5s %-28s %8.1fms",
+						ev.Stage, ev.Key, float64(ev.Wall.Microseconds())/1000))
 				}
 			}
 		}
@@ -257,44 +335,56 @@ func (a *App) Engine() *runner.Engine {
 	return a.engine
 }
 
-// Emit writes the document to stdout as indented JSON, attaching the
+// Tracer returns the -trace span tracer, or nil when tracing is off.
+// Tools pass it to code paths that run outside the shared engine.
+func (a *App) Tracer() *obs.Tracer { return a.tracer }
+
+// Emit writes the document to Stdout as indented JSON, attaching the
 // engine metrics snapshot first (if an engine was used), and closes any
-// active profiles.
+// active profiles, failing the tool if finalization errors.
 func (a *App) Emit(doc *report.Document) {
 	if a.engine != nil {
 		m := a.engine.Metrics()
 		doc.Metrics = &m
 	}
-	a.Close()
-	if err := doc.Write(os.Stdout); err != nil {
+	if err := a.Close(); err != nil {
+		a.Fail(err)
+	}
+	if err := doc.Write(a.Stdout); err != nil {
 		a.Fail(err)
 	}
 }
 
 // Finish prints the engine metrics to stderr when -v is set and closes
-// any active profiles. Text-mode tools call it after their report; JSON
-// mode embeds metrics instead.
+// any active profiles, failing the tool if finalization errors.
+// Text-mode tools call it after their report; JSON mode embeds metrics
+// instead.
 func (a *App) Finish() {
-	a.Close()
-	if !a.Verbose || a.engine == nil {
-		return
+	closeErr := a.Close()
+	if a.Verbose && a.engine != nil {
+		log := a.Log()
+		m := a.engine.Metrics()
+		log.Info("engine metrics:")
+		for _, s := range m.Stages {
+			log.Info(fmt.Sprintf("  %-5s calls=%-4d hits=%-4d misses=%-4d wall=%8.1fms insts=%d",
+				s.Stage, s.Calls, s.Hits, s.Misses, float64(s.WallNS)/1e6, s.Insts))
+		}
+		if c := m.EvalCache; c != nil {
+			log.Info(fmt.Sprintf("  eval-cache hits=%-4d misses=%-4d entries=%-4d arena-reuse=%.1fMB",
+				c.Hits, c.Misses, c.Entries, float64(c.BytesReused)/(1<<20)))
+		}
 	}
-	m := a.engine.Metrics()
-	fmt.Fprintf(a.Stderr, "%s: engine metrics:\n", a.Tool)
-	for _, s := range m.Stages {
-		fmt.Fprintf(a.Stderr, "%s:   %-5s calls=%-4d hits=%-4d misses=%-4d wall=%8.1fms insts=%d\n",
-			a.Tool, s.Stage, s.Calls, s.Hits, s.Misses, float64(s.WallNS)/1e6, s.Insts)
-	}
-	if c := m.EvalCache; c != nil {
-		fmt.Fprintf(a.Stderr, "%s:   eval-cache hits=%-4d misses=%-4d entries=%-4d arena-reuse=%.1fMB\n",
-			a.Tool, c.Hits, c.Misses, c.Entries, float64(c.BytesReused)/(1<<20))
+	if closeErr != nil {
+		a.Fail(closeErr)
 	}
 }
 
 // Fail prints a tool-prefixed error and exits 1 (closing profiles first,
 // since os.Exit skips deferred calls).
 func (a *App) Fail(err error) {
-	a.Close()
-	fmt.Fprintf(a.Stderr, "%s: %v\n", a.Tool, err)
+	if cerr := a.Close(); cerr != nil {
+		a.Log().Error(cerr.Error())
+	}
+	a.Log().Error(err.Error())
 	os.Exit(1)
 }

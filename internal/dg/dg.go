@@ -236,13 +236,24 @@ func (g *Graph) ReturnRT(rts ...*ResourceTable) {
 // result explains where cycles went (compute vs memory vs width vs ...).
 func (g *Graph) CriticalPathBreakdown(from NodeID) [NumEdgeClasses]int64 {
 	var out [NumEdgeClasses]int64
-	id := from
-	for id != None && id != 0 {
+	g.WalkCriticalPath(from, func(_ NodeID, class EdgeClass, lat int64) {
+		out[class] += lat
+	})
+	return out
+}
+
+// WalkCriticalPath walks the critical path backwards from the given node
+// towards the origin, calling fn for every step with the step's target
+// node, the edge class that set its time, and the latency attributed to
+// that step. Visiting every step lets callers attribute path latency at
+// finer granularity than the aggregate CriticalPathBreakdown — eg. per
+// region via DynIdx.
+func (g *Graph) WalkCriticalPath(from NodeID, fn func(id NodeID, class EdgeClass, lat int64)) {
+	for id := from; id != None && id != 0; {
 		n := &g.nodes[id]
-		out[n.class] += int64(n.critLat)
+		fn(id, n.class, int64(n.critLat))
 		id = n.critPred
 	}
-	return out
 }
 
 // CriticalPathNodes returns the node IDs on the critical path ending at

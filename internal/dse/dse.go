@@ -67,6 +67,30 @@ func DesignCode(core cores.Config, mask int) string {
 	return core.Name + "-" + s
 }
 
+// ParseDesignCode inverts DesignCode: "OOO2-SDN" → (OOO2 config, mask
+// for SIMD+DP-CGRA+NS-DF). A bare core name parses as the empty subset.
+func ParseDesignCode(code string) (cores.Config, int, error) {
+	name, letters, _ := strings.Cut(code, "-")
+	core, ok := cores.ConfigByName(name)
+	if !ok {
+		return cores.Config{}, 0, fmt.Errorf("dse: unknown core %q in design %q", name, code)
+	}
+	mask := 0
+	for i := 0; i < len(letters); i++ {
+		found := false
+		for bi, bl := range bsaLetters {
+			if bl.Letter == letters[i] {
+				mask |= 1 << bi
+				found = true
+			}
+		}
+		if !found {
+			return cores.Config{}, 0, fmt.Errorf("dse: unknown BSA letter %q in design %q", string(letters[i]), code)
+		}
+	}
+	return core, mask, nil
+}
+
 // BenchResult is one benchmark's outcome on one design point.
 type BenchResult struct {
 	Bench    string

@@ -1,12 +1,13 @@
 package exocore
 
 import (
+	"strconv"
 	"sync"
-	"sync/atomic"
 
 	"exocore/internal/cores"
 	"exocore/internal/dg"
 	"exocore/internal/energy"
+	"exocore/internal/obs"
 	"exocore/internal/tdg"
 )
 
@@ -27,32 +28,23 @@ type unitKey struct {
 	sig        string
 }
 
-// modelDelta is one model's share of a unit outcome.
-type modelDelta struct {
-	name   string
-	cycles int64
-	active int64
-	counts energy.Counts
-}
-
 // unitOutcome is the memoized result of evaluating one unit from a
-// drained boundary: its duration, per-model attribution, and per-segment
-// durations (for the Figure 14 timeline). Composition is pure summation,
-// so a cached outcome is position-independent.
+// drained boundary, entirely at per-segment granularity: durations,
+// energy-event deltas, and critical-path latency by µDG edge class. The
+// unit's per-model attribution is re-derived at composition time from
+// these plus the unit's segment→model mapping, so one cached outcome
+// serves plain totals, the Figure 14 timeline, and the per-region
+// attribution table alike. Composition is pure summation, so a cached
+// outcome is position-independent.
+//
+// segClasses is nil unless the unit was evaluated with class
+// attribution (RunOpts.RecordRegions): the critical-path walk is pure
+// overhead for scheduling sweeps, so it is computed on demand and the
+// cached entry upgraded in place.
 type unitOutcome struct {
-	dur     int64
-	models  []modelDelta
-	segDurs []int64
-}
-
-func (o *unitOutcome) model(name string) *modelDelta {
-	for i := range o.models {
-		if o.models[i].name == name {
-			return &o.models[i]
-		}
-	}
-	o.models = append(o.models, modelDelta{name: name})
-	return &o.models[len(o.models)-1]
+	segDurs    []int64
+	segCounts  []energy.Counts
+	segClasses [][dg.NumEdgeClasses]int64
 }
 
 // CacheStats is a point-in-time snapshot of a Cache's counters.
@@ -85,23 +77,30 @@ type Cache struct {
 	outcomes sync.Map // unitKey → *unitOutcome
 	workers  sync.Pool
 
-	hits, misses, reused, entries atomic.Int64
+	// Counters are obs instruments so a cache slots into the shared
+	// metrics registry; standalone (unregistered) instances keep the
+	// cache usable without one.
+	hits, misses, reused, entries *obs.Counter
 }
 
 // NewCache creates a unit-outcome cache for one core config and a
 // benchmark of traceLen dynamic instructions (pre-sizes pooled graphs at
 // ~5 µDG nodes per instruction).
 func NewCache(core cores.Config, traceLen int) *Cache {
-	return &Cache{core: core, hint: 5*traceLen + 64}
+	return &Cache{
+		core: core, hint: 5*traceLen + 64,
+		hits: obs.NewCounter(), misses: obs.NewCounter(),
+		reused: obs.NewCounter(), entries: obs.NewCounter(),
+	}
 }
 
 // Stats snapshots the cache counters.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{
-		Hits:        c.hits.Load(),
-		Misses:      c.misses.Load(),
-		BytesReused: c.reused.Load(),
-		Entries:     c.entries.Load(),
+		Hits:        c.hits.Value(),
+		Misses:      c.misses.Value(),
+		BytesReused: c.reused.Value(),
+		Entries:     c.entries.Value(),
 	}
 }
 
@@ -123,6 +122,14 @@ func (c *Cache) store(k unitKey, o *unitOutcome) *unitOutcome {
 		return v.(*unitOutcome)
 	}
 	c.entries.Add(1)
+	return o
+}
+
+// upgrade replaces a memoized outcome with a richer recomputation of
+// the same key (adding class attribution). Outcomes are deterministic,
+// so concurrent readers may see either version without harm.
+func (c *Cache) upgrade(k unitKey, o *unitOutcome) *unitOutcome {
+	c.outcomes.Store(k, o)
 	return o
 }
 
@@ -172,28 +179,49 @@ func (w *segWorker) reset() {
 func (w *segWorker) memBytes() int64 { return w.g.MemBytes() + w.gpp.MemBytes() }
 
 // evalUnit evaluates one unit in isolation, starting from a drained
-// pipeline at relative cycle 0, and returns its duration, per-model
-// attribution and per-segment durations. Inside the unit, segments share
-// the worker's graph and GPP exactly as the original monolithic engine
-// did, preserving frontend/window overlap across core-resident joints.
-// This is the single evaluation path for both cached and uncached runs,
-// so they agree bit-for-bit by construction.
+// pipeline at relative cycle 0, and returns its per-segment durations,
+// energy deltas and critical-path class attribution. Inside the unit,
+// segments share the worker's graph and GPP exactly as the original
+// monolithic engine did, preserving frontend/window overlap across
+// core-resident joints. This is the single evaluation path for both
+// cached and uncached runs, so they agree bit-for-bit by construction.
+// sp, when active, receives one child span per model transform.
+// classes enables the critical-path class attribution (segClasses);
+// durations and energy deltas are identical either way.
 func evalUnit(w *segWorker, t *tdg.TDG, bsas map[string]tdg.BSA,
-	plans map[string]*tdg.Plan, u unit) unitOutcome {
+	plans map[string]*tdg.Plan, u unit, sp obs.Span, classes bool) unitOutcome {
 
 	w.reset()
-	out := unitOutcome{segDurs: make([]int64, len(u.segs))}
+	out := unitOutcome{
+		segDurs:   make([]int64, len(u.segs)),
+		segCounts: make([]energy.Counts, len(u.segs)),
+	}
+	if classes {
+		out.segClasses = make([][dg.NumEdgeClasses]int64, len(u.segs))
+	}
 	var lastEnd int64
 	var snapshot energy.Counts
+	// walkFrom tracks the node carrying the unit's critical end time,
+	// for the per-class path attribution below.
+	walkFrom := dg.None
+	var walkTime int64 = -1
 	for i, seg := range u.segs {
 		name := u.names[i]
 		var endNode dg.NodeID = dg.None
 		if name != "" {
+			tsp := obs.Span{}
+			if sp.Active() {
+				tsp = sp.Child("transform", name+"@L"+strconv.Itoa(seg.LoopID)).
+					ArgInt("start", int64(seg.Start)).
+					ArgInt("end", int64(seg.End)).
+					Arg("config_resident", strconv.FormatBool(u.cfgRes[i]))
+			}
 			w.ctx = tdg.Ctx{
 				TDG: t, G: w.g, GPP: w.gpp, Counts: &w.counts,
-				State: w.state, ConfigResident: u.cfgRes[i],
+				State: w.state, ConfigResident: u.cfgRes[i], Span: tsp,
 			}
 			endNode = bsas[name].TransformRegion(&w.ctx, plans[name].Region(seg.LoopID), seg.Start, seg.End)
+			tsp.End()
 		} else {
 			tr := t.Trace
 			for j := seg.Start; j < seg.End; j++ {
@@ -205,25 +233,65 @@ func evalUnit(w *segWorker, t *tdg.TDG, bsas map[string]tdg.BSA,
 		if endNode != dg.None && w.g.Time(endNode) > end {
 			end = w.g.Time(endNode)
 		}
+		if endNode != dg.None && w.g.Time(endNode) > walkTime {
+			walkFrom, walkTime = endNode, w.g.Time(endNode)
+		}
 		if end < lastEnd {
 			end = lastEnd
 		}
 		dur := end - lastEnd
 		out.segDurs[i] = dur
-
-		md := out.model(name)
-		md.cycles += dur
-		if name != "" {
-			md.active += dur
-		}
-		delta := diffCounts(&w.counts, &snapshot)
-		md.counts.AddCounts(&delta)
+		out.segCounts[i] = diffCounts(&w.counts, &snapshot)
 		snapshot = w.counts
 
 		lastEnd = end
 	}
-	out.dur = lastEnd
+	if classes {
+		if c := w.gpp.LastCommit(); c != dg.None && w.g.Time(c) >= walkTime {
+			walkFrom = c
+		}
+		out.attributePath(w.g, u.segs, walkFrom)
+	}
 	return out
+}
+
+// attributePath walks the unit's critical path once and buckets each
+// step's latency by (segment of the step's target node, edge class) —
+// the µDG-grounded "where did this unit's cycles go" attribution behind
+// the per-region table. Synthetic nodes (dynIdx -1, eg. accelerator
+// boundary events) attribute to the segment of the nearest following
+// node on the path.
+func (o *unitOutcome) attributePath(g *dg.Graph, segs []Segment, from dg.NodeID) {
+	if from == dg.None || len(segs) == 0 {
+		return
+	}
+	cur := len(segs) - 1
+	g.WalkCriticalPath(from, func(id dg.NodeID, class dg.EdgeClass, lat int64) {
+		if dyn := g.DynIdx(id); dyn >= 0 {
+			cur = segOfDyn(segs, int(dyn), cur)
+		}
+		o.segClasses[cur][class] += lat
+	})
+}
+
+// segOfDyn locates the segment containing dynamic index dyn. hint is the
+// previous answer — the path walk is nearly monotonic, so the hit rate
+// is high; misses fall back to binary search over the (sorted, adjacent)
+// segments.
+func segOfDyn(segs []Segment, dyn, hint int) int {
+	if dyn >= segs[hint].Start && dyn < segs[hint].End {
+		return hint
+	}
+	lo, hi := 0, len(segs)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if dyn >= segs[mid].End {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 func diffCounts(now, before *energy.Counts) energy.Counts {

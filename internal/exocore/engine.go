@@ -47,7 +47,9 @@ import (
 
 	"exocore/internal/bsa/bsautil"
 	"exocore/internal/cores"
+	"exocore/internal/dg"
 	"exocore/internal/energy"
+	"exocore/internal/obs"
 	"exocore/internal/tdg"
 )
 
@@ -78,10 +80,22 @@ type SegmentRecord struct {
 type RunOpts struct {
 	// RecordSegments retains the per-segment timeline (Figure 14).
 	RecordSegments bool
+	// RecordRegions builds the per-region attribution table
+	// (RunResult.Regions): dynamic instructions, cycles, energy events and
+	// critical-path class histogram per (loop, model).
+	RecordRegions bool
 	// Cache, when non-nil, memoizes segment outcomes and pools evaluation
 	// arenas across Runs. It must have been created for the same core
 	// config and be used with a fixed (TDG, bsas, plans) tuple.
 	Cache *Cache
+	// Span, when active, receives one child span per evaluation unit
+	// (annotated with cache hit/miss) with nested transform spans. The
+	// zero Span disables tracing at nil-check cost.
+	Span obs.Span
+	// Reg, when non-nil, receives engine-level instruments: the
+	// "eval.segment_len" histogram and per-BSA
+	// "eval.offload_segments.<name>" counters.
+	Reg *obs.Registry
 }
 
 // ModelStat attributes one model's share of a run ("" = general core).
@@ -111,6 +125,49 @@ type RunResult struct {
 	// Trace-P) ran and the core frontend could be power-gated.
 	OffloadCycles int64
 	Segments      []SegmentRecord
+	// Regions is the per-region attribution table (only when
+	// RunOpts.RecordRegions), sorted by (LoopID, BSA) with the
+	// general-core row (-1, "") first.
+	Regions []RegionStat
+}
+
+// RegionStat attributes one region's share of a run: the paper-style
+// breakdown row answering "where did this design's cycles and energy go,
+// and why" (§5's Figure 13 analysis, grounded in the µDG critical path).
+type RegionStat struct {
+	// LoopID is the assigned loop (-1 for execution left on the general
+	// core outside any assigned region).
+	LoopID int
+	// BSA is the model that ran the region ("" for the general core).
+	BSA string
+	// Dyn counts original dynamic instructions covered by the region.
+	Dyn int64
+	// Cycles is the execution time attributed to the region.
+	Cycles int64
+	// Counts holds the region's energy events.
+	Counts energy.Counts
+	// Classes is the critical-path latency attributed to the region's
+	// segments, by µDG edge class — the "critical-path event class
+	// histogram" explaining what the region's cycles waited on.
+	Classes [dg.NumEdgeClasses]int64
+}
+
+// DynamicEnergyNJ evaluates the region's energy events under the core's
+// energy table (dynamic energy only; static energy is a whole-run
+// quantity, see EnergyOf).
+func (rs *RegionStat) DynamicEnergyNJ(core cores.Config) float64 {
+	tbl := energy.CoreTable(core.EnergyParams())
+	return tbl.Evaluate(&rs.Counts, 0).DynamicNJ
+}
+
+// Region returns the run's attribution row for (loop, bsa), or nil.
+func (r *RunResult) Region(loopID int, bsa string) *RegionStat {
+	for i := range r.Regions {
+		if r.Regions[i].LoopID == loopID && r.Regions[i].BSA == bsa {
+			return &r.Regions[i]
+		}
+	}
+	return nil
 }
 
 // stat returns the model's attribution row, appending one if absent. The
@@ -217,47 +274,110 @@ func Run(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA,
 		w = newSegWorker(core, 5*len(t.Trace.Insts)+64)
 	}
 
+	var segLen *obs.Histogram
+	var offloadCtr map[string]*obs.Counter
+	if opts.Reg != nil {
+		segLen = opts.Reg.Histogram("eval.segment_len", obs.DefaultSizeBounds)
+	}
+
 	var lastEnd int64
 	for _, u := range units {
+		usp := obs.Span{}
+		if opts.Span.Active() {
+			usp = opts.Span.Child("segment",
+				"unit["+strconv.Itoa(u.segs[0].Start)+","+strconv.Itoa(u.segs[len(u.segs)-1].End)+")").
+				ArgInt("segments", int64(len(u.segs)))
+		}
 		var out *unitOutcome
 		if opts.Cache != nil {
 			key := unitKey{int32(u.segs[0].Start), int32(u.segs[len(u.segs)-1].End), u.sig()}
 			out = opts.Cache.lookup(key)
-			if out == nil {
-				o := evalUnit(w, t, bsas, plans, u)
+			if usp.Active() {
+				usp.Arg("cache", map[bool]string{true: "hit", false: "miss"}[out != nil])
+			}
+			switch {
+			case out == nil:
+				o := evalUnit(w, t, bsas, plans, u, usp, opts.RecordRegions)
 				out = opts.Cache.store(key, &o)
+			case opts.RecordRegions && out.segClasses == nil:
+				// Cached by a sweep without class attribution; re-evaluate
+				// once with it and upgrade the entry.
+				o := evalUnit(w, t, bsas, plans, u, usp, true)
+				out = opts.Cache.upgrade(key, &o)
 			}
 		} else {
-			o := evalUnit(w, t, bsas, plans, u)
+			o := evalUnit(w, t, bsas, plans, u, usp, opts.RecordRegions)
 			out = &o
 		}
 
-		for i := range out.models {
-			md := &out.models[i]
-			st := res.stat(md.name)
-			st.Cycles += md.cycles
-			st.ActiveCycles += md.active
-			st.Counts.AddCounts(&md.counts)
-			res.Counts.AddCounts(&md.counts)
-			if md.name != "" && bsas[md.name].OffloadsCore() {
-				res.OffloadCycles += md.cycles
-			}
-		}
 		for i, seg := range u.segs {
-			res.stat(u.names[i]).Dyn += int64(seg.End - seg.Start)
+			name := u.names[i]
+			dyn := int64(seg.End - seg.Start)
+			dur := out.segDurs[i]
+			st := res.stat(name)
+			st.Dyn += dyn
+			st.Cycles += dur
+			st.Counts.AddCounts(&out.segCounts[i])
+			res.Counts.AddCounts(&out.segCounts[i])
+			segLen.Observe(dyn)
+			if name != "" {
+				st.ActiveCycles += dur
+				if bsas[name].OffloadsCore() {
+					res.OffloadCycles += dur
+					if opts.Reg != nil {
+						c := offloadCtr[name]
+						if c == nil {
+							if offloadCtr == nil {
+								offloadCtr = make(map[string]*obs.Counter, 2)
+							}
+							c = opts.Reg.Counter("eval.offload_segments." + name)
+							offloadCtr[name] = c
+						}
+						c.Add(1)
+					}
+				}
+			}
+			if opts.RecordRegions {
+				rs := res.regionStat(seg.LoopID, name)
+				rs.Dyn += dyn
+				rs.Cycles += dur
+				rs.Counts.AddCounts(&out.segCounts[i])
+				for cl, v := range out.segClasses[i] {
+					rs.Classes[cl] += v
+				}
+			}
 			if opts.RecordSegments {
 				res.Segments = append(res.Segments, SegmentRecord{
-					LoopID: seg.LoopID, BSA: u.names[i],
-					StartCycle: lastEnd, EndCycle: lastEnd + out.segDurs[i],
+					LoopID: seg.LoopID, BSA: name,
+					StartCycle: lastEnd, EndCycle: lastEnd + dur,
 					Dyn: seg.End - seg.Start,
 				})
 			}
-			lastEnd += out.segDurs[i]
+			lastEnd += dur
 		}
+		usp.End()
 	}
 	res.Cycles = lastEnd
 	sort.Slice(res.Models, func(i, j int) bool { return res.Models[i].Name < res.Models[j].Name })
+	sort.Slice(res.Regions, func(i, j int) bool {
+		if res.Regions[i].LoopID != res.Regions[j].LoopID {
+			return res.Regions[i].LoopID < res.Regions[j].LoopID
+		}
+		return res.Regions[i].BSA < res.Regions[j].BSA
+	})
 	return res, nil
+}
+
+// regionStat returns the attribution row for (loop, bsa), appending one
+// if absent; like stat, the table stays tiny so linear scan wins.
+func (r *RunResult) regionStat(loopID int, bsa string) *RegionStat {
+	for i := range r.Regions {
+		if r.Regions[i].LoopID == loopID && r.Regions[i].BSA == bsa {
+			return &r.Regions[i]
+		}
+	}
+	r.Regions = append(r.Regions, RegionStat{LoopID: loopID, BSA: bsa})
+	return &r.Regions[len(r.Regions)-1]
 }
 
 // unit is one evaluation unit: either a single offload-BSA segment, or a

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The nil *Counter is
+// inert, so instruments resolved from a nil Registry cost one branch.
+type Counter struct {
+	v atomic.Int64
+}
+
+// NewCounter creates a standalone counter (not attached to a registry) —
+// for subsystems that keep their own counter fields but want the shared
+// instrument type.
+func NewCounter() *Counter { return &Counter{} }
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value metric.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution: observation v lands in the
+// first bucket whose bound satisfies v <= bound, or the overflow bucket.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1; last is overflow
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Default bucket bounds. Wall-clock bounds are nanoseconds from 10µs to
+// 10s; size bounds are power-of-four element counts.
+var (
+	DefaultWallBounds = []int64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
+	DefaultSizeBounds = []int64{16, 64, 256, 1024, 4096, 16384, 65536}
+)
+
+// Registry holds named instruments. Lookups create on first use and
+// return the same instrument for the same name afterwards, so concurrent
+// subsystems sharing a registry aggregate into one metric. A nil
+// *Registry hands out nil (inert) instruments.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds (ascending) on first use; later calls return the
+// existing histogram regardless of bounds.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{
+			bounds:  append([]int64(nil), bounds...),
+			buckets: make([]atomic.Int64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// MetricPoint is one instrument's snapshot, JSON-stable for the
+// versioned result schema. Kind is "counter", "gauge" or "histogram";
+// counters and gauges carry Value, histograms carry Count/Sum plus
+// parallel Bounds/Counts (Counts has one extra overflow entry).
+type MetricPoint struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`
+	Value  int64   `json:"value,omitempty"`
+	Count  int64   `json:"count,omitempty"`
+	Sum    int64   `json:"sum,omitempty"`
+	Bounds []int64 `json:"bounds,omitempty"`
+	Counts []int64 `json:"counts,omitempty"`
+}
+
+// Snapshot returns every instrument's current value, sorted by name (and
+// kind for the pathological case of one name used as two kinds), so
+// emitted JSON is byte-stable.
+func (r *Registry) Snapshot() []MetricPoint {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]MetricPoint, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, MetricPoint{Name: name, Kind: "counter", Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		out = append(out, MetricPoint{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		counts := make([]int64, len(h.buckets))
+		for i := range h.buckets {
+			counts[i] = h.buckets[i].Load()
+		}
+		out = append(out, MetricPoint{
+			Name: name, Kind: "histogram",
+			Count: h.Count(), Sum: h.Sum(),
+			Bounds: append([]int64(nil), h.bounds...), Counts: counts,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryHandsOutInertInstruments(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(5)
+	r.Gauge("g").Set(7)
+	r.Histogram("h", DefaultWallBounds).Observe(123)
+	if got := r.Counter("c").Value(); got != 0 {
+		t.Errorf("nil counter value = %d", got)
+	}
+	if snap := r.Snapshot(); snap != nil {
+		t.Errorf("nil registry snapshot = %v", snap)
+	}
+}
+
+func TestRegistrySameNameSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("same counter name returned distinct instruments")
+	}
+	r.Counter("x").Add(2)
+	r.Counter("x").Add(3)
+	if got := r.Counter("x").Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{10, 100})
+	for _, v := range []int64{1, 10, 11, 100, 1000} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	p := snap[0]
+	if p.Kind != "histogram" || p.Count != 5 || p.Sum != 1122 {
+		t.Errorf("point = %+v", p)
+	}
+	want := []int64{2, 2, 1} // ≤10, ≤100, overflow
+	for i, c := range want {
+		if p.Counts[i] != c {
+			t.Errorf("bucket %d = %d, want %d (%+v)", i, p.Counts[i], c, p)
+		}
+	}
+}
+
+func TestSnapshotSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("b").Set(1)
+	r.Counter("a").Add(1)
+	r.Histogram("c", DefaultSizeBounds).Observe(3)
+	snap := r.Snapshot()
+	names := []string{"a", "b", "c"}
+	for i, p := range snap {
+		if p.Name != names[i] {
+			t.Fatalf("snapshot order = %v", snap)
+		}
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Add(1)
+				r.Histogram("h", DefaultWallBounds).Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,12 @@
+// Package obs is the zero-dependency observability layer threaded
+// through the evaluation stack: lightweight span tracing exported as
+// Chrome trace-event JSON (loadable in Perfetto or chrome://tracing), a
+// registry of named counters/gauges/histograms snapshotted into the
+// versioned result schema, and a small leveled line logger backed by
+// log/slog.
+//
+// Everything is built so the *off* path is nil-check cheap: a nil
+// *Tracer hands out inert Spans, a nil *Registry hands out inert
+// instruments, and a nil *Logger drops records — instrumented code never
+// branches on configuration, it just calls through.
+package obs

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer collects start/end spans against one monotonic clock and writes
+// them out as a Chrome trace-event JSON array. Safe for concurrent use
+// from any number of goroutines.
+//
+// A nil *Tracer is the disabled tracer: Begin returns an inert Span and
+// every downstream call is a nil-check. Instrumentation sites therefore
+// never test whether tracing is on.
+type Tracer struct {
+	proc  string
+	start time.Time
+
+	mu     sync.Mutex
+	events []spanEvent
+	lanes  []bool // lane occupancy; index = trace tid
+}
+
+// spanEvent is one complete ("X") trace event being built.
+type spanEvent struct {
+	name    string
+	cat     string
+	lane    int32
+	startNS int64
+	durNS   int64 // -1 while the span is open
+	args    []Arg
+}
+
+// Arg is one key/value annotation on a span.
+type Arg struct {
+	Key string
+	Val string
+}
+
+// NewTracer creates a tracer; proc names the process in the trace viewer
+// (usually the tool name).
+func NewTracer(proc string) *Tracer {
+	return &Tracer{proc: proc, start: time.Now()}
+}
+
+// Begin opens a new top-level span. Top-level spans are assigned the
+// lowest free lane (trace tid), so concurrent spans render side by side
+// while sequential ones share a track; nested work belongs in
+// Span.Child. End the span to release its lane.
+func (t *Tracer) Begin(cat, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	now := int64(time.Since(t.start))
+	t.mu.Lock()
+	lane := int32(0)
+	for ; int(lane) < len(t.lanes) && t.lanes[lane]; lane++ {
+	}
+	if int(lane) == len(t.lanes) {
+		t.lanes = append(t.lanes, true)
+	} else {
+		t.lanes[lane] = true
+	}
+	idx := t.push(cat, name, lane, now)
+	t.mu.Unlock()
+	return Span{t: t, idx: idx, lane: lane, owns: true}
+}
+
+// push appends an open event; the caller holds t.mu.
+func (t *Tracer) push(cat, name string, lane int32, startNS int64) int32 {
+	t.events = append(t.events, spanEvent{
+		name: name, cat: cat, lane: lane, startNS: startNS, durNS: -1,
+	})
+	return int32(len(t.events) - 1)
+}
+
+// Span is one open (or finished) trace span. The zero Span is inert:
+// Child returns another inert Span, Arg and End do nothing, so spans can
+// be threaded unconditionally through code that may run untraced.
+type Span struct {
+	t    *Tracer
+	idx  int32
+	lane int32
+	owns bool // this span acquired its lane and must release it
+}
+
+// Active reports whether the span records anything (ie. tracing is on).
+func (s Span) Active() bool { return s.t != nil }
+
+// Child opens a span nested under s, on the same lane. Children must end
+// before their parent for the trace to nest correctly.
+func (s Span) Child(cat, name string) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	now := int64(time.Since(s.t.start))
+	s.t.mu.Lock()
+	idx := s.t.push(cat, name, s.lane, now)
+	s.t.mu.Unlock()
+	return Span{t: s.t, idx: idx, lane: s.lane}
+}
+
+// Arg annotates the span with a key/value pair and returns it for
+// chaining.
+func (s Span) Arg(key, val string) Span {
+	if s.t == nil {
+		return s
+	}
+	s.t.mu.Lock()
+	ev := &s.t.events[s.idx]
+	ev.args = append(ev.args, Arg{Key: key, Val: val})
+	s.t.mu.Unlock()
+	return s
+}
+
+// ArgInt annotates the span with an integer value.
+func (s Span) ArgInt(key string, v int64) Span {
+	if s.t == nil {
+		return s
+	}
+	return s.Arg(key, fmt.Sprint(v))
+}
+
+// End closes the span, fixing its duration; a top-level span also
+// releases its lane. End on an already-ended or inert span is a no-op.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	now := int64(time.Since(s.t.start))
+	s.t.mu.Lock()
+	ev := &s.t.events[s.idx]
+	if ev.durNS < 0 {
+		ev.durNS = now - ev.startNS
+		if s.owns {
+			s.t.lanes[s.lane] = false
+		}
+	}
+	s.t.mu.Unlock()
+}
+
+// traceEvent is the Chrome trace-event wire format (the JSON Array
+// Format of the trace-event spec; ts/dur are microseconds).
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  int32             `json:"tid"`
+	TS   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// Write emits every span as a Chrome trace-event JSON array. Spans still
+// open are emitted with their duration measured up to now and an
+// "unfinished" arg. Write may be called more than once; each call
+// snapshots the current state.
+func (t *Tracer) Write(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	now := int64(time.Since(t.start))
+	t.mu.Lock()
+	out := make([]traceEvent, 0, len(t.events)+1)
+	out = append(out, traceEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]string{"name": t.proc},
+	})
+	for _, ev := range t.events {
+		dur := ev.durNS
+		var args map[string]string
+		if dur < 0 {
+			dur = now - ev.startNS
+			args = map[string]string{"unfinished": "true"}
+		}
+		if len(ev.args) > 0 {
+			if args == nil {
+				args = make(map[string]string, len(ev.args))
+			}
+			for _, a := range ev.args {
+				args[a.Key] = a.Val
+			}
+		}
+		d := float64(dur) / 1e3
+		out = append(out, traceEvent{
+			Name: ev.name, Cat: ev.cat, Ph: "X", PID: 1, TID: ev.lane,
+			TS: float64(ev.startNS) / 1e3, Dur: &d, Args: args,
+		})
+	}
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ValidateTrace parses data as a Chrome trace-event JSON array and
+// checks the structural invariants this package guarantees: every entry
+// is an "X" complete event (or "M" metadata), has non-negative ts/dur,
+// and within each (pid, tid) track the complete events are properly
+// nested — no partial overlap. It returns the number of complete spans.
+// Shared by tests and the trace-smoke gate in scripts/.
+func ValidateTrace(data []byte) (int, error) {
+	var events []traceEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		return 0, fmt.Errorf("trace is not a JSON event array: %w", err)
+	}
+	type key struct {
+		pid int
+		tid int32
+	}
+	byTrack := make(map[key][]traceEvent)
+	spans := 0
+	for i, ev := range events {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X":
+		default:
+			return 0, fmt.Errorf("event %d: unexpected phase %q", i, ev.Ph)
+		}
+		if ev.Name == "" {
+			return 0, fmt.Errorf("event %d: missing name", i)
+		}
+		if ev.TS < 0 || ev.Dur == nil || *ev.Dur < 0 {
+			return 0, fmt.Errorf("event %d (%s): bad ts/dur", i, ev.Name)
+		}
+		spans++
+		byTrack[key{ev.PID, ev.TID}] = append(byTrack[key{ev.PID, ev.TID}], ev)
+	}
+	for k, evs := range byTrack {
+		// Sort by start; ties put the longer (outer) span first.
+		sortEvents(evs)
+		type open struct {
+			name string
+			end  float64
+		}
+		var stack []open
+		for _, ev := range evs {
+			end := ev.TS + *ev.Dur
+			for len(stack) > 0 && ev.TS >= stack[len(stack)-1].end {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 {
+				if top := stack[len(stack)-1]; end > top.end {
+					return 0, fmt.Errorf(
+						"track %d/%d: span %q [%f,%f) partially overlaps %q (ends %f)",
+						k.pid, k.tid, ev.Name, ev.TS, end, top.name, top.end)
+				}
+			}
+			stack = append(stack, open{ev.Name, end})
+		}
+	}
+	return spans, nil
+}
+
+func sortEvents(evs []traceEvent) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].TS != evs[j].TS {
+			return evs[i].TS < evs[j].TS
+		}
+		return *evs[i].Dur > *evs[j].Dur // outer (longer) span first
+	})
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin("cat", "top")
+	if sp.Active() {
+		t.Fatal("nil tracer produced an active span")
+	}
+	ch := sp.Child("cat", "child").Arg("k", "v").ArgInt("n", 3)
+	ch.End()
+	sp.End()
+	if err := tr.Write(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanNestingAndLanes(t *testing.T) {
+	tr := NewTracer("test")
+	top := tr.Begin("stage", "eval")
+	seg := top.Child("segment", "unit").Arg("hit", "false")
+	tf := seg.Child("transform", "SIMD@L1").ArgInt("loop", 1)
+	tf.End()
+	seg.End()
+	top.End()
+	// A second top-level span after the first ended reuses lane 0.
+	second := tr.Begin("stage", "trace")
+	second.End()
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ValidateTrace: %v\n%s", err, buf.String())
+	}
+	if n != 4 {
+		t.Fatalf("spans = %d, want 4", n)
+	}
+
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	// All four spans share lane 0 (sequential tops + nested children).
+	for _, ev := range events {
+		if ev["ph"] == "X" && ev["tid"].(float64) != 0 {
+			t.Errorf("span %v on lane %v, want 0", ev["name"], ev["tid"])
+		}
+	}
+	if !strings.Contains(buf.String(), `"hit":"false"`) {
+		t.Error("span args missing from output")
+	}
+	if !strings.Contains(buf.String(), `"process_name"`) {
+		t.Error("process_name metadata missing")
+	}
+}
+
+func TestConcurrentTopSpansGetDistinctLanes(t *testing.T) {
+	tr := NewTracer("test")
+	const n = 8
+	var wg, began sync.WaitGroup
+	began.Add(n)
+	lanes := make([]int32, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := tr.Begin("stage", "work")
+			lanes[i] = sp.lane
+			began.Done()
+			began.Wait() // hold every span open until all have begun
+			sp.Child("segment", "inner").End()
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+
+	seen := make(map[int32]bool)
+	for _, l := range lanes {
+		if seen[l] {
+			t.Fatalf("lane %d assigned to two concurrent spans", l)
+		}
+		seen[l] = true
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateTrace: %v", err)
+	}
+}
+
+func TestWriteReportsUnfinishedSpans(t *testing.T) {
+	tr := NewTracer("test")
+	tr.Begin("stage", "open") // never ended
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"unfinished":"true"`) {
+		t.Errorf("open span not marked unfinished: %s", buf.String())
+	}
+	if _, err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateTrace: %v", err)
+	}
+}
+
+func TestValidateTraceRejectsOverlap(t *testing.T) {
+	raw := `[
+	 {"name":"a","ph":"X","pid":1,"tid":0,"ts":0,"dur":10},
+	 {"name":"b","ph":"X","pid":1,"tid":0,"ts":5,"dur":10}
+	]`
+	if _, err := ValidateTrace([]byte(raw)); err == nil {
+		t.Fatal("partial overlap not rejected")
+	}
+	// Same spans on different tracks are fine.
+	raw = `[
+	 {"name":"a","ph":"X","pid":1,"tid":0,"ts":0,"dur":10},
+	 {"name":"b","ph":"X","pid":1,"tid":1,"ts":5,"dur":10}
+	]`
+	if n, err := ValidateTrace([]byte(raw)); err != nil || n != 2 {
+		t.Fatalf("distinct tracks: n=%d err=%v", n, err)
+	}
+	if _, err := ValidateTrace([]byte(`{"not":"an array"}`)); err == nil {
+		t.Fatal("non-array accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"exocore/internal/cores"
+	"exocore/internal/dg"
+	"exocore/internal/energy"
+	"exocore/internal/exocore"
+	"exocore/internal/obs"
+	"exocore/internal/runner"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestMetricsSnapshotGolden locks down the serialized form of the
+// registry snapshot inside an exocore-result/v1 document: instrument
+// order, field names and histogram encoding are part of the schema.
+func TestMetricsSnapshotGolden(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("stage.eval.calls").Add(7)
+	reg.Counter("stage.eval.hits").Add(4)
+	reg.Gauge("evalcache.bytes_reused").Set(4096)
+	h := reg.Histogram("eval.segment_len", obs.DefaultSizeBounds)
+	for _, v := range []int64{10, 100, 1000, 100000} {
+		h.Observe(v)
+	}
+
+	doc := New("goldentool")
+	doc.Add(Result{Design: "OOO2-SDNT", Bench: "mm", Cycles: 1234})
+	doc.Metrics = &runner.Metrics{
+		Stages: []runner.StageMetrics{
+			{Stage: "eval", Calls: 7, Hits: 4, Misses: 3, WallNS: 0, Insts: 30000},
+		},
+		Points: reg.Snapshot(),
+	}
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "metrics_snapshot.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("snapshot drifted from golden (run with -update if intended):\n%s", buf.String())
+	}
+}
+
+func testRegions() []exocore.RegionStat {
+	gpp := exocore.RegionStat{LoopID: -1, Dyn: 5000, Cycles: 9000}
+	gpp.Classes[dg.EdgeExec] = 6000
+	gpp.Classes[dg.EdgeWidth] = 3000
+	acc := exocore.RegionStat{LoopID: 3, BSA: "SIMD", Dyn: 20000, Cycles: 4000}
+	acc.Classes[dg.EdgeFU] = 3900
+	acc.Classes[dg.EdgeCachePort] = 60 // 1.5%: kept
+	acc.Classes[dg.EdgePipe] = 20      // 0.5%: dropped from the table
+	acc.Counts.Add(energy.EvIntAluOp, 20000)
+	return []exocore.RegionStat{gpp, acc}
+}
+
+func TestWriteRegionTable(t *testing.T) {
+	var buf bytes.Buffer
+	WriteRegionTable(&buf, testRegions(), cores.OOO2)
+	out := buf.String()
+	for _, want := range []string{
+		"REGION", "CRITICAL-PATH CLASSES",
+		"outside", "GPP", "L3", "SIMD",
+		"exec 67%", "width 33%", "fu 98%", "cacheport 2%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "pipe") {
+		t.Errorf("sub-1%% class should be dropped:\n%s", out)
+	}
+}
+
+func TestRegionResults(t *testing.T) {
+	rows := RegionResults("OOO2-S", "OOO2", "mm", testRegions(), cores.OOO2)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if p := rows[0].Params; p["region"] != "outside" || p["bsa"] != "GPP" {
+		t.Errorf("general-core row params = %v", p)
+	}
+	if p := rows[1].Params; p["region"] != "L3" || p["bsa"] != "SIMD" {
+		t.Errorf("accelerated row params = %v", p)
+	}
+	if rows[1].Cycles != 4000 || rows[1].Extra["dyn_insts"] != 20000 {
+		t.Errorf("accelerated row = %+v", rows[1])
+	}
+	if rows[1].Extra["cp_fu"] != 3900 {
+		t.Errorf("cp_fu = %v, want 3900", rows[1].Extra["cp_fu"])
+	}
+	if rows[1].EnergyNJ <= 0 {
+		t.Errorf("energy = %v, want > 0 from the int-op events", rows[1].EnergyNJ)
+	}
+	if _, ok := rows[1].Extra["cp_program"]; ok {
+		t.Error("zero-latency class serialized")
+	}
+}

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"exocore/internal/cores"
+	"exocore/internal/dg"
+	"exocore/internal/exocore"
+)
+
+// RegionLabel renders a region's loop id for tables: "L<id>", or
+// "outside" for execution not inside any planned loop.
+func RegionLabel(loopID int) string {
+	if loopID < 0 {
+		return "outside"
+	}
+	return fmt.Sprintf("L%d", loopID)
+}
+
+// bsaLabel maps the engine's "" (general core) model name to "GPP".
+func bsaLabel(name string) string {
+	if name == "" {
+		return "GPP"
+	}
+	return name
+}
+
+// topClasses renders the dominant critical-path edge classes of one
+// region as "class p%" terms, largest first, up to n terms; classes
+// below 1% of the region's attributed latency are dropped.
+func topClasses(classes *[dg.NumEdgeClasses]int64, n int) string {
+	var total int64
+	for _, v := range classes {
+		total += v
+	}
+	if total == 0 {
+		return "-"
+	}
+	type cv struct {
+		c dg.EdgeClass
+		v int64
+	}
+	var top []cv
+	for c, v := range classes {
+		if v > 0 {
+			top = append(top, cv{dg.EdgeClass(c), v})
+		}
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].v != top[j].v {
+			return top[i].v > top[j].v
+		}
+		return top[i].c < top[j].c
+	})
+	out := ""
+	for i, t := range top {
+		pct := 100 * float64(t.v) / float64(total)
+		if i >= n || pct < 1 {
+			break
+		}
+		if out != "" {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s %.0f%%", t.c, pct)
+	}
+	return out
+}
+
+// WriteRegionTable prints the per-region attribution table of one
+// evaluated run (RunOpts.RecordRegions) — region, winning BSA, dynamic
+// instructions, cycles, dynamic energy and the dominant critical-path
+// event classes from the µDG. Rows come pre-sorted from the engine.
+func WriteRegionTable(w io.Writer, regions []exocore.RegionStat, core cores.Config) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  REGION\tBSA\tDYN\tCYCLES\tENERGY(nJ)\tCRITICAL-PATH CLASSES")
+	for i := range regions {
+		rs := &regions[i]
+		fmt.Fprintf(tw, "  %s\t%s\t%d\t%d\t%.1f\t%s\n",
+			RegionLabel(rs.LoopID), bsaLabel(rs.BSA), rs.Dyn, rs.Cycles,
+			rs.DynamicEnergyNJ(core), topClasses(&rs.Classes, 3))
+	}
+	tw.Flush()
+}
+
+// RegionResults converts a run's per-region attribution into schema
+// rows: one Result per region with the region/bsa dimensions in Params
+// and the critical-path class latencies under "cp_<class>" Extra keys.
+func RegionResults(design, coreName, bench string, regions []exocore.RegionStat, core cores.Config) []Result {
+	out := make([]Result, 0, len(regions))
+	for i := range regions {
+		rs := &regions[i]
+		extra := map[string]float64{"dyn_insts": float64(rs.Dyn)}
+		for c, v := range rs.Classes {
+			if v > 0 {
+				extra["cp_"+dg.EdgeClass(c).String()] = float64(v)
+			}
+		}
+		out = append(out, Result{
+			Design: design, Core: coreName, Bench: bench,
+			Cycles: rs.Cycles, EnergyNJ: rs.DynamicEnergyNJ(core),
+			Params: map[string]string{
+				"region": RegionLabel(rs.LoopID),
+				"bsa":    bsaLabel(rs.BSA),
+			},
+			Extra: extra,
+		})
+	}
+	return out
+}

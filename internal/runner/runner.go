@@ -22,6 +22,7 @@ import (
 	"exocore/internal/bsa/tracep"
 	"exocore/internal/cores"
 	"exocore/internal/exocore"
+	"exocore/internal/obs"
 	"exocore/internal/sched"
 	"exocore/internal/tdg"
 	"exocore/internal/trace"
@@ -81,6 +82,16 @@ type Options struct {
 	// (exocore.Cache): every assignment evaluation rebuilds every unit
 	// from scratch. Used by the equivalence gate and for A/B measurement.
 	NoSegmentCache bool
+	// Tracer, if non-nil, receives one span per stage cache miss, with
+	// per-unit segment spans and per-transform spans nested under the
+	// sched and eval stages. Nil keeps the hot path nil-check cheap.
+	Tracer *obs.Tracer
+	// Reg is the metrics registry backing the engine's counters. Nil
+	// makes the engine create a private one; pass a shared registry to
+	// fold engine metrics into a tool-wide snapshot.
+	Reg *obs.Registry
+	// Log, if non-nil, receives debug-level stage-lookup records.
+	Log *obs.Logger
 }
 
 // StageMetrics aggregates one pipeline stage's counters.
@@ -102,6 +113,9 @@ type Metrics struct {
 	// scheduling context this engine created. Nil when the cache is
 	// disabled (Options.NoSegmentCache).
 	EvalCache *exocore.CacheStats `json:"eval_cache,omitempty"`
+	// Points is the full registry snapshot (every named instrument,
+	// sorted), the exportable form behind the stage/cache fields above.
+	Points []obs.MetricPoint `json:"points,omitempty"`
 }
 
 // Stage returns the named stage's snapshot (zero value if unknown).
@@ -132,9 +146,11 @@ func (m Metrics) Misses() int64 {
 	return n
 }
 
-// stageCounters holds one stage's atomic counters.
-type stageCounters struct {
-	calls, hits, misses, wallNS, insts atomic.Int64
+// stageInstruments bundles one stage's registry instruments, resolved
+// once at Engine construction so the lookup path stays map-free.
+type stageInstruments struct {
+	calls, hits, misses, insts *obs.Counter
+	wall                       *obs.Histogram
 }
 
 // evalResult is the memoized outcome of one assignment evaluation.
@@ -152,12 +168,16 @@ type Engine struct {
 	progressMu sync.Mutex
 	progress   ProgressFunc
 
+	tracer *obs.Tracer
+	reg    *obs.Registry
+	log    *obs.Logger
+
 	traces memo[*trace.Trace]
 	tdgs   memo[*tdg.TDG]
 	scheds memo[*sched.Context]
 	evals  memo[evalResult]
 
-	counters map[string]*stageCounters
+	stages map[string]*stageInstruments
 
 	cachesMu sync.Mutex
 	caches   []*exocore.Cache // unit caches of every context created
@@ -173,18 +193,34 @@ func New(opts Options) *Engine {
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
+	reg := opts.Reg
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	e := &Engine{
 		maxDyn:     maxDyn,
 		workers:    workers,
 		noSegCache: opts.NoSegmentCache,
 		progress:   opts.Progress,
-		counters:   make(map[string]*stageCounters, len(stageOrder)),
+		tracer:     opts.Tracer,
+		reg:        reg,
+		log:        opts.Log,
+		stages:     make(map[string]*stageInstruments, len(stageOrder)),
 	}
 	for _, s := range stageOrder {
-		e.counters[s] = &stageCounters{}
+		e.stages[s] = &stageInstruments{
+			calls:  reg.Counter("stage." + s + ".calls"),
+			hits:   reg.Counter("stage." + s + ".hits"),
+			misses: reg.Counter("stage." + s + ".misses"),
+			insts:  reg.Counter("stage." + s + ".insts"),
+			wall:   reg.Histogram("stage."+s+".wall_ns", obs.DefaultWallBounds),
+		}
 	}
 	return e
 }
+
+// Registry returns the engine's metrics registry (never nil).
+func (e *Engine) Registry() *obs.Registry { return e.reg }
 
 // MaxDyn returns the engine's dynamic-instruction budget.
 func (e *Engine) MaxDyn() int { return e.maxDyn }
@@ -196,14 +232,14 @@ func (e *Engine) Workers() int { return e.workers }
 func (e *Engine) Metrics() Metrics {
 	var m Metrics
 	for _, name := range stageOrder {
-		c := e.counters[name]
+		c := e.stages[name]
 		m.Stages = append(m.Stages, StageMetrics{
 			Stage:  name,
-			Calls:  c.calls.Load(),
-			Hits:   c.hits.Load(),
-			Misses: c.misses.Load(),
-			WallNS: c.wallNS.Load(),
-			Insts:  c.insts.Load(),
+			Calls:  c.calls.Value(),
+			Hits:   c.hits.Value(),
+			Misses: c.misses.Value(),
+			WallNS: c.wall.Sum(),
+			Insts:  c.insts.Value(),
 		})
 	}
 	if !e.noSegCache {
@@ -217,8 +253,15 @@ func (e *Engine) Metrics() Metrics {
 			agg.Entries += s.Entries
 		}
 		e.cachesMu.Unlock()
+		// Mirror the aggregate into registry gauges so the exportable
+		// snapshot carries the cache state too.
+		e.reg.Gauge("evalcache.segment_hits").Set(agg.Hits)
+		e.reg.Gauge("evalcache.segment_misses").Set(agg.Misses)
+		e.reg.Gauge("evalcache.bytes_reused").Set(agg.BytesReused)
+		e.reg.Gauge("evalcache.entries").Set(agg.Entries)
 		m.EvalCache = &agg
 	}
+	m.Points = e.reg.Snapshot()
 	return m
 }
 
@@ -233,15 +276,16 @@ func (e *Engine) emit(ev Event) {
 
 // account records one lookup's counters and fires the progress callback.
 func (e *Engine) account(stage, key string, hit bool, wall time.Duration, insts int64) {
-	c := e.counters[stage]
+	c := e.stages[stage]
 	c.calls.Add(1)
 	if hit {
 		c.hits.Add(1)
 	} else {
 		c.misses.Add(1)
-		c.wallNS.Add(int64(wall))
+		c.wall.Observe(int64(wall))
 		c.insts.Add(insts)
 	}
+	e.log.Debug("stage lookup", "stage", stage, "key", key, "hit", hit, "wall", wall)
 	e.emit(Event{Stage: stage, Key: key, CacheHit: hit, Wall: wall})
 }
 
@@ -250,6 +294,8 @@ func (e *Engine) account(stage, key string, hit bool, wall time.Duration, insts 
 func (e *Engine) Trace(w *workloads.Workload) (*trace.Trace, error) {
 	key := w.Name
 	tr, hit, wall, err := e.traces.get(key, func() (*trace.Trace, error) {
+		sp := e.tracer.Begin("stage", StageTrace+" "+key)
+		defer sp.End()
 		return w.Trace(e.maxDyn)
 	})
 	var insts int64
@@ -269,6 +315,8 @@ func (e *Engine) TDG(w *workloads.Workload) (*tdg.TDG, error) {
 		if err != nil {
 			return nil, err
 		}
+		sp := e.tracer.Begin("stage", StageTDG+" "+key)
+		defer sp.End()
 		return tdg.Build(tr)
 	})
 	var insts int64
@@ -286,6 +334,8 @@ func (e *Engine) TDG(w *workloads.Workload) (*tdg.TDG, error) {
 func (e *Engine) TDGFor(key string, tr *trace.Trace) (*tdg.TDG, error) {
 	k := "adhoc:" + key
 	td, hit, wall, err := e.tdgs.get(k, func() (*tdg.TDG, error) {
+		sp := e.tracer.Begin("stage", StageTDG+" "+k)
+		defer sp.End()
 		return tdg.Build(tr)
 	})
 	e.account(StageTDG, k, hit, wall, int64(tr.Len()))
@@ -302,8 +352,10 @@ func (e *Engine) Context(w *workloads.Workload, core cores.Config) (*sched.Conte
 		if err != nil {
 			return nil, err
 		}
+		sp := e.tracer.Begin("stage", StageSched+" "+key)
+		defer sp.End()
 		sc, err := sched.NewContextWith(td, core, NewBSASet(),
-			sched.ContextOpts{NoSegmentCache: e.noSegCache})
+			sched.ContextOpts{NoSegmentCache: e.noSegCache, Reg: e.reg, Span: sp})
 		if err != nil {
 			return nil, err
 		}
@@ -352,7 +404,9 @@ func (e *Engine) Evaluate(w *workloads.Workload, core cores.Config, assign exoco
 		if err != nil {
 			return evalResult{}, err
 		}
-		cycles, energy, err := sc.Evaluate(assign)
+		sp := e.tracer.Begin("stage", StageEval+" "+key)
+		defer sp.End()
+		cycles, energy, err := sc.EvaluateSpan(assign, sp)
 		if err != nil {
 			return evalResult{}, err
 		}

@@ -9,9 +9,11 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"exocore/internal/cores"
 	"exocore/internal/exocore"
+	"exocore/internal/obs"
 	"exocore/internal/tdg"
 )
 
@@ -43,6 +45,8 @@ type Context struct {
 	BaseCycles   int64
 	BaseEnergyNJ float64
 	Candidates   []Candidate
+
+	reg *obs.Registry
 }
 
 // ContextOpts tunes context construction.
@@ -51,6 +55,14 @@ type ContextOpts struct {
 	// re-evaluates every unit from scratch. Used by the equivalence gate
 	// and for A/B measurement.
 	NoSegmentCache bool
+	// Reg, when non-nil, receives evaluation metrics (segment-length
+	// histogram, per-BSA offload counters) from every Run this context
+	// issues, including later Evaluate calls.
+	Reg *obs.Registry
+	// Span, when active, parents one child span per measurement run the
+	// constructor issues (baseline plus each candidate solo). Inert spans
+	// cost a nil check.
+	Span obs.Span
 }
 
 // NewContext analyzes the TDG with every BSA and measures the baseline
@@ -61,14 +73,20 @@ func NewContext(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA) (*Contex
 
 // NewContextWith is NewContext with explicit options.
 func NewContextWith(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA, opts ContextOpts) (*Context, error) {
-	ctx := &Context{TDG: t, Core: core, BSAs: bsas, Plans: make(map[string]*tdg.Plan)}
+	ctx := &Context{TDG: t, Core: core, BSAs: bsas, Plans: make(map[string]*tdg.Plan), reg: opts.Reg}
 	if !opts.NoSegmentCache {
 		ctx.Cache = exocore.NewCache(core, t.Trace.Len())
 	}
 	for name, b := range bsas {
 		ctx.Plans[name] = b.Analyze(t)
 	}
-	base, err := exocore.Run(t, core, bsas, ctx.Plans, nil, exocore.RunOpts{Cache: ctx.Cache})
+	bsp := obs.Span{}
+	if opts.Span.Active() {
+		bsp = opts.Span.Child("run", "baseline")
+	}
+	base, err := exocore.Run(t, core, bsas, ctx.Plans, nil,
+		exocore.RunOpts{Cache: ctx.Cache, Span: bsp, Reg: opts.Reg})
+	bsp.End()
 	if err != nil {
 		return nil, fmt.Errorf("sched: baseline: %w", err)
 	}
@@ -88,8 +106,14 @@ func NewContextWith(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA, opts
 		}
 		sort.Ints(loops)
 		for _, l := range loops {
+			csp := obs.Span{}
+			if opts.Span.Active() {
+				csp = opts.Span.Child("run", "candidate "+name+"@L"+strconv.Itoa(l))
+			}
 			res, err := exocore.Run(t, core, bsas, ctx.Plans,
-				exocore.Assignment{l: name}, exocore.RunOpts{Cache: ctx.Cache})
+				exocore.Assignment{l: name},
+				exocore.RunOpts{Cache: ctx.Cache, Span: csp, Reg: opts.Reg})
+			csp.End()
 			if err != nil {
 				return nil, fmt.Errorf("sched: candidate %s@L%d: %w", name, l, err)
 			}
@@ -251,7 +275,15 @@ func (c *Context) AmdahlTree(avail []string) exocore.Assignment {
 // Evaluate runs the benchmark under an assignment and returns cycles and
 // total energy.
 func (c *Context) Evaluate(assign exocore.Assignment) (int64, float64, error) {
-	res, err := exocore.Run(c.TDG, c.Core, c.BSAs, c.Plans, assign, exocore.RunOpts{Cache: c.Cache})
+	return c.EvaluateSpan(assign, obs.Span{})
+}
+
+// EvaluateSpan is Evaluate attached to a caller's trace span: when sp is
+// active the run's per-unit spans nest under it; metrics go to the
+// registry the context was created with either way.
+func (c *Context) EvaluateSpan(assign exocore.Assignment, sp obs.Span) (int64, float64, error) {
+	res, err := exocore.Run(c.TDG, c.Core, c.BSAs, c.Plans, assign,
+		exocore.RunOpts{Cache: c.Cache, Span: sp, Reg: c.reg})
 	if err != nil {
 		return 0, 0, err
 	}

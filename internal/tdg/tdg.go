@@ -15,6 +15,7 @@ import (
 	"exocore/internal/dg"
 	"exocore/internal/energy"
 	"exocore/internal/ir"
+	"exocore/internal/obs"
 	"exocore/internal/trace"
 )
 
@@ -116,6 +117,11 @@ type Ctx struct {
 	// must be a pure function of (core config, region plan, span,
 	// ConfigResident).
 	State map[string]any
+	// Span is the observability span covering this transform (inert when
+	// tracing is off). Models may annotate it with model-specific args —
+	// annotations are side effects on the trace only and must not feed
+	// back into the transform result.
+	Span obs.Span
 }
 
 // RunState returns the BSA's per-run state, creating it with mk on first
