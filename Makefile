@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race tier1 bench benchsmoke tracesmoke tools clean
+.PHONY: check build vet test race tier1 bench benchdiff benchsmoke tracesmoke tools clean
 
 # The full pre-merge gate: vet + build + race-enabled tests + tier-1 +
 # a single-iteration pass over every benchmark so they can't rot + a
@@ -14,9 +14,10 @@ vet:
 	$(GO) vet ./...
 
 # Race-enabled run of the concurrency-sensitive packages (the runner
-# engine and the exploration that fans out over it).
+# engine, the exploration that fans out over it, and the evaluation
+# cache with its sharded outcome map and cross-core shared pool).
 race:
-	$(GO) test -race -count=1 ./internal/runner ./internal/dse
+	$(GO) test -race -count=1 ./internal/runner ./internal/dse ./internal/exocore
 
 # Tier-1 suite (ROADMAP.md): everything must build and all tests pass.
 tier1:
@@ -26,13 +27,24 @@ test:
 	$(GO) test ./...
 
 # Run the tracked benchmarks and record them (with the frozen
-# pre-optimization baselines) in BENCH_2.json.
+# pre-delta-evaluation baselines) in BENCH_4.json. BENCH_2.json remains
+# as the record of the previous optimization round; its "current" values
+# are this round's baselines.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkExocoreRun|BenchmarkDSESweep' \
+	$(GO) test -run '^$$' -bench 'BenchmarkExocoreRun|BenchmarkDSESweep|BenchmarkContextConstruction' \
 		-benchmem -benchtime=3x . | tee bench.out
-	awk -f scripts/bench2json.awk bench.out > BENCH_2.json
+	awk -f scripts/bench4json.awk bench.out > BENCH_4.json
 	@rm -f bench.out
-	@cat BENCH_2.json
+	@cat BENCH_4.json
+
+# Regression gate: re-measure the tracked benchmarks and fail when any is
+# slower than the value recorded in BENCH_4.json by more than the
+# tolerance band.
+benchdiff:
+	$(GO) test -run '^$$' -bench 'BenchmarkExocoreRun|BenchmarkDSESweep|BenchmarkContextConstruction' \
+		-benchmem -benchtime=3x . > bench.out
+	awk -f scripts/benchdiff.awk BENCH_4.json bench.out
+	@rm -f bench.out
 
 # One iteration of every benchmark: catches compile breaks and panics.
 benchsmoke:

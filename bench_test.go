@@ -88,6 +88,34 @@ func BenchmarkDSESweep(b *testing.B) {
 	}
 }
 
+// BenchmarkContextConstruction measures building one scheduling context —
+// the baseline run plus every per-candidate solo measurement — which is
+// where a fresh sweep spends most of its time. Exercises the delta
+// composer, prefix publication and the cross-core shared pool on a cold
+// cache each iteration. Tracked in BENCH_4.json.
+func BenchmarkContextConstruction(b *testing.B) {
+	w, err := workloads.ByName("cjpeg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := w.Trace(benchDyn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	td, err := tdg.Build(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bsas := dse.NewBSASet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.NewContext(td, cores.OOO2, bsas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTable1Validation regenerates Table 1 (and the underlying
 // Figure 5 scatter data): model validation against the independent
 // reference simulator and the published accelerator results.

@@ -119,7 +119,7 @@ type Dataflow struct {
 
 	regNode  [isa.NumRegs]dg.NodeID
 	ctrlNode dg.NodeID
-	stores   map[uint64]dg.NodeID
+	stores   dfStoreTab
 
 	issueRT *dg.ResourceTable
 	busRT   *dg.ResourceTable
@@ -136,10 +136,83 @@ type Dataflow struct {
 // every offload model creates one per region occurrence.
 var dfPool = sync.Pool{New: func() any {
 	return &Dataflow{
-		stores:  make(map[uint64]dg.NodeID),
 		written: make(map[isa.Reg]bool),
 	}
 }}
+
+// dfStoreTab is an open-addressed address → completion-node table for
+// store-to-load forwarding, replacing a Go map on the per-op hot path.
+// Keys are word-aligned addresses tagged with bit 0 (addresses have the
+// low three bits clear) so the zero key can mean "empty slot".
+type dfStoreTab struct {
+	keys  []uint64
+	nodes []dg.NodeID
+	used  int
+}
+
+const dfStoreTabInitSize = 1024
+
+func (t *dfStoreTab) clear() {
+	if t.keys == nil {
+		t.keys = make([]uint64, dfStoreTabInitSize)
+		t.nodes = make([]dg.NodeID, dfStoreTabInitSize)
+	} else {
+		clear(t.keys)
+	}
+	t.used = 0
+}
+
+func (t *dfStoreTab) get(addr uint64) (dg.NodeID, bool) {
+	k := addr | 1
+	mask := uint64(len(t.keys) - 1)
+	for i := (k * 0x9E3779B97F4A7C15) >> 17 & mask; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case k:
+			return t.nodes[i], true
+		case 0:
+			return dg.None, false
+		}
+	}
+}
+
+func (t *dfStoreTab) set(addr uint64, n dg.NodeID) {
+	if 2*(t.used+1) > len(t.keys) {
+		t.grow()
+	}
+	k := addr | 1
+	mask := uint64(len(t.keys) - 1)
+	for i := (k * 0x9E3779B97F4A7C15) >> 17 & mask; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case k:
+			t.nodes[i] = n
+			return
+		case 0:
+			t.keys[i], t.nodes[i] = k, n
+			t.used++
+			return
+		}
+	}
+}
+
+func (t *dfStoreTab) grow() {
+	oldKeys, oldNodes := t.keys, t.nodes
+	t.keys = make([]uint64, 2*len(oldKeys))
+	t.nodes = make([]dg.NodeID, 2*len(oldNodes))
+	t.used = 0
+	for i, k := range oldKeys {
+		if k != 0 {
+			t.set(k&^1, oldNodes[i])
+		}
+	}
+}
+
+func (t *dfStoreTab) forEach(f func(addr uint64, n dg.NodeID)) {
+	for i, k := range t.keys {
+		if k != 0 {
+			f(k&^1, t.nodes[i])
+		}
+	}
+}
 
 // NewDataflow returns an executor whose inputs become available at the
 // entry node (live-in transfer complete). The executor is pooled: pair
@@ -147,7 +220,7 @@ var dfPool = sync.Pool{New: func() any {
 func NewDataflow(cfg DataflowConfig, g *dg.Graph, counts *energy.Counts, entry dg.NodeID) *Dataflow {
 	d := dfPool.Get().(*Dataflow)
 	d.Cfg, d.G, d.Counts = cfg, g, counts
-	clear(d.stores)
+	d.stores.clear()
 	clear(d.written)
 	d.issueRT = g.BorrowRT(cfg.IssueBandwidth)
 	d.busRT = g.BorrowRT(cfg.BusBandwidth)
@@ -198,7 +271,7 @@ func (d *Dataflow) Exec(in *isa.Inst, dyn *trace.DynInst, dynIdx int32) dg.NodeI
 	}
 	// Memory dependence through the (store buffer / cache) interface.
 	if in.Op.IsLoad() {
-		if dep, ok := d.stores[dyn.Addr&^7]; ok {
+		if dep, ok := d.stores.get(dyn.Addr &^ 7); ok {
 			g.AddEdge(dep, e, 1, dg.EdgeMemDep)
 		}
 	}
@@ -235,9 +308,10 @@ func (d *Dataflow) Exec(in *isa.Inst, dyn *trace.DynInst, dynIdx int32) dg.NodeI
 		d.Counts.Add(d.Cfg.StorageEvent, 1)
 	}
 	if in.Op.IsStore() {
-		d.stores[dyn.Addr&^7] = p
-		if len(d.stores) > 8192 {
-			d.stores = map[uint64]dg.NodeID{dyn.Addr &^ 7: p}
+		d.stores.set(dyn.Addr&^7, p)
+		if d.stores.used > 8192 {
+			d.stores.clear()
+			d.stores.set(dyn.Addr&^7, p)
 		}
 	}
 	if in.Op.IsCtrl() {
@@ -282,9 +356,18 @@ func (d *Dataflow) Ops() int64 { return d.ops }
 // WrittenRegs returns the set of registers written during execution.
 func (d *Dataflow) WrittenRegs() map[isa.Reg]bool { return d.written }
 
-// Stores exposes the address → completion-node map of performed stores,
-// for forwarding into the core's dependence state at region exit.
-func (d *Dataflow) Stores() map[uint64]dg.NodeID { return d.stores }
+// ForEachStore visits every (address, completion node) pair of performed
+// stores, for forwarding into the core's dependence state at region exit.
+// Addresses are unique, so visit order does not matter to consumers.
+func (d *Dataflow) ForEachStore(f func(addr uint64, node dg.NodeID)) {
+	d.stores.forEach(f)
+}
+
+// StoreNode returns the completion node of the last store to addr's word,
+// if any.
+func (d *Dataflow) StoreNode(addr uint64) (dg.NodeID, bool) {
+	return d.stores.get(addr &^ 7)
+}
 
 // ResetControl re-anchors the control chain (lane-local control: each
 // loop iteration resolves its own branches independently, as in

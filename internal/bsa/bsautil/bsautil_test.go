@@ -200,8 +200,8 @@ func TestDataflowMemoryDependence(t *testing.T) {
 	if g.Time(pLd) <= g.Time(pSt) {
 		t.Error("load did not wait for the store to the same address")
 	}
-	if df.Stores()[0x1000] != pSt {
-		t.Error("store map wrong")
+	if n, ok := df.StoreNode(0x1000); !ok || n != pSt {
+		t.Error("store table wrong")
 	}
 }
 

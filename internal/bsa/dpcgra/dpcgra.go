@@ -50,12 +50,15 @@ const ConfigLatency = 64
 
 type loopPlan struct {
 	computeSIs map[int]bool // offloaded static instructions
-	inputs     []isa.Reg    // regs sent core → CGRA each instance
-	outputs    []isa.Reg    // regs received CGRA → core each instance
-	depth      int64        // compute-subgraph critical path in cycles
-	ii         int64        // initiation interval between instances
-	vectorize  bool         // clone computation across lanes
-	lanes      int          // clone count (1 = scalar instances)
+	// computeSet mirrors computeSIs as an SI-indexed slice for the
+	// per-dynamic-instruction membership test in instance pass 1.
+	computeSet []bool
+	inputs     []isa.Reg // regs sent core → CGRA each instance
+	outputs    []isa.Reg // regs received CGRA → core each instance
+	depth      int64     // compute-subgraph critical path in cycles
+	ii         int64     // initiation interval between instances
+	vectorize  bool      // clone computation across lanes
+	lanes      int       // clone count (1 = scalar instances)
 	inductions map[int]bool
 	memKinds   map[int]byte // 0 contig, 1 scalar, 2 strided (access slice)
 	latchSIs   map[int]bool
@@ -196,6 +199,10 @@ func (m *Model) buildPlan(t *tdg.TDG, l int, ld *ir.LoopDataflow) *loopPlan {
 	p.computeN = len(p.computeSIs)
 	if p.computeN == 0 || p.computeN > m.FUs {
 		return nil
+	}
+	p.computeSet = make([]bool, len(prog.Insts))
+	for si := range p.computeSIs {
+		p.computeSet[si] = true
 	}
 
 	// Interface registers: inputs are compute-slice reads produced
@@ -352,14 +359,18 @@ func (m *Model) scalar(ctx *tdg.Ctx, start, end int) {
 // scratchPool recycles instScratch records across regions (TransformRegion
 // runs concurrently from independent evaluation workers).
 var scratchPool = sync.Pool{New: func() any {
-	return &instScratch{mems: make(map[int]*memInfo, 16)}
+	return &instScratch{}
 }}
 
 // instScratch recycles per-instance aggregation state across the
-// invocations of one region: the mems map, its memInfo records and the
-// sorted-key slice are reused instead of reallocated per instance.
+// invocations of one region: the SI-indexed lookup slice, its memInfo
+// records and the sorted-key slice are reused instead of reallocated per
+// instance. byS entries are non-nil only while one instance call runs —
+// every call clears the entries it touched before returning, so the
+// slice comes back empty regardless of which TDG the pooled scratch
+// served last.
 type instScratch struct {
-	mems  map[int]*memInfo
+	byS   []*memInfo
 	arena []memInfo
 	used  int
 	order []int
@@ -390,8 +401,11 @@ func (m *Model) instance(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration, p
 
 	// Pass 1: aggregate per-SI memory behavior across the group, and
 	// count offloaded dynamic ops for energy.
-	clear(scratch.mems)
-	mems := scratch.mems
+	if len(scratch.byS) < len(tr.Prog.Insts) {
+		scratch.byS = make([]*memInfo, len(tr.Prog.Insts))
+	}
+	mems := scratch.byS
+	bodyOrder := scratch.order[:0]
 	var offloadedOps int64
 	firstDyn := int32(group[0].Start)
 	for _, it := range group {
@@ -399,7 +413,7 @@ func (m *Model) instance(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration, p
 			d := &tr.Insts[i]
 			si := int(d.SI)
 			in := &tr.Prog.Insts[si]
-			if p.computeSIs[si] {
+			if p.computeSet[si] {
 				offloadedOps++
 				continue
 			}
@@ -411,6 +425,7 @@ func (m *Model) instance(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration, p
 						isStore: in.Op.IsStore(), valueReg: in.Src2,
 						baseReg: in.Src1, dstReg: in.Dst, op: in.Op}
 					mems[si] = mi
+					bodyOrder = append(bodyOrder, si)
 				}
 				mi.count++
 				if d.MemLat > mi.maxLat {
@@ -422,10 +437,6 @@ func (m *Model) instance(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration, p
 	}
 
 	// Pass 2: loads + induction updates on the core.
-	bodyOrder := scratch.order[:0]
-	for si := range mems {
-		bodyOrder = append(bodyOrder, si)
-	}
 	sort.Ints(bodyOrder)
 	scratch.order = bodyOrder
 	for _, si := range bodyOrder {
@@ -481,6 +492,10 @@ func (m *Model) instance(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration, p
 		mispred := lastIdx >= 0 && tr.Insts[lastIdx].Mispredicted()
 		gpp.Exec(cores.UOp{Op: in.Op, Src1: in.Src1, Src2: in.Src2,
 			Dst: isa.NoReg, Mispred: mispred, Taken: true}, firstDyn)
+	}
+	// Restore the instance-call invariant: byS holds no stale entries.
+	for _, si := range bodyOrder {
+		mems[si] = nil
 	}
 	return instance // pipelining chains on instance *start*
 }

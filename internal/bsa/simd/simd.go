@@ -38,8 +38,14 @@ type loopPlan struct {
 	inductions map[int]bool
 	reductions map[int]bool
 	latchSIs   map[int]bool // loop-back branches kept scalar
-	maskBlocks int
-	costPerIt  float64
+	// SI-indexed mirrors of memKinds/inductions/latchSIs for the
+	// per-dynamic-instruction tests in vectorGroup (the zero memKind is
+	// memContig, matching a missing map entry).
+	memKindOf    []memKind
+	inductionSet []bool
+	latchSet     []bool
+	maskBlocks   int
+	costPerIt    float64
 }
 
 // Model is the SIMD BSA.
@@ -163,6 +169,19 @@ func buildLoopPlan(t *tdg.TDG, l int, ld *ir.LoopDataflow) *loopPlan {
 			p.memKinds[si] = memStrided
 		}
 	}
+	n := t.CFG.Prog.Len()
+	p.memKindOf = make([]memKind, n)
+	p.inductionSet = make([]bool, n)
+	p.latchSet = make([]bool, n)
+	for si, k := range p.memKinds {
+		p.memKindOf[si] = k
+	}
+	for si := range p.inductions {
+		p.inductionSet[si] = true
+	}
+	for si := range p.latchSIs {
+		p.latchSet[si] = true
+	}
 	p.costPerIt = p.vectorCostPerIteration()
 	return p
 }
@@ -203,14 +222,18 @@ type laneInfo struct {
 
 // groupScratch bundles the per-region vector-group state so one pooled
 // allocation serves a whole region (TransformRegion runs concurrently
-// from independent evaluation workers).
+// from independent evaluation workers). lanes is SI-indexed; entries are
+// non-nil only while one vectorGroup call runs — every call clears the
+// entries it touched before returning, so the slice comes back empty
+// regardless of which TDG the pooled scratch served last.
 type groupScratch struct {
-	lanes map[int]*laneInfo
-	arena laneArena
+	lanes   []*laneInfo
+	touched []int
+	arena   laneArena
 }
 
 var scratchPool = sync.Pool{New: func() any {
-	return &groupScratch{lanes: make(map[int]*laneInfo, 32)}
+	return &groupScratch{}
 }}
 
 // laneArena recycles laneInfo records across vector groups: each group
@@ -252,7 +275,9 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 
 	scratch := scratchPool.Get().(*groupScratch)
 	defer scratchPool.Put(scratch)
-	lanes, arena := scratch.lanes, &scratch.arena
+	if n := ctx.TDG.Trace.Prog.Len(); len(scratch.lanes) < n {
+		scratch.lanes = make([]*laneInfo, n)
+	}
 	var vecGroups, scalarIters int64
 	flushGroup := func(group []bsautil.Iteration) {
 		if len(group) == 0 {
@@ -267,7 +292,7 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 			return
 		}
 		vecGroups++
-		m.vectorGroup(ctx, p, group, lanes, arena)
+		m.vectorGroup(ctx, p, group, scratch)
 	}
 
 	var group []bsautil.Iteration
@@ -308,9 +333,10 @@ func (m *Model) scalar(ctx *tdg.Ctx, start, end int) {
 	}
 }
 
-func (m *Model) vectorGroup(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration, lanes map[int]*laneInfo, arena *laneArena) {
+func (m *Model) vectorGroup(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration, scratch *groupScratch) {
 	tr := ctx.TDG.Trace
-	clear(lanes)
+	lanes, arena := scratch.lanes, &scratch.arena
+	touched := scratch.touched[:0]
 	arena.reset()
 	groupSize := len(group)
 	lastLaneEnd := group[len(group)-1].End
@@ -325,17 +351,18 @@ func (m *Model) vectorGroup(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration
 				li.firstDyn = int32(i)
 				li.addr = d.Addr
 				lanes[si] = li
+				touched = append(touched, si)
 			}
 			li.execCount++
 			if d.MemLat > li.maxLat {
 				li.maxLat = d.MemLat
 				li.level = d.Level
 			}
-			if p.memKinds[si] == memStrided {
+			if p.memKindOf[si] == memStrided {
 				li.lats = append(li.lats, d.MemLat)
 			}
 			// The group's loop-back branch outcome comes from the last lane.
-			if p.latchSIs[si] && i == lastLaneEnd-1 {
+			if p.latchSet[si] && i == lastLaneEnd-1 {
 				li.mispred = d.Mispredicted()
 			}
 		}
@@ -353,11 +380,11 @@ func (m *Model) vectorGroup(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration
 		in := prog.At(si)
 		u := cores.UOp{Op: in.Op, Dst: in.Dst, Src1: in.Src1, Src2: in.Src2}
 		switch {
-		case p.latchSIs[si]:
+		case p.latchSet[si]:
 			u.Mispred = li.mispred
 			u.Taken = true // loop-back per vector group
 			gpp.Exec(u, li.firstDyn)
-		case p.inductions[si]:
+		case p.inductionSet[si]:
 			gpp.Exec(u, li.firstDyn) // one scalar step per group
 		case in.Op.IsCtrl():
 			u.Op = isa.VPred // if-converted: predicate-setting vector op
@@ -369,7 +396,7 @@ func (m *Model) vectorGroup(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration
 			u.Op = vecOpFor(in.Op)
 			gpp.Exec(u, li.firstDyn)
 		}
-		if li.execCount < groupSize && !p.latchSIs[si] && !p.inductions[si] {
+		if li.execCount < groupSize && !p.latchSet[si] && !p.inductionSet[si] {
 			// Divergent lanes: blend each produced value under its mask.
 			gpp.Exec(cores.UOp{Op: isa.VMask, Dst: in.Dst, Src1: in.Dst}, li.firstDyn)
 			if in.HasDst() {
@@ -377,13 +404,19 @@ func (m *Model) vectorGroup(ctx *tdg.Ctx, p *loopPlan, group []bsautil.Iteration
 			}
 		}
 	}
+
+	// Restore the vectorGroup-call invariant: lanes holds no stale entries.
+	for _, si := range touched {
+		lanes[si] = nil
+	}
+	scratch.touched = touched
 }
 
 func (m *Model) vectorMem(ctx *tdg.Ctx, p *loopPlan, si int, in *isa.Inst, li *laneInfo) {
 	gpp := ctx.GPP
 	u := cores.UOp{Op: in.Op, Dst: in.Dst, Src1: in.Src1, Src2: in.Src2,
 		Addr: li.addr, MemLat: li.maxLat, Level: li.level}
-	switch p.memKinds[si] {
+	switch p.memKindOf[si] {
 	case memContig:
 		if in.Op.IsLoad() {
 			u.Op = isa.VLd

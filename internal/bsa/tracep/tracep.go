@@ -196,9 +196,7 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 	for reg := range df.WrittenRegs() {
 		gpp.SetRegDef(reg, exit)
 	}
-	for addr, node := range df.Stores() {
-		gpp.NoteStore(addr, node)
-	}
+	df.ForEachStore(gpp.NoteStore)
 	gpp.Barrier(exit, dg.EdgeAccelComm)
 	return exit
 }

@@ -48,6 +48,7 @@ type App struct {
 	MemProfile string // write an allocation profile to this file on Close
 	Trace      string // write a Chrome trace-event JSON file on Close
 	NoSegCache bool   // disable the evaluation-unit cache (A/B baseline)
+	NoDelta    bool   // disable delta evaluation, keep the unit cache
 
 	// Stderr receives progress logging and Fail output; Stdout receives
 	// Emit's JSON document. Both default to the os streams and are
@@ -90,6 +91,7 @@ func New(tool, benchDefault string) *App {
 	a.fs.StringVar(&a.MemProfile, "memprofile", "", "write an allocation profile to this file at exit")
 	a.fs.StringVar(&a.Trace, "trace", "", "write a Chrome trace-event JSON file (load in Perfetto) at exit")
 	a.fs.BoolVar(&a.NoSegCache, "nosegcache", false, "disable the evaluation-unit cache (A/B baseline)")
+	a.fs.BoolVar(&a.NoDelta, "nodelta", false, "disable incremental delta evaluation, keep the unit cache (A/B baseline)")
 	return a
 }
 
@@ -320,7 +322,8 @@ func (a *App) UseAmdahl() bool { return a.Sched == "amdahl" }
 func (a *App) Engine() *runner.Engine {
 	if a.engine == nil {
 		opts := runner.Options{MaxDyn: a.MaxDyn, Workers: a.Workers,
-			NoSegmentCache: a.NoSegCache, Tracer: a.tracer, Log: a.Log()}
+			NoSegmentCache: a.NoSegCache, NoDelta: a.NoDelta,
+			Tracer: a.tracer, Log: a.Log()}
 		if a.Verbose {
 			log := a.Log()
 			opts.Progress = func(ev runner.Event) {
@@ -370,8 +373,8 @@ func (a *App) Finish() {
 				s.Stage, s.Calls, s.Hits, s.Misses, float64(s.WallNS)/1e6, s.Insts))
 		}
 		if c := m.EvalCache; c != nil {
-			log.Info(fmt.Sprintf("  eval-cache hits=%-4d misses=%-4d entries=%-4d arena-reuse=%.1fMB",
-				c.Hits, c.Misses, c.Entries, float64(c.BytesReused)/(1<<20)))
+			log.Info(fmt.Sprintf("  eval-cache hits=%-4d misses=%-4d entries=%-4d prefixes=%-4d sigs=%-4d shared=%-4d arena-reuse=%.1fMB",
+				c.Hits, c.Misses, c.Entries, c.PrefixEntries, c.InternedSigs, c.SharedHits, float64(c.BytesReused)/(1<<20)))
 		}
 	}
 	if closeErr != nil {

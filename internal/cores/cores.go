@@ -118,6 +118,15 @@ func FromDyn(p *isa.Inst, d *trace.DynInst) UOp {
 
 const histSize = 256 // power of two ≥ max ROB
 
+// storeRec is one store-forwarding entry: the execute node of the last
+// store to a word, the retire index it was recorded at, and the GPP
+// generation it belongs to (entries from earlier generations are stale).
+type storeRec struct {
+	node dg.NodeID
+	age  int32
+	gen  uint32
+}
+
 // GPP incrementally constructs the core µDG over a stream of UOps. It
 // persists architectural dependence state (register writers, recent store
 // addresses) across accelerated regions so that core↔accelerator
@@ -133,9 +142,13 @@ type GPP struct {
 	commit   [histSize]dg.NodeID
 	n        int // uops retired so far
 
-	regDef   [isa.NumRegs]dg.NodeID // complete node of last writer
-	stores   map[uint64]dg.NodeID   // execute node of last store per word
-	storeAge map[uint64]int         // retire index of that store
+	regDef [isa.NumRegs]dg.NodeID // complete node of last writer
+	// stores maps word address → last store. Entries are tagged with a
+	// generation number so Reset invalidates the whole table in O(1) (a
+	// pooled GPP resets once per unit evaluation; clearing thousands of
+	// buckets each time dominated Reset).
+	stores storeTab
+	gen    uint32
 
 	issueRT *dg.ResourceTable
 	aluRT   *dg.ResourceTable
@@ -143,15 +156,28 @@ type GPP struct {
 	fpRT    *dg.ResourceTable
 	portRT  *dg.ResourceTable
 
-	// winHeap is a min-heap of the Window largest issue times so far.
-	// An instruction may dispatch only when fewer than Window older
-	// instructions are still waiting to issue, i.e. no earlier than the
-	// Window-th largest issue time seen so far.
-	winHeap []int64
+	// winBuf holds the Window largest issue times so far, sorted
+	// ascending in a circular buffer starting at winHead (filled
+	// non-circularly until winLen reaches Window). An instruction may
+	// dispatch only when fewer than Window older instructions are still
+	// waiting to issue, i.e. no earlier than the Window-th largest issue
+	// time seen so far — the buffer's head. Issue times are nearly
+	// monotonic, so replacing the minimum is O(1) here (new maxima drop
+	// straight into the freed head slot as the new tail) where the
+	// min-heap this replaces paid a full sift-down per uop.
+	winBuf  []int64
+	winHead int
+	winLen  int
 
 	pendingRefill dg.NodeID // execute node of last mispredicted branch
 	redirectF     dg.NodeID // fetch node of last taken branch (group break)
 	barrier       dg.NodeID // node all subsequent fetches must follow
+	// barrierSeen records whether any fetch has been ordered after the
+	// current barrier yet. Only the first fetch needs the explicit edge:
+	// it acquires time ≥ barrier, and every later fetch follows it
+	// through the program edge (added first, so it also wins time ties
+	// exactly as the redundant barrier edge would have lost them).
+	barrierSeen bool
 }
 
 // NewGPP returns a constructor appending onto g, charging events to counts.
@@ -163,14 +189,17 @@ type GPP struct {
 func NewGPP(cfg Config, g *dg.Graph, counts *energy.Counts) *GPP {
 	m := &GPP{
 		Cfg: cfg, G: g, Counts: counts,
-		stores:   make(map[uint64]dg.NodeID),
-		storeAge: make(map[uint64]int),
-		issueRT:  dg.NewResourceTable(cfg.Width),
-		aluRT:    dg.NewResourceTable(cfg.IntAlu),
-		mulRT:    dg.NewResourceTable(cfg.IntMulDiv),
-		fpRT:     dg.NewResourceTable(cfg.FpUnits),
-		portRT:   dg.NewResourceTable(cfg.DCachePorts),
-		barrier:  g.Origin(),
+		gen:     1,
+		issueRT: dg.NewResourceTable(cfg.Width),
+		aluRT:   dg.NewResourceTable(cfg.IntAlu),
+		mulRT:   dg.NewResourceTable(cfg.IntMulDiv),
+		fpRT:    dg.NewResourceTable(cfg.FpUnits),
+		portRT:  dg.NewResourceTable(cfg.DCachePorts),
+		barrier: g.Origin(),
+	}
+	m.stores.init()
+	if !cfg.InOrder && cfg.Window > 0 {
+		m.winBuf = make([]int64, cfg.Window)
 	}
 	for i := range m.regDef {
 		m.regDef[i] = g.Origin()
@@ -189,15 +218,19 @@ func (m *GPP) Reset(g *dg.Graph, counts *energy.Counts) {
 	m.G = g
 	m.Counts = counts
 	m.n = 0
-	clear(m.stores)
-	clear(m.storeAge)
+	m.gen++
+	if m.gen == 0 { // wrapped: stale tags could collide, really clear
+		m.stores.clear()
+		m.gen = 1
+	}
 	m.issueRT.Reset()
 	m.aluRT.Reset()
 	m.mulRT.Reset()
 	m.fpRT.Reset()
 	m.portRT.Reset()
-	m.winHeap = m.winHeap[:0]
+	m.winHead, m.winLen = 0, 0
 	m.barrier = g.Origin()
+	m.barrierSeen = false
 	for i := range m.regDef {
 		m.regDef[i] = g.Origin()
 	}
@@ -254,6 +287,7 @@ func (m *GPP) Barrier(node dg.NodeID, class dg.EdgeClass) {
 	m.G.AddEdge(node, b, 0, class)
 	m.G.AddEdge(m.barrier, b, 0, dg.EdgeProgram)
 	m.barrier = b
+	m.barrierSeen = false
 }
 
 // RegDef returns the node producing register r's current value.
@@ -274,14 +308,13 @@ func (m *GPP) SetRegDef(r isa.Reg, node dg.NodeID) {
 // NoteStore records an accelerator-performed store so later core loads
 // observe the memory dependence.
 func (m *GPP) NoteStore(addr uint64, node dg.NodeID) {
-	m.stores[addr&^7] = node
-	m.storeAge[addr&^7] = m.n
+	m.stores.set(addr&^7, storeRec{node: node, age: int32(m.n), gen: m.gen})
 }
 
 // LastStoreTo returns the node of the last store to addr, or None.
 func (m *GPP) LastStoreTo(addr uint64) dg.NodeID {
-	if id, ok := m.stores[addr&^7]; ok {
-		return id
+	if rec, ok := m.stores.get(addr &^ 7); ok && rec.gen == m.gen {
+		return rec.node
 	}
 	return dg.None
 }
@@ -303,11 +336,22 @@ func (m *GPP) Exec(u UOp, dynIdx int32) ExecInfo {
 	g := m.G
 	cfg := &m.Cfg
 
+	// All five stage nodes are allocated up front in one batched append;
+	// the edge sequence below is unchanged, and since AddEdge finalizes
+	// times in edge order, every node's time is still final before it is
+	// first read as a predecessor.
+	f := g.NewPipelineNodes(dynIdx)
+	d, e, p, c := f+1, f+2, f+3, f+4
+
+	cls := u.Op.ClassOf()
+
 	// --- Fetch ---
-	f := g.NewNode(dg.KindFetch, dynIdx)
 	g.AddEdge(m.hist(&m.fetch, 1), f, 0, dg.EdgeProgram)
 	g.AddEdge(m.hist(&m.fetch, cfg.Width), f, 1, dg.EdgeWidth)
-	g.AddEdge(m.barrier, f, 0, dg.EdgeProgram)
+	if !m.barrierSeen {
+		g.AddEdge(m.barrier, f, 0, dg.EdgeProgram)
+		m.barrierSeen = true
+	}
 	if m.pendingRefill != dg.None {
 		g.AddEdge(m.pendingRefill, f, int64(cfg.FrontendDepth), dg.EdgeMispredict)
 		m.pendingRefill = dg.None
@@ -320,7 +364,6 @@ func (m *GPP) Exec(u UOp, dynIdx int32) ExecInfo {
 	}
 
 	// --- Dispatch ---
-	d := g.NewNode(dg.KindDispatch, dynIdx)
 	g.AddEdge(f, d, 2, dg.EdgePipe) // decode (+rename) depth
 	g.AddEdge(m.hist(&m.dispatch, 1), d, 0, dg.EdgeProgram)
 	g.AddEdge(m.hist(&m.dispatch, cfg.Width), d, 1, dg.EdgeWidth)
@@ -330,14 +373,13 @@ func (m *GPP) Exec(u UOp, dynIdx int32) ExecInfo {
 	if cfg.InOrder && cfg.InFlight > 0 {
 		g.AddEdge(m.hist(&m.commit, cfg.InFlight), d, 1, dg.EdgeROB)
 	}
-	if !cfg.InOrder && cfg.Window > 0 && len(m.winHeap) >= cfg.Window {
+	if !cfg.InOrder && cfg.Window > 0 && m.winLen >= cfg.Window {
 		// Issue-window occupancy: a slot frees when the oldest of the
 		// Window latest-issuing instructions issues.
-		g.PushTime(d, m.winHeap[0], dg.EdgeWindow)
+		g.PushTime(d, m.winBuf[m.winHead], dg.EdgeWindow)
 	}
 
 	// --- Execute ---
-	e := g.NewNode(dg.KindExecute, dynIdx)
 	g.AddEdge(d, e, 1, dg.EdgePipe)
 	if cfg.InOrder {
 		g.AddEdge(m.hist(&m.execute, 1), e, 0, dg.EdgeInOrder)
@@ -355,8 +397,8 @@ func (m *GPP) Exec(u UOp, dynIdx int32) ExecInfo {
 	}
 	// Memory dependence: load after store to the same word.
 	if u.Op.IsLoad() {
-		if dep, ok := m.stores[u.Addr&^7]; ok && m.n-m.storeAge[u.Addr&^7] < storeWindow {
-			g.AddEdge(dep, e, 2, dg.EdgeMemDep) // store-to-load forward
+		if rec, ok := m.stores.get(u.Addr &^ 7); ok && rec.gen == m.gen && m.n-int(rec.age) < storeWindow {
+			g.AddEdge(rec.node, e, 2, dg.EdgeMemDep) // store-to-load forward
 		}
 	}
 
@@ -365,7 +407,7 @@ func (m *GPP) Exec(u UOp, dynIdx int32) ExecInfo {
 	issued := m.issueRT.Book(ready)
 	g.PushTime(e, issued, dg.EdgeWidth)
 	var rt *dg.ResourceTable
-	switch u.Op.ClassOf() {
+	switch cls {
 	case isa.ClassIntAlu:
 		rt = m.aluRT
 	case isa.ClassIntMul, isa.ClassIntDiv:
@@ -380,7 +422,7 @@ func (m *GPP) Exec(u UOp, dynIdx int32) ExecInfo {
 	if rt != nil {
 		var when int64
 		switch {
-		case u.Op.ClassOf() == isa.ClassIntDiv || u.Op.ClassOf() == isa.ClassFpDiv:
+		case cls == isa.ClassIntDiv || cls == isa.ClassFpDiv:
 			when = rt.BookFor(g.Time(e), int64(u.Op.Latency())) // unpipelined divide
 		case u.Op.IsVec() && !u.Op.IsMem():
 			// A 256-bit vector op occupies the FP/SIMD datapath for two
@@ -397,7 +439,6 @@ func (m *GPP) Exec(u UOp, dynIdx int32) ExecInfo {
 	}
 
 	// --- Complete ---
-	p := g.NewNode(dg.KindComplete, dynIdx)
 	lat := int64(u.Op.Latency())
 	if u.Op.IsMem() {
 		lat = int64(u.MemLat)
@@ -411,7 +452,6 @@ func (m *GPP) Exec(u UOp, dynIdx int32) ExecInfo {
 	g.AddEdge(e, p, lat, dg.EdgeExec)
 
 	// --- Commit ---
-	c := g.NewNode(dg.KindCommit, dynIdx)
 	g.AddEdge(p, c, 1, dg.EdgeCommit)
 	g.AddEdge(m.hist(&m.commit, 1), c, 0, dg.EdgeProgram)
 	g.AddEdge(m.hist(&m.commit, cfg.Width), c, 1, dg.EdgeWidth)
@@ -421,9 +461,8 @@ func (m *GPP) Exec(u UOp, dynIdx int32) ExecInfo {
 		m.regDef[u.Dst] = p
 	}
 	if u.Op.IsStore() {
-		m.stores[u.Addr&^7] = e
-		m.storeAge[u.Addr&^7] = m.n
-		if len(m.stores) > 2*storeWindow {
+		m.stores.set(u.Addr&^7, storeRec{node: e, age: int32(m.n), gen: m.gen})
+		if m.stores.used > 2*storeWindow {
 			m.pruneStores()
 		}
 	}
@@ -437,16 +476,15 @@ func (m *GPP) Exec(u UOp, dynIdx int32) ExecInfo {
 	// Window bookkeeping: keep the Window largest issue times.
 	if !cfg.InOrder && cfg.Window > 0 {
 		et := g.Time(e)
-		if len(m.winHeap) < cfg.Window {
-			heapPush(&m.winHeap, et)
-		} else if et > m.winHeap[0] {
-			m.winHeap[0] = et
-			heapFix(m.winHeap)
+		if m.winLen < cfg.Window {
+			m.winGrow(et)
+		} else if et > m.winBuf[m.winHead] {
+			m.winReplaceMin(et)
 		}
 	}
 
 	// Energy accounting.
-	m.charge(&u)
+	m.charge(&u, cls)
 
 	// Advance history.
 	idx := m.n & (histSize - 1)
@@ -458,51 +496,156 @@ func (m *GPP) Exec(u UOp, dynIdx int32) ExecInfo {
 	return ExecInfo{Exec: e, Complete: p, Commit: c}
 }
 
-// heapPush inserts v into the min-heap.
-func heapPush(h *[]int64, v int64) {
-	*h = append(*h, v)
-	s := *h
-	i := len(s) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if s[parent] <= s[i] {
-			break
-		}
-		s[parent], s[i] = s[i], s[parent]
-		i = parent
+// winGrow inserts v into the not-yet-full buffer, kept sorted ascending
+// at winBuf[0:winLen] (winHead is 0 during the fill phase).
+func (m *GPP) winGrow(v int64) {
+	b := m.winBuf
+	i := m.winLen
+	for i > 0 && b[i-1] > v {
+		b[i] = b[i-1]
+		i--
 	}
+	b[i] = v
+	m.winLen++
 }
 
-// heapFix restores the min-heap property after replacing the root.
-func heapFix(s []int64) {
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < len(s) && s[l] < s[small] {
-			small = l
-		}
-		if r < len(s) && s[r] < s[small] {
-			small = r
-		}
-		if small == i {
-			return
-		}
-		s[i], s[small] = s[small], s[i]
-		i = small
+// winReplaceMin evicts the buffer's minimum (the head slot) and inserts
+// v > min, scanning backward from the tail: the common near-monotonic
+// case (v is a new maximum) writes v straight into the freed head slot
+// as the new tail with zero data movement.
+func (m *GPP) winReplaceMin(v int64) {
+	b := m.winBuf
+	n := len(b)
+	dst := m.winHead // freed slot becomes the new tail slot
+	m.winHead++
+	if m.winHead == n {
+		m.winHead = 0
 	}
+	src := dst - 1 // current tail
+	if src < 0 {
+		src = n - 1
+	}
+	for k := 1; k < n && b[src] > v; k++ {
+		b[dst] = b[src]
+		dst = src
+		src--
+		if src < 0 {
+			src = n - 1
+		}
+	}
+	b[dst] = v
 }
 
 func (m *GPP) pruneStores() {
-	for a, age := range m.storeAge {
-		if m.n-age >= storeWindow {
-			delete(m.storeAge, a)
-			delete(m.stores, a)
+	m.stores.prune(m.gen, m.n)
+}
+
+// storeTab is an open-addressed, linear-probe map from word address to
+// storeRec, replacing the built-in map on the Exec hot path (hashing and
+// bucket probing there was a top-five cost of a DSE sweep). Occupied
+// slots key on addr|1 — word addresses have their low three bits clear,
+// so 0 safely marks an empty slot whatever the address.
+type storeTab struct {
+	keys []uint64
+	recs []storeRec
+	used int // occupied slots, including generation-stale entries
+	mask uint64
+}
+
+const storeTabInitSize = 1024 // power of two; grows to keep load < 1/2
+
+func (t *storeTab) init() {
+	t.keys = make([]uint64, storeTabInitSize)
+	t.recs = make([]storeRec, storeTabInitSize)
+	t.mask = storeTabInitSize - 1
+	t.used = 0
+}
+
+func (t *storeTab) clear() {
+	clear(t.keys)
+	t.used = 0
+}
+
+func (t *storeTab) slotOf(addr uint64) uint64 {
+	return (addr * 0x9E3779B97F4A7C15) >> 17 & t.mask
+}
+
+func (t *storeTab) get(addr uint64) (storeRec, bool) {
+	k := addr | 1
+	for i := t.slotOf(addr); ; i = (i + 1) & t.mask {
+		switch t.keys[i] {
+		case k:
+			return t.recs[i], true
+		case 0:
+			return storeRec{}, false
 		}
 	}
 }
 
-func (m *GPP) charge(u *UOp) {
+func (t *storeTab) set(addr uint64, rec storeRec) {
+	if 2*(t.used+1) > len(t.keys) {
+		t.grow()
+	}
+	k := addr | 1
+	for i := t.slotOf(addr); ; i = (i + 1) & t.mask {
+		switch t.keys[i] {
+		case k:
+			t.recs[i] = rec
+			return
+		case 0:
+			t.keys[i] = k
+			t.recs[i] = rec
+			t.used++
+			return
+		}
+	}
+}
+
+// grow doubles the table, rehashing every entry.
+func (t *storeTab) grow() {
+	ok, or := t.keys, t.recs
+	n := 2 * len(ok)
+	t.keys = make([]uint64, n)
+	t.recs = make([]storeRec, n)
+	t.mask = uint64(n - 1)
+	for i, k := range ok {
+		if k != 0 {
+			for j := t.slotOf(k &^ 1); ; j = (j + 1) & t.mask {
+				if t.keys[j] == 0 {
+					t.keys[j], t.recs[j] = k, or[i]
+					break
+				}
+			}
+		}
+	}
+}
+
+// prune rebuilds the table keeping only live entries: current
+// generation and within the store-forwarding age window.
+func (t *storeTab) prune(gen uint32, n int) {
+	ok, or := t.keys, t.recs
+	t.keys = make([]uint64, len(ok))
+	t.recs = make([]storeRec, len(or))
+	t.used = 0
+	for i, k := range ok {
+		if k == 0 {
+			continue
+		}
+		rec := or[i]
+		if rec.gen != gen || n-int(rec.age) >= storeWindow {
+			continue
+		}
+		for j := t.slotOf(k &^ 1); ; j = (j + 1) & t.mask {
+			if t.keys[j] == 0 {
+				t.keys[j], t.recs[j] = k, rec
+				t.used++
+				break
+			}
+		}
+	}
+}
+
+func (m *GPP) charge(u *UOp, cls isa.Class) {
 	c := m.Counts
 	c.Add(energy.EvFetch, 1)
 	c.Add(energy.EvDecode, 1)
@@ -523,7 +666,7 @@ func (m *GPP) charge(u *UOp) {
 	if u.Dst.Valid() && !u.Elide {
 		c.Add(energy.EvRegWrite, 1)
 	}
-	switch u.Op.ClassOf() {
+	switch cls {
 	case isa.ClassIntAlu:
 		c.Add(energy.EvIntAluOp, 1)
 	case isa.ClassIntMul:

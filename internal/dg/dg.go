@@ -152,6 +152,22 @@ func (g *Graph) NewNode(k Kind, dynIdx int32) NodeID {
 	return id
 }
 
+// NewPipelineNodes appends the five pipeline-stage nodes of one dynamic
+// instruction — fetch, dispatch, execute, complete, commit, in that
+// order — in a single grow and returns the fetch node's ID; the others
+// follow at consecutive IDs. One batched append replaces five NewNode
+// calls on the hottest allocation path in the system (every GPP uop).
+func (g *Graph) NewPipelineNodes(dynIdx int32) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes,
+		node{critPred: None, kind: KindFetch, dynIdx: dynIdx},
+		node{critPred: None, kind: KindDispatch, dynIdx: dynIdx},
+		node{critPred: None, kind: KindExecute, dynIdx: dynIdx},
+		node{critPred: None, kind: KindComplete, dynIdx: dynIdx},
+		node{critPred: None, kind: KindCommit, dynIdx: dynIdx})
+	return id
+}
+
 // AddEdge adds a dependence from → to with the given latency and class,
 // relaxing to's time. from must be an existing node; to must not yet be
 // used as a predecessor itself (incremental construction).
@@ -284,12 +300,19 @@ type ResourceTable struct {
 	units uint8
 	// offset is the epoch base added to requested cycles before they key
 	// the ring. Reset advances it past every key issued so far, making all
-	// stale slots mismatch — an O(1) reset instead of clearing both rings
-	// (the rings total ~300KB; per-segment evaluation resets constantly).
+	// stale slots mismatch — an O(1) reset instead of clearing the ring
+	// (~128KB; per-segment evaluation resets constantly).
 	offset int64
 	maxKey int64
-	cycles [resourceWindow]int64
-	counts [resourceWindow]uint8
+	// ring packs each slot's epoch tag and occupancy count as
+	// (key>>15)<<8 | count — one 4-byte load per probe, and half the
+	// cache footprint of 8-byte entries on a structure the booking loops
+	// stream through. The tag is unambiguous: keys sharing a slot differ
+	// by a multiple of resourceWindow (1<<15), so key>>15 identifies the
+	// key exactly. Counts stay below 256 (units caps at 255); tags stay
+	// below 2^24 because Reset re-epochs the table before offset can
+	// reach 2^38.
+	ring [resourceWindow]uint32
 }
 
 // NewResourceTable returns a table with n units. The zero-valued rings
@@ -314,25 +337,48 @@ func (r *ResourceTable) Retarget(n int) {
 	r.Reset()
 }
 
-func (r *ResourceTable) at(c int64) *uint8 {
+// peek returns the occupancy of cycle c (stale slots read as empty).
+func (r *ResourceTable) peek(c int64) uint8 {
+	key := c + r.offset
+	v := r.ring[key&(resourceWindow-1)]
+	if v>>8 != uint32(key>>15) {
+		return 0
+	}
+	return uint8(v)
+}
+
+// incr books one unit at cycle c, reclaiming the slot if stale.
+func (r *ResourceTable) incr(c int64) {
 	key := c + r.offset
 	if key > r.maxKey {
 		r.maxKey = key
 	}
 	slot := key & (resourceWindow - 1)
-	if r.cycles[slot] != key {
-		r.cycles[slot] = key
-		r.counts[slot] = 0
+	tag := uint32(key>>15) << 8
+	v := r.ring[slot]
+	if v&^0xFF != tag {
+		v = tag
 	}
-	return &r.counts[slot]
+	r.ring[slot] = v + 1
 }
 
 // Book finds the earliest cycle ≥ ready with a free unit, books it, and
 // returns the granted cycle.
 func (r *ResourceTable) Book(ready int64) int64 {
+	units := uint32(r.units)
 	for c := ready; ; c++ {
-		if n := r.at(c); *n < r.units {
-			*n++
+		key := c + r.offset
+		slot := key & (resourceWindow - 1)
+		tag := uint32(key>>15) << 8
+		v := r.ring[slot]
+		if v&^0xFF != tag {
+			v = tag
+		}
+		if v&0xFF < units {
+			if key > r.maxKey {
+				r.maxKey = key
+			}
+			r.ring[slot] = v + 1
 			return c
 		}
 	}
@@ -347,22 +393,31 @@ func (r *ResourceTable) BookFor(ready, busy int64) int64 {
 search:
 	for c := ready; ; c++ {
 		for k := int64(0); k < busy; k++ {
-			if *r.at(c + k) >= r.units {
+			if r.peek(c+k) >= r.units {
 				c += k
 				continue search
 			}
 		}
 		for k := int64(0); k < busy; k++ {
-			*r.at(c + k)++
+			r.incr(c + k)
 		}
 		return c
 	}
 }
 
 // Reset clears all bookings in O(1) by advancing the epoch offset past
-// every key issued so far; stale ring slots are reclaimed lazily.
+// every key issued so far; stale ring slots are reclaimed lazily. When
+// the accumulated offset nears the 24-bit tag limit (once per ~2^38
+// booked cycles) the ring is cleared wholesale and the epoch restarts
+// from zero, restoring the fresh-table invariant that zeroed slots read
+// as empty.
 func (r *ResourceTable) Reset() {
 	r.offset = r.maxKey + 1
+	if r.offset >= 1<<38 {
+		clear(r.ring[:])
+		r.offset = 0
+		r.maxKey = 0
+	}
 }
 
 // MemBytes reports the table's fixed ring footprint — the allocation a

@@ -148,6 +148,54 @@ func TestCachedSweepByteIdentical(t *testing.T) {
 	}
 }
 
+// TestDeltaMatchesFullRun is the end-to-end correctness gate for the
+// incremental delta-evaluation path (baseline-relative segmentation,
+// prefix reuse, the cross-core shared pool): over the quick-set
+// workloads and all 16 BSA subsets, a sweep on the default delta engine
+// must produce a byte-identical exocore-result/v1 document to a sweep on
+// an engine with delta evaluation disabled (the -nodelta escape hatch).
+func TestDeltaMatchesFullRun(t *testing.T) {
+	var ws []*workloads.Workload
+	for _, name := range cli.QuickSet {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	cs := []cores.Config{cores.IO2, cores.OOO2}
+
+	delta, err := Explore(Options{
+		Workloads: ws, Cores: cs,
+		Engine: runner.New(runner.Options{MaxDyn: 10_000}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Explore(Options{
+		Workloads: ws, Cores: cs,
+		Engine: runner.New(runner.Options{MaxDyn: 10_000, NoDelta: true}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db, fb := reportDoc(t, delta), reportDoc(t, full)
+	if !bytes.Equal(db, fb) {
+		for i := range db {
+			if i >= len(fb) || db[i] != fb[i] {
+				lo := i - 80
+				if lo < 0 {
+					lo = 0
+				}
+				t.Fatalf("delta and full sweeps diverge at byte %d:\ndelta: ...%s\nfull:  ...%s",
+					i, db[lo:min(i+80, len(db))], fb[lo:min(i+80, len(fb))])
+			}
+		}
+		t.Fatalf("delta doc (%d bytes) is a prefix of full doc (%d bytes)", len(db), len(fb))
+	}
+}
+
 // TestExploreReusesCache asserts the engine does strictly less redundant
 // work than the naive per-design loop: across the 16 subsets per core,
 // scheduling contexts are built exactly once per (bench, core) and

@@ -182,19 +182,23 @@ func Explore(opts Options) (*Exploration, error) {
 	// a fixed order and filled by index, so the result is identical
 	// regardless of worker count or completion order; the engine's eval
 	// cache deduplicates identical assignments across subsets.
+	// Area accounting is stateless, so one BSA set and one model slice
+	// per mask serve every core instead of being rebuilt for all 64
+	// designs.
+	set := NewBSASet()
+	maskModels := make([][]tdg.BSA, 16)
+	for mask := 1; mask < 16; mask++ {
+		for _, n := range SubsetBSAs(mask) {
+			maskModels[mask] = append(maskModels[mask], set[n])
+		}
+	}
 	var protos []DesignResult
 	for _, core := range cs {
 		for mask := 0; mask < 16; mask++ {
-			bsaNames := SubsetBSAs(mask)
-			var bsaModels []tdg.BSA
-			set := NewBSASet()
-			for _, n := range bsaNames {
-				bsaModels = append(bsaModels, set[n])
-			}
 			protos = append(protos, DesignResult{
 				Core: core, Mask: mask,
 				Code:    DesignCode(core, mask),
-				AreaMM2: area.Total(core, bsaModels),
+				AreaMM2: area.Total(core, maskModels[mask]),
 			})
 		}
 	}

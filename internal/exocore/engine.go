@@ -43,7 +43,6 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
-	"strings"
 
 	"exocore/internal/bsa/bsautil"
 	"exocore/internal/cores"
@@ -88,6 +87,12 @@ type RunOpts struct {
 	// arenas across Runs. It must have been created for the same core
 	// config and be used with a fixed (TDG, bsas, plans) tuple.
 	Cache *Cache
+	// NoDelta disables the incremental-evaluation machinery (atom-based
+	// segmentation and prefix-outcome publication) while keeping the unit
+	// cache itself — the A/B escape hatch behind the -nodelta flag. Full
+	// and delta evaluation are byte-identical (see TestDeltaMatchesFullRun);
+	// this exists to measure the difference and to bisect regressions.
+	NoDelta bool
 	// Span, when active, receives one child span per evaluation unit
 	// (annotated with cache hit/miss) with nested transform spans. The
 	// zero Span disables tracing at nil-check cost.
@@ -260,18 +265,28 @@ func Run(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA,
 		}
 	}
 
-	segs := Segmentize(t, assign)
+	// Delta path: the composer's precomputed atoms segmentize in
+	// O(atoms) and its cut set drives prefix-outcome publication.
+	var comp *composer
+	var segs []Segment
+	if opts.Cache != nil && !opts.NoDelta {
+		comp = opts.Cache.composerFor(t, bsas, plans)
+		segs = comp.segmentize(assign)
+	} else {
+		segs = Segmentize(t, assign)
+	}
 	units := unitize(t, segs, assign, bsas)
 	res := &RunResult{Models: make([]ModelStat, 0, len(assign)+1)}
 
-	// One worker (graph + GPP arenas) serves every unit of this run; with
-	// a Cache it comes from — and returns to — the shared pool.
+	// One worker (graph + GPP arenas) serves every unit of this run,
+	// drawn from — and returned to — the per-config arena pool.
 	var w *segWorker
 	if opts.Cache != nil {
 		w = opts.Cache.getWorker()
 		defer opts.Cache.putWorker(w)
 	} else {
-		w = newSegWorker(core, 5*len(t.Trace.Insts)+64)
+		w = acquireWorker(core, 5*len(t.Trace.Insts)+64, nil)
+		defer releaseWorker(core, w)
 	}
 
 	var segLen *obs.Histogram
@@ -281,6 +296,7 @@ func Run(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA,
 	}
 
 	var lastEnd int64
+	var descScratch []uint64
 	for _, u := range units {
 		usp := obs.Span{}
 		if opts.Span.Active() {
@@ -290,35 +306,78 @@ func Run(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA,
 		}
 		var out *unitOutcome
 		if opts.Cache != nil {
-			key := unitKey{int32(u.segs[0].Start), int32(u.segs[len(u.segs)-1].End), u.sig()}
+			var key unitKey
+			key, descScratch = opts.Cache.keyOf(&u, descScratch)
 			out = opts.Cache.lookup(key)
 			if usp.Active() {
 				usp.Arg("cache", map[bool]string{true: "hit", false: "miss"}[out != nil])
 			}
 			switch {
 			case out == nil:
-				o := evalUnit(w, t, bsas, plans, u, usp, opts.RecordRegions)
+				// Offload solo units are usually core-independent (the model
+				// never touches the host pipeline), so before evaluating,
+				// consult the cross-core shared pool populated by sibling
+				// caches for the same TDG.
+				var shared *sharedPool
+				var shKey sharedKey
+				if comp != nil && len(u.segs) == 1 && u.names[0] != "" &&
+					bsas[u.names[0]].OffloadsCore() {
+					shared = opts.Cache.shared
+					seg := u.segs[0]
+					shKey = sharedKey{
+						start: int32(seg.Start), end: int32(seg.End),
+						loop: int32(seg.LoopID), cfgRes: u.cfgRes[0],
+						name: u.names[0],
+					}
+					if so := shared.lookup(shKey); so != nil &&
+						(!opts.RecordRegions || so.segClasses != nil) {
+						out = opts.Cache.store(key, so)
+						opts.Cache.sharedHits.Add(1)
+						break
+					}
+				}
+				// On the delta path, evaluating this unit also publishes
+				// outcomes for every cut-aligned prefix of it, so later
+				// assignments that cut the trace here pay only their delta.
+				var pub *publisher
+				if comp != nil {
+					if cuts := comp.cutsIn(u.segs[0].Start, u.segs[len(u.segs)-1].End); len(cuts) > 0 {
+						pub = &publisher{
+							cache: opts.Cache,
+							descs: descScratch,
+							start: key.start,
+							cuts:  cuts,
+						}
+					}
+				}
+				o := evalUnit(w, t, bsas, plans, u, usp, opts.RecordRegions, pub)
 				out = opts.Cache.store(key, &o)
+				// Publish to the shared pool only when the evaluation proved
+				// itself core-independent: zero retired core µops means the
+				// transform never consulted the host pipeline.
+				if shared != nil && w.gpp.Retired() == 0 {
+					shared.store(shKey, out)
+				}
 			case opts.RecordRegions && out.segClasses == nil:
 				// Cached by a sweep without class attribution; re-evaluate
 				// once with it and upgrade the entry.
-				o := evalUnit(w, t, bsas, plans, u, usp, true)
+				o := evalUnit(w, t, bsas, plans, u, usp, true, nil)
 				out = opts.Cache.upgrade(key, &o)
 			}
 		} else {
-			o := evalUnit(w, t, bsas, plans, u, usp, opts.RecordRegions)
+			o := evalUnit(w, t, bsas, plans, u, usp, opts.RecordRegions, nil)
 			out = &o
 		}
 
 		for i, seg := range u.segs {
 			name := u.names[i]
 			dyn := int64(seg.End - seg.Start)
-			dur := out.segDurs[i]
+			dur := out.dur(i)
 			st := res.stat(name)
 			st.Dyn += dyn
 			st.Cycles += dur
-			st.Counts.AddCounts(&out.segCounts[i])
-			res.Counts.AddCounts(&out.segCounts[i])
+			st.Counts.AddCounts(out.counts(i))
+			res.Counts.AddCounts(out.counts(i))
 			segLen.Observe(dyn)
 			if name != "" {
 				st.ActiveCycles += dur
@@ -341,7 +400,7 @@ func Run(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA,
 				rs := res.regionStat(seg.LoopID, name)
 				rs.Dyn += dyn
 				rs.Cycles += dur
-				rs.Counts.AddCounts(&out.segCounts[i])
+				rs.Counts.AddCounts(out.counts(i))
 				for cl, v := range out.segClasses[i] {
 					rs.Classes[cl] += v
 				}
@@ -387,45 +446,6 @@ type unit struct {
 	segs   []Segment
 	names  []string
 	cfgRes []bool
-}
-
-// dots serves pure-GPP signatures (one '.' per segment): slicing a string
-// constant shares its memory, so the common case allocates nothing.
-const dots = "................................................................"
-
-// sig encodes the unit's internal structure — each segment's model and
-// configuration residency — into the portion of its cache key that the
-// span alone does not determine.
-func (u *unit) sig() string {
-	named := false
-	for _, n := range u.names {
-		if n != "" {
-			named = true
-			break
-		}
-	}
-	if !named {
-		if len(u.segs) <= len(dots) {
-			return dots[:len(u.segs)]
-		}
-		return strings.Repeat(".", len(u.segs))
-	}
-	b := make([]byte, 0, 12*len(u.segs))
-	for i, seg := range u.segs {
-		if u.names[i] == "" {
-			b = append(b, '.')
-			continue
-		}
-		b = strconv.AppendInt(b, int64(seg.LoopID), 10)
-		b = append(b, '=')
-		b = append(b, u.names[i]...)
-		if u.cfgRes[i] {
-			b = append(b, '+')
-		} else {
-			b = append(b, '-')
-		}
-	}
-	return string(b)
 }
 
 // unitize groups segments into evaluation units and runs the

@@ -2,6 +2,7 @@ package exocore
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -83,6 +84,100 @@ func TestArbitraryAssignmentsAreSane(t *testing.T) {
 			e := EnergyOf(res, cores.OOO2, bsas)
 			if e.TotalNJ() <= 0 {
 				t.Errorf("%s: non-positive energy", bench)
+			}
+		}
+	}
+}
+
+// TestRandomizedAssignmentsDeltaEqualsFull is the property-level gate for
+// the incremental delta-evaluation path: over a seeded corpus of random
+// assignments, a Run through the delta machinery (shared cache, atom
+// segmentation, prefix publication, cross-core shared pool) must agree
+// exactly — cycles, energy counts, model attribution, offload cycles and
+// per-region stats — with a from-scratch full Run on the same assignment.
+// The cache is shared across the whole corpus so later assignments
+// exercise prefix reuse against outcomes published by earlier ones, and
+// both cores draw from the same process-wide shared-pool registry the way
+// a DSE sweep does.
+func TestRandomizedAssignmentsDeltaEqualsFull(t *testing.T) {
+	const (
+		maxDyn      = 8000
+		assignments = 12
+	)
+	rng := rand.New(rand.NewSource(7))
+	bsas := allBSAs()
+	names := make([]string, 0, len(bsas))
+	for n := range bsas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	for _, bench := range []string{"mm", "cjpeg"} {
+		td := buildTDG(t, bench, maxDyn)
+		plans := analyzeAll(td, bsas)
+
+		// Assignable loops with their candidate BSAs, in loop order so the
+		// rng consumption (and thus the corpus) is deterministic.
+		var loops []int
+		cands := make(map[int][]string)
+		for l := range td.Nest.Loops {
+			for _, n := range names {
+				if plans[n].Region(l) != nil {
+					cands[l] = append(cands[l], n)
+				}
+			}
+			if len(cands[l]) > 0 {
+				loops = append(loops, l)
+			}
+		}
+		sort.Ints(loops)
+		if len(loops) == 0 {
+			t.Fatalf("%s: no assignable loops", bench)
+		}
+
+		for _, core := range []cores.Config{cores.IO2, cores.OOO4} {
+			cache := NewCache(core, td.Trace.Len())
+			for i := 0; i < assignments; i++ {
+				assign := Assignment{}
+				for _, l := range loops {
+					if rng.Intn(2) == 0 {
+						continue
+					}
+					cs := cands[l]
+					assign[l] = cs[rng.Intn(len(cs))]
+				}
+				regions := i%2 == 0
+
+				delta, err := Run(td, core, bsas, plans, assign,
+					RunOpts{Cache: cache, RecordRegions: regions})
+				if err != nil {
+					t.Fatal(err)
+				}
+				full, err := Run(td, core, bsas, plans, assign,
+					RunOpts{NoDelta: true, RecordRegions: regions})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if delta.Cycles != full.Cycles {
+					t.Errorf("%s/%s #%d %v: delta cycles %d != full %d",
+						bench, core.Name, i, assign, delta.Cycles, full.Cycles)
+				}
+				if delta.Counts != full.Counts {
+					t.Errorf("%s/%s #%d %v: energy counts diverge", bench, core.Name, i, assign)
+				}
+				if delta.OffloadCycles != full.OffloadCycles {
+					t.Errorf("%s/%s #%d %v: offload cycles %d != %d",
+						bench, core.Name, i, assign, delta.OffloadCycles, full.OffloadCycles)
+				}
+				if !reflect.DeepEqual(delta.Models, full.Models) {
+					t.Errorf("%s/%s #%d %v: model attribution diverges:\ndelta: %+v\nfull:  %+v",
+						bench, core.Name, i, assign, delta.Models, full.Models)
+				}
+				if !reflect.DeepEqual(delta.Regions, full.Regions) {
+					t.Errorf("%s/%s #%d %v: region stats diverge:\ndelta: %+v\nfull:  %+v",
+						bench, core.Name, i, assign, delta.Regions, full.Regions)
+				}
 			}
 		}
 	}

@@ -56,9 +56,8 @@ func checkCoverage(t *testing.T, td *tdg.TDG, segs []Segment) {
 // segments (and no phantom GPP segment).
 func TestSegmentizeEmptyTrace(t *testing.T) {
 	td := buildTDG(t, "mm", 5000)
-	empty := *td.Trace
-	empty.Insts = []trace.DynInst{}
-	tdEmpty := &tdg.TDG{Trace: &empty, CFG: td.CFG, Nest: td.Nest, Prof: td.Prof}
+	empty := &trace.Trace{Prog: td.Trace.Prog, Insts: []trace.DynInst{}}
+	tdEmpty := &tdg.TDG{Trace: empty, CFG: td.CFG, Nest: td.Nest, Prof: td.Prof}
 	if segs := Segmentize(tdEmpty, Assignment{0: "SIMD"}); len(segs) != 0 {
 		t.Errorf("empty trace produced %d segments: %+v", len(segs), segs)
 	}

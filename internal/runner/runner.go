@@ -82,6 +82,10 @@ type Options struct {
 	// (exocore.Cache): every assignment evaluation rebuilds every unit
 	// from scratch. Used by the equivalence gate and for A/B measurement.
 	NoSegmentCache bool
+	// NoDelta disables incremental delta evaluation (atom-based
+	// segmentation and prefix-outcome publication) while keeping the unit
+	// cache. A/B escape hatch behind the -nodelta flag.
+	NoDelta bool
 	// Tracer, if non-nil, receives one span per stage cache miss, with
 	// per-unit segment spans and per-transform spans nested under the
 	// sched and eval stages. Nil keeps the hot path nil-check cheap.
@@ -164,6 +168,7 @@ type Engine struct {
 	maxDyn     int
 	workers    int
 	noSegCache bool
+	noDelta    bool
 
 	progressMu sync.Mutex
 	progress   ProgressFunc
@@ -201,6 +206,7 @@ func New(opts Options) *Engine {
 		maxDyn:     maxDyn,
 		workers:    workers,
 		noSegCache: opts.NoSegmentCache,
+		noDelta:    opts.NoDelta,
 		progress:   opts.Progress,
 		tracer:     opts.Tracer,
 		reg:        reg,
@@ -251,6 +257,9 @@ func (e *Engine) Metrics() Metrics {
 			agg.Misses += s.Misses
 			agg.BytesReused += s.BytesReused
 			agg.Entries += s.Entries
+			agg.PrefixEntries += s.PrefixEntries
+			agg.InternedSigs += s.InternedSigs
+			agg.SharedHits += s.SharedHits
 		}
 		e.cachesMu.Unlock()
 		// Mirror the aggregate into registry gauges so the exportable
@@ -259,6 +268,9 @@ func (e *Engine) Metrics() Metrics {
 		e.reg.Gauge("evalcache.segment_misses").Set(agg.Misses)
 		e.reg.Gauge("evalcache.bytes_reused").Set(agg.BytesReused)
 		e.reg.Gauge("evalcache.entries").Set(agg.Entries)
+		e.reg.Gauge("evalcache.prefix_entries").Set(agg.PrefixEntries)
+		e.reg.Gauge("evalcache.interned_sigs").Set(agg.InternedSigs)
+		e.reg.Gauge("evalcache.shared_hits").Set(agg.SharedHits)
 		m.EvalCache = &agg
 	}
 	m.Points = e.reg.Snapshot()
@@ -355,7 +367,8 @@ func (e *Engine) Context(w *workloads.Workload, core cores.Config) (*sched.Conte
 		sp := e.tracer.Begin("stage", StageSched+" "+key)
 		defer sp.End()
 		sc, err := sched.NewContextWith(td, core, NewBSASet(),
-			sched.ContextOpts{NoSegmentCache: e.noSegCache, Reg: e.reg, Span: sp})
+			sched.ContextOpts{NoSegmentCache: e.noSegCache, NoDelta: e.noDelta,
+				Workers: e.workers, Reg: e.reg, Span: sp})
 		if err != nil {
 			return nil, err
 		}

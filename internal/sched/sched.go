@@ -46,7 +46,8 @@ type Context struct {
 	BaseEnergyNJ float64
 	Candidates   []Candidate
 
-	reg *obs.Registry
+	reg     *obs.Registry
+	noDelta bool
 }
 
 // ContextOpts tunes context construction.
@@ -63,6 +64,16 @@ type ContextOpts struct {
 	// constructor issues (baseline plus each candidate solo). Inert spans
 	// cost a nil check.
 	Span obs.Span
+	// NoDelta disables the delta composer and prefix publication inside
+	// every Run this context issues (candidate solos and later Evaluate
+	// calls). The unit cache itself stays on unless NoSegmentCache is also
+	// set. A/B escape hatch behind the -nodelta flag.
+	NoDelta bool
+	// Workers bounds the number of candidate solo measurements run
+	// concurrently during construction. Values <= 1 keep the serial loop;
+	// an active Span also forces serial measurement because child spans
+	// share the parent's trace lane and must not overlap.
+	Workers int
 }
 
 // NewContext analyzes the TDG with every BSA and measures the baseline
@@ -73,7 +84,7 @@ func NewContext(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA) (*Contex
 
 // NewContextWith is NewContext with explicit options.
 func NewContextWith(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA, opts ContextOpts) (*Context, error) {
-	ctx := &Context{TDG: t, Core: core, BSAs: bsas, Plans: make(map[string]*tdg.Plan), reg: opts.Reg}
+	ctx := &Context{TDG: t, Core: core, BSAs: bsas, Plans: make(map[string]*tdg.Plan), reg: opts.Reg, noDelta: opts.NoDelta}
 	if !opts.NoSegmentCache {
 		ctx.Cache = exocore.NewCache(core, t.Trace.Len())
 	}
@@ -85,7 +96,7 @@ func NewContextWith(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA, opts
 		bsp = opts.Span.Child("run", "baseline")
 	}
 	base, err := exocore.Run(t, core, bsas, ctx.Plans, nil,
-		exocore.RunOpts{Cache: ctx.Cache, Span: bsp, Reg: opts.Reg})
+		exocore.RunOpts{Cache: ctx.Cache, Span: bsp, Reg: opts.Reg, NoDelta: opts.NoDelta})
 	bsp.End()
 	if err != nil {
 		return nil, fmt.Errorf("sched: baseline: %w", err)
@@ -93,37 +104,93 @@ func NewContextWith(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA, opts
 	ctx.BaseCycles = base.Cycles
 	ctx.BaseEnergyNJ = exocore.EnergyOf(base, core, bsas).TotalNJ()
 
+	// Candidate solo measurements, in deterministic (BSA name, loop)
+	// order. The job list is built serially; measurement fans out on a
+	// bounded worker pool when requested, with results landing at their
+	// job index so Candidates keeps the exact serial order.
+	type job struct {
+		name string
+		loop int
+	}
 	var names []string
 	for name := range bsas {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	var jobs []job
 	for _, name := range names {
-		plan := ctx.Plans[name]
 		var loops []int
-		for l := range plan.Regions {
+		for l := range ctx.Plans[name].Regions {
 			loops = append(loops, l)
 		}
 		sort.Ints(loops)
 		for _, l := range loops {
-			csp := obs.Span{}
-			if opts.Span.Active() {
-				csp = opts.Span.Child("run", "candidate "+name+"@L"+strconv.Itoa(l))
-			}
-			res, err := exocore.Run(t, core, bsas, ctx.Plans,
-				exocore.Assignment{l: name},
-				exocore.RunOpts{Cache: ctx.Cache, Span: csp, Reg: opts.Reg})
-			csp.End()
-			if err != nil {
-				return nil, fmt.Errorf("sched: candidate %s@L%d: %w", name, l, err)
-			}
-			ctx.Candidates = append(ctx.Candidates, Candidate{
-				LoopID: l, BSA: name,
-				Cycles:     res.Cycles,
-				EnergyNJ:   exocore.EnergyOf(res, core, bsas).TotalNJ(),
-				EstSpeedup: plan.Regions[l].EstSpeedup,
-			})
+			jobs = append(jobs, job{name: name, loop: l})
 		}
+	}
+
+	measure := func(j job, sp obs.Span) (Candidate, error) {
+		res, err := exocore.Run(t, core, bsas, ctx.Plans,
+			exocore.Assignment{j.loop: j.name},
+			exocore.RunOpts{Cache: ctx.Cache, Span: sp, Reg: opts.Reg, NoDelta: opts.NoDelta})
+		if err != nil {
+			return Candidate{}, fmt.Errorf("sched: candidate %s@L%d: %w", j.name, j.loop, err)
+		}
+		return Candidate{
+			LoopID: j.loop, BSA: j.name,
+			Cycles:     res.Cycles,
+			EnergyNJ:   exocore.EnergyOf(res, core, bsas).TotalNJ(),
+			EstSpeedup: ctx.Plans[j.name].Regions[j.loop].EstSpeedup,
+		}, nil
+	}
+
+	workers := opts.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	// Child spans share the parent's trace lane, so concurrent candidate
+	// spans would interleave and break the nesting invariant; tracing
+	// forces the serial path.
+	if workers > 1 && !opts.Span.Active() {
+		results := make([]Candidate, len(jobs))
+		errs := make([]error, len(jobs))
+		next := make(chan int)
+		done := make(chan struct{})
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer func() { done <- struct{}{} }()
+				for i := range next {
+					results[i], errs[i] = measure(jobs[i], obs.Span{})
+				}
+			}()
+		}
+		for i := range jobs {
+			next <- i
+		}
+		close(next)
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		ctx.Candidates = append(ctx.Candidates, results...)
+		return ctx, nil
+	}
+
+	for _, j := range jobs {
+		csp := obs.Span{}
+		if opts.Span.Active() {
+			csp = opts.Span.Child("run", "candidate "+j.name+"@L"+strconv.Itoa(j.loop))
+		}
+		cand, err := measure(j, csp)
+		csp.End()
+		if err != nil {
+			return nil, err
+		}
+		ctx.Candidates = append(ctx.Candidates, cand)
 	}
 	return ctx, nil
 }
@@ -283,7 +350,7 @@ func (c *Context) Evaluate(assign exocore.Assignment) (int64, float64, error) {
 // registry the context was created with either way.
 func (c *Context) EvaluateSpan(assign exocore.Assignment, sp obs.Span) (int64, float64, error) {
 	res, err := exocore.Run(c.TDG, c.Core, c.BSAs, c.Plans, assign,
-		exocore.RunOpts{Cache: c.Cache, Span: sp, Reg: c.reg})
+		exocore.RunOpts{Cache: c.Cache, Span: sp, Reg: c.reg, NoDelta: c.noDelta})
 	if err != nil {
 		return 0, 0, err
 	}

@@ -5,6 +5,8 @@
 package trace
 
 import (
+	"sync"
+
 	"exocore/internal/isa"
 	"exocore/internal/prog"
 )
@@ -69,6 +71,9 @@ func (d *DynInst) IsSpill() bool { return d.Flags&FlagSpill != 0 }
 type Trace struct {
 	Prog  *prog.Program
 	Insts []DynInst
+
+	statsOnce sync.Once
+	stats     Stats
 }
 
 // Len returns the number of dynamic instructions.
@@ -94,8 +99,16 @@ type Stats struct {
 	FpOps        int
 }
 
-// ComputeStats scans the trace and tallies Stats.
+// ComputeStats tallies Stats, scanning the trace on the first call and
+// serving the memoized result afterwards. Traces are immutable once
+// built and shared across goroutines, so the memoization is guarded by
+// a sync.Once.
 func (t *Trace) ComputeStats() Stats {
+	t.statsOnce.Do(func() { t.stats = t.computeStats() })
+	return t.stats
+}
+
+func (t *Trace) computeStats() Stats {
 	var s Stats
 	s.Dyn = len(t.Insts)
 	for i := range t.Insts {

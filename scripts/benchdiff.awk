@@ -1,0 +1,62 @@
+# benchdiff.awk — regression gate for the tracked benchmarks. Compares a
+# fresh `go test -bench` run against the recorded current values in
+# BENCH_4.json and fails when any benchmark is slower than the recorded
+# value by more than the tolerance band (single-shot benchmark runs on a
+# shared machine jitter by several percent; genuine regressions from the
+# optimizations this file guards are far larger).
+#
+# Usage: awk -f scripts/benchdiff.awk BENCH_4.json bench.out
+
+BEGIN {
+    tol = 1.25 # fail when current ns/op > 1.25 × recorded ns/op
+}
+
+# --- First file: BENCH_4.json ---
+FNR == NR && /"name":/ {
+    name = $2
+    gsub(/[",]/, "", name)
+    next
+}
+FNR == NR && /"current":/ {
+    line = $0
+    sub(/.*"ns_per_op": */, "", line)
+    sub(/[^0-9].*/, "", line)
+    tracked[name] = line + 0
+    next
+}
+FNR == NR { next }
+
+# --- Second file: fresh benchmark output ---
+/^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in tracked)) next
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") now = $(i - 1)
+    }
+    seen[name] = 1
+    ratio = now / tracked[name]
+    status = "ok"
+    if (ratio > tol) {
+        status = "REGRESSION"
+        failed++
+    }
+    printf "%-20s tracked %12.0f ns/op   now %12.0f ns/op   %.2fx  %s\n", \
+        name, tracked[name], now, ratio, status
+}
+
+END {
+    for (name in tracked) {
+        if (!(name in seen)) {
+            printf "%-20s tracked but not measured\n", name
+            failed++
+        }
+    }
+    if (failed) {
+        printf "benchdiff: %d benchmark(s) outside the %.0f%% tolerance band\n", \
+            failed, (tol - 1) * 100 > "/dev/stderr"
+        exit 1
+    }
+    print "benchdiff: all tracked benchmarks within tolerance"
+}
