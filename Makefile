@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race tier1 bench benchdiff benchsmoke tracesmoke tools clean
+.PHONY: check build vet test race tier1 bench benchdiff benchsmoke tracesmoke servesmoke tools clean
 
 # The full pre-merge gate: vet + build + race-enabled tests + tier-1 +
 # a single-iteration pass over every benchmark so they can't rot + a
-# trace-export smoke test.
-check: vet build race tier1 benchsmoke tracesmoke
+# trace-export smoke test + the daemon end-to-end smoke test.
+check: vet build race tier1 benchsmoke tracesmoke servesmoke
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,11 @@ vet:
 	$(GO) vet ./...
 
 # Race-enabled run of the concurrency-sensitive packages (the runner
-# engine, the exploration that fans out over it, and the evaluation
-# cache with its sharded outcome map and cross-core shared pool).
+# engine, the exploration that fans out over it, the evaluation cache
+# with its sharded outcome map and cross-core shared pool, and the
+# serving layer's singleflight/admission machinery).
 race:
-	$(GO) test -race -count=1 ./internal/runner ./internal/dse ./internal/exocore
+	$(GO) test -race -count=1 ./internal/runner ./internal/dse ./internal/exocore ./internal/serve
 
 # Tier-1 suite (ROADMAP.md): everything must build and all tests pass.
 tier1:
@@ -31,7 +32,7 @@ test:
 # as the record of the previous optimization round; its "current" values
 # are this round's baselines.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkExocoreRun|BenchmarkDSESweep|BenchmarkContextConstruction' \
+	$(GO) test -run '^$$' -bench 'BenchmarkExocoreRun|BenchmarkDSESweep|BenchmarkContextConstruction|BenchmarkServeEvaluate' \
 		-benchmem -benchtime=3x . | tee bench.out
 	awk -f scripts/bench4json.awk bench.out > BENCH_4.json
 	@rm -f bench.out
@@ -41,7 +42,7 @@ bench:
 # slower than the value recorded in BENCH_4.json by more than the
 # tolerance band.
 benchdiff:
-	$(GO) test -run '^$$' -bench 'BenchmarkExocoreRun|BenchmarkDSESweep|BenchmarkContextConstruction' \
+	$(GO) test -run '^$$' -bench 'BenchmarkExocoreRun|BenchmarkDSESweep|BenchmarkContextConstruction|BenchmarkServeEvaluate' \
 		-benchmem -benchtime=3x . > bench.out
 	awk -f scripts/benchdiff.awk BENCH_4.json bench.out
 	@rm -f bench.out
@@ -57,7 +58,17 @@ tracesmoke:
 	$(GO) run ./scripts/tracecheck /tmp/exocore-tracesmoke.json
 	@rm -f /tmp/exocore-tracesmoke.json
 
-# Build the seven drivers into ./bin.
+# Daemon end-to-end smoke test: boot a real exocored on an ephemeral
+# port, require /v1/evaluate and /v1/sweep to byte-match tdgsim/dse
+# -json output for the same inputs, and require SIGTERM to drain to a
+# clean exit 0.
+servesmoke:
+	@rm -rf /tmp/exocore-servesmoke-bin
+	$(GO) build -o /tmp/exocore-servesmoke-bin/ ./cmd/exocored ./cmd/tdgsim ./cmd/dse
+	$(GO) run ./scripts/servesmoke /tmp/exocore-servesmoke-bin
+	@rm -rf /tmp/exocore-servesmoke-bin
+
+# Build the drivers into ./bin.
 tools:
 	$(GO) build -o bin/ ./cmd/...
 

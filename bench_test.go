@@ -6,6 +6,10 @@
 package bench
 
 import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"exocore/internal/cache"
@@ -14,7 +18,9 @@ import (
 	"exocore/internal/exocore"
 	"exocore/internal/fusion"
 	"exocore/internal/refsim"
+	"exocore/internal/runner"
 	"exocore/internal/sched"
+	"exocore/internal/serve"
 	"exocore/internal/stats"
 	"exocore/internal/tdg"
 	"exocore/internal/validate"
@@ -481,4 +487,39 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkServeEvaluate measures the daemon's warm serving path: one
+// /v1/evaluate request against a hot engine, over real HTTP. After the
+// first iteration pays for the pipeline, the steady state is request
+// decode + singleflight + cache-hit evaluation + document render — the
+// latency a client of a long-running exocored actually sees.
+func BenchmarkServeEvaluate(b *testing.B) {
+	eng := runner.New(runner.Options{MaxDyn: benchDyn})
+	srv, err := serve.New(serve.Config{Engine: eng})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	const body = `{"bench":"mm","core":"OOO2","bsas":"all","sched":"oracle"}`
+	post := func() {
+		resp, err := http.Post(hs.URL+"/v1/evaluate", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, _ := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		b.SetBytes(n)
+	}
+	post() // warm the engine outside the timed region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post()
+	}
 }

@@ -48,21 +48,7 @@ func main() {
 
 	if app.JSON {
 		doc := report.New("dse")
-		for _, d := range exp.Designs {
-			agg := report.Result{
-				Design: d.Code, Core: d.Core.Name, BSAs: dse.SubsetBSAs(d.Mask),
-				AreaMM2: d.AreaMM2,
-				RelPerf: d.RelPerf, RelEnergyEff: d.RelEnergyEff, RelArea: d.RelArea,
-			}
-			doc.Add(agg)
-			for _, b := range d.PerBench {
-				doc.Add(report.Result{
-					Design: d.Code, Core: d.Core.Name, Bench: b.Bench,
-					Category: string(b.Category),
-					Cycles:   b.Cycles, EnergyNJ: b.EnergyNJ,
-				})
-			}
-		}
+		exp.AppendTo(doc)
 		if *regionsFor != "" {
 			if err := reportRegions(app, *regionsFor, doc); err != nil {
 				app.Fail(err)

@@ -1,0 +1,128 @@
+// Command exocored is the long-running evaluation daemon: it keeps one
+// warm runner.Engine and serves evaluation and DSE-sweep queries over a
+// JSON HTTP API (see internal/serve for the endpoints and semantics).
+//
+// Usage:
+//
+//	exocored -addr 127.0.0.1:8080
+//	curl -s localhost:8080/healthz
+//	curl -s -d '{"bench":"mm","core":"OOO2"}' localhost:8080/v1/evaluate
+//	curl -s -d '{"designs":["IO2","OOO2-SDN"]}' localhost:8080/v1/sweep
+//
+// The engine-shaping flags are the unified set (-maxdyn, -workers, -v,
+// -trace, ...); one daemon serves exactly one -maxdyn budget. SIGINT or
+// SIGTERM drains in-flight work within -drain and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"exocore/internal/cli"
+	"exocore/internal/cores"
+	"exocore/internal/serve"
+)
+
+func main() {
+	app := cli.New("exocored", "all")
+	addr := app.Flags().String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks an ephemeral port)")
+	portFile := app.Flags().String("portfile", "", "write the resolved listen address to this file once listening")
+	concurrency := app.Flags().Int("concurrency", 0, "max concurrent evaluations (0 = the -workers bound)")
+	queue := app.Flags().Int("queue", 0, "admission queue depth before 429 (0 = 4x concurrency)")
+	timeout := app.Flags().Duration("timeout", 60*time.Second, "per-request evaluation deadline")
+	drain := app.Flags().Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	warm := app.Flags().Bool("warm", false, "pre-warm scheduling contexts for -bench across every core in the background")
+	app.MustParse()
+	defer app.Close()
+
+	eng := app.Engine()
+	log := app.Log()
+	srv, err := serve.New(serve.Config{
+		Engine:         eng,
+		Concurrency:    *concurrency,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		Tracer:         app.Tracer(),
+		Log:            log,
+	})
+	if err != nil {
+		app.Fail(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		app.Fail(err)
+	}
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			app.Fail(err)
+		}
+	}
+	log.Info("exocored listening", "addr", ln.Addr().String(),
+		"maxdyn", eng.MaxDyn(), "workers", eng.Workers())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *warm {
+		go warmup(ctx, app)
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		stop()
+		log.Info("draining", "budget", *drain)
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		err := hs.Shutdown(dctx)
+		if derr := srv.Shutdown(dctx); err == nil {
+			err = derr
+		}
+		shutdownErr <- err
+	}()
+
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		app.Fail(err)
+	}
+	if err := <-shutdownErr; err != nil {
+		app.Fail(err)
+	}
+	log.Info("exocored stopped")
+	app.Finish()
+}
+
+// warmup builds scheduling contexts for the configured benchmarks across
+// every general core, so the first requests hit a hot engine. Best
+// effort: a canceled warmup is not an error.
+func warmup(ctx context.Context, app *cli.App) {
+	eng := app.Engine()
+	wls := app.Workloads()
+	type pair struct {
+		wl   int
+		core cores.Config
+	}
+	var pairs []pair
+	for i := range wls {
+		for _, c := range cores.Configs {
+			pairs = append(pairs, pair{i, c})
+		}
+	}
+	start := time.Now()
+	err := eng.ForEachCtx(ctx, len(pairs), func(i int) error {
+		_, err := eng.ContextCtx(ctx, wls[pairs[i].wl], pairs[i].core)
+		return err
+	})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		app.Log().Warn("warmup failed", "err", err)
+		return
+	}
+	app.Log().Info("warmup done", "contexts", len(pairs), "wall", time.Since(start))
+}

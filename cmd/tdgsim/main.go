@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -22,7 +23,7 @@ import (
 	"exocore/internal/exocore"
 	"exocore/internal/fusion"
 	"exocore/internal/report"
-	"exocore/internal/runner"
+	"exocore/internal/serve"
 	"exocore/internal/workloads"
 )
 
@@ -43,15 +44,22 @@ func main() {
 		return
 	}
 
-	doc := report.New("tdgsim")
-	for _, wl := range app.Workloads() {
-		if err := run(app, doc, wl, *fuse); err != nil {
+	if app.JSON {
+		// The daemon's /v1/evaluate endpoint runs this same builder, which
+		// is what keeps the two outputs byte-identical for equal inputs.
+		doc, err := serve.EvaluateDocument(context.Background(), app.Engine(),
+			"tdgsim", app.Workloads(), app.CoreConfig(), app.BSANames(),
+			app.Sched, app.Tracer())
+		if err != nil {
 			app.Fail(err)
 		}
-	}
-	if app.JSON {
 		app.Emit(doc)
 		return
+	}
+	for _, wl := range app.Workloads() {
+		if err := run(app, wl, *fuse); err != nil {
+			app.Fail(err)
+		}
 	}
 	app.Finish()
 }
@@ -76,7 +84,7 @@ func listCoreConfigs() {
 	w.Flush()
 }
 
-func run(app *cli.App, doc *report.Document, wl *workloads.Workload, fuse bool) error {
+func run(app *cli.App, wl *workloads.Workload, fuse bool) error {
 	eng := app.Engine()
 	core := app.CoreConfig()
 	names := app.BSANames()
@@ -108,37 +116,6 @@ func run(app *cli.App, doc *report.Document, wl *workloads.Workload, fuse bool) 
 		return err
 	}
 	e := exocore.EnergyOf(res, core, ctx.BSAs)
-
-	if app.JSON {
-		coverage := make(map[string]float64, len(res.Models))
-		for i := range res.Models {
-			m := &res.Models[i]
-			label := m.Name
-			if label == "" {
-				label = "GPP"
-			}
-			coverage[label] = float64(m.Cycles) / float64(res.Cycles)
-		}
-		doc.Add(report.Result{
-			Design: designCode(core.Name, names), Core: core.Name,
-			BSAs: names, Bench: wl.Name, Category: string(wl.Category),
-			Cycles: res.Cycles, EnergyNJ: e.TotalNJ(),
-			Coverage: coverage,
-			Params:   map[string]string{"sched": app.Sched},
-			Extra: map[string]float64{
-				"baseline_cycles":      float64(ctx.BaseCycles),
-				"baseline_energy_nj":   ctx.BaseEnergyNJ,
-				"speedup":              float64(ctx.BaseCycles) / float64(res.Cycles),
-				"energy_eff":           ctx.BaseEnergyNJ / e.TotalNJ(),
-				"avg_power_w":          e.AvgPowerW(),
-				"unaccelerated_frac":   res.UnacceleratedFraction(),
-				"dynamic_instructions": float64(td.Trace.Len()),
-			},
-		})
-		doc.Add(report.RegionResults(designCode(core.Name, names), core.Name,
-			wl.Name, res.Regions, core)...)
-		return nil
-	}
 
 	tr := td.Trace
 	fmt.Printf("benchmark %s on %s (trace: %d dynamic instructions)\n", wl.Name, core.Name, tr.Len())
@@ -194,21 +171,4 @@ func run(app *cli.App, doc *report.Document, wl *workloads.Workload, fuse bool) 
 		}
 	}
 	return nil
-}
-
-// designCode mirrors dse.DesignCode for an explicit BSA list.
-func designCode(core string, bsas []string) string {
-	letters := map[string]byte{"SIMD": 'S', "DP-CGRA": 'D', "NS-DF": 'N', "Trace-P": 'T'}
-	var suffix []byte
-	for _, n := range runner.BSANames {
-		for _, have := range bsas {
-			if have == n {
-				suffix = append(suffix, letters[n])
-			}
-		}
-	}
-	if len(suffix) == 0 {
-		return core
-	}
-	return core + "-" + string(suffix)
 }

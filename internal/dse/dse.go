@@ -9,12 +9,14 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"exocore/internal/area"
 	"exocore/internal/cores"
+	"exocore/internal/report"
 	"exocore/internal/runner"
 	"exocore/internal/stats"
 	"exocore/internal/tdg"
@@ -131,6 +133,12 @@ type Options struct {
 	// repeated explorations (or other tools in the same process) then
 	// reuse its artifact caches.
 	Engine *runner.Engine
+	// Designs, if non-empty, restricts the sweep to these design codes
+	// (eg. "OOO2-SDN"), evaluated in the given order with duplicates
+	// collapsed, instead of the full cores × 16-subset grid. Rel*
+	// aggregates are normalized against the reference design only when
+	// the list contains it; otherwise they stay zero.
+	Designs []string
 }
 
 // DefaultMaxDyn is the exploration trace budget per benchmark.
@@ -146,6 +154,15 @@ type Exploration struct {
 
 // Explore runs the full exploration.
 func Explore(opts Options) (*Exploration, error) {
+	return ExploreCtx(context.Background(), opts)
+}
+
+// ExploreCtx is Explore with cancellation: a done ctx stops workers from
+// claiming new (bench, core) warm-ups or design evaluations and the
+// exploration returns the ctx error. The evaluation daemon threads each
+// request's ctx through here so disconnected sweep clients stop burning
+// workers.
+func ExploreCtx(ctx context.Context, opts Options) (*Exploration, error) {
 	ws := opts.Workloads
 	if ws == nil {
 		ws = workloads.All()
@@ -155,12 +172,47 @@ func Explore(opts Options) (*Exploration, error) {
 		eng = runner.New(runner.Options{MaxDyn: opts.MaxDyn, Workers: opts.Parallelism})
 	}
 
-	// Phase 1: warm the per-(bench, core) scheduling contexts in
-	// parallel. The engine computes each exactly once.
+	// Resolve the design grid: the full cores × 16-subset cross product,
+	// or an explicit design-code list.
 	cs := opts.Cores
 	if cs == nil {
 		cs = cores.Configs
 	}
+	type point struct {
+		core cores.Config
+		mask int
+	}
+	var points []point
+	if len(opts.Designs) > 0 {
+		seen := make(map[string]bool, len(opts.Designs))
+		csSeen := make(map[string]bool)
+		cs = nil
+		for _, code := range opts.Designs {
+			core, mask, err := ParseDesignCode(code)
+			if err != nil {
+				return nil, err
+			}
+			if canon := DesignCode(core, mask); seen[canon] {
+				continue
+			} else {
+				seen[canon] = true
+			}
+			points = append(points, point{core, mask})
+			if !csSeen[core.Name] {
+				csSeen[core.Name] = true
+				cs = append(cs, core)
+			}
+		}
+	} else {
+		for _, core := range cs {
+			for mask := 0; mask < 16; mask++ {
+				points = append(points, point{core, mask})
+			}
+		}
+	}
+
+	// Phase 1: warm the per-(bench, core) scheduling contexts in
+	// parallel. The engine computes each exactly once.
 	type pair struct {
 		w    *workloads.Workload
 		core cores.Config
@@ -171,20 +223,19 @@ func Explore(opts Options) (*Exploration, error) {
 			pairs = append(pairs, pair{w, core})
 		}
 	}
-	if err := eng.ForEach(len(pairs), func(i int) error {
-		_, err := eng.Context(pairs[i].w, pairs[i].core)
+	if err := eng.ForEachCtx(ctx, len(pairs), func(i int) error {
+		_, err := eng.ContextCtx(ctx, pairs[i].w, pairs[i].core)
 		return err
 	}); err != nil {
 		return nil, err
 	}
 
-	// Phase 2: evaluate all 16 subsets per core. Designs are laid out in
-	// a fixed order and filled by index, so the result is identical
+	// Phase 2: evaluate every design point. Designs are laid out in a
+	// fixed order and filled by index, so the result is identical
 	// regardless of worker count or completion order; the engine's eval
 	// cache deduplicates identical assignments across subsets.
 	// Area accounting is stateless, so one BSA set and one model slice
-	// per mask serve every core instead of being rebuilt for all 64
-	// designs.
+	// per mask serve every core instead of being rebuilt per design.
 	set := NewBSASet()
 	maskModels := make([][]tdg.BSA, 16)
 	for mask := 1; mask < 16; mask++ {
@@ -192,22 +243,20 @@ func Explore(opts Options) (*Exploration, error) {
 			maskModels[mask] = append(maskModels[mask], set[n])
 		}
 	}
-	var protos []DesignResult
-	for _, core := range cs {
-		for mask := 0; mask < 16; mask++ {
-			protos = append(protos, DesignResult{
-				Core: core, Mask: mask,
-				Code:    DesignCode(core, mask),
-				AreaMM2: area.Total(core, maskModels[mask]),
-			})
-		}
+	protos := make([]DesignResult, 0, len(points))
+	for _, p := range points {
+		protos = append(protos, DesignResult{
+			Core: p.core, Mask: p.mask,
+			Code:    DesignCode(p.core, p.mask),
+			AreaMM2: area.Total(p.core, maskModels[p.mask]),
+		})
 	}
 
-	designs, err := runner.Map(eng, len(protos), func(di int) (DesignResult, error) {
+	designs, err := runner.MapCtx(ctx, eng, len(protos), func(di int) (DesignResult, error) {
 		d := protos[di]
 		avail := SubsetBSAs(d.Mask)
 		for _, w := range ws {
-			sc, err := eng.Context(w, d.Core)
+			sc, err := eng.ContextCtx(ctx, w, d.Core)
 			if err != nil {
 				return d, err
 			}
@@ -217,7 +266,7 @@ func Explore(opts Options) (*Exploration, error) {
 			} else {
 				assign = sc.Oracle(avail)
 			}
-			cycles, energy, err := eng.Evaluate(w, d.Core, assign)
+			cycles, energy, err := eng.EvaluateCtx(ctx, w, d.Core, assign)
 			if err != nil {
 				return d, err
 			}
@@ -319,6 +368,29 @@ func (e *Exploration) CategoryAggregate(code string, cat workloads.Category) (fl
 		return 0, 0
 	}
 	return stats.Geomean(perf), stats.Geomean(eff)
+}
+
+// AppendTo appends the exploration to a report document in the shared
+// schema: one aggregate row per design (area + Rel* normalized to the
+// reference) and one row per (design, benchmark) observation. This is
+// the single serialization used by cmd/dse's -json mode and the
+// evaluation daemon's /v1/sweep endpoint, so their documents are
+// byte-identical for the same inputs.
+func (e *Exploration) AppendTo(doc *report.Document) {
+	for _, d := range e.Designs {
+		doc.Add(report.Result{
+			Design: d.Code, Core: d.Core.Name, BSAs: SubsetBSAs(d.Mask),
+			AreaMM2: d.AreaMM2,
+			RelPerf: d.RelPerf, RelEnergyEff: d.RelEnergyEff, RelArea: d.RelArea,
+		})
+		for _, b := range d.PerBench {
+			doc.Add(report.Result{
+				Design: d.Code, Core: d.Core.Name, Bench: b.Bench,
+				Category: string(b.Category),
+				Cycles:   b.Cycles, EnergyNJ: b.EnergyNJ,
+			})
+		}
+	}
 }
 
 // Frontier returns the Pareto-optimal designs by (RelPerf ↑,

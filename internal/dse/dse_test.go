@@ -144,3 +144,59 @@ func TestCategoryAggregate(t *testing.T) {
 		t.Errorf("regular workloads should benefit more: reg=%.2f irr=%.2f", perfReg, perfIrr)
 	}
 }
+
+func TestExploreDesignsRestriction(t *testing.T) {
+	w, err := workloads.ByName("mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := []*workloads.Workload{w}
+
+	// Duplicates (including non-canonical spellings) collapse; order is
+	// the request order; only the named cores are warmed/evaluated.
+	exp, err := Explore(Options{MaxDyn: 25000, Workloads: ws,
+		Designs: []string{"OOO2-SD", "IO2", "OOO2-DS", "OOO2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var codes []string
+	for _, d := range exp.Designs {
+		codes = append(codes, d.Code)
+	}
+	want := []string{"OOO2-SD", "IO2", "OOO2"}
+	if len(codes) != len(want) {
+		t.Fatalf("designs = %v, want %v", codes, want)
+	}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("designs = %v, want %v", codes, want)
+		}
+	}
+
+	// IO2 is in the list, so Rel* normalize against it and the restricted
+	// results match the full grid's values for the same design points.
+	full, err := Explore(Options{MaxDyn: 25000, Workloads: ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, code := range want {
+		got, ref := exp.Design(code), full.Design(code)
+		if got.RelPerf != ref.RelPerf || got.RelEnergyEff != ref.RelEnergyEff || got.AreaMM2 != ref.AreaMM2 {
+			t.Errorf("%s: restricted (%v %v %v) != full grid (%v %v %v)", code,
+				got.RelPerf, got.RelEnergyEff, got.AreaMM2, ref.RelPerf, ref.RelEnergyEff, ref.AreaMM2)
+		}
+	}
+
+	// Without the reference design the Rel* aggregates stay zero.
+	noref, err := Explore(Options{MaxDyn: 25000, Workloads: ws, Designs: []string{"OOO2-S"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := noref.Design("OOO2-S"); d.RelPerf != 0 || d.RelEnergyEff != 0 {
+		t.Errorf("Rel* computed without the reference design: %+v", d)
+	}
+
+	if _, err := Explore(Options{Workloads: ws, Designs: []string{"OOO9-S"}}); err == nil {
+		t.Error("unknown design code accepted")
+	}
+}

@@ -11,6 +11,7 @@ package report
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 
@@ -119,4 +120,22 @@ func (d *Document) Write(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(d)
+}
+
+// Decode is the strict reader for documents this package wrote: it
+// parses one JSON document and rejects anything that does not declare
+// the exact schema version this build speaks. Consumers that echo
+// client-supplied documents (the evaluation daemon, the smoke gates)
+// use it so a version mismatch is a loud error instead of a silently
+// half-decoded document.
+func Decode(r io.Reader) (*Document, error) {
+	dec := json.NewDecoder(r)
+	var d Document
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("report: decode: %w", err)
+	}
+	if d.Schema != Schema {
+		return nil, fmt.Errorf("report: unsupported schema %q (this build speaks %q)", d.Schema, Schema)
+	}
+	return &d, nil
 }

@@ -113,3 +113,56 @@ func TestOmitEmptyFields(t *testing.T) {
 		}
 	}
 }
+
+func TestDecodeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	d := New("t")
+	d.Add(Result{Design: "OOO2-S", Core: "OOO2", Bench: "mm", Cycles: 123,
+		Params: map[string]string{"sched": "oracle"},
+		Extra:  map[string]float64{"speedup": 1.5}})
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || got.Tool != "t" || len(got.Results) != 1 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	r := got.Results[0]
+	if r.Design != "OOO2-S" || r.Cycles != 123 || r.Params["sched"] != "oracle" || r.Extra["speedup"] != 1.5 {
+		t.Fatalf("round trip mangled result: %+v", r)
+	}
+
+	// A re-encode of the decoded document is byte-identical to the
+	// original encoding — the property the serving byte-identity gates
+	// rely on when they normalize and re-compare documents.
+	var again bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Write(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("decode→encode is not byte-stable")
+	}
+}
+
+func TestDecodeRejectsUnknownSchema(t *testing.T) {
+	for _, bad := range []string{
+		`{"schema":"exocore-result/v2","tool":"t","results":null}`,
+		`{"schema":"","tool":"t"}`,
+		`{"tool":"t"}`,
+	} {
+		if _, err := Decode(strings.NewReader(bad)); err == nil {
+			t.Errorf("Decode(%s) succeeded, want schema version error", bad)
+		} else if !strings.Contains(err.Error(), Schema) {
+			t.Errorf("Decode(%s) error %q does not name the supported schema", bad, err)
+		}
+	}
+	if _, err := Decode(strings.NewReader("not json")); err == nil {
+		t.Error("Decode of malformed JSON succeeded")
+	}
+}

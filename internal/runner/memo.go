@@ -1,6 +1,8 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"time"
@@ -34,22 +36,46 @@ type memoEntry[V any] struct {
 // this caller did not run compute — including when it blocked on another
 // goroutine's in-flight computation, since the work was still shared.
 func (t *memo[V]) get(key string, compute func() (V, error)) (V, bool, time.Duration, error) {
+	return t.getCtx(context.Background(), key, func(context.Context) (V, error) {
+		return compute()
+	})
+}
+
+// getCtx is get with cancellation: waiters blocked on another caller's
+// in-flight computation unblock when their own ctx is done, and a
+// computation that fails with the winner's cancellation (or deadline) is
+// evicted instead of cached, so the error cannot poison the memo for
+// future callers — essential for a long-lived serving engine where one
+// disconnected client must not wedge a (bench, core) key forever.
+func (t *memo[V]) getCtx(ctx context.Context, key string, compute func(context.Context) (V, error)) (V, bool, time.Duration, error) {
 	t.mu.Lock()
 	if t.m == nil {
 		t.m = make(map[string]*memoEntry[V])
 	}
 	if ent, ok := t.m[key]; ok {
 		t.mu.Unlock()
-		<-ent.done
-		return ent.val, true, 0, ent.err
+		select {
+		case <-ent.done:
+			return ent.val, true, 0, ent.err
+		case <-ctx.Done():
+			var zero V
+			return zero, true, 0, ctx.Err()
+		}
 	}
 	ent := &memoEntry[V]{done: make(chan struct{})}
 	t.m[key] = ent
 	t.mu.Unlock()
 
 	start := time.Now()
-	defer close(ent.done)
-	ent.val, ent.err = compute()
+	ent.val, ent.err = compute(ctx)
+	if ent.err != nil && (errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded)) {
+		t.mu.Lock()
+		if t.m[key] == ent {
+			delete(t.m, key)
+		}
+		t.mu.Unlock()
+	}
+	close(ent.done)
 	return ent.val, false, time.Since(start), ent.err
 }
 

@@ -11,6 +11,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -304,8 +305,19 @@ func (e *Engine) account(stage, key string, hit bool, wall time.Duration, insts 
 // Trace returns the workload's annotated dynamic trace, computing it at
 // most once per Engine.
 func (e *Engine) Trace(w *workloads.Workload) (*trace.Trace, error) {
+	return e.TraceCtx(context.Background(), w)
+}
+
+// TraceCtx is Trace with cancellation: a done ctx aborts before the
+// stage computes (in-flight stage work itself runs to completion; the
+// boundary check is what keeps a canceled client from starting new
+// work). Cancellation errors are never cached — see memo.getCtx.
+func (e *Engine) TraceCtx(ctx context.Context, w *workloads.Workload) (*trace.Trace, error) {
 	key := w.Name
-	tr, hit, wall, err := e.traces.get(key, func() (*trace.Trace, error) {
+	tr, hit, wall, err := e.traces.getCtx(ctx, key, func(ctx context.Context) (*trace.Trace, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sp := e.tracer.Begin("stage", StageTrace+" "+key)
 		defer sp.End()
 		return w.Trace(e.maxDyn)
@@ -321,10 +333,18 @@ func (e *Engine) Trace(w *workloads.Workload) (*trace.Trace, error) {
 // TDG returns the workload's reconstructed TDG (trace + IR + profile),
 // computing it at most once per Engine.
 func (e *Engine) TDG(w *workloads.Workload) (*tdg.TDG, error) {
+	return e.TDGCtx(context.Background(), w)
+}
+
+// TDGCtx is TDG with cancellation (see TraceCtx for the semantics).
+func (e *Engine) TDGCtx(ctx context.Context, w *workloads.Workload) (*tdg.TDG, error) {
 	key := w.Name
-	td, hit, wall, err := e.tdgs.get(key, func() (*tdg.TDG, error) {
-		tr, err := e.Trace(w)
+	td, hit, wall, err := e.tdgs.getCtx(ctx, key, func(ctx context.Context) (*tdg.TDG, error) {
+		tr, err := e.TraceCtx(ctx, w)
 		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		sp := e.tracer.Begin("stage", StageTDG+" "+key)
@@ -358,10 +378,19 @@ func (e *Engine) TDGFor(key string, tr *trace.Trace) (*tdg.TDG, error) {
 // all four BSAs, the baseline measurement and every solo candidate
 // measurement — computing it at most once per Engine.
 func (e *Engine) Context(w *workloads.Workload, core cores.Config) (*sched.Context, error) {
+	return e.ContextCtx(context.Background(), w, core)
+}
+
+// ContextCtx is Context with cancellation (see TraceCtx for the
+// semantics).
+func (e *Engine) ContextCtx(ctx context.Context, w *workloads.Workload, core cores.Config) (*sched.Context, error) {
 	key := w.Name + "/" + core.Name
-	sc, hit, wall, err := e.scheds.get(key, func() (*sched.Context, error) {
-		td, err := e.TDG(w)
+	sc, hit, wall, err := e.scheds.getCtx(ctx, key, func(ctx context.Context) (*sched.Context, error) {
+		td, err := e.TDGCtx(ctx, w)
 		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		sp := e.tracer.Begin("stage", StageSched+" "+key)
@@ -411,10 +440,19 @@ func AssignmentKey(a exocore.Assignment) string {
 // constantly across the 16 BSA subsets of a sweep — are evaluated once
 // and served from cache afterwards.
 func (e *Engine) Evaluate(w *workloads.Workload, core cores.Config, assign exocore.Assignment) (int64, float64, error) {
+	return e.EvaluateCtx(context.Background(), w, core, assign)
+}
+
+// EvaluateCtx is Evaluate with cancellation (see TraceCtx for the
+// semantics).
+func (e *Engine) EvaluateCtx(ctx context.Context, w *workloads.Workload, core cores.Config, assign exocore.Assignment) (int64, float64, error) {
 	key := w.Name + "/" + core.Name + "/" + AssignmentKey(assign)
-	res, hit, wall, err := e.evals.get(key, func() (evalResult, error) {
-		sc, err := e.Context(w, core)
+	res, hit, wall, err := e.evals.getCtx(ctx, key, func(ctx context.Context) (evalResult, error) {
+		sc, err := e.ContextCtx(ctx, w, core)
 		if err != nil {
+			return evalResult{}, err
+		}
+		if err := ctx.Err(); err != nil {
 			return evalResult{}, err
 		}
 		sp := e.tracer.Begin("stage", StageEval+" "+key)
@@ -436,8 +474,17 @@ func (e *Engine) Evaluate(w *workloads.Workload, core cores.Config, assign exoco
 // of them. The returned error is deterministic regardless of completion
 // order: the one produced by the lowest index that failed.
 func (e *Engine) ForEach(n int, fn func(i int) error) error {
+	return e.ForEachCtx(context.Background(), n, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: once ctx is done, workers stop
+// claiming new indices (in-flight fn calls run to completion) and the
+// unstarted indices fail with ctx.Err(). The returned error stays
+// deterministic under a given cancellation point: the lowest failed
+// index wins.
+func (e *Engine) ForEachCtx(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	workers := e.workers
 	if workers > n {
@@ -456,6 +503,10 @@ func (e *Engine) ForEach(n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				errs[i] = fn(i)
 			}
 		}()
@@ -473,8 +524,13 @@ func (e *Engine) ForEach(n int, fn func(i int) error) error {
 // results in index order — deterministic regardless of which worker
 // finished first. On error, the partial results are still returned.
 func Map[R any](e *Engine, n int, fn func(i int) (R, error)) ([]R, error) {
+	return MapCtx(context.Background(), e, n, fn)
+}
+
+// MapCtx is Map with cancellation (see ForEachCtx for the semantics).
+func MapCtx[R any](ctx context.Context, e *Engine, n int, fn func(i int) (R, error)) ([]R, error) {
 	out := make([]R, n)
-	err := e.ForEach(n, func(i int) error {
+	err := e.ForEachCtx(ctx, n, func(i int) error {
 		r, err := fn(i)
 		out[i] = r
 		return err

@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"testing"
+
+	"exocore/internal/cores"
+	"exocore/internal/ir"
+	"exocore/internal/tdg"
+)
+
+// syntheticContext fabricates a Context around a hand-built loop nest
+// and profile, skipping trace construction entirely: the scheduler's
+// decision logic reads only the fields set here (the paper's "past
+// execution characteristics"), so edge cases can be pinned exactly.
+func syntheticContext(loops []ir.Loop, roots []int, profs []ir.LoopProfile, totalDyn int64) *Context {
+	nest := &ir.LoopNest{Loops: loops, Roots: roots}
+	return &Context{
+		TDG:          &tdg.TDG{Nest: nest, Prof: &ir.Profile{Nest: nest, Loops: profs, TotalDyn: totalDyn}},
+		Core:         cores.OOO2,
+		Plans:        map[string]*tdg.Plan{},
+		BaseCycles:   1000,
+		BaseEnergyNJ: 1000,
+	}
+}
+
+// singleRegion is the smallest workload shape: one root loop, no
+// children, covering the whole execution.
+func singleRegion() *Context {
+	return syntheticContext(
+		[]ir.Loop{{ID: 0, Parent: -1, Depth: 1}},
+		[]int{0},
+		[]ir.LoopProfile{{LoopID: 0, DynInsts: 1000}},
+		1000,
+	)
+}
+
+func TestOracleEmptyAvail(t *testing.T) {
+	c := singleRegion()
+	// A candidate that would win easily if its BSA were available.
+	c.Candidates = []Candidate{{LoopID: 0, BSA: "SIMD", Cycles: 500, EnergyNJ: 100}}
+	if got := c.Oracle(nil); len(got) != 0 {
+		t.Errorf("Oracle(nil) = %v, want empty", got)
+	}
+	if got := c.Oracle([]string{}); len(got) != 0 {
+		t.Errorf("Oracle([]) = %v, want empty", got)
+	}
+	// Available set that doesn't intersect the candidates either.
+	if got := c.Oracle([]string{"NS-DF"}); len(got) != 0 {
+		t.Errorf("Oracle(disjoint) = %v, want empty", got)
+	}
+}
+
+func TestOracleSingleRegion(t *testing.T) {
+	c := singleRegion()
+	c.Candidates = []Candidate{
+		{LoopID: 0, BSA: "SIMD", Cycles: 500, EnergyNJ: 400},    // EDP 200k, gain 800k
+		{LoopID: 0, BSA: "DP-CGRA", Cycles: 400, EnergyNJ: 900}, // EDP 360k, gain 640k
+	}
+	got := c.Oracle([]string{"SIMD", "DP-CGRA"})
+	if len(got) != 1 || got[0] != "SIMD" {
+		t.Fatalf("Oracle picked %v, want {0: SIMD} (best EDP gain)", got)
+	}
+	// Restricting to the weaker BSA must still use it: any gain beats
+	// none on a single region.
+	got = c.Oracle([]string{"DP-CGRA"})
+	if len(got) != 1 || got[0] != "DP-CGRA" {
+		t.Fatalf("Oracle picked %v, want {0: DP-CGRA}", got)
+	}
+	// A candidate with negative gain (EDP worse than baseline) stays on
+	// the general core.
+	c.Candidates = []Candidate{{LoopID: 0, BSA: "SIMD", Cycles: 1000, EnergyNJ: 1000}}
+	if got := c.Oracle([]string{"SIMD"}); len(got) != 0 {
+		t.Fatalf("Oracle accepted a zero-gain candidate: %v", got)
+	}
+}
+
+// TestOraclePerfLossGuardBoundary pins the §4 guard at its exact edge:
+// the loop covers 100% of a 1000-cycle baseline, so the guard allows a
+// solo slowdown of exactly 100 cycles. 1100 is accepted (the paper says
+// "no MORE than 10%"), 1101 is rejected — even though both candidates
+// improve EDP substantially.
+func TestOraclePerfLossGuardBoundary(t *testing.T) {
+	c := singleRegion()
+	c.Candidates = []Candidate{{LoopID: 0, BSA: "SIMD", Cycles: 1100, EnergyNJ: 100}}
+	if got := c.Oracle([]string{"SIMD"}); len(got) != 1 {
+		t.Fatalf("exactly-10%% slowdown rejected: %v", got)
+	}
+
+	c.Candidates = []Candidate{{LoopID: 0, BSA: "SIMD", Cycles: 1101, EnergyNJ: 100}}
+	if got := c.Oracle([]string{"SIMD"}); len(got) != 0 {
+		t.Fatalf("over-10%% slowdown accepted: %v", got)
+	}
+
+	// The guard scales with the region's share: same 1100-cycle solo
+	// against a loop covering only half the execution (regionBase 500,
+	// budget 50) must be rejected.
+	half := syntheticContext(
+		[]ir.Loop{{ID: 0, Parent: -1, Depth: 1}},
+		[]int{0},
+		[]ir.LoopProfile{{LoopID: 0, DynInsts: 500}},
+		1000,
+	)
+	half.Candidates = []Candidate{{LoopID: 0, BSA: "SIMD", Cycles: 1100, EnergyNJ: 100}}
+	if got := half.Oracle([]string{"SIMD"}); len(got) != 0 {
+		t.Fatalf("guard did not scale with region share: %v", got)
+	}
+}
+
+func TestAmdahlTreeEmptyAvail(t *testing.T) {
+	c := singleRegion()
+	c.Plans["SIMD"] = &tdg.Plan{BSA: "SIMD", Regions: map[int]*tdg.Region{
+		0: {LoopID: 0, EstSpeedup: 4.0},
+	}}
+	if got := c.AmdahlTree(nil); len(got) != 0 {
+		t.Errorf("AmdahlTree(nil) = %v, want empty", got)
+	}
+	if got := c.AmdahlTree([]string{"NS-DF"}); len(got) != 0 {
+		t.Errorf("AmdahlTree(disjoint) = %v, want empty", got)
+	}
+}
+
+func TestAmdahlTreeSingleRegion(t *testing.T) {
+	c := singleRegion()
+	c.Plans["SIMD"] = &tdg.Plan{BSA: "SIMD", Regions: map[int]*tdg.Region{
+		0: {LoopID: 0, EstSpeedup: 2.0},
+	}}
+	got := c.AmdahlTree([]string{"SIMD"})
+	if len(got) != 1 || got[0] != "SIMD" {
+		t.Fatalf("AmdahlTree = %v, want {0: SIMD}", got)
+	}
+
+	// The scheduler is over-calibrated towards offload (§5.4): an
+	// estimated *slowdown* inside the 1.10 bias is still claimed...
+	c.Plans["SIMD"].Regions[0].EstSpeedup = 0.95
+	if got := c.AmdahlTree([]string{"SIMD"}); len(got) != 1 {
+		t.Fatalf("bias window not applied: %v", got)
+	}
+	// ...but one outside it is not (1/0.90 > 1.10).
+	c.Plans["SIMD"].Regions[0].EstSpeedup = 0.90
+	if got := c.AmdahlTree([]string{"SIMD"}); len(got) != 0 {
+		t.Fatalf("claimed a region beyond the bias window: %v", got)
+	}
+}
+
+// TestAmdahlTreeClaimReleasesChildren: a parent claim must clear
+// descendant assignments — the assignment is hierarchical, one model
+// per dynamic instruction.
+func TestAmdahlTreeClaimReleasesChildren(t *testing.T) {
+	c := syntheticContext(
+		[]ir.Loop{
+			{ID: 0, Parent: -1, Depth: 1, Children: []int{1}},
+			{ID: 1, Parent: 0, Depth: 2},
+		},
+		[]int{0},
+		[]ir.LoopProfile{
+			{LoopID: 0, DynInsts: 1000},
+			{LoopID: 1, DynInsts: 600},
+		},
+		1000,
+	)
+	// The child is modestly accelerable, the parent massively so: the
+	// whole subtree must go to the parent's BSA.
+	c.Plans["SIMD"] = &tdg.Plan{BSA: "SIMD", Regions: map[int]*tdg.Region{
+		1: {LoopID: 1, EstSpeedup: 1.5},
+	}}
+	c.Plans["Trace-P"] = &tdg.Plan{BSA: "Trace-P", Regions: map[int]*tdg.Region{
+		0: {LoopID: 0, EstSpeedup: 8.0},
+	}}
+	got := c.AmdahlTree([]string{"SIMD", "Trace-P"})
+	if len(got) != 1 || got[0] != "Trace-P" {
+		t.Fatalf("AmdahlTree = %v, want {0: Trace-P} with the child released", got)
+	}
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// flight is one in-progress computation shared by every request that
+// asked for the same canonical key while it ran.
+type flight struct {
+	done   chan struct{}
+	body   []byte
+	err    error
+	refs   int // callers still interested; guarded by group.mu
+	cancel context.CancelFunc
+}
+
+// group coalesces concurrent requests for the same key ("singleflight"):
+// the first request starts the computation, later identical requests
+// join it and share the rendered result bytes. The computation runs on
+// its own context, detached from any single request, and is canceled
+// only when every joined request has gone away — so one disconnecting
+// client never aborts work other clients are still waiting on, while
+// work nobody wants anymore stops promptly.
+//
+// Flights are removed from the table as soon as they complete: the
+// group deduplicates *concurrent* work only. Result reuse across time is
+// the engine memo's job, one layer down.
+type group struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// leave drops one caller's interest in f; the last leaver cancels the
+// flight's context.
+func (g *group) leave(f *flight) {
+	g.mu.Lock()
+	f.refs--
+	last := f.refs == 0
+	g.mu.Unlock()
+	if last {
+		f.cancel()
+	}
+}
+
+// do returns fn's result for key, running fn at most once concurrently.
+// shared reports whether this caller joined another caller's flight. fn
+// receives a context bounded by timeout and canceled when all interested
+// callers are gone; ctx (the caller's own) only bounds the wait.
+func (g *group) do(ctx context.Context, key string, timeout time.Duration, fn func(context.Context) ([]byte, error)) (body []byte, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		f.refs++
+		g.mu.Unlock()
+		defer g.leave(f)
+		select {
+		case <-f.done:
+			return f.body, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+
+	fctx, cancel := context.WithTimeout(context.Background(), timeout)
+	f := &flight{done: make(chan struct{}), refs: 1, cancel: cancel}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	go func() {
+		body, err := fn(fctx)
+		g.mu.Lock()
+		f.body, f.err = body, err
+		if g.m[key] == f {
+			delete(g.m, key)
+		}
+		g.mu.Unlock()
+		close(f.done)
+	}()
+
+	defer g.leave(f)
+	select {
+	case <-f.done:
+		return f.body, false, f.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}

@@ -1,0 +1,466 @@
+// Package serve is the evaluation-as-a-service layer: a long-running
+// HTTP service wrapping one shared, warm runner.Engine so the expensive
+// per-(benchmark, core) pipeline artifacts — traces, TDGs, scheduling
+// contexts, assignment evaluations — are paid once and amortized over
+// every request, instead of being rebuilt and thrown away per CLI
+// invocation.
+//
+// The JSON API:
+//
+//	POST /v1/evaluate    one bench/core/BSA-set/scheduler query
+//	POST /v1/sweep       a DSE sweep over a design-code list (or all 64);
+//	                     {"async": true} returns 202 + a /resultz id
+//	GET  /resultz/{id}   fetch an async sweep's document
+//	GET  /healthz        liveness + queue/inflight snapshot
+//	GET  /metricsz       the engine's internal/obs registry snapshot
+//
+// Evaluation responses are the versioned exocore-result/v1 schema,
+// byte-identical to the equivalent cmd/tdgsim / cmd/dse -json output
+// for the same inputs (modulo the tool header and run-local metrics;
+// scripts/servesmoke gates this).
+//
+// Production behaviors, not the evaluation math, are this package's
+// point: identical concurrent requests coalesce into one computation
+// (singleflight, layered over the engine's stage memoization); a
+// bounded admission queue sheds load with 429 + Retry-After instead of
+// queueing without limit; every request carries a deadline and client
+// disconnects cancel work at pipeline-stage boundaries; shutdown drains
+// in-flight and async work before the process exits.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exocore/internal/obs"
+	"exocore/internal/report"
+	"exocore/internal/runner"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Engine is the shared warm evaluation engine (required). Its
+	// registry also receives the server's request metrics, so /metricsz
+	// is one unified snapshot.
+	Engine *runner.Engine
+	// Concurrency bounds evaluations running at once (0 = the engine's
+	// worker bound). Each admitted evaluation may itself fan out over
+	// the engine's worker pool; this bounds admitted requests, not
+	// goroutines.
+	Concurrency int
+	// QueueDepth bounds evaluations waiting for a slot before new ones
+	// are rejected with 429 (0 = 4 × Concurrency).
+	QueueDepth int
+	// RequestTimeout is the per-request evaluation deadline (0 = 60s).
+	// Requests may lower it per call via deadline_ms, never raise it.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint sent with 429 responses (0 = 1s).
+	RetryAfter time.Duration
+	// Tracer, if non-nil, records one span per request plus the engine's
+	// stage/segment spans underneath.
+	Tracer *obs.Tracer
+	// Log, if non-nil, receives request-level records.
+	Log *obs.Logger
+}
+
+// Server is the evaluation service. Create with New, mount via Handler,
+// stop with Shutdown. Safe for concurrent use.
+type Server struct {
+	eng    *runner.Engine
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	log    *obs.Logger
+	mux    *http.ServeMux
+
+	flights    group
+	slots      chan struct{}
+	queueDepth int
+	reqTimeout time.Duration
+	retryAfter time.Duration
+	waiting    atomic.Int64
+	draining   atomic.Bool
+
+	jobsMu  sync.Mutex
+	jobs    map[string]*sweepJob
+	jobSeq  atomic.Int64
+	asyncWG sync.WaitGroup
+
+	start time.Time
+
+	mRequests, mEvaluations, mCoalesced, mRejected *obs.Counter
+	mStatus2xx, mStatus4xx, mStatus5xx             *obs.Counter
+	gInflight, gQueued                             *obs.Gauge
+	hLatency, hQueueWait                           *obs.Histogram
+}
+
+// sweepJob is one async sweep: body/err are written once before done is
+// closed, so readers synchronize on the channel.
+type sweepJob struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// New creates a Server around a shared engine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("serve: Config.Engine is required")
+	}
+	conc := cfg.Concurrency
+	if conc <= 0 {
+		conc = cfg.Engine.Workers()
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 4 * conc
+	}
+	timeout := cfg.RequestTimeout
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	retry := cfg.RetryAfter
+	if retry <= 0 {
+		retry = time.Second
+	}
+	reg := cfg.Engine.Registry()
+	s := &Server{
+		eng:        cfg.Engine,
+		reg:        reg,
+		tracer:     cfg.Tracer,
+		log:        cfg.Log,
+		mux:        http.NewServeMux(),
+		slots:      make(chan struct{}, conc),
+		queueDepth: depth,
+		reqTimeout: timeout,
+		retryAfter: retry,
+		jobs:       make(map[string]*sweepJob),
+		start:      time.Now(),
+
+		mRequests:    reg.Counter("serve.requests"),
+		mEvaluations: reg.Counter("serve.evaluations"),
+		mCoalesced:   reg.Counter("serve.coalesced"),
+		mRejected:    reg.Counter("serve.rejected"),
+		mStatus2xx:   reg.Counter("serve.status.2xx"),
+		mStatus4xx:   reg.Counter("serve.status.4xx"),
+		mStatus5xx:   reg.Counter("serve.status.5xx"),
+		gInflight:    reg.Gauge("serve.inflight"),
+		gQueued:      reg.Gauge("serve.queued"),
+		hLatency:     reg.Histogram("serve.latency_ns", obs.DefaultWallBounds),
+		hQueueWait:   reg.Histogram("serve.queue_wait_ns", obs.DefaultWallBounds),
+	}
+	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("GET /resultz/{id}", s.handleResultz)
+	return s, nil
+}
+
+// statusWriter captures the response code for metrics and logging.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Handler returns the server's HTTP handler: the route mux wrapped with
+// per-request accounting (request counter, latency histogram, status
+// class counters, span, debug log record).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mRequests.Add(1)
+		sp := s.tracer.Begin("http", r.Method+" "+r.URL.Path)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		s.mux.ServeHTTP(sw, r)
+		wall := time.Since(start)
+		s.hLatency.Observe(int64(wall))
+		switch {
+		case sw.code >= 500:
+			s.mStatus5xx.Add(1)
+		case sw.code >= 400:
+			s.mStatus4xx.Add(1)
+		default:
+			s.mStatus2xx.Add(1)
+		}
+		sp.ArgInt("status", int64(sw.code)).End()
+		s.log.Debug("request", "method", r.Method, "path", r.URL.Path,
+			"status", sw.code, "wall", wall)
+	})
+}
+
+// Shutdown drains the server: new evaluations are refused with 503 and
+// running async sweeps are waited for. In-flight synchronous requests
+// are drained by the caller's http.Server.Shutdown; call that first,
+// then Shutdown with the same drain deadline. Returns ctx.Err() if the
+// deadline passes with work still running.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.asyncWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+// errBusy rejects work when the admission queue is full.
+var errBusy = errors.New("serve: admission queue full")
+
+// admit acquires one of the bounded evaluation slots, waiting in the
+// admission queue if all are busy. It fails fast with errBusy when the
+// queue itself is full — the backpressure signal behind 429 — and with
+// ctx.Err() when the caller gives up while queued.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	acquired := false
+	select {
+	case s.slots <- struct{}{}:
+		acquired = true
+	default:
+	}
+	if !acquired {
+		if s.waiting.Add(1) > int64(s.queueDepth) {
+			s.waiting.Add(-1)
+			s.mRejected.Add(1)
+			return nil, errBusy
+		}
+		s.gQueued.Set(s.waiting.Load())
+		start := time.Now()
+		defer func() {
+			s.waiting.Add(-1)
+			s.gQueued.Set(s.waiting.Load())
+			s.hQueueWait.Observe(int64(time.Since(start)))
+		}()
+		select {
+		case s.slots <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	s.gInflight.Set(int64(len(s.slots)))
+	return func() {
+		<-s.slots
+		s.gInflight.Set(int64(len(s.slots)))
+	}, nil
+}
+
+// timeoutFor resolves a request's deadline: the server default, lowered
+// (never raised) by an explicit deadline_ms.
+func (s *Server) timeoutFor(deadlineMS int) time.Duration {
+	timeout := s.reqTimeout
+	if d := time.Duration(deadlineMS) * time.Millisecond; deadlineMS > 0 && d < timeout {
+		timeout = d
+	}
+	return timeout
+}
+
+// buildBytes is the shared execution path of every evaluation request:
+// coalesce on the canonical key, pass admission control inside the
+// flight (so joined requests don't consume extra slots), run the
+// builder under the flight's detached context.
+func (s *Server) buildBytes(ctx context.Context, key string, timeout time.Duration, build func(context.Context) ([]byte, error)) ([]byte, error) {
+	body, shared, err := s.flights.do(ctx, key, timeout, func(fctx context.Context) ([]byte, error) {
+		release, err := s.admit(fctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		s.mEvaluations.Add(1)
+		return build(fctx)
+	})
+	if shared {
+		s.mCoalesced.Add(1)
+	}
+	return body, err
+}
+
+// serveFlight runs buildBytes against an HTTP request and writes the
+// outcome.
+func (s *Server) serveFlight(w http.ResponseWriter, r *http.Request, key string, deadlineMS int, build func(context.Context) ([]byte, error)) {
+	timeout := s.timeoutFor(deadlineMS)
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	body, err := s.buildBytes(ctx, key, timeout, build)
+	s.writeOutcome(w, body, err)
+}
+
+// writeOutcome maps an evaluation outcome to an HTTP response.
+func (s *Server) writeOutcome(w http.ResponseWriter, body []byte, err error) {
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	case errors.Is(err, errBusy):
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.retryAfter+time.Second-1)/time.Second)))
+		jsonError(w, http.StatusTooManyRequests, "admission queue full; retry later")
+	case errors.Is(err, context.DeadlineExceeded):
+		jsonError(w, http.StatusGatewayTimeout, "evaluation deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		// The client is gone; the status is for the access log only.
+		jsonError(w, http.StatusServiceUnavailable, "request canceled")
+	default:
+		s.log.Warn("evaluation failed", "err", err)
+		jsonError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		jsonError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	var req EvalRequest
+	if err := decodeJSON(r, &req); err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	q, err := resolveEval(req, s.eng)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.serveFlight(w, r, q.key(), req.DeadlineMS, func(fctx context.Context) ([]byte, error) {
+		doc, err := EvaluateDocument(fctx, s.eng, "exocored", q.wls, q.core, q.bsas, q.sched, s.tracer)
+		if err != nil {
+			return nil, err
+		}
+		return renderDoc(doc)
+	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		jsonError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	var req SweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	q, err := resolveSweep(req, s.eng)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	build := func(fctx context.Context) ([]byte, error) {
+		doc, err := SweepDocument(fctx, s.eng, "exocored", q.wls, q.designs, q.sched)
+		if err != nil {
+			return nil, err
+		}
+		return renderDoc(doc)
+	}
+	if req.Async {
+		id := "sweep-" + strconv.FormatInt(s.jobSeq.Add(1), 10)
+		job := &sweepJob{done: make(chan struct{})}
+		s.jobsMu.Lock()
+		s.jobs[id] = job
+		s.jobsMu.Unlock()
+		timeout := s.timeoutFor(req.DeadlineMS)
+		s.asyncWG.Add(1)
+		go func() {
+			defer s.asyncWG.Done()
+			defer close(job.done)
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			job.body, job.err = s.buildBytes(ctx, q.key(), timeout, build)
+		}()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{
+			"id": id, "status": "accepted", "result": "/resultz/" + id,
+		})
+		return
+	}
+	s.serveFlight(w, r, q.key(), req.DeadlineMS, build)
+}
+
+func (s *Server) handleResultz(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.jobsMu.Lock()
+	job := s.jobs[id]
+	s.jobsMu.Unlock()
+	if job == nil {
+		jsonError(w, http.StatusNotFound, "unknown result id "+strconv.Quote(id))
+		return
+	}
+	select {
+	case <-job.done:
+		s.writeOutcome(w, job.body, job.err)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"id": id, "status": "running"})
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":    status,
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+		"inflight":  len(s.slots),
+		"queued":    s.waiting.Load(),
+		"maxdyn":    s.eng.MaxDyn(),
+	})
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	m := s.eng.Metrics()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(m)
+}
+
+// renderDoc serializes a document exactly as the CLI tools do (sorted,
+// indented) so responses byte-match their output.
+func renderDoc(doc *report.Document) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeJSON strictly decodes a request body: unknown fields and
+// trailing data are errors, so client typos fail loudly instead of
+// silently evaluating defaults.
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("bad request body: trailing data")
+	}
+	return nil
+}
+
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,218 @@
+// Command servesmoke is the end-to-end gate for the evaluation daemon:
+// it boots a real exocored on an ephemeral port, queries /healthz,
+// /v1/evaluate and /v1/sweep over real HTTP, and requires the response
+// documents to be byte-identical to what the cmd/tdgsim and cmd/dse
+// binaries emit under -json for the same inputs (after clearing the
+// tool header and the run-local metrics attachment, which legitimately
+// differ). It then sends SIGTERM and requires a clean drain: exit 0.
+//
+// Usage: go run ./scripts/servesmoke <bindir>
+//
+// where <bindir> holds exocored, tdgsim and dse binaries (the Makefile
+// target builds them). Exits non-zero on the first violation.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"exocore/internal/report"
+)
+
+const maxDyn = "15000"
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: servesmoke <bindir>")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "servesmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: ok")
+}
+
+func run(bindir string) error {
+	portFile := filepath.Join(os.TempDir(), fmt.Sprintf("exocore-servesmoke-%d.addr", os.Getpid()))
+	defer os.Remove(portFile)
+
+	daemon := exec.Command(filepath.Join(bindir, "exocored"),
+		"-addr", "127.0.0.1:0", "-portfile", portFile, "-maxdyn", maxDyn)
+	daemon.Stdout = os.Stderr
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return fmt.Errorf("start exocored: %w", err)
+	}
+	// Always reap the daemon, even on early smoke failure.
+	stopped := false
+	defer func() {
+		if !stopped {
+			daemon.Process.Kill()
+			daemon.Wait()
+		}
+	}()
+
+	addr, err := waitForAddr(portFile, daemon)
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+
+	if err := checkHealthz(base); err != nil {
+		return err
+	}
+
+	// /v1/evaluate must match tdgsim -json byte for byte.
+	evalBody, err := postJSON(base+"/v1/evaluate",
+		`{"bench":"mm","core":"OOO2","bsas":"all","sched":"oracle","maxdyn":`+maxDyn+`}`)
+	if err != nil {
+		return fmt.Errorf("evaluate: %w", err)
+	}
+	cliBody, err := runTool(filepath.Join(bindir, "tdgsim"),
+		"-bench", "mm", "-core", "OOO2", "-bsas", "all", "-sched", "oracle",
+		"-maxdyn", maxDyn, "-json")
+	if err != nil {
+		return err
+	}
+	if err := compareDocs("evaluate vs tdgsim", evalBody, cliBody); err != nil {
+		return err
+	}
+
+	// /v1/sweep over the full grid must match dse -json byte for byte.
+	sweepBody, err := postJSON(base+"/v1/sweep", `{"bench":"mm","maxdyn":`+maxDyn+`}`)
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	dseBody, err := runTool(filepath.Join(bindir, "dse"),
+		"-bench", "mm", "-maxdyn", maxDyn, "-json")
+	if err != nil {
+		return err
+	}
+	if err := compareDocs("sweep vs dse", sweepBody, dseBody); err != nil {
+		return err
+	}
+
+	// A repeated query must come back identical from the warm engine.
+	again, err := postJSON(base+"/v1/evaluate",
+		`{"bench":"mm","core":"OOO2","bsas":"all","sched":"oracle","maxdyn":`+maxDyn+`}`)
+	if err != nil {
+		return fmt.Errorf("warm evaluate: %w", err)
+	}
+	if !bytes.Equal(evalBody, again) {
+		return fmt.Errorf("warm evaluate differs from the first response")
+	}
+
+	// Graceful shutdown: SIGTERM must drain and exit 0.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signal: %w", err)
+	}
+	stopped = true
+	waited := make(chan error, 1)
+	go func() { waited <- daemon.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			return fmt.Errorf("exocored did not exit 0 after SIGTERM: %w", err)
+		}
+	case <-time.After(30 * time.Second):
+		daemon.Process.Kill()
+		return fmt.Errorf("exocored did not exit within 30s of SIGTERM")
+	}
+	return nil
+}
+
+// waitForAddr polls the portfile the daemon writes once listening.
+func waitForAddr(portFile string, daemon *exec.Cmd) (string, error) {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(portFile); err == nil && len(bytes.TrimSpace(b)) > 0 {
+			return string(bytes.TrimSpace(b)), nil
+		}
+		if daemon.ProcessState != nil {
+			return "", fmt.Errorf("exocored exited before listening")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return "", fmt.Errorf("exocored did not write %s within 30s", portFile)
+}
+
+func checkHealthz(base string) error {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(b, []byte(`"ok"`)) {
+		return fmt.Errorf("healthz: status %d body %s", resp.StatusCode, b)
+	}
+	return nil
+}
+
+func postJSON(url, body string) ([]byte, error) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, b)
+	}
+	return b, nil
+}
+
+func runTool(bin string, args ...string) ([]byte, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(bin), err)
+	}
+	return out, nil
+}
+
+// compareDocs decodes both sides under the strict versioned-schema
+// decoder, clears the fields that legitimately differ (tool name,
+// run-local engine metrics) and requires the re-rendered documents —
+// every result row — to be byte-identical.
+func compareDocs(what string, a, b []byte) error {
+	na, err := normalize(a)
+	if err != nil {
+		return fmt.Errorf("%s: left: %w", what, err)
+	}
+	nb, err := normalize(b)
+	if err != nil {
+		return fmt.Errorf("%s: right: %w", what, err)
+	}
+	if !bytes.Equal(na, nb) {
+		return fmt.Errorf("%s: documents differ after normalization\n--- daemon ---\n%.2000s\n--- cli ---\n%.2000s", what, na, nb)
+	}
+	return nil
+}
+
+func normalize(raw []byte) ([]byte, error) {
+	d, err := report.Decode(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	d.Tool = ""
+	d.Metrics = nil
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
