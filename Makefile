@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race tier1 bench benchdiff benchsmoke tracesmoke servesmoke tools clean
+.PHONY: check build vet test race tier1 bench benchdiff benchsmoke tracesmoke servesmoke graphsmoke tools clean
 
 # The full pre-merge gate: vet + build + race-enabled tests + tier-1 +
 # a single-iteration pass over every benchmark so they can't rot + a
-# trace-export smoke test + the daemon end-to-end smoke test.
-check: vet build race tier1 benchsmoke tracesmoke servesmoke
+# trace-export smoke test + the daemon end-to-end smoke test + the
+# graph-family sweep smoke test over the enlarged registry grid.
+check: vet build race tier1 benchsmoke tracesmoke servesmoke graphsmoke
 
 build:
 	$(GO) build ./...
@@ -32,7 +33,7 @@ test:
 # as the record of the previous optimization round; its "current" values
 # are this round's baselines.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkExocoreRun|BenchmarkDSESweep|BenchmarkContextConstruction|BenchmarkServeEvaluate' \
+	$(GO) test -run '^$$' -bench 'BenchmarkExocoreRun|BenchmarkGraphExocoreRun|BenchmarkDSESweep|BenchmarkContextConstruction|BenchmarkServeEvaluate' \
 		-benchmem -benchtime=3x . | tee bench.out
 	awk -f scripts/bench4json.awk bench.out > BENCH_4.json
 	@rm -f bench.out
@@ -67,6 +68,14 @@ servesmoke:
 	$(GO) build -o /tmp/exocore-servesmoke-bin/ ./cmd/exocored ./cmd/tdgsim ./cmd/dse
 	$(GO) run ./scripts/servesmoke /tmp/exocore-servesmoke-bin
 	@rm -rf /tmp/exocore-servesmoke-bin
+
+# Graph-family sweep smoke test: one graph benchmark through the full
+# 4-core × 32-subset grid of the five-model registry, validating the
+# grid size, the GS-DAE designs and the per-design benchmark rows.
+graphsmoke:
+	$(GO) run ./cmd/dse -bench bfs -maxdyn 8000 -json > /tmp/exocore-graphsmoke.json
+	$(GO) run ./scripts/graphsmoke /tmp/exocore-graphsmoke.json
+	@rm -f /tmp/exocore-graphsmoke.json
 
 # Build the drivers into ./bin.
 tools:

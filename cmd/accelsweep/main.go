@@ -13,6 +13,7 @@ import (
 	"text/tabwriter"
 
 	"exocore/internal/bsa/dpcgra"
+	"exocore/internal/bsa/gsdae"
 	"exocore/internal/bsa/nsdf"
 	"exocore/internal/bsa/tracep"
 	"exocore/internal/bsa/xloops"
@@ -76,6 +77,11 @@ func main() {
 		variant{label: "2 lanes", model: func() tdg.BSA { m := xloops.New(); m.Lanes = 2; return m }},
 		variant{label: "4 lanes", model: func() tdg.BSA { return xloops.New() }},
 		variant{label: "8 lanes", model: func() tdg.BSA { m := xloops.New(); m.Lanes = 8; return m }},
+	)
+	addSweep("GS-DAE prefetch queue depth",
+		variant{label: "4 deep", model: func() tdg.BSA { m := gsdae.New(); m.QueueDepth = 4; return m }},
+		variant{label: "16 deep (default)", model: func() tdg.BSA { return gsdae.New() }},
+		variant{label: "64 deep", model: func() tdg.BSA { m := gsdae.New(); m.QueueDepth = 64; return m }},
 	)
 	addSweep("Trace-P hot-path threshold",
 		variant{label: "0.40", model: func() tdg.BSA { m := tracep.New(); m.MinHotFrac = 0.40; return m }},

@@ -1,23 +1,21 @@
 // Command breakdown reproduces Figure 13: for every benchmark on a full
-// ExoCore (all four BSAs on the -core general core), the fraction of
-// execution time and energy attributable to the general core and to each
-// BSA, relative to the plain core. -json emits the shared result schema
-// with per-model coverage.
+// ExoCore (every registered BSA on the -core general core), the fraction
+// of execution time and energy attributable to the general core and to
+// each BSA, relative to the plain core. -json emits the shared result
+// schema with per-model coverage.
 package main
 
 import (
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"exocore/internal/cli"
 	"exocore/internal/energy"
 	"exocore/internal/exocore"
 	"exocore/internal/report"
-	"exocore/internal/runner"
 )
-
-var bsaOrder = []string{"", "SIMD", "DP-CGRA", "NS-DF", "Trace-P"}
 
 func main() {
 	app := cli.New("breakdown", "all")
@@ -27,13 +25,17 @@ func main() {
 	eng := app.Engine()
 	core := app.CoreConfig()
 
+	avail := app.Registry().Names()
+	bsaOrder := append([]string{""}, avail...)
+	design := app.Registry().DesignCode(core.Name, avail)
+
 	doc := report.New("breakdown")
 	var w *tabwriter.Writer
 	if !app.JSON {
 		fmt.Printf("# Figure 13: per-benchmark execution time and energy of the %s ExoCore\n", core.Name)
 		fmt.Printf("# (fractions of the plain %s; columns are per-model shares)\n", core.Name)
 		w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(w, "BENCH\tREL TIME\tREL ENERGY\tGPP\tSIMD\tDP-CGRA\tNS-DF\tTrace-P\tUNACCEL")
+		fmt.Fprintln(w, "BENCH\tREL TIME\tREL ENERGY\tGPP\t"+strings.Join(avail, "\t")+"\tUNACCEL")
 	}
 
 	var totalUnaccel, count float64
@@ -51,7 +53,7 @@ func main() {
 		if err != nil {
 			app.Fail(err)
 		}
-		assign := ctx.Oracle(runner.BSANames)
+		assign := ctx.Oracle(avail)
 		// Reuse the context's models and unit cache; the scheduler already
 		// evaluated most of these units.
 		sp := app.Tracer().Begin("stage", "report "+wl.Name)
@@ -80,7 +82,7 @@ func main() {
 				energyCov["energy_frac_"+label] = energyFrac(res, name)
 			}
 			r := report.Result{
-				Design: core.Name + "-SDNT", Core: core.Name, BSAs: runner.BSANames,
+				Design: design, Core: core.Name, BSAs: avail,
 				Bench: wl.Name, Category: string(wl.Category),
 				Cycles: res.Cycles, EnergyNJ: e.TotalNJ(),
 				Coverage: coverage,
@@ -95,7 +97,7 @@ func main() {
 			}
 			doc.Add(r)
 			if *regions {
-				doc.Add(report.RegionResults(core.Name+"-SDNT", core.Name,
+				doc.Add(report.RegionResults(design, core.Name,
 					wl.Name, res.Regions, core)...)
 			}
 			continue

@@ -1,5 +1,7 @@
 // Command dse runs the paper's §5 design-space exploration over
-// 4 cores × 16 BSA subsets = 64 designs and reports:
+// 4 cores × every subset of the registered BSAs (64 designs for the
+// paper's four models, 128 with GS-DAE registered; -bsas restricts the
+// registry) and reports:
 //
 //	-frontier      Figure 3/10: per-design relative performance/energy
 //	               (series per BSA subset, points per core) + the Pareto
@@ -80,12 +82,12 @@ func main() {
 // outcomes the exploration already cached — and either prints the paper
 // style breakdown tables (doc == nil) or appends schema rows.
 func reportRegions(app *cli.App, code string, doc *report.Document) error {
-	core, mask, err := dse.ParseDesignCode(code)
+	eng := app.Engine()
+	core, mask, err := dse.ParseDesignCodeIn(eng.BSAs(), code)
 	if err != nil {
 		return err
 	}
-	avail := dse.SubsetBSAs(mask)
-	eng := app.Engine()
+	avail := eng.BSAs().SubsetNames(mask)
 	for _, wl := range app.Workloads() {
 		sc, err := eng.Context(wl, core)
 		if err != nil {

@@ -25,6 +25,8 @@ func main() {
 	defer app.Close()
 	eng := app.Engine()
 	core := app.CoreConfig()
+	avail := app.Registry().Names()
+	design := app.Registry().DesignCode(core.Name, avail)
 
 	var wls []*workloads.Workload
 	for _, wl := range app.Workloads() {
@@ -47,11 +49,11 @@ func main() {
 		if err != nil {
 			return row{}, err
 		}
-		oc, oe, err := eng.Evaluate(wl, core, ctx.Oracle(runner.BSANames))
+		oc, oe, err := eng.Evaluate(wl, core, ctx.Oracle(avail))
 		if err != nil {
 			return row{}, err
 		}
-		ac, ae, err := eng.Evaluate(wl, core, ctx.AmdahlTree(runner.BSANames))
+		ac, ae, err := eng.Evaluate(wl, core, ctx.AmdahlTree(avail))
 		if err != nil {
 			return row{}, err
 		}
@@ -73,7 +75,7 @@ func main() {
 		doc := report.New("schedcmp")
 		for _, r := range rows {
 			doc.Add(report.Result{
-				Design: core.Name + "-SDNT", Core: core.Name, BSAs: runner.BSANames,
+				Design: design, Core: core.Name, BSAs: avail,
 				Bench:  r.bench,
 				Params: map[string]string{"suite": *suite},
 				Extra: map[string]float64{
@@ -89,7 +91,7 @@ func main() {
 			})
 		}
 		doc.Add(report.Result{
-			Design: core.Name + "-SDNT", Core: core.Name, BSAs: runner.BSANames,
+			Design: design, Core: core.Name, BSAs: avail,
 			Params: map[string]string{"suite": *suite, "aggregate": "geomean"},
 			Extra: map[string]float64{
 				"amdahl_vs_oracle_perf":       gmPerf,

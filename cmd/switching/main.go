@@ -12,7 +12,6 @@ import (
 	"exocore/internal/cli"
 	"exocore/internal/exocore"
 	"exocore/internal/report"
-	"exocore/internal/runner"
 	"exocore/internal/workloads"
 )
 
@@ -49,11 +48,12 @@ func emit(app *cli.App, doc *report.Document, wl *workloads.Workload) error {
 	if err != nil {
 		return err
 	}
+	avail := app.Registry().Names()
 	var assign exocore.Assignment
 	if app.UseAmdahl() {
-		assign = ctx.AmdahlTree(runner.BSANames)
+		assign = ctx.AmdahlTree(avail)
 	} else {
-		assign = ctx.Oracle(runner.BSANames)
+		assign = ctx.Oracle(avail)
 	}
 	// Reuse the context's models and unit cache; the timeline composes
 	// from the same memoized unit outcomes the scheduler measured.
@@ -80,7 +80,7 @@ func emit(app *cli.App, doc *report.Document, wl *workloads.Workload) error {
 		local := baseCPI * float64(s.Dyn) / dur
 		if app.JSON {
 			doc.Add(report.Result{
-				Design: core.Name + "-SDNT", Core: core.Name, Bench: wl.Name,
+				Design: app.Registry().DesignCode(core.Name, avail), Core: core.Name, Bench: wl.Name,
 				Params: map[string]string{"model": model},
 				Extra: map[string]float64{
 					"start_cycle":   float64(s.StartCycle),

@@ -1,8 +1,11 @@
 // Command workloadcat reproduces Figure 11: the interaction between
 // accelerators, general cores and workload categories. For each category
-// (regular / semi-regular / irregular) it prints the relative
+// (regular / semi-regular / irregular / graph) it prints the relative
 // performance and energy of every single-BSA design and the full ExoCore,
-// one series per BSA combination with one point per core. -json emits the
+// one series per BSA combination with one point per core. The series
+// follow the tool's BSA registry, so `-bsas SIMD,DP-CGRA,NS-DF,Trace-P`
+// reproduces the paper's exact figure while the default registry adds a
+// GS-DAE series and folds it into the ExoCore point. -json emits the
 // shared result schema with one row per (category, design). The unified
 // -trace/-v/-vv observability flags record engine spans and progress.
 package main
@@ -31,20 +34,20 @@ func main() {
 		app.Fail(err)
 	}
 
-	// The Figure 11 series: plain core, each single BSA, full ExoCore.
-	series := []struct {
+	// The Figure 11 series: plain core, each single BSA, full ExoCore —
+	// derived from the registry so registered models grow the figure.
+	reg := app.Registry()
+	type serie struct {
 		label string
 		mask  int
-	}{
-		{"Gen. Core Only", 0},
-		{"SIMD", 1},
-		{"DP-CGRA", 2},
-		{"NS-DF", 4},
-		{"TRACE-P", 8},
-		{"ExoCore", 15},
 	}
+	series := []serie{{"Gen. Core Only", 0}}
+	for i, name := range reg.Names() {
+		series = append(series, serie{name, 1 << i})
+	}
+	series = append(series, serie{"ExoCore", 1<<reg.Len() - 1})
 	coresOrder := []string{"IO2", "OOO2", "OOO4", "OOO6"}
-	cats := []workloads.Category{workloads.Regular, workloads.SemiRegular, workloads.Irregular}
+	cats := workloads.Categories
 
 	doc := report.New("workloadcat")
 	if !app.JSON {
@@ -57,11 +60,11 @@ func main() {
 				if !ok {
 					app.Fail(fmt.Errorf("unknown core %q", coreName))
 				}
-				code := dse.DesignCode(core, s.mask)
+				code := dse.DesignCodeIn(reg, core, s.mask)
 				perf, eff := exp.CategoryAggregate(code, cat)
 				if app.JSON {
 					doc.Add(report.Result{
-						Design: code, Core: coreName, BSAs: dse.SubsetBSAs(s.mask),
+						Design: code, Core: coreName, BSAs: reg.SubsetNames(s.mask),
 						Category: string(cat),
 						RelPerf:  perf, RelEnergyEff: eff,
 						Params: map[string]string{"series": s.label},

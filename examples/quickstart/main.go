@@ -12,7 +12,7 @@ import (
 	"sort"
 
 	"exocore/internal/bpred"
-	"exocore/internal/bsa/simd"
+	"exocore/internal/bsa"
 	"exocore/internal/cache"
 	"exocore/internal/cores"
 	"exocore/internal/energy"
@@ -90,8 +90,13 @@ func main() {
 		fmaCycles, fmaE.TotalNJ(), len(plan.MulToAdd),
 		float64(baseCycles)/float64(fmaCycles))
 
-	// 6. A real BSA: auto-vectorizing SIMD (TDG_OOO2,SIMD).
-	model := simd.New()
+	// 6. A real BSA: auto-vectorizing SIMD (TDG_OOO2,SIMD), instantiated
+	//    through the registry — the same lookup every tool and the daemon
+	//    use, so a model registered in internal/bsa is available here too.
+	model, err := bsa.Default().NewOne("SIMD")
+	if err != nil {
+		log.Fatal(err)
+	}
 	bsas := map[string]tdg.BSA{model.Name(): model}
 	plans := map[string]*tdg.Plan{model.Name(): model.Analyze(td)}
 	assign := exocore.Assignment{}

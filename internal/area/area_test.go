@@ -3,14 +3,27 @@ package area
 import (
 	"testing"
 
-	"exocore/internal/bsa/nsdf"
-	"exocore/internal/bsa/simd"
+	"exocore/internal/bsa"
 	"exocore/internal/cores"
 	"exocore/internal/tdg"
 )
 
+// twoModels instantiates SIMD and NS-DF through the registry.
+func twoModels(t *testing.T) (tdg.BSA, tdg.BSA) {
+	t.Helper()
+	s, err := bsa.Default().NewOne("SIMD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := bsa.Default().NewOne("NS-DF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, n
+}
+
 func TestTotalSumsComponents(t *testing.T) {
-	s, n := simd.New(), nsdf.New()
+	s, n := twoModels(t)
 	got := Total(cores.OOO2, []tdg.BSA{s, n})
 	want := cores.OOO2.AreaMM2 + s.AreaMM2() + n.AreaMM2()
 	if got != want {
@@ -41,7 +54,7 @@ func TestCoreAreaOrdering(t *testing.T) {
 		prev = c.AreaMM2
 	}
 	// And the headline: OOO2 + three BSAs must be well under OOO6+SIMD.
-	s, n := simd.New(), nsdf.New()
+	s, n := twoModels(t)
 	small := Total(cores.OOO2, []tdg.BSA{s, n})
 	big := Total(cores.OOO6, []tdg.BSA{s})
 	if small/big > 0.65 {

@@ -1,0 +1,132 @@
+package bsa
+
+import (
+	"strings"
+	"testing"
+
+	"exocore/internal/tdg"
+)
+
+func TestDefaultRegistryOrder(t *testing.T) {
+	want := []string{"SIMD", "DP-CGRA", "NS-DF", "Trace-P", "GS-DAE"}
+	got := Default().Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	// The first four entries keep the paper's letters and bit positions,
+	// so pre-registry design codes parse and render unchanged.
+	if Default().SubsetName(15) != "SDNT" {
+		t.Errorf("SubsetName(15) = %q, want SDNT", Default().SubsetName(15))
+	}
+	if Default().SubsetName(31) != "SDNTG" {
+		t.Errorf("SubsetName(31) = %q, want SDNTG", Default().SubsetName(31))
+	}
+}
+
+func TestStandardIsPaperSubset(t *testing.T) {
+	std := Standard()
+	if std.Len() != 4 || std.Has("GS-DAE") {
+		t.Fatalf("Standard() = %v", std.Names())
+	}
+	if std.SubsetName(15) != "SDNT" {
+		t.Errorf("Standard SubsetName(15) = %q", std.SubsetName(15))
+	}
+}
+
+func TestNewInstantiatesEveryEntry(t *testing.T) {
+	models := Default().New()
+	if len(models) != Default().Len() {
+		t.Fatalf("New() made %d models, want %d", len(models), Default().Len())
+	}
+	for name, m := range models {
+		if m == nil || m.Name() != name {
+			t.Errorf("model under key %q reports Name() = %q", name, m.Name())
+		}
+		if m.AreaMM2() <= 0 {
+			t.Errorf("%s: non-positive area", name)
+		}
+	}
+	// Fresh instances every call — models hold per-analysis state.
+	again := Default().New()
+	for name := range models {
+		if models[name] == again[name] {
+			t.Errorf("%s: New() returned a shared instance", name)
+		}
+	}
+}
+
+func TestSubsetCanonicalOrder(t *testing.T) {
+	sub, err := Default().Subset([]string{"NS-DF", "SIMD"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sub.Names()
+	if len(got) != 2 || got[0] != "SIMD" || got[1] != "NS-DF" {
+		t.Errorf("Subset order = %v, want [SIMD NS-DF]", got)
+	}
+	if _, err := Default().Subset([]string{"SIMD", "GPU"}); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestCheckDidYouMean(t *testing.T) {
+	err := Default().Check("simd")
+	if err == nil {
+		t.Fatal("lowercase name accepted")
+	}
+	if !strings.Contains(err.Error(), `did you mean "SIMD"`) {
+		t.Errorf("no suggestion for near-miss: %v", err)
+	}
+	err = Default().Check("GPU")
+	if err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("far-off name should list options without a suggestion: %v", err)
+	}
+	if !strings.Contains(err.Error(), "GS-DAE") {
+		t.Errorf("allowed list missing registered name: %v", err)
+	}
+}
+
+func TestDesignCodeAndMaskRoundTrip(t *testing.T) {
+	reg := Default()
+	if got := reg.DesignCode("OOO2", []string{"NS-DF", "SIMD", "GS-DAE"}); got != "OOO2-SNG" {
+		t.Errorf("DesignCode = %q, want OOO2-SNG", got)
+	}
+	if got := reg.DesignCode("IO2", nil); got != "IO2" {
+		t.Errorf("empty-set DesignCode = %q, want IO2", got)
+	}
+	mask, err := reg.Mask([]string{"SIMD", "GS-DAE"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask != 1|16 {
+		t.Errorf("Mask = %d, want %d", mask, 1|16)
+	}
+	parsed, err := reg.ParseLetters(reg.SubsetName(mask))
+	if err != nil || parsed != mask {
+		t.Errorf("ParseLetters round trip = %d, %v; want %d", parsed, err, mask)
+	}
+	if _, err := reg.ParseLetters("SX"); err == nil {
+		t.Error("unknown letter accepted")
+	}
+}
+
+func TestNewRegistryRejectsDuplicates(t *testing.T) {
+	mk := func() tdg.BSA { return nil }
+	if _, err := NewRegistry(
+		Entry{Name: "A", Letter: 'A', New: mk},
+		Entry{Name: "A", Letter: 'B', New: mk},
+	); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := NewRegistry(
+		Entry{Name: "A", Letter: 'A', New: mk},
+		Entry{Name: "B", Letter: 'A', New: mk},
+	); err == nil {
+		t.Error("duplicate letter accepted")
+	}
+}

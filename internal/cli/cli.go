@@ -15,6 +15,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"exocore/internal/bsa"
 	"exocore/internal/cores"
 	"exocore/internal/obs"
 	"exocore/internal/report"
@@ -66,6 +67,7 @@ type App struct {
 	core cores.Config
 	wls  []*workloads.Workload
 	bsas []string
+	reg  *bsa.Registry
 }
 
 // New creates an App and registers the unified flag set on its own
@@ -80,7 +82,7 @@ func New(tool, benchDefault string) *App {
 	}
 	a.fs.StringVar(&a.Bench, "bench", benchDefault, "benchmarks: all | quick | comma-separated names")
 	a.fs.StringVar(&a.Core, "core", "OOO2", "general core: IO2, OOO2, OOO4, OOO6")
-	a.fs.StringVar(&a.BSAs, "bsas", "all", "BSAs available: all | none | comma-separated of "+strings.Join(runner.BSANames, ","))
+	a.fs.StringVar(&a.BSAs, "bsas", "all", "BSAs available: all | none | comma-separated of "+strings.Join(bsa.Default().Names(), ","))
 	a.fs.StringVar(&a.Sched, "sched", "oracle", "scheduler: oracle | amdahl")
 	a.fs.BoolVar(&a.JSON, "json", false, "emit the versioned JSON result schema ("+report.Schema+")")
 	a.fs.BoolVar(&a.Verbose, "v", false, "progress and engine metrics on stderr")
@@ -151,6 +153,15 @@ func (a *App) Parse(args []string) error {
 		return err
 	}
 	a.bsas = bsas
+	// -bsas restricts the tool's whole model registry, not just the
+	// scheduler's available set: the engine builds plans, sweep tools
+	// enumerate subsets and area accounting follows a.reg, so
+	// "-bsas SIMD,DP-CGRA,NS-DF,Trace-P" reproduces the original
+	// four-BSA design space exactly.
+	a.reg, err = bsa.Default().Subset(bsas)
+	if err != nil {
+		return err
+	}
 
 	switch a.Sched {
 	case "oracle", "amdahl":
@@ -278,17 +289,21 @@ func ResolveBenchSpec(spec string) ([]*workloads.Workload, error) {
 }
 
 // ResolveBSASpec expands a -bsas value ("all", "none"/"" or a comma
-// list) into validated BSA names, in canonical order for "all".
+// list) into validated BSA names against the default registry, in
+// canonical order for "all".
 func ResolveBSASpec(spec string) ([]string, error) {
+	return ResolveBSASpecWith(bsa.Default(), spec)
+}
+
+// ResolveBSASpecWith is ResolveBSASpec against an explicit registry
+// (eg. a daemon engine's restricted registry). Unknown names error with
+// the registry's allowed list and a did-you-mean suggestion.
+func ResolveBSASpecWith(reg *bsa.Registry, spec string) ([]string, error) {
 	switch spec {
 	case "all":
-		return append([]string(nil), runner.BSANames...), nil
+		return reg.Names(), nil
 	case "", "none":
 		return nil, nil
-	}
-	valid := make(map[string]bool, len(runner.BSANames))
-	for _, n := range runner.BSANames {
-		valid[n] = true
 	}
 	var out []string
 	for _, n := range strings.Split(spec, ",") {
@@ -296,8 +311,8 @@ func ResolveBSASpec(spec string) ([]string, error) {
 		if n == "" {
 			continue
 		}
-		if !valid[n] {
-			return nil, fmt.Errorf("unknown BSA %q (have %s)", n, strings.Join(runner.BSANames, ", "))
+		if err := reg.Check(n); err != nil {
+			return nil, err
 		}
 		out = append(out, n)
 	}
@@ -313,6 +328,10 @@ func (a *App) Workloads() []*workloads.Workload { return a.wls }
 // BSANames returns the validated -bsas list.
 func (a *App) BSANames() []string { return a.bsas }
 
+// Registry returns the model registry restricted to the -bsas list (the
+// registry the tool's engine is built with).
+func (a *App) Registry() *bsa.Registry { return a.reg }
+
 // UseAmdahl reports whether -sched amdahl was selected.
 func (a *App) UseAmdahl() bool { return a.Sched == "amdahl" }
 
@@ -322,6 +341,7 @@ func (a *App) UseAmdahl() bool { return a.Sched == "amdahl" }
 func (a *App) Engine() *runner.Engine {
 	if a.engine == nil {
 		opts := runner.Options{MaxDyn: a.MaxDyn, Workers: a.Workers,
+			BSAs:           a.Registry(),
 			NoSegmentCache: a.NoSegCache, NoDelta: a.NoDelta,
 			Tracer: a.tracer, Log: a.Log()}
 		if a.Verbose {

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"exocore/internal/bsa"
 	"exocore/internal/runner"
 	"exocore/internal/workloads"
 )
@@ -19,7 +20,7 @@ func TestParseDefaults(t *testing.T) {
 	if got, want := len(a.Workloads()), len(workloads.All()); got != want {
 		t.Errorf("default workloads = %d, want %d", got, want)
 	}
-	if got := a.BSANames(); len(got) != 4 || got[0] != "SIMD" {
+	if got := a.BSANames(); len(got) != bsa.Default().Len() || got[0] != "SIMD" {
 		t.Errorf("default BSAs = %v", got)
 	}
 	if a.UseAmdahl() {

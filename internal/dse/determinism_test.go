@@ -213,9 +213,9 @@ func TestExploreReusesCache(t *testing.T) {
 		t.Errorf("sched contexts built = %d, want exactly %d (one per bench×core)", got, want)
 	}
 	ev := m.Stage(runner.StageEval)
-	// 16 subsets × benches × cores evaluations requested, but distinct
+	// 2^N subsets × benches × cores evaluations requested, but distinct
 	// assignments are far fewer: the hit counter must be positive.
-	if got, want := ev.Calls, int64(16*len(ws)*len(cs)); got != want {
+	if got, want := ev.Calls, int64((1<<eng.BSAs().Len())*len(ws)*len(cs)); got != want {
 		t.Errorf("eval calls = %d, want %d", got, want)
 	}
 	if ev.Hits == 0 {

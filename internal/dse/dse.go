@@ -1,11 +1,14 @@
 // Package dse drives the paper's design-space exploration (§5): all
-// combinations of the four general cores and the 16 subsets of the four
-// BSAs (64 designs), evaluated over the full workload suite with the
-// Oracle scheduler (one result set uses the Amdahl-tree scheduler for the
-// §5.4 comparison). All pipeline stages — trace, TDG, scheduling context,
-// assignment evaluation — run through the shared runner.Engine, so
-// per-(benchmark, core) artifacts are built once and identical
-// assignments across the 16 subsets are evaluated once.
+// combinations of the four general cores and every subset of the
+// registered BSAs (4 cores × 2^N subsets; 64 designs for the paper's
+// original four models, 128 with GS-DAE registered), evaluated over the
+// full workload suite with the Oracle scheduler (one result set uses the
+// Amdahl-tree scheduler for the §5.4 comparison). The grid follows the
+// engine's bsa.Registry, so registering a model grows the sweep without
+// touching this package. All pipeline stages — trace, TDG, scheduling
+// context, assignment evaluation — run through the shared runner.Engine,
+// so per-(benchmark, core) artifacts are built once and identical
+// assignments across subsets are evaluated once.
 package dse
 
 import (
@@ -15,6 +18,7 @@ import (
 	"strings"
 
 	"exocore/internal/area"
+	"exocore/internal/bsa"
 	"exocore/internal/cores"
 	"exocore/internal/report"
 	"exocore/internal/runner"
@@ -23,72 +27,56 @@ import (
 	"exocore/internal/workloads"
 )
 
-// BSA letter codes as used in the paper's Figure 12.
-var bsaLetters = []struct {
-	Letter byte
-	Name   string
-}{
-	{'S', "SIMD"},
-	{'D', "DP-CGRA"},
-	{'N', "NS-DF"},
-	{'T', "Trace-P"},
-}
+// SubsetName renders a BSA bitmask (bit i = registry entry i) as the
+// paper's letter code against the default registry, eg. "SDN"; the empty
+// subset renders as "".
+func SubsetName(mask int) string { return bsa.Default().SubsetName(mask) }
 
-// NewBSASet instantiates fresh models for all four BSAs.
-func NewBSASet() map[string]tdg.BSA { return runner.NewBSASet() }
-
-// SubsetName renders a BSA bitmask (bit i = bsaLetters[i]) as the paper's
-// letter code, eg. "SDN"; the empty subset renders as "".
-func SubsetName(mask int) string {
-	var sb strings.Builder
-	for i, bl := range bsaLetters {
-		if mask&(1<<i) != 0 {
-			sb.WriteByte(bl.Letter)
-		}
-	}
-	return sb.String()
-}
-
-// SubsetBSAs returns the BSA names in a bitmask.
-func SubsetBSAs(mask int) []string {
-	var out []string
-	for i, bl := range bsaLetters {
-		if mask&(1<<i) != 0 {
-			out = append(out, bl.Name)
-		}
-	}
-	return out
-}
+// SubsetBSAs returns the BSA names in a bitmask (default registry).
+func SubsetBSAs(mask int) []string { return bsa.Default().SubsetNames(mask) }
 
 // DesignCode names a design point: "OOO2-SDN", or just "IO2" for no BSAs.
 func DesignCode(core cores.Config, mask int) string {
-	s := SubsetName(mask)
+	return designCode(bsa.Default(), core, mask)
+}
+
+func designCode(reg *bsa.Registry, core cores.Config, mask int) string {
+	s := reg.SubsetName(mask)
 	if s == "" {
 		return core.Name
 	}
 	return core.Name + "-" + s
 }
 
-// ParseDesignCode inverts DesignCode: "OOO2-SDN" → (OOO2 config, mask
-// for SIMD+DP-CGRA+NS-DF). A bare core name parses as the empty subset.
+// ParseDesignCode inverts DesignCode against the default registry:
+// "OOO2-SDN" → (OOO2 config, mask for SIMD+DP-CGRA+NS-DF). A bare core
+// name parses as the empty subset.
 func ParseDesignCode(code string) (cores.Config, int, error) {
+	return parseDesignCode(bsa.Default(), code)
+}
+
+// ParseDesignCodeIn is ParseDesignCode against an explicit registry —
+// the daemon validates request design codes against its engine's
+// (possibly restricted) registry, so a letter outside that registry is
+// a client error, not a silent full-registry fallback.
+func ParseDesignCodeIn(reg *bsa.Registry, code string) (cores.Config, int, error) {
+	return parseDesignCode(reg, code)
+}
+
+// DesignCodeIn is DesignCode against an explicit registry.
+func DesignCodeIn(reg *bsa.Registry, core cores.Config, mask int) string {
+	return designCode(reg, core, mask)
+}
+
+func parseDesignCode(reg *bsa.Registry, code string) (cores.Config, int, error) {
 	name, letters, _ := strings.Cut(code, "-")
 	core, ok := cores.ConfigByName(name)
 	if !ok {
 		return cores.Config{}, 0, fmt.Errorf("dse: unknown core %q in design %q", name, code)
 	}
-	mask := 0
-	for i := 0; i < len(letters); i++ {
-		found := false
-		for bi, bl := range bsaLetters {
-			if bl.Letter == letters[i] {
-				mask |= 1 << bi
-				found = true
-			}
-		}
-		if !found {
-			return cores.Config{}, 0, fmt.Errorf("dse: unknown BSA letter %q in design %q", string(letters[i]), code)
-		}
+	mask, err := reg.ParseLetters(letters)
+	if err != nil {
+		return cores.Config{}, 0, fmt.Errorf("dse: design %q: %w", code, err)
 	}
 	return core, mask, nil
 }
@@ -103,8 +91,12 @@ type BenchResult struct {
 
 // DesignResult aggregates one design point.
 type DesignResult struct {
-	Core     cores.Config
-	Mask     int
+	Core cores.Config
+	// Mask selects BSAs by bit position in the exploration's registry
+	// (the engine's, which may be a restricted subset of the default).
+	Mask int
+	// BSAs is the resolved model-name list the mask selects.
+	BSAs     []string
 	Code     string
 	AreaMM2  float64
 	PerBench []BenchResult
@@ -171,9 +163,10 @@ func ExploreCtx(ctx context.Context, opts Options) (*Exploration, error) {
 	if eng == nil {
 		eng = runner.New(runner.Options{MaxDyn: opts.MaxDyn, Workers: opts.Parallelism})
 	}
+	reg := eng.BSAs()
 
-	// Resolve the design grid: the full cores × 16-subset cross product,
-	// or an explicit design-code list.
+	// Resolve the design grid: the full cores × 2^N-subset cross product
+	// over the engine's registry, or an explicit design-code list.
 	cs := opts.Cores
 	if cs == nil {
 		cs = cores.Configs
@@ -188,11 +181,11 @@ func ExploreCtx(ctx context.Context, opts Options) (*Exploration, error) {
 		csSeen := make(map[string]bool)
 		cs = nil
 		for _, code := range opts.Designs {
-			core, mask, err := ParseDesignCode(code)
+			core, mask, err := parseDesignCode(reg, code)
 			if err != nil {
 				return nil, err
 			}
-			if canon := DesignCode(core, mask); seen[canon] {
+			if canon := designCode(reg, core, mask); seen[canon] {
 				continue
 			} else {
 				seen[canon] = true
@@ -205,7 +198,7 @@ func ExploreCtx(ctx context.Context, opts Options) (*Exploration, error) {
 		}
 	} else {
 		for _, core := range cs {
-			for mask := 0; mask < 16; mask++ {
+			for mask := 0; mask < 1<<reg.Len(); mask++ {
 				points = append(points, point{core, mask})
 			}
 		}
@@ -236,10 +229,10 @@ func ExploreCtx(ctx context.Context, opts Options) (*Exploration, error) {
 	// cache deduplicates identical assignments across subsets.
 	// Area accounting is stateless, so one BSA set and one model slice
 	// per mask serve every core instead of being rebuilt per design.
-	set := NewBSASet()
-	maskModels := make([][]tdg.BSA, 16)
-	for mask := 1; mask < 16; mask++ {
-		for _, n := range SubsetBSAs(mask) {
+	set := reg.New()
+	maskModels := make([][]tdg.BSA, 1<<reg.Len())
+	for mask := 1; mask < len(maskModels); mask++ {
+		for _, n := range reg.SubsetNames(mask) {
 			maskModels[mask] = append(maskModels[mask], set[n])
 		}
 	}
@@ -247,14 +240,15 @@ func ExploreCtx(ctx context.Context, opts Options) (*Exploration, error) {
 	for _, p := range points {
 		protos = append(protos, DesignResult{
 			Core: p.core, Mask: p.mask,
-			Code:    DesignCode(p.core, p.mask),
+			BSAs:    reg.SubsetNames(p.mask),
+			Code:    designCode(reg, p.core, p.mask),
 			AreaMM2: area.Total(p.core, maskModels[p.mask]),
 		})
 	}
 
 	designs, err := runner.MapCtx(ctx, eng, len(protos), func(di int) (DesignResult, error) {
 		d := protos[di]
-		avail := SubsetBSAs(d.Mask)
+		avail := d.BSAs
 		for _, w := range ws {
 			sc, err := eng.ContextCtx(ctx, w, d.Core)
 			if err != nil {
@@ -379,7 +373,7 @@ func (e *Exploration) CategoryAggregate(code string, cat workloads.Category) (fl
 func (e *Exploration) AppendTo(doc *report.Document) {
 	for _, d := range e.Designs {
 		doc.Add(report.Result{
-			Design: d.Code, Core: d.Core.Name, BSAs: SubsetBSAs(d.Mask),
+			Design: d.Code, Core: d.Core.Name, BSAs: d.BSAs,
 			AreaMM2: d.AreaMM2,
 			RelPerf: d.RelPerf, RelEnergyEff: d.RelEnergyEff, RelArea: d.RelArea,
 		})

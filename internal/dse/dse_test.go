@@ -3,9 +3,18 @@ package dse
 import (
 	"testing"
 
+	"exocore/internal/bsa"
 	"exocore/internal/cores"
+	"exocore/internal/runner"
 	"exocore/internal/workloads"
 )
+
+// stdEngine pins an exploration engine to the paper's original four BSAs,
+// keeping the 64-design figures of the paper intact regardless of what
+// else is registered. The full-registry grid has its own test below.
+func stdEngine(maxDyn int) *runner.Engine {
+	return runner.New(runner.Options{MaxDyn: maxDyn, BSAs: bsa.Standard()})
+}
 
 func miniExploration(t *testing.T) *Exploration {
 	t.Helper()
@@ -17,11 +26,40 @@ func miniExploration(t *testing.T) *Exploration {
 		}
 		ws = append(ws, w)
 	}
-	exp, err := Explore(Options{MaxDyn: 25000, Workloads: ws})
+	exp, err := Explore(Options{Workloads: ws, Engine: stdEngine(25000)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return exp
+}
+
+// TestExploreGridFollowsRegistry asserts the sweep grid is 2^N subsets
+// for an N-model registry: the default five-model registry yields a
+// 32-subset-per-core grid with GS-DAE's letter in the full design code.
+func TestExploreGridFollowsRegistry(t *testing.T) {
+	w, err := workloads.ByName("mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := Explore(Options{
+		Workloads: []*workloads.Workload{w},
+		Cores:     []cores.Config{cores.OOO2},
+		Engine:    runner.New(runner.Options{MaxDyn: 10_000}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 << bsa.Default().Len()
+	if len(exp.Designs) != want {
+		t.Fatalf("designs = %d, want %d (2^%d subsets)", len(exp.Designs), want, bsa.Default().Len())
+	}
+	full := exp.Design("OOO2-SDNTG")
+	if full == nil {
+		t.Fatal("no OOO2-SDNTG design in full-registry grid")
+	}
+	if len(full.BSAs) != bsa.Default().Len() {
+		t.Errorf("full design BSAs = %v", full.BSAs)
+	}
 }
 
 func TestSubsetNaming(t *testing.T) {
@@ -154,7 +192,7 @@ func TestExploreDesignsRestriction(t *testing.T) {
 
 	// Duplicates (including non-canonical spellings) collapse; order is
 	// the request order; only the named cores are warmed/evaluated.
-	exp, err := Explore(Options{MaxDyn: 25000, Workloads: ws,
+	exp, err := Explore(Options{Workloads: ws, Engine: stdEngine(25000),
 		Designs: []string{"OOO2-SD", "IO2", "OOO2-DS", "OOO2"}})
 	if err != nil {
 		t.Fatal(err)
@@ -175,7 +213,7 @@ func TestExploreDesignsRestriction(t *testing.T) {
 
 	// IO2 is in the list, so Rel* normalize against it and the restricted
 	// results match the full grid's values for the same design points.
-	full, err := Explore(Options{MaxDyn: 25000, Workloads: ws})
+	full, err := Explore(Options{Workloads: ws, Engine: stdEngine(25000)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +226,7 @@ func TestExploreDesignsRestriction(t *testing.T) {
 	}
 
 	// Without the reference design the Rel* aggregates stay zero.
-	noref, err := Explore(Options{MaxDyn: 25000, Workloads: ws, Designs: []string{"OOO2-S"}})
+	noref, err := Explore(Options{Workloads: ws, Engine: stdEngine(25000), Designs: []string{"OOO2-S"}})
 	if err != nil {
 		t.Fatal(err)
 	}

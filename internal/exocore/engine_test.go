@@ -3,10 +3,7 @@ package exocore
 import (
 	"testing"
 
-	"exocore/internal/bsa/dpcgra"
-	"exocore/internal/bsa/nsdf"
-	"exocore/internal/bsa/simd"
-	"exocore/internal/bsa/tracep"
+	"exocore/internal/bsa"
 	"exocore/internal/cores"
 	"exocore/internal/tdg"
 	"exocore/internal/workloads"
@@ -30,12 +27,7 @@ func buildTDG(t *testing.T, name string, maxDyn int) *tdg.TDG {
 }
 
 func allBSAs() map[string]tdg.BSA {
-	return map[string]tdg.BSA{
-		"SIMD":    simd.New(),
-		"DP-CGRA": dpcgra.New(),
-		"NS-DF":   nsdf.New(),
-		"Trace-P": tracep.New(),
-	}
+	return bsa.Standard().New()
 }
 
 func analyzeAll(t *tdg.TDG, bsas map[string]tdg.BSA) map[string]*tdg.Plan {

@@ -24,7 +24,7 @@ func fullPipeline(e *Engine, name string) error {
 	if err != nil {
 		return err
 	}
-	_, _, err = e.Evaluate(w, cores.OOO2, sc.Oracle(BSANames))
+	_, _, err = e.Evaluate(w, cores.OOO2, sc.Oracle(e.BSAs().Names()))
 	return err
 }
 

@@ -17,10 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"exocore/internal/bsa/dpcgra"
-	"exocore/internal/bsa/nsdf"
-	"exocore/internal/bsa/simd"
-	"exocore/internal/bsa/tracep"
+	"exocore/internal/bsa"
 	"exocore/internal/cores"
 	"exocore/internal/exocore"
 	"exocore/internal/obs"
@@ -32,20 +29,6 @@ import (
 
 // DefaultMaxDyn is the default per-benchmark dynamic-instruction budget.
 const DefaultMaxDyn = 100_000
-
-// BSANames is the canonical BSA order (the paper's Figure 12 letters
-// S, D, N, T).
-var BSANames = []string{"SIMD", "DP-CGRA", "NS-DF", "Trace-P"}
-
-// NewBSASet instantiates fresh models for all four BSAs.
-func NewBSASet() map[string]tdg.BSA {
-	return map[string]tdg.BSA{
-		"SIMD":    simd.New(),
-		"DP-CGRA": dpcgra.New(),
-		"NS-DF":   nsdf.New(),
-		"Trace-P": tracep.New(),
-	}
-}
 
 // Pipeline stage names, in execution order.
 const (
@@ -77,6 +60,12 @@ type Options struct {
 	MaxDyn int
 	// Workers bounds concurrent jobs in ForEach/Map (0 = GOMAXPROCS).
 	Workers int
+	// BSAs is the registry of accelerator models the engine builds
+	// scheduling contexts (plans + candidate measurements) for. Nil means
+	// bsa.Default(). Like MaxDyn it is part of the engine's identity: one
+	// Engine serves exactly one registry, so restricted-registry runs
+	// (eg. the pre-graph four-BSA baseline) use their own Engine.
+	BSAs *bsa.Registry
 	// Progress, if non-nil, observes every stage lookup.
 	Progress ProgressFunc
 	// NoSegmentCache disables the per-context evaluation-unit cache
@@ -168,6 +157,7 @@ type evalResult struct {
 type Engine struct {
 	maxDyn     int
 	workers    int
+	bsaReg     *bsa.Registry
 	noSegCache bool
 	noDelta    bool
 
@@ -203,9 +193,14 @@ func New(opts Options) *Engine {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	bsaReg := opts.BSAs
+	if bsaReg == nil {
+		bsaReg = bsa.Default()
+	}
 	e := &Engine{
 		maxDyn:     maxDyn,
 		workers:    workers,
+		bsaReg:     bsaReg,
 		noSegCache: opts.NoSegmentCache,
 		noDelta:    opts.NoDelta,
 		progress:   opts.Progress,
@@ -231,6 +226,9 @@ func (e *Engine) Registry() *obs.Registry { return e.reg }
 
 // MaxDyn returns the engine's dynamic-instruction budget.
 func (e *Engine) MaxDyn() int { return e.maxDyn }
+
+// BSAs returns the engine's accelerator-model registry (never nil).
+func (e *Engine) BSAs() *bsa.Registry { return e.bsaReg }
 
 // Workers returns the worker-pool bound.
 func (e *Engine) Workers() int { return e.workers }
@@ -395,7 +393,7 @@ func (e *Engine) ContextCtx(ctx context.Context, w *workloads.Workload, core cor
 		}
 		sp := e.tracer.Begin("stage", StageSched+" "+key)
 		defer sp.End()
-		sc, err := sched.NewContextWith(td, core, NewBSASet(),
+		sc, err := sched.NewContextWith(td, core, e.bsaReg.New(),
 			sched.ContextOpts{NoSegmentCache: e.noSegCache, NoDelta: e.noDelta,
 				Workers: e.workers, Reg: e.reg, Span: sp})
 		if err != nil {

@@ -110,7 +110,7 @@ func TestEvaluateCachedMatchesUncached(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	assign := sc.Oracle(BSANames)
+	assign := sc.Oracle(e.BSAs().Names())
 
 	// Fresh, uncached evaluation straight on the scheduling context.
 	wantCycles, wantEnergy, err := sc.Evaluate(assign)
@@ -143,7 +143,7 @@ func TestEvaluateDistinctAssignmentsDistinctEntries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	oracle := sc.Oracle(BSANames)
+	oracle := sc.Oracle(e.BSAs().Names())
 	none := exocore.Assignment{}
 	c1, _, err := e.Evaluate(w, cores.OOO2, oracle)
 	if err != nil {

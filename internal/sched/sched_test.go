@@ -3,10 +3,7 @@ package sched
 import (
 	"testing"
 
-	"exocore/internal/bsa/dpcgra"
-	"exocore/internal/bsa/nsdf"
-	"exocore/internal/bsa/simd"
-	"exocore/internal/bsa/tracep"
+	"exocore/internal/bsa"
 	"exocore/internal/cores"
 	"exocore/internal/tdg"
 	"exocore/internal/workloads"
@@ -26,18 +23,14 @@ func contextFor(t *testing.T, bench string, core cores.Config) *Context {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bsas := map[string]tdg.BSA{
-		"SIMD": simd.New(), "DP-CGRA": dpcgra.New(),
-		"NS-DF": nsdf.New(), "Trace-P": tracep.New(),
-	}
-	ctx, err := NewContext(td, core, bsas)
+	ctx, err := NewContext(td, core, bsa.Standard().New())
 	if err != nil {
 		t.Fatal(err)
 	}
 	return ctx
 }
 
-var allNames = []string{"SIMD", "DP-CGRA", "NS-DF", "Trace-P"}
+var allNames = bsa.Standard().Names()
 
 func TestOracleImprovesEDP(t *testing.T) {
 	for _, bench := range []string{"mm", "cjpeg", "nbody"} {

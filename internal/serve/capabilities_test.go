@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"exocore/internal/bsa"
+	"exocore/internal/runner"
+)
+
+type capabilitiesBody struct {
+	BSAs []struct {
+		Name    string  `json:"name"`
+		Letter  string  `json:"letter"`
+		AreaMM2 float64 `json:"area_mm2"`
+	} `json:"bsas"`
+	Workloads []struct {
+		Name     string `json:"name"`
+		Suite    string `json:"suite"`
+		Category string `json:"category"`
+	} `json:"workloads"`
+	Cores      []string `json:"cores"`
+	Schedulers []string `json:"schedulers"`
+	MaxDyn     int      `json:"maxdyn"`
+}
+
+func getCapabilities(t *testing.T, url string) capabilitiesBody {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/capabilities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("capabilities status = %d", resp.StatusCode)
+	}
+	var caps capabilitiesBody
+	if err := json.NewDecoder(resp.Body).Decode(&caps); err != nil {
+		t.Fatal(err)
+	}
+	return caps
+}
+
+// TestCapabilities checks the discovery endpoint reflects the daemon's
+// actual registries: every default BSA (GS-DAE included), the graph
+// workloads, all cores and both schedulers, and the warmed budget.
+func TestCapabilities(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	caps := getCapabilities(t, hs.URL)
+
+	if got, want := len(caps.BSAs), bsa.Default().Len(); got != want {
+		t.Fatalf("capabilities list %d BSAs, want %d", got, want)
+	}
+	byName := map[string]string{}
+	for _, b := range caps.BSAs {
+		byName[b.Name] = b.Letter
+		if b.AreaMM2 <= 0 {
+			t.Errorf("%s: non-positive area", b.Name)
+		}
+	}
+	if byName["GS-DAE"] != "G" {
+		t.Errorf("GS-DAE letter = %q, want G", byName["GS-DAE"])
+	}
+	wls := map[string]string{}
+	for _, w := range caps.Workloads {
+		wls[w.Name] = w.Category
+	}
+	if wls["bfs"] != "graph" || wls["mm"] == "" {
+		t.Errorf("workload listing incomplete: bfs=%q mm=%q", wls["bfs"], wls["mm"])
+	}
+	if len(caps.Cores) != 4 {
+		t.Errorf("cores = %v, want the four general cores", caps.Cores)
+	}
+	if len(caps.Schedulers) != 2 {
+		t.Errorf("schedulers = %v", caps.Schedulers)
+	}
+	if caps.MaxDyn != testMaxDyn {
+		t.Errorf("maxdyn = %d, want %d", caps.MaxDyn, testMaxDyn)
+	}
+}
+
+// TestRestrictedRegistryRejectsUnservedBSAs starts the daemon on the
+// paper's four-model registry and checks requests for the fifth model
+// 400 with the allowed list, on both endpoints, while capabilities
+// advertises only what the engine can evaluate.
+func TestRestrictedRegistryRejectsUnservedBSAs(t *testing.T) {
+	eng := runner.New(runner.Options{MaxDyn: testMaxDyn, BSAs: bsa.Standard()})
+	_, hs := newTestServer(t, Config{Engine: eng})
+
+	caps := getCapabilities(t, hs.URL)
+	if len(caps.BSAs) != 4 {
+		t.Fatalf("restricted daemon advertises %d BSAs, want 4", len(caps.BSAs))
+	}
+	for _, b := range caps.BSAs {
+		if b.Name == "GS-DAE" {
+			t.Fatal("restricted daemon advertises GS-DAE")
+		}
+	}
+
+	resp, body := post(t, hs.URL+"/v1/evaluate", `{"bench":"mm","bsas":"GS-DAE"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("evaluate status = %d, body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "have SIMD, DP-CGRA, NS-DF, Trace-P") {
+		t.Errorf("evaluate error does not list the served registry: %s", body)
+	}
+
+	resp, body = post(t, hs.URL+"/v1/sweep", `{"bench":"mm","designs":["OOO2-G"]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("sweep status = %d, body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "unknown BSA letter") {
+		t.Errorf("sweep error = %s", body)
+	}
+
+	// The full default daemon serves both fine.
+	_, hs2 := newTestServer(t, Config{})
+	if resp, body := post(t, hs2.URL+"/v1/evaluate", `{"bench":"bfs","bsas":"GS-DAE"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("default daemon refused GS-DAE: %d %s", resp.StatusCode, body)
+	}
+}

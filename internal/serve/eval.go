@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"exocore/internal/bsa"
 	"exocore/internal/cli"
 	"exocore/internal/cores"
 	"exocore/internal/dse"
@@ -103,7 +104,10 @@ func resolveEval(req EvalRequest, eng *runner.Engine) (evalQuery, error) {
 	if bsaSpec == "" {
 		bsaSpec = "all"
 	}
-	bsas, err := cli.ResolveBSASpec(bsaSpec)
+	// Resolve against the engine's registry, not the compiled-in default:
+	// a daemon started with a restricted -bsas set must reject names it
+	// cannot evaluate, with the allowed list in the error.
+	bsas, err := cli.ResolveBSASpecWith(eng.BSAs(), bsaSpec)
 	if err != nil {
 		return q, err
 	}
@@ -148,7 +152,7 @@ func resolveSweep(req SweepRequest, eng *runner.Engine) (sweepQuery, error) {
 		return q, err
 	}
 	for _, code := range req.Designs {
-		if _, _, err := dse.ParseDesignCode(code); err != nil {
+		if _, _, err := dse.ParseDesignCodeIn(eng.BSAs(), code); err != nil {
 			return q, err
 		}
 	}
@@ -224,7 +228,7 @@ func EvaluateDocument(ctx context.Context, eng *runner.Engine, tool string,
 			}
 			coverage[label] = float64(m.Cycles) / float64(res.Cycles)
 		}
-		design := DesignCode(core.Name, bsas)
+		design := eng.BSAs().DesignCode(core.Name, bsas)
 		doc.Add(report.Result{
 			Design: design, Core: core.Name,
 			BSAs: bsas, Bench: wl.Name, Category: string(wl.Category),
@@ -268,19 +272,7 @@ func SweepDocument(ctx context.Context, eng *runner.Engine, tool string,
 
 // DesignCode renders (core, explicit BSA list) as the canonical design
 // code, eg. "OOO2-SDN" — dse.DesignCode for a name list instead of a
-// bitmask.
+// bitmask, resolved against the default registry.
 func DesignCode(core string, bsas []string) string {
-	letters := map[string]byte{"SIMD": 'S', "DP-CGRA": 'D', "NS-DF": 'N', "Trace-P": 'T'}
-	var suffix []byte
-	for _, n := range runner.BSANames {
-		for _, have := range bsas {
-			if have == n {
-				suffix = append(suffix, letters[n])
-			}
-		}
-	}
-	if len(suffix) == 0 {
-		return core
-	}
-	return core + "-" + string(suffix)
+	return bsa.Default().DesignCode(core, bsas)
 }

@@ -7,12 +7,16 @@
 //
 // The JSON API:
 //
-//	POST /v1/evaluate    one bench/core/BSA-set/scheduler query
-//	POST /v1/sweep       a DSE sweep over a design-code list (or all 64);
-//	                     {"async": true} returns 202 + a /resultz id
-//	GET  /resultz/{id}   fetch an async sweep's document
-//	GET  /healthz        liveness + queue/inflight snapshot
-//	GET  /metricsz       the engine's internal/obs registry snapshot
+//	POST /v1/evaluate      one bench/core/BSA-set/scheduler query
+//	POST /v1/sweep         a DSE sweep over a design-code list (or the
+//	                       full grid); {"async": true} returns 202 + a
+//	                       /resultz id
+//	GET  /v1/capabilities  what this daemon can evaluate: BSA registry
+//	                       (names + design-code letters), workloads,
+//	                       cores, schedulers, warmed maxdyn
+//	GET  /resultz/{id}     fetch an async sweep's document
+//	GET  /healthz          liveness + queue/inflight snapshot
+//	GET  /metricsz         the engine's internal/obs registry snapshot
 //
 // Evaluation responses are the versioned exocore-result/v1 schema,
 // byte-identical to the equivalent cmd/tdgsim / cmd/dse -json output
@@ -40,9 +44,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"exocore/internal/cores"
 	"exocore/internal/obs"
 	"exocore/internal/report"
 	"exocore/internal/runner"
+	"exocore/internal/workloads"
 )
 
 // Config configures a Server.
@@ -158,6 +164,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/capabilities", s.handleCapabilities)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("GET /resultz/{id}", s.handleResultz)
@@ -409,6 +416,52 @@ func (s *Server) handleResultz(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusAccepted)
 		json.NewEncoder(w).Encode(map[string]string{"id": id, "status": "running"})
 	}
+}
+
+// handleCapabilities reports what this daemon instance can evaluate, so
+// clients discover the evaluable space instead of guessing against 400s:
+// the engine's BSA registry (which -bsas may have restricted below the
+// compiled-in default), the workload/core registries, the scheduler
+// names, and the maxdyn budget the engine is warmed for.
+func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
+	reg := s.eng.BSAs()
+	type bsaCap struct {
+		Name    string  `json:"name"`
+		Letter  string  `json:"letter"`
+		AreaMM2 float64 `json:"area_mm2"`
+	}
+	models := reg.New()
+	bsas := make([]bsaCap, 0, reg.Len())
+	for _, e := range reg.Entries() {
+		bsas = append(bsas, bsaCap{
+			Name:    e.Name,
+			Letter:  string(e.Letter),
+			AreaMM2: models[e.Name].AreaMM2(),
+		})
+	}
+	type wlCap struct {
+		Name     string `json:"name"`
+		Suite    string `json:"suite"`
+		Category string `json:"category"`
+	}
+	wls := make([]wlCap, 0, len(workloads.All()))
+	for _, wl := range workloads.All() {
+		wls = append(wls, wlCap{Name: wl.Name, Suite: wl.Suite, Category: string(wl.Category)})
+	}
+	coreNames := make([]string, 0, len(cores.Configs))
+	for _, c := range cores.Configs {
+		coreNames = append(coreNames, c.Name)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{
+		"bsas":       bsas,
+		"workloads":  wls,
+		"cores":      coreNames,
+		"schedulers": []string{"oracle", "amdahl"},
+		"maxdyn":     s.eng.MaxDyn(),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -14,9 +14,8 @@ import (
 	"fmt"
 	"sort"
 
+	"exocore/internal/bsa"
 	"exocore/internal/bsa/ccores"
-	"exocore/internal/bsa/dpcgra"
-	"exocore/internal/bsa/simd"
 	"exocore/internal/bsa/tracep"
 	"exocore/internal/cores"
 	"exocore/internal/energy"
@@ -246,8 +245,22 @@ var bsaSetup = map[string]struct {
 }{
 	"C-Cores": {cores.IO2, func() tdg.BSA { return ccores.New() }},
 	"BERET":   {cores.IO2, func() tdg.BSA { return tracep.NewBERET() }},
-	"SIMD":    {cores.OOO4, func() tdg.BSA { return simd.New() }},
-	"DySER":   {cores.OOO4, func() tdg.BSA { return dpcgra.New() }},
+	"SIMD":    {cores.OOO4, registryModel("SIMD")},
+	"DySER":   {cores.OOO4, registryModel("DP-CGRA")},
+}
+
+// registryModel resolves a default-parameter model through the shared
+// BSA registry, so validation exercises the exact constructors every
+// tool uses; published-accelerator proxies with non-default parameters
+// (C-Cores, BERET) keep their direct constructors.
+func registryModel(name string) func() tdg.BSA {
+	return func() tdg.BSA {
+		m, err := bsa.Default().NewOne(name)
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
 }
 
 // ValidateBSA measures projected speedup and energy reduction for one

@@ -1,0 +1,237 @@
+// Graph-analytics workload family: CSR traversals over synthetic
+// power-law graphs, standing in for the GAP-style suites the paper's
+// behavior taxonomy does not cover. The kernels are built around the
+// behaviors that defeat the paper's four BSAs — dependent-load chains
+// through index arrays (A[B[i]] gathers, up to three levels deep in
+// tricount) and data-dependent branches with no bias — which is exactly
+// the profile a decoupled gather-scatter engine (GS-DAE) targets.
+package workloads
+
+import (
+	"math"
+
+	"exocore/internal/isa"
+	"exocore/internal/prog"
+	"exocore/internal/sim"
+)
+
+// graphN is the vertex count of the synthetic graphs. The per-vertex
+// value arrays (8 B/vertex) are then 2× the 64 KiB L1D, so random
+// gathers miss L1 routinely and there is real memory latency for a
+// decoupled access stream to hide.
+const graphN = 16384
+
+// csr is a compressed-sparse-row graph: the column indices of vertex
+// u's out-edges are col[rowptr[u]:rowptr[u+1]].
+type csr struct {
+	rowptr []int64
+	col    []int64
+}
+
+// powerLawCSR builds a deterministic synthetic graph with Pareto
+// (α≈2) out-degree skew — a few hub vertices with hundreds of edges
+// and a heavy tail of degree-1 vertices — and uniformly random
+// neighbors, so neighbor gathers have no spatial locality. Same seed,
+// same graph, byte for byte.
+func powerLawCSR(n int, seed uint64) *csr {
+	r := newRng(seed)
+	g := &csr{rowptr: make([]int64, n+1)}
+	for u := 0; u < n; u++ {
+		d := int(2.0 / math.Sqrt(1-r.f64()*0.9999))
+		if d > 256 {
+			d = 256
+		}
+		for k := 0; k < d; k++ {
+			g.col = append(g.col, r.i64(int64(n)))
+		}
+		g.rowptr[u+1] = int64(len(g.col))
+	}
+	return g
+}
+
+// storeCSR writes rowptr to baseA and col to baseB.
+func storeCSR(st *sim.State, g *csr) {
+	for i, v := range g.rowptr {
+		st.Mem.StoreInt(baseA+uint64(i)*8, v)
+	}
+	for i, v := range g.col {
+		st.Mem.StoreInt(baseB+uint64(i)*8, v)
+	}
+}
+
+// bfs: frontier-based breadth-first search over a work queue. Each
+// dequeued vertex u chases rowptr[u] → col[e] → visited[col[e]], a
+// two-level dependent-load chain per edge, and the visited test is a
+// data-dependent branch that converges to ~always-taken only as the
+// frontier saturates — the worst case for the paper's
+// control-criticality behaviors.
+var _ = register(&Workload{
+	Name: "bfs", Suite: "GAP", Category: Graph,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		g := powerLawCSR(graphN, 0xb5f5)
+		b := prog.NewBuilder("bfs")
+		head, tail, u, v := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+		e, eEnd, t, mark := isa.R(5), isa.R(6), isa.R(7), isa.R(8)
+		b.Label("frontier")
+		b.ShlI(t, head, 3)
+		b.AddI(t, t, baseD)
+		b.Ld(u, t, 0) // u = queue[head]
+		b.AddI(head, head, 1)
+		b.ShlI(t, u, 3)
+		b.AddI(t, t, baseA)
+		b.Ld(e, t, 0)    // e    = rowptr[u]   (gather)
+		b.Ld(eEnd, t, 8) // eEnd = rowptr[u+1] (gather)
+		b.Beq(e, eEnd, "drained")
+		b.Label("edges")
+		b.ShlI(t, e, 3)
+		b.AddI(t, t, baseB)
+		b.Ld(v, t, 0) // v = col[e]
+		b.ShlI(t, v, 3)
+		b.AddI(t, t, baseC)
+		b.Ld(mark, t, 0)            // visited[v]: A[B[e]] chain
+		b.Bne(mark, isa.RZ, "seen") // data-dependent, unbiased early on
+		b.St(tail, t, 0)            // visited[v] = nonzero (tail ≥ 1)
+		b.ShlI(t, tail, 3)
+		b.AddI(t, t, baseD)
+		b.St(v, t, 0) // queue[tail] = v
+		b.AddI(tail, tail, 1)
+		b.Label("seen")
+		b.AddI(e, e, 1)
+		b.Blt(e, eEnd, "edges")
+		b.Label("drained")
+		b.Blt(head, tail, "frontier")
+		return b.MustBuild(), func(st *sim.State) {
+			storeCSR(st, g)
+			st.SetInt(head, 0)
+			st.SetInt(tail, 1)
+			st.Mem.StoreInt(baseD, 0) // queue[0] = source vertex 0
+			st.Mem.StoreInt(baseC, 1) // visited[0]
+		}
+	},
+})
+
+// pagerank: edge-centric rank accumulation (one SpMV sweep). The inner
+// loop is a pure gather-reduce — col[e] feeds contrib[col[e]] feeds a
+// float accumulator — with perfectly predictable control, so it
+// isolates the gather behavior from bfs's branch noise.
+var _ = register(&Workload{
+	Name: "pagerank", Suite: "GAP", Category: Graph,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		g := powerLawCSR(graphN, 0x9a6e)
+		b := prog.NewBuilder("pagerank")
+		u, v, e, eEnd, t, rN := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5), isa.R(10)
+		sum, c, damp, bias := isa.F(1), isa.F(2), isa.F(3), isa.F(4)
+		b.MovI(u, 0)
+		b.MovI(e, 0) // rowptr[0]
+		b.Label("vertices")
+		b.ShlI(t, u, 3)
+		b.AddI(t, t, baseA)
+		b.Ld(eEnd, t, 8) // rowptr[u+1]
+		b.FMovI(sum, 0)
+		b.Beq(e, eEnd, "sink")
+		b.Label("edges")
+		b.ShlI(t, e, 3)
+		b.AddI(t, t, baseB)
+		b.Ld(v, t, 0) // v = col[e]
+		b.ShlI(t, v, 3)
+		b.AddI(t, t, baseC)
+		b.LdF(c, t, 0) // contrib[v]: A[B[e]] chain
+		b.FAdd(sum, sum, c)
+		b.AddI(e, e, 1)
+		b.Blt(e, eEnd, "edges")
+		b.Label("sink")
+		b.FMul(sum, sum, damp)
+		b.FAdd(sum, sum, bias)
+		b.ShlI(t, u, 3)
+		b.AddI(t, t, baseE)
+		b.StF(sum, t, 0) // newrank[u]
+		b.AddI(u, u, 1)
+		b.Blt(u, rN, "vertices")
+		return b.MustBuild(), func(st *sim.State) {
+			storeCSR(st, g)
+			st.SetInt(rN, graphN)
+			st.SetFp(damp, 0.85)
+			st.SetFp(bias, 0.15/graphN)
+			// contrib[v] = rank[v]/deg[v] from a uniform starting rank.
+			for v := 0; v < graphN; v++ {
+				deg := g.rowptr[v+1] - g.rowptr[v]
+				if deg == 0 {
+					deg = 1
+				}
+				st.Mem.StoreFloat(baseC+uint64(v)*8, 1.0/float64(graphN)/float64(deg))
+			}
+		}
+	},
+})
+
+// tricount: triangle counting by hashed neighborhood intersection. For
+// every vertex u the first pass scatters a mark to each neighbor; the
+// second pass chases col[e] → rowptr[col[e]] → col[e2] → mark[col[e2]],
+// a three-level dependent-load chain, and the membership test branch is
+// decided by random graph structure — near-zero bias, so the GPP and
+// Trace-P both pay the misprediction tax on every edge pair.
+var _ = register(&Workload{
+	Name: "tricount", Suite: "GAP", Category: Graph,
+	Build: func() (*prog.Program, func(*sim.State)) {
+		g := powerLawCSR(graphN, 0x7c37)
+		b := prog.NewBuilder("tricount")
+		u, v, w, e, eEnd := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+		e2, e2End, t, t2, mark := isa.R(6), isa.R(7), isa.R(8), isa.R(9), isa.R(11)
+		count, uu, rN := isa.R(12), isa.R(13), isa.R(10)
+		b.MovI(u, 0)
+		b.MovI(count, 0)
+		b.Label("vertices")
+		b.ShlI(t, u, 3)
+		b.AddI(t, t, baseA)
+		b.Ld(e, t, 0)
+		b.Ld(eEnd, t, 8)
+		b.AddI(uu, u, 1) // mark value: u+1 (0 means unmarked)
+		b.Beq(e, eEnd, "next")
+		// Pass 1: scatter marks to u's neighborhood.
+		b.Mov(t2, e)
+		b.Label("marks")
+		b.ShlI(t, t2, 3)
+		b.AddI(t, t, baseB)
+		b.Ld(v, t, 0) // v = col[e]
+		b.ShlI(t, v, 3)
+		b.AddI(t, t, baseE)
+		b.St(uu, t, 0) // mark[v] = u+1 (scatter through index)
+		b.AddI(t2, t2, 1)
+		b.Blt(t2, eEnd, "marks")
+		// Pass 2: for each neighbor v, count marked second neighbors.
+		b.Label("edges")
+		b.ShlI(t, e, 3)
+		b.AddI(t, t, baseB)
+		b.Ld(v, t, 0) // v = col[e]
+		b.ShlI(t, v, 3)
+		b.AddI(t, t, baseA)
+		b.Ld(e2, t, 0)    // rowptr[v]:   second-level gather
+		b.Ld(e2End, t, 8) // rowptr[v+1]
+		b.Beq(e2, e2End, "vdone")
+		b.Label("wedges")
+		b.ShlI(t, e2, 3)
+		b.AddI(t, t, baseB)
+		b.Ld(w, t, 0) // w = col[e2]: third-level chase
+		b.ShlI(t, w, 3)
+		b.AddI(t, t, baseE)
+		b.Ld(mark, t, 0)         // mark[w]
+		b.Bne(mark, uu, "notri") // unbiased membership test
+		b.AddI(count, count, 1)
+		b.Label("notri")
+		b.AddI(e2, e2, 1)
+		b.Blt(e2, e2End, "wedges")
+		b.Label("vdone")
+		b.AddI(e, e, 1)
+		b.Blt(e, eEnd, "edges")
+		b.Label("next")
+		b.AddI(u, u, 1)
+		b.Blt(u, rN, "vertices")
+		b.ShlI(t, isa.RZ, 0)
+		b.AddI(t, t, baseD)
+		b.St(count, t, 0)
+		return b.MustBuild(), func(st *sim.State) {
+			storeCSR(st, g)
+			st.SetInt(rN, graphN)
+		}
+	},
+})

@@ -27,7 +27,11 @@ const (
 	Regular     Category = "regular"      // TPT, Parboil
 	SemiRegular Category = "semi-regular" // Mediabench, TPCH, SPECfp
 	Irregular   Category = "irregular"    // SPECint
+	Graph       Category = "graph"        // graph analytics (CSR traversals)
 )
+
+// Categories lists every category in presentation order.
+var Categories = []Category{Regular, SemiRegular, Irregular, Graph}
 
 // Workload is one benchmark kernel.
 type Workload struct {
@@ -42,10 +46,21 @@ type Workload struct {
 
 var registry []*Workload
 
-func register(w *Workload) *Workload {
+// Register adds a workload to the registry and returns it. Built-in
+// kernels register themselves from init-time variable initializers;
+// external packages may add their own before the first All/ByName call.
+// Duplicate names panic: every tool keys traces and results by name.
+func Register(w *Workload) *Workload {
+	for _, have := range registry {
+		if have.Name == w.Name {
+			panic(fmt.Sprintf("workloads: duplicate workload name %q", w.Name))
+		}
+	}
 	registry = append(registry, w)
 	return w
 }
+
+func register(w *Workload) *Workload { return Register(w) }
 
 // All returns every registered workload, ordered by suite then name.
 func All() []*Workload {
@@ -70,14 +85,54 @@ func ByCategory(c Category) []*Workload {
 	return out
 }
 
-// ByName returns the named workload or an error.
+// ByName returns the named workload, or an error naming the nearest
+// registered workload when the name looks like a typo.
 func ByName(name string) (*Workload, error) {
 	for _, w := range registry {
 		if w.Name == name {
 			return w, nil
 		}
 	}
+	if near := nearestName(name); near != "" {
+		return nil, fmt.Errorf("workloads: unknown workload %q — did you mean %q?", name, near)
+	}
 	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// nearestName returns the registered name closest to name within a
+// conservative edit-distance threshold, or "".
+func nearestName(name string) string {
+	best, bestDist := "", 3
+	for _, w := range All() {
+		if d := editDistance(name, w.Name); d < bestDist {
+			best, bestDist = w.Name, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between two strings.
+func editDistance(a, b string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
 
 // Trace builds, functionally executes and annotates the workload with the

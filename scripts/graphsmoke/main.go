@@ -1,0 +1,71 @@
+// Command graphsmoke validates a `dse -json` document produced over the
+// full five-model registry with a graph benchmark: the enlarged
+// 4-core × 2^5-subset grid must be fully enumerated, GS-DAE designs
+// must appear in it, and the graph benchmark's per-design rows must be
+// present. `make check` runs it against a bfs sweep so registry growth
+// can never silently stop reaching the exploration grid.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "graphsmoke: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fail("usage: graphsmoke <dse-result.json>")
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var doc struct {
+		Schema  string `json:"schema"`
+		Results []struct {
+			Design string `json:"design"`
+			Bench  string `json:"bench"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fail("malformed document: %v", err)
+	}
+	if doc.Schema != "exocore-result/v1" {
+		fail("schema %q, want exocore-result/v1", doc.Schema)
+	}
+
+	designs := map[string]bool{}
+	gsdaeDesigns := 0
+	benchRows := 0
+	for _, r := range doc.Results {
+		if !designs[r.Design] {
+			designs[r.Design] = true
+			if _, letters, ok := strings.Cut(r.Design, "-"); ok && strings.Contains(letters, "G") {
+				gsdaeDesigns++
+			}
+		}
+		if r.Bench == "bfs" {
+			benchRows++
+		}
+	}
+
+	// 4 general cores × 2^5 registry subsets.
+	const wantDesigns = 4 * 32
+	if len(designs) != wantDesigns {
+		fail("%d distinct designs, want %d (did the grid stop following the registry?)", len(designs), wantDesigns)
+	}
+	if gsdaeDesigns != wantDesigns/2 {
+		fail("%d GS-DAE designs, want %d", gsdaeDesigns, wantDesigns/2)
+	}
+	if benchRows != wantDesigns {
+		fail("%d bfs rows, want one per design (%d)", benchRows, wantDesigns)
+	}
+	fmt.Printf("graphsmoke: ok — %d designs, %d with GS-DAE, %d bfs rows\n",
+		len(designs), gsdaeDesigns, benchRows)
+}
