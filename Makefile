@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet test race tier1 bench benchdiff benchsmoke tracesmoke servesmoke graphsmoke tools clean
+.PHONY: check build vet test race tier1 bench benchdiff benchsmoke tracesmoke servesmoke graphsmoke memsmoke tools clean
 
 # The full pre-merge gate: vet + build + race-enabled tests + tier-1 +
 # a single-iteration pass over every benchmark so they can't rot + a
 # trace-export smoke test + the daemon end-to-end smoke test + the
-# graph-family sweep smoke test over the enlarged registry grid.
-check: vet build race tier1 benchsmoke tracesmoke servesmoke graphsmoke
+# graph-family sweep smoke test over the enlarged registry grid + the
+# streaming-evaluation memory gate on a 10M-instruction trace.
+check: vet build race tier1 benchsmoke tracesmoke servesmoke graphsmoke memsmoke
 
 build:
 	$(GO) build ./...
@@ -29,23 +30,23 @@ test:
 	$(GO) test ./...
 
 # Run the tracked benchmarks and record them (with the frozen
-# pre-delta-evaluation baselines) in BENCH_4.json. BENCH_2.json remains
+# pre-data-oriented-µDG baselines) in BENCH_7.json. BENCH_4.json remains
 # as the record of the previous optimization round; its "current" values
-# are this round's baselines.
+# were re-measured as this round's baselines on the same machine.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkExocoreRun|BenchmarkGraphExocoreRun|BenchmarkDSESweep|BenchmarkContextConstruction|BenchmarkServeEvaluate' \
 		-benchmem -benchtime=3x . | tee bench.out
-	awk -f scripts/bench4json.awk bench.out > BENCH_4.json
+	awk -f scripts/bench7json.awk bench.out > BENCH_7.json
 	@rm -f bench.out
-	@cat BENCH_4.json
+	@cat BENCH_7.json
 
 # Regression gate: re-measure the tracked benchmarks and fail when any is
-# slower than the value recorded in BENCH_4.json by more than the
+# slower than the value recorded in BENCH_7.json by more than the
 # tolerance band.
 benchdiff:
-	$(GO) test -run '^$$' -bench 'BenchmarkExocoreRun|BenchmarkDSESweep|BenchmarkContextConstruction|BenchmarkServeEvaluate' \
-		-benchmem -benchtime=3x . > bench.out
-	awk -f scripts/benchdiff.awk BENCH_4.json bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkExocoreRun|BenchmarkGraphExocoreRun|BenchmarkDSESweep|BenchmarkContextConstruction|BenchmarkServeEvaluate' \
+		-benchmem -benchtime=3x -count=4 . > bench.out
+	awk -f scripts/benchdiff.awk BENCH_7.json bench.out
 	@rm -f bench.out
 
 # One iteration of every benchmark: catches compile breaks and panics.
@@ -76,6 +77,14 @@ graphsmoke:
 	$(GO) run ./cmd/dse -bench bfs -maxdyn 8000 -json > /tmp/exocore-graphsmoke.json
 	$(GO) run ./scripts/graphsmoke /tmp/exocore-graphsmoke.json
 	@rm -f /tmp/exocore-graphsmoke.json
+
+# Streaming-evaluation memory gate: a 10M-instruction trace through the
+# baseline engine must stay inside a fixed memory budget — the µDG is
+# O(window), so only the trace itself scales with length. GOMEMLIMIT
+# enforces the heap target for the whole run, not just at the final
+# measurement.
+memsmoke:
+	GOMEMLIMIT=512MiB $(GO) run ./scripts/memsmoke
 
 # Build the drivers into ./bin.
 tools:

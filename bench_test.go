@@ -53,7 +53,7 @@ func quickSet(b *testing.B) []*workloads.Workload {
 
 // BenchmarkExocoreRun measures one full-trace engine evaluation under an
 // Oracle assignment — the unit of work the DSE sweep repeats tens of
-// thousands of times. Tracked in BENCH_2.json (ns/op, allocs/op).
+// thousands of times. Tracked in BENCH_7.json (ns/op, allocs/op).
 func BenchmarkExocoreRun(b *testing.B) {
 	w, err := workloads.ByName("cjpeg")
 	if err != nil {
@@ -87,7 +87,7 @@ func BenchmarkExocoreRun(b *testing.B) {
 // one full-trace evaluation of bfs under the full five-model registry,
 // where the Oracle hands the hot frontier loop to GS-DAE — so the
 // decoupled access/compute stream transform is in the measured path.
-// Run by `make bench`; not baseline-tracked (it post-dates BENCH_4.json).
+// Run by `make bench`; tracked in BENCH_7.json.
 func BenchmarkGraphExocoreRun(b *testing.B) {
 	w, err := workloads.ByName("bfs")
 	if err != nil {
@@ -130,7 +130,7 @@ func BenchmarkGraphExocoreRun(b *testing.B) {
 // the 64-design × quick-set sweep (§5, Figures 10-12) on a fresh engine,
 // so every stage — trace, TDG, scheduling contexts, and all assignment
 // evaluations — is paid inside the loop. This is the number the
-// evaluation-cache work is judged by; tracked in BENCH_2.json.
+// evaluation-cache work is judged by; tracked in BENCH_7.json.
 func BenchmarkDSESweep(b *testing.B) {
 	ws := quickSet(b)
 	b.ReportAllocs()
@@ -150,7 +150,7 @@ func BenchmarkDSESweep(b *testing.B) {
 // the baseline run plus every per-candidate solo measurement — which is
 // where a fresh sweep spends most of its time. Exercises the delta
 // composer, prefix publication and the cross-core shared pool on a cold
-// cache each iteration. Tracked in BENCH_4.json.
+// cache each iteration. Tracked in BENCH_7.json.
 func BenchmarkContextConstruction(b *testing.B) {
 	w, err := workloads.ByName("cjpeg")
 	if err != nil {

@@ -6,6 +6,7 @@
 package bsautil
 
 import (
+	"sort"
 	"sync"
 
 	"exocore/internal/dg"
@@ -25,33 +26,27 @@ type Iteration struct {
 // loop, detecting iteration boundaries at header-block entry. Any prefix
 // before the first header entry is folded into the first iteration.
 func SplitIterations(t *tdg.TDG, loopID, start, end int) []Iteration {
-	headerStart := t.CFG.Blocks[t.Nest.Loops[loopID].Header].Start
-	// Count header entries first so the result is built in one allocation.
-	n := 0
-	for i := start; i < end; i++ {
-		if int(t.Trace.Insts[i].SI) == headerStart {
-			n++
-		}
+	if end <= start {
+		return nil
 	}
-	iters := make([]Iteration, 0, n+1)
-	cur := Iteration{Start: start, End: start}
-	started := false
-	for i := start; i < end; i++ {
-		si := int(t.Trace.Insts[i].SI)
-		if si == headerStart {
-			if started && i > cur.Start {
-				cur.End = i
-				iters = append(iters, cur)
-				cur = Iteration{Start: i, End: i}
-			}
-			started = true
-		}
+	// The TDG memoizes every loop's header-entry positions, so locating
+	// this occurrence's boundaries is a binary search, not a trace scan.
+	entries := t.HeaderEntries(loopID)
+	lo := sort.Search(len(entries), func(k int) bool { return int(entries[k]) >= start })
+	hi := lo + sort.Search(len(entries)-lo, func(k int) bool { return int(entries[lo+k]) >= end })
+	bounds := entries[lo:hi]
+	if len(bounds) > 0 {
+		// The first header entry never splits: any prefix before it folds
+		// into the first iteration.
+		bounds = bounds[1:]
 	}
-	cur.End = end
-	if cur.End > cur.Start {
-		iters = append(iters, cur)
+	iters := make([]Iteration, 0, len(bounds)+1)
+	cur := start
+	for _, b := range bounds {
+		iters = append(iters, Iteration{Start: cur, End: int(b)})
+		cur = int(b)
 	}
-	return iters
+	return append(iters, Iteration{Start: cur, End: end})
 }
 
 // BlocksOf returns the distinct basic-block entry sequence of a dynamic
@@ -129,15 +124,18 @@ type Dataflow struct {
 	lastExec dg.NodeID
 	ops      int64
 	values   int64
-	written  map[isa.Reg]bool
+	// written flags registers written during execution; a fixed array
+	// instead of a map keeps the per-op write branchless, and iteration
+	// (WrittenRegs, ExitNode) deterministic in ascending register order —
+	// map iteration could pick either predecessor on exit-edge time ties.
+	written [isa.NumRegs]bool
+	wrList  [isa.NumRegs]isa.Reg // WrittenRegs scratch
 }
 
-// dfPool recycles Dataflow executors (and their two maps) across regions;
-// every offload model creates one per region occurrence.
+// dfPool recycles Dataflow executors (and their store table) across
+// regions; every offload model creates one per region occurrence.
 var dfPool = sync.Pool{New: func() any {
-	return &Dataflow{
-		written: make(map[isa.Reg]bool),
-	}
+	return &Dataflow{}
 }}
 
 // dfStoreTab is an open-addressed address → completion-node table for
@@ -221,7 +219,7 @@ func NewDataflow(cfg DataflowConfig, g *dg.Graph, counts *energy.Counts, entry d
 	d := dfPool.Get().(*Dataflow)
 	d.Cfg, d.G, d.Counts = cfg, g, counts
 	d.stores.clear()
-	clear(d.written)
+	clear(d.written[:])
 	d.issueRT = g.BorrowRT(cfg.IssueBandwidth)
 	d.busRT = g.BorrowRT(cfg.BusBandwidth)
 	d.memRT = g.BorrowRT(cfg.MemPorts)
@@ -251,28 +249,75 @@ func (d *Dataflow) Exec(in *isa.Inst, dyn *trace.DynInst, dynIdx int32) dg.NodeI
 	g := d.G
 	e := g.NewNode(dg.KindAccel, dynIdx)
 
-	// Data dependences.
-	if in.Src1.Valid() && in.Src1 != isa.RZ {
-		g.AddEdge(d.regNode[in.Src1], e, 0, dg.EdgeData)
-	}
-	if in.Src2.Valid() && in.Src2 != isa.RZ {
-		g.AddEdge(d.regNode[in.Src2], e, 0, dg.EdgeData)
-	}
-	if in.Op == isa.FMA && in.Dst.Valid() {
-		g.AddEdge(d.regNode[in.Dst], e, 0, dg.EdgeData)
-	}
-	// Non-speculative control: wait for the branch that admitted this op.
-	if d.Cfg.SerializeControl {
-		g.AddEdge(d.ctrlNode, e, 1, dg.EdgeAccelCompute)
-	}
-	// Serialized compound execution: in-order issue.
-	if d.Cfg.ChainOps && d.lastExec != dg.None {
-		g.AddEdge(d.lastExec, e, 0, dg.EdgeInOrder)
-	}
-	// Memory dependence through the (store buffer / cache) interface.
-	if in.Op.IsLoad() {
-		if dep, ok := d.stores.get(dyn.Addr &^ 7); ok {
-			g.AddEdge(dep, e, 1, dg.EdgeMemDep)
+	if g.Lean() {
+		// Lean fast path: accumulate the dependence join in a register
+		// and store it once — identical times, no per-edge relax calls
+		// (a None source contributes nothing, mirroring AddEdge).
+		var te int64
+		if in.Src1.Valid() && in.Src1 != isa.RZ {
+			if n := d.regNode[in.Src1]; n != dg.None {
+				if t := g.Time(n); t > te {
+					te = t
+				}
+			}
+		}
+		if in.Src2.Valid() && in.Src2 != isa.RZ {
+			if n := d.regNode[in.Src2]; n != dg.None {
+				if t := g.Time(n); t > te {
+					te = t
+				}
+			}
+		}
+		if in.Op == isa.FMA && in.Dst.Valid() {
+			if n := d.regNode[in.Dst]; n != dg.None {
+				if t := g.Time(n); t > te {
+					te = t
+				}
+			}
+		}
+		if d.Cfg.SerializeControl && d.ctrlNode != dg.None {
+			if t := g.Time(d.ctrlNode) + 1; t > te {
+				te = t
+			}
+		}
+		if d.Cfg.ChainOps && d.lastExec != dg.None {
+			if t := g.Time(d.lastExec); t > te {
+				te = t
+			}
+		}
+		if in.Op.IsLoad() {
+			if dep, ok := d.stores.get(dyn.Addr &^ 7); ok {
+				if t := g.Time(dep) + 1; t > te {
+					te = t
+				}
+			}
+		}
+		g.SetTime(e, te)
+	} else {
+		// Data dependences.
+		if in.Src1.Valid() && in.Src1 != isa.RZ {
+			g.AddEdge(d.regNode[in.Src1], e, 0, dg.EdgeData)
+		}
+		if in.Src2.Valid() && in.Src2 != isa.RZ {
+			g.AddEdge(d.regNode[in.Src2], e, 0, dg.EdgeData)
+		}
+		if in.Op == isa.FMA && in.Dst.Valid() {
+			g.AddEdge(d.regNode[in.Dst], e, 0, dg.EdgeData)
+		}
+		// Non-speculative control: wait for the branch that admitted
+		// this op.
+		if d.Cfg.SerializeControl {
+			g.AddEdge(d.ctrlNode, e, 1, dg.EdgeAccelCompute)
+		}
+		// Serialized compound execution: in-order issue.
+		if d.Cfg.ChainOps && d.lastExec != dg.None {
+			g.AddEdge(d.lastExec, e, 0, dg.EdgeInOrder)
+		}
+		// Memory dependence through the (store buffer / cache) interface.
+		if in.Op.IsLoad() {
+			if dep, ok := d.stores.get(dyn.Addr &^ 7); ok {
+				g.AddEdge(dep, e, 1, dg.EdgeMemDep)
+			}
 		}
 	}
 
@@ -294,7 +339,11 @@ func (d *Dataflow) Exec(in *isa.Inst, dyn *trace.DynInst, dynIdx int32) dg.NodeI
 	if lat < 1 {
 		lat = 1
 	}
-	g.AddEdge(e, p, lat, dg.EdgeExec)
+	if g.Lean() {
+		g.SetTime(p, g.Time(e)+lat) // e's only outgoing edge; times ≥ 0
+	} else {
+		g.AddEdge(e, p, lat, dg.EdgeExec)
+	}
 	if in.HasDst() {
 		d.values++
 		// Cross-CFU results traverse the writeback bus (a fixed fraction
@@ -353,8 +402,18 @@ func (d *Dataflow) LastNode() dg.NodeID { return d.lastNode }
 // Ops returns the number of executed operations.
 func (d *Dataflow) Ops() int64 { return d.ops }
 
-// WrittenRegs returns the set of registers written during execution.
-func (d *Dataflow) WrittenRegs() map[isa.Reg]bool { return d.written }
+// WrittenRegs returns the registers written during execution, in
+// ascending order. The slice is scratch owned by the executor — iterate
+// it immediately, don't retain it across Exec or Release.
+func (d *Dataflow) WrittenRegs() []isa.Reg {
+	out := d.wrList[:0]
+	for r := 0; r < isa.NumRegs; r++ {
+		if d.written[r] {
+			out = append(out, isa.Reg(r))
+		}
+	}
+	return out
+}
 
 // ForEachStore visits every (address, completion node) pair of performed
 // stores, for forwarding into the core's dependence state at region exit.
@@ -406,8 +465,10 @@ func (d *Dataflow) ExitNode(extraLat int64) dg.NodeID {
 	exit := g.NewNode(dg.KindAccel, -1)
 	g.AddEdge(d.ctrlNode, exit, extraLat, dg.EdgeAccelComm)
 	g.AddEdge(d.lastNode, exit, extraLat, dg.EdgeAccelComm)
-	for r := range d.written {
-		g.AddEdge(d.regNode[r], exit, extraLat, dg.EdgeAccelComm)
+	for r := 0; r < isa.NumRegs; r++ {
+		if d.written[r] {
+			g.AddEdge(d.regNode[r], exit, extraLat, dg.EdgeAccelComm)
+		}
 	}
 	return exit
 }

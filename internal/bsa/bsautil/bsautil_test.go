@@ -137,8 +137,8 @@ func TestDataflowDataDependence(t *testing.T) {
 	if df.Ops() != 2 {
 		t.Errorf("ops = %d", df.Ops())
 	}
-	if !df.WrittenRegs()[isa.R(1)] || !df.WrittenRegs()[isa.R(4)] {
-		t.Error("written regs not tracked")
+	if got := df.WrittenRegs(); len(got) != 2 || got[0] != isa.R(1) || got[1] != isa.R(4) {
+		t.Errorf("WrittenRegs = %v, want [R1 R4] in ascending order", got)
 	}
 }
 
@@ -239,3 +239,58 @@ func TestDataflowResume(t *testing.T) {
 type nilRegs struct{}
 
 func (nilRegs) RegDef(isa.Reg) dg.NodeID { return dg.None }
+
+// TestDataflowLeanTimesIdentical pins the lean fast path in
+// Dataflow.Exec to the attribution path: the same op stream through
+// both graph modes must yield bit-identical completion times, for both
+// the NS-DF (serialized control) and Trace-P (speculative, chained)
+// configurations.
+func TestDataflowLeanTimesIdentical(t *testing.T) {
+	ops := []struct {
+		in  isa.Inst
+		dyn trace.DynInst
+	}{
+		{isa.Inst{Op: isa.Add, Dst: isa.R(1), Src1: isa.R(2), Src2: isa.R(3)}, trace.DynInst{}},
+		{isa.Inst{Op: isa.Ld, Dst: isa.R(2), Src1: isa.R(1), Src2: isa.NoReg}, trace.DynInst{Addr: 0x1000, MemLat: 12}},
+		{isa.Inst{Op: isa.Mul, Dst: isa.R(3), Src1: isa.R(2), Src2: isa.R(2)}, trace.DynInst{}},
+		{isa.Inst{Op: isa.St, Src1: isa.R(1), Src2: isa.R(3), Dst: isa.NoReg}, trace.DynInst{Addr: 0x1000, MemLat: 4}},
+		{isa.Inst{Op: isa.Ld, Dst: isa.R(4), Src1: isa.R(1), Src2: isa.NoReg}, trace.DynInst{Addr: 0x1000, MemLat: 2}},
+		{isa.Inst{Op: isa.Bne, Src1: isa.R(4), Src2: isa.RZ, Dst: isa.NoReg}, trace.DynInst{Flags: trace.FlagTaken}},
+		{isa.Inst{Op: isa.FMA, Dst: isa.R(5), Src1: isa.R(3), Src2: isa.R(4)}, trace.DynInst{}},
+		{isa.Inst{Op: isa.Div, Dst: isa.R(6), Src1: isa.R(5), Src2: isa.R(3)}, trace.DynInst{}},
+	}
+	for _, chain := range []bool{false, true} {
+		for _, serialize := range []bool{false, true} {
+			cfg := testCfg
+			cfg.SerializeControl = serialize
+			cfg.ChainOps = chain
+			cfg.BusEvery = 2
+			ga := dg.NewGraph()
+			gl := dg.NewGraph()
+			gl.ResetMode(true)
+			var ca, cl energy.Counts
+			da := NewDataflow(cfg, ga, &ca, ga.Origin())
+			dl := NewDataflow(cfg, gl, &cl, gl.Origin())
+			for i := range ops {
+				for rep := 0; rep < 3; rep++ {
+					pa := da.Exec(&ops[i].in, &ops[i].dyn, int32(i))
+					pl := dl.Exec(&ops[i].in, &ops[i].dyn, int32(i))
+					if ga.Time(pa) != gl.Time(pl) {
+						t.Fatalf("chain=%v serialize=%v op %d rep %d: attrib %d != lean %d",
+							chain, serialize, i, rep, ga.Time(pa), gl.Time(pl))
+					}
+				}
+			}
+			ea := da.ExitNode(3)
+			el := dl.ExitNode(3)
+			if ga.Time(ea) != gl.Time(el) {
+				t.Fatalf("chain=%v serialize=%v: exit %d != %d", chain, serialize, ga.Time(ea), gl.Time(el))
+			}
+			if ca != cl {
+				t.Fatalf("chain=%v serialize=%v: energy counts diverge", chain, serialize)
+			}
+			da.Release()
+			dl.Release()
+		}
+	}
+}

@@ -221,6 +221,7 @@ func (m *Model) buildPlan(t *tdg.TDG, l int, ld *ir.LoopDataflow) *loopPlan {
 			computeWrites[r0(in.Dst)] = true
 		}
 	}
+	p.inputs = make([]isa.Reg, 0, len(computeReads))
 	for r := range computeReads {
 		if !computeWrites[r] {
 			p.inputs = append(p.inputs, r)
@@ -240,6 +241,7 @@ func (m *Model) buildPlan(t *tdg.TDG, l int, ld *ir.LoopDataflow) *loopPlan {
 	for _, r := range ld.LiveOuts {
 		outsideReads[r] = true
 	}
+	p.outputs = make([]isa.Reg, 0, len(computeWrites))
 	for r := range computeWrites {
 		if outsideReads[r] {
 			p.outputs = append(p.outputs, r)
@@ -349,10 +351,9 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 }
 
 func (m *Model) scalar(ctx *tdg.Ctx, start, end int) {
-	tr := ctx.TDG.Trace
+	uops := ctx.TDG.UOps()
 	for i := start; i < end; i++ {
-		d := &tr.Insts[i]
-		ctx.GPP.Exec(cores.FromDyn(&tr.Prog.Insts[d.SI], d), int32(i))
+		ctx.GPP.Exec(uops[i], int32(i))
 	}
 }
 

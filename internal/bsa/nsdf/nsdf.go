@@ -143,7 +143,7 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 
 	// Region exit: live-outs and store state hand back to the core.
 	exit := df.ExitNode(bsautil.TransferLatency(len(ld.LiveOuts)))
-	for reg := range df.WrittenRegs() {
+	for _, reg := range df.WrittenRegs() {
 		gpp.SetRegDef(reg, exit)
 	}
 	df.ForEachStore(gpp.NoteStore)

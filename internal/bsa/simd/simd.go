@@ -229,6 +229,7 @@ type laneInfo struct {
 type groupScratch struct {
 	lanes   []*laneInfo
 	touched []int
+	group   []bsautil.Iteration
 	arena   laneArena
 }
 
@@ -295,7 +296,10 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 		m.vectorGroup(ctx, p, group, scratch)
 	}
 
-	var group []bsautil.Iteration
+	if scratch.group == nil {
+		scratch.group = make([]bsautil.Iteration, 0, isa.VecLanes)
+	}
+	group := scratch.group[:0]
 	for _, it := range iters {
 		group = append(group, it)
 		if len(group) == isa.VecLanes {
@@ -304,6 +308,7 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 		}
 	}
 	flushGroup(group)
+	scratch.group = group[:0]
 
 	// Reduction epilogue: one horizontal reduce per reduction register.
 	// Emission order books FU slots, so it must not follow map order.
@@ -326,10 +331,9 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 }
 
 func (m *Model) scalar(ctx *tdg.Ctx, start, end int) {
-	tr := ctx.TDG.Trace
+	uops := ctx.TDG.UOps()
 	for i := start; i < end; i++ {
-		d := &tr.Insts[i]
-		ctx.GPP.Exec(cores.FromDyn(&tr.Prog.Insts[d.SI], d), int32(i))
+		ctx.GPP.Exec(uops[i], int32(i))
 	}
 }
 

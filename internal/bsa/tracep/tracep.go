@@ -158,11 +158,9 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 	df := bsautil.NewDataflow(m.df, g, ctx.Counts, entry)
 	defer df.Release()
 	iters := bsautil.SplitIterations(ctx.TDG, r.LoopID, start, end)
-	var pathBuf []int
 	for _, it := range iters {
-		path := bsautil.BlocksOfInto(pathBuf, ctx.TDG, it.Start, it.End)
-		pathBuf = path
-		if pathMatches(path, plan.hotPath) {
+		matched, shared := matchHotPath(ctx.TDG, it.Start, it.End, plan.hotPath)
+		if matched {
 			for i := it.Start; i < it.End; i++ {
 				d := &tr.Insts[i]
 				df.Exec(&tr.Prog.Insts[d.SI], d, int32(i))
@@ -173,18 +171,18 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 		// diverging block before detecting the wrong path; that partial
 		// work is wasted (charged), then the whole iteration replays on
 		// the host core.
-		m.chargeWastedWork(ctx, plan, path, it, df)
+		m.chargeWastedWork(ctx, plan, shared)
 		squash := g.NewNode(dg.KindAccel, int32(it.Start))
 		g.AddEdge(df.LastNode(), squash, ReplayPenalty, dg.EdgeAccelReplay)
 		// Hand current speculative state to the core for the replay.
-		for reg := range df.WrittenRegs() {
+		for _, reg := range df.WrittenRegs() {
 			gpp.SetRegDef(reg, squash)
 		}
 		gpp.Barrier(squash, dg.EdgeAccelReplay)
 		var lastInfo cores.ExecInfo
+		uops := ctx.TDG.UOps()
 		for i := it.Start; i < it.End; i++ {
-			d := &tr.Insts[i]
-			lastInfo = gpp.Exec(cores.FromDyn(&tr.Prog.Insts[d.SI], d), int32(i))
+			lastInfo = gpp.Exec(uops[i], int32(i))
 		}
 		// Resume the trace engine with the core's architectural state.
 		resume := g.NewNode(dg.KindAccel, int32(it.End-1))
@@ -193,7 +191,7 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 	}
 
 	exit := df.ExitNode(bsautil.TransferLatency(len(ld.LiveOuts)))
-	for reg := range df.WrittenRegs() {
+	for _, reg := range df.WrittenRegs() {
 		gpp.SetRegDef(reg, exit)
 	}
 	df.ForEachStore(gpp.NoteStore)
@@ -202,25 +200,35 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 }
 
 // chargeWastedWork accounts the energy of trace operations executed
-// before divergence was detected (the speculative prefix shared with the
-// hot path).
-func (m *Model) chargeWastedWork(ctx *tdg.Ctx, plan *tracePlan, path []int, it bsautil.Iteration, df *bsautil.Dataflow) {
+// before divergence was detected: the first sharedBlocks blocks of the
+// hot path ran speculatively before the wrong-path check fired.
+func (m *Model) chargeWastedWork(ctx *tdg.Ctx, plan *tracePlan, sharedBlocks int) {
 	shared := 0
-	for i := 0; i < len(path) && i < len(plan.hotPath) && path[i] == plan.hotPath[i]; i++ {
-		shared += ctx.TDG.CFG.Blocks[path[i]].Len()
+	for _, b := range plan.hotPath[:sharedBlocks] {
+		shared += ctx.TDG.CFG.Blocks[b].Len()
 	}
 	ctx.Counts.Add(energy.EvCFUOp, int64(shared))
 	ctx.Counts.Add(energy.EvReplay, 1)
 }
 
-func pathMatches(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
+// matchHotPath compares one iteration's dynamic block-entry sequence
+// against the planned hot path without materializing it, returning
+// whether the whole path matched and how many leading blocks did (the
+// shared speculative prefix charged on divergence).
+func matchHotPath(t *tdg.TDG, start, end int, hot []int) (bool, int) {
+	k := 0
+	prev, prevSI := -1, -1
+	for i := start; i < end; i++ {
+		si := int(t.Trace.Insts[i].SI)
+		b := t.CFG.BlockOf[si]
+		if b != prev || si <= prevSI {
+			if k >= len(hot) || hot[k] != b {
+				return false, k
+			}
+			k++
+			prev = b
 		}
+		prevSI = si
 	}
-	return true
+	return k == len(hot), k
 }

@@ -3,6 +3,7 @@ package tracep
 import (
 	"testing"
 
+	"exocore/internal/bsa/bsautil"
 	"exocore/internal/cores"
 	"exocore/internal/testutil"
 )
@@ -85,9 +86,35 @@ func TestModelMetadata(t *testing.T) {
 	}
 }
 
-func TestPathMatches(t *testing.T) {
-	if !pathMatches([]int{1, 2}, []int{1, 2}) || pathMatches([]int{1}, []int{1, 2}) ||
-		pathMatches([]int{1, 3}, []int{1, 2}) {
-		t.Error("pathMatches wrong")
+func TestMatchHotPathAgainstBlocksOf(t *testing.T) {
+	// Differential: the fused matcher must agree with materializing the
+	// block path and comparing it, on every iteration of a real region.
+	td := testutil.TDGFor(t, "vr", 25000)
+	plan := New().Analyze(td)
+	if len(plan.Regions) == 0 {
+		t.Fatal("no Trace-P region on vr")
+	}
+	checked := 0
+	for _, r := range plan.Regions {
+		tp := r.Config.(*tracePlan)
+		iters := bsautil.SplitIterations(td, r.LoopID, 0, td.Trace.Len())
+		for _, it := range iters {
+			path := bsautil.BlocksOf(td, it.Start, it.End)
+			wantShared := 0
+			for wantShared < len(path) && wantShared < len(tp.hotPath) &&
+				path[wantShared] == tp.hotPath[wantShared] {
+				wantShared++
+			}
+			wantMatch := len(path) == len(tp.hotPath) && wantShared == len(path)
+			gotMatch, gotShared := matchHotPath(td, it.Start, it.End, tp.hotPath)
+			if gotMatch != wantMatch || gotShared != wantShared {
+				t.Fatalf("iteration [%d,%d): match=%v shared=%d, want match=%v shared=%d",
+					it.Start, it.End, gotMatch, gotShared, wantMatch, wantShared)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no iterations checked")
 	}
 }

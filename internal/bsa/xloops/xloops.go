@@ -183,7 +183,7 @@ func (m *Model) TransformRegion(ctx *tdg.Ctx, r *tdg.Region, start, end int) dg.
 	}
 
 	exit := df.ExitNode(bsautil.TransferLatency(len(ld.LiveOuts)))
-	for reg := range df.WrittenRegs() {
+	for _, reg := range df.WrittenRegs() {
 		gpp.SetRegDef(reg, exit)
 	}
 	df.ForEachStore(gpp.NoteStore)

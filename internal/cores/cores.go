@@ -321,6 +321,73 @@ func (m *GPP) LastStoreTo(addr uint64) dg.NodeID {
 
 const storeWindow = 4096 // uops a store-forwarding entry stays visible
 
+// CompactWindow bounds the resident µDG during long core-resident
+// streams: when more than window nodes are live, everything the core can
+// still reference is either inside the trailing uop history (protected
+// by the live floor — the fetch node of the oldest remembered uop) or an
+// architectural anchor (barrier, register definitions, store-forwarding
+// entries), which are re-anchored onto fresh time-preserving pin nodes;
+// all nodes below the floor are then retired via dg.Graph.Retire. Node
+// times are unchanged by construction — a pin copies its target's final
+// time over a zero-latency edge — so windowed evaluation is
+// byte-identical to whole-trace evaluation; only peak memory changes,
+// from O(trace) to O(window).
+//
+// Must be called only between uops of a core-resident segment, never
+// while an accelerator transform holding node references is in flight
+// (the exocore engine calls it on chunk boundaries of its GPP streaming
+// loop).
+func (m *GPP) CompactWindow(window int) {
+	g := m.G
+	if g.Resident() <= window {
+		return
+	}
+	floor := dg.NodeID(g.Len()) // next id: nothing kept by the history
+	back := m.n
+	if back > histSize {
+		back = histSize
+	}
+	if back > 0 {
+		if f := m.hist(&m.fetch, back); f != dg.None && f < floor {
+			floor = f
+		}
+	}
+	if m.pendingRefill != dg.None && m.pendingRefill < floor {
+		floor = m.pendingRefill
+	}
+	if m.redirectF != dg.None && m.redirectF < floor {
+		floor = m.redirectF
+	}
+	if floor <= g.Base() {
+		return
+	}
+	// Re-anchor architectural state below the floor. Pins allocate
+	// upward from the current end of the graph, so they survive the
+	// retirement they enable.
+	if m.barrier < floor {
+		m.barrier = m.pin(m.barrier)
+	}
+	lastOld, lastPin := dg.None, dg.None // most regDef entries repeat (eg. origin)
+	for r := range m.regDef {
+		if old := m.regDef[r]; old != dg.None && old < floor {
+			if old != lastOld {
+				lastOld, lastPin = old, m.pin(old)
+			}
+			m.regDef[r] = lastPin
+		}
+	}
+	m.stores.repin(m.gen, floor, m.pin)
+	g.Retire(floor)
+}
+
+// pin allocates a zero-latency anchor carrying old's (final) time, so
+// old itself can be retired without losing the dependence time.
+func (m *GPP) pin(old dg.NodeID) dg.NodeID {
+	p := m.G.NewNode(dg.KindAccel, -1)
+	m.G.AddEdge(old, p, 0, dg.EdgeProgram)
+	return p
+}
+
 // ExecInfo exposes the key nodes of an executed UOp so accelerator
 // transforms can attach interaction edges.
 type ExecInfo struct {
@@ -333,6 +400,15 @@ type ExecInfo struct {
 // edges, booking resources and charging energy events. dynIdx tags the
 // nodes for debugging (-1 for synthetic uops).
 func (m *GPP) Exec(u UOp, dynIdx int32) ExecInfo {
+	if m.G.Lean() {
+		// Lean graphs carry no attribution state, so each stage node's
+		// time is just the maximum over its incoming edges: execLean
+		// computes that in registers and stores it once per node,
+		// replacing roughly a dozen relax calls per uop on the hottest
+		// loop in the system. Times are identical by construction; the
+		// differential test pins the two paths together.
+		return m.execLean(&u, dynIdx)
+	}
 	g := m.G
 	cfg := &m.Cfg
 
@@ -456,6 +532,192 @@ func (m *GPP) Exec(u UOp, dynIdx int32) ExecInfo {
 	g.AddEdge(m.hist(&m.commit, 1), c, 0, dg.EdgeProgram)
 	g.AddEdge(m.hist(&m.commit, cfg.Width), c, 1, dg.EdgeWidth)
 
+	return m.finish(&u, cls, f, d, e, p, c)
+}
+
+// execLean is Exec for lean graphs: identical edge set and booking
+// order, but each stage time is accumulated in a register and written
+// once. A None source contributes nothing (mirroring AddEdge's guard).
+func (m *GPP) execLean(u *UOp, dynIdx int32) ExecInfo {
+	g := m.G
+	cfg := &m.Cfg
+
+	f := g.NewPipelineNodes(dynIdx)
+	d, e, p, c := f+1, f+2, f+3, f+4
+
+	cls := u.Op.ClassOf()
+
+	// --- Fetch ---
+	var tf int64
+	if n := m.hist(&m.fetch, 1); n != dg.None {
+		tf = g.Time(n)
+	}
+	if n := m.hist(&m.fetch, cfg.Width); n != dg.None {
+		if t := g.Time(n) + 1; t > tf {
+			tf = t
+		}
+	}
+	if !m.barrierSeen {
+		if m.barrier != dg.None {
+			if t := g.Time(m.barrier); t > tf {
+				tf = t
+			}
+		}
+		m.barrierSeen = true
+	}
+	if m.pendingRefill != dg.None {
+		if t := g.Time(m.pendingRefill) + int64(cfg.FrontendDepth); t > tf {
+			tf = t
+		}
+		m.pendingRefill = dg.None
+	}
+	if m.redirectF != dg.None {
+		if t := g.Time(m.redirectF) + 1; t > tf {
+			tf = t
+		}
+		m.redirectF = dg.None
+	}
+	g.SetTime(f, tf)
+
+	// --- Dispatch ---
+	td := tf + 2
+	if n := m.hist(&m.dispatch, 1); n != dg.None {
+		if t := g.Time(n); t > td {
+			td = t
+		}
+	}
+	if n := m.hist(&m.dispatch, cfg.Width); n != dg.None {
+		if t := g.Time(n) + 1; t > td {
+			td = t
+		}
+	}
+	if !cfg.InOrder && cfg.ROB > 0 {
+		if n := m.hist(&m.commit, cfg.ROB); n != dg.None {
+			if t := g.Time(n) + 1; t > td {
+				td = t
+			}
+		}
+	}
+	if cfg.InOrder && cfg.InFlight > 0 {
+		if n := m.hist(&m.commit, cfg.InFlight); n != dg.None {
+			if t := g.Time(n) + 1; t > td {
+				td = t
+			}
+		}
+	}
+	if !cfg.InOrder && cfg.Window > 0 && m.winLen >= cfg.Window {
+		if t := m.winBuf[m.winHead]; t > td {
+			td = t
+		}
+	}
+	g.SetTime(d, td)
+
+	// --- Execute ---
+	te := td + 1
+	if cfg.InOrder {
+		if n := m.hist(&m.execute, 1); n != dg.None {
+			if t := g.Time(n); t > te {
+				te = t
+			}
+		}
+	}
+	if u.Src1.Valid() && u.Src1 != isa.RZ {
+		if n := m.regDef[u.Src1]; n != dg.None {
+			if t := g.Time(n); t > te {
+				te = t
+			}
+		}
+	}
+	if u.Src2.Valid() && u.Src2 != isa.RZ {
+		if n := m.regDef[u.Src2]; n != dg.None {
+			if t := g.Time(n); t > te {
+				te = t
+			}
+		}
+	}
+	if u.Op == isa.FMA && u.Dst.Valid() {
+		if n := m.regDef[u.Dst]; n != dg.None {
+			if t := g.Time(n); t > te {
+				te = t
+			}
+		}
+	}
+	if u.Op.IsLoad() {
+		if rec, ok := m.stores.get(u.Addr &^ 7); ok && rec.gen == m.gen && m.n-int(rec.age) < storeWindow {
+			if t := g.Time(rec.node) + 2; t > te {
+				te = t
+			}
+		}
+	}
+	if t := m.issueRT.Book(te); t > te {
+		te = t
+	}
+	var rt *dg.ResourceTable
+	switch cls {
+	case isa.ClassIntAlu:
+		rt = m.aluRT
+	case isa.ClassIntMul, isa.ClassIntDiv:
+		rt = m.mulRT
+	case isa.ClassFpAdd, isa.ClassFpMul, isa.ClassFpDiv:
+		rt = m.fpRT
+	case isa.ClassVecAlu, isa.ClassVecMul:
+		rt = m.fpRT
+	case isa.ClassLoad, isa.ClassStore, isa.ClassVecMem:
+		rt = m.portRT
+	}
+	if rt != nil {
+		var when int64
+		switch {
+		case cls == isa.ClassIntDiv || cls == isa.ClassFpDiv:
+			when = rt.BookFor(te, int64(u.Op.Latency()))
+		case u.Op.IsVec() && !u.Op.IsMem():
+			when = rt.BookFor(te, 2)
+		default:
+			when = rt.Book(te)
+		}
+		if when > te {
+			te = when
+		}
+	}
+	g.SetTime(e, te)
+
+	// --- Complete ---
+	lat := int64(u.Op.Latency())
+	if u.Op.IsMem() {
+		lat = int64(u.MemLat)
+		if u.Op.IsStore() {
+			lat = 1
+		}
+	}
+	if lat < 1 {
+		lat = 1
+	}
+	tp := te + lat
+	g.SetTime(p, tp)
+
+	// --- Commit ---
+	tc := tp + 1
+	if n := m.hist(&m.commit, 1); n != dg.None {
+		if t := g.Time(n); t > tc {
+			tc = t
+		}
+	}
+	if n := m.hist(&m.commit, cfg.Width); n != dg.None {
+		if t := g.Time(n) + 1; t > tc {
+			tc = t
+		}
+	}
+	g.SetTime(c, tc)
+
+	return m.finish(u, cls, f, d, e, p, c)
+}
+
+// finish applies the mode-independent tail of one Exec: architectural
+// state updates, window bookkeeping, energy and history advance.
+func (m *GPP) finish(u *UOp, cls isa.Class, f, d, e, p, c dg.NodeID) ExecInfo {
+	g := m.G
+	cfg := &m.Cfg
+
 	// Architectural state updates.
 	if u.Dst.Valid() && u.Dst != isa.RZ {
 		m.regDef[u.Dst] = p
@@ -484,7 +746,7 @@ func (m *GPP) Exec(u UOp, dynIdx int32) ExecInfo {
 	}
 
 	// Energy accounting.
-	m.charge(&u, cls)
+	m.charge(u, cls)
 
 	// Advance history.
 	idx := m.n & (histSize - 1)
@@ -698,6 +960,22 @@ func (m *GPP) charge(u *UOp, cls isa.Class) {
 		case trace.LevelMem:
 			c.Add(energy.EvL2Access, 1)
 			c.Add(energy.EvMemAccess, 1)
+		}
+	}
+}
+
+// repin redirects every live (current-generation) entry whose node falls
+// below the compaction floor onto a time-preserving pin node, so
+// CompactWindow can retire the original while LastStoreTo and the
+// store-forwarding lookup keep returning the exact same times.
+func (t *storeTab) repin(gen uint32, floor dg.NodeID, pin func(dg.NodeID) dg.NodeID) {
+	for i, k := range t.keys {
+		if k == 0 {
+			continue
+		}
+		rec := &t.recs[i]
+		if rec.gen == gen && rec.node != dg.None && rec.node < floor {
+			rec.node = pin(rec.node)
 		}
 	}
 }

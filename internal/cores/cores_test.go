@@ -340,3 +340,58 @@ func TestInFlightLimitsInOrderMLP(t *testing.T) {
 		t.Error("smaller in-flight limit should reduce memory parallelism")
 	}
 }
+
+// memMix: loads, stores, branches and long-latency ops with enough
+// register pressure to exercise every edge source in Exec.
+func memMix(n int64) *prog.Program {
+	b := prog.NewBuilder("memmix")
+	b.MovI(isa.R(1), n)
+	b.MovI(isa.R(9), 0x1000)
+	b.Label("loop")
+	b.Ld(isa.R(2), isa.R(9), 0)
+	b.Mul(isa.R(3), isa.R(2), isa.R(2))
+	b.Div(isa.R(4), isa.R(3), isa.R(2))
+	b.St(isa.R(9), isa.R(4), 8)
+	b.AddI(isa.R(9), isa.R(9), 16)
+	b.SubI(isa.R(1), isa.R(1), 1)
+	b.Bne(isa.R(1), isa.RZ, "loop")
+	return b.MustBuild()
+}
+
+// TestLeanExecTimesIdentical pins the lean fast path in Exec to the
+// attribution (AddEdge) path: the same uop stream through both graph
+// modes must produce bit-identical stage times for every instruction,
+// on every core config.
+func TestLeanExecTimesIdentical(t *testing.T) {
+	for _, prg := range []*prog.Program{serialChain(300), parallelOps(300), memMix(300)} {
+		tr := buildTrace(t, prg, nil)
+		for _, cfg := range Configs {
+			ga := dg.NewGraph()
+			gl := dg.NewGraph()
+			gl.ResetMode(true)
+			var ca, cl energy.Counts
+			ma := NewGPP(cfg, ga, &ca)
+			ml := NewGPP(cfg, gl, &cl)
+			for i := range tr.Insts {
+				d := &tr.Insts[i]
+				u := FromDyn(&tr.Prog.Insts[d.SI], d)
+				ia := ma.Exec(u, int32(i))
+				il := ml.Exec(u, int32(i))
+				if ga.Time(ia.Exec) != gl.Time(il.Exec) ||
+					ga.Time(ia.Complete) != gl.Time(il.Complete) ||
+					ga.Time(ia.Commit) != gl.Time(il.Commit) {
+					t.Fatalf("%s/%s uop %d: attrib times (%d,%d,%d) != lean (%d,%d,%d)",
+						prg.Name, cfg.Name, i,
+						ga.Time(ia.Exec), ga.Time(ia.Complete), ga.Time(ia.Commit),
+						gl.Time(il.Exec), gl.Time(il.Complete), gl.Time(il.Commit))
+				}
+			}
+			if ma.EndTime() != ml.EndTime() {
+				t.Fatalf("%s/%s: end time %d != %d", prg.Name, cfg.Name, ma.EndTime(), ml.EndTime())
+			}
+			if ca != cl {
+				t.Fatalf("%s/%s: energy counts diverge", prg.Name, cfg.Name)
+			}
+		}
+	}
+}

@@ -10,6 +10,33 @@
 //
 // Transforms (BSA models) build alternative node/edge structures for
 // accelerated regions; everything composes in one graph per execution.
+//
+// # Storage layout
+//
+// The graph is a struct of arrays over flat slices, not an array of node
+// structs: times in one int64 stream, attribution (critical predecessor,
+// step latency, packed edge-class|kind, dynamic index) in parallel
+// int32/uint8 streams. The relaxation hot path (AddEdge/PushTime) touches
+// only the streams it needs, and the critical-path walk is a backward
+// sweep over the flat predecessor slice. Two modes share the layout:
+//
+//   - attribution mode (the default) maintains every stream, supporting
+//     WalkCriticalPath/CriticalPathBreakdown and per-region attribution;
+//   - lean mode maintains only the time stream. Edge relaxation reduces
+//     to a pure max — final node times are bit-identical to attribution
+//     mode (attribution only changes which predecessor is *recorded* on
+//     ties, never the computed maximum) at a third of the write traffic.
+//     Scheduling sweeps, which never walk paths, run lean.
+//
+// # Windowed (streaming) construction
+//
+// Node times are final once all in-edges are added, so a constructor that
+// no longer references old nodes does not need them resident. Retire
+// drops every node below a caller-proven live floor by compacting the
+// flat slices; node IDs keep their meaning (indices are rebased), and
+// peak memory becomes O(window) instead of O(trace). See
+// cores.GPP.CompactWindow for the live-floor computation and the
+// pin-node re-anchoring of long-lived architectural references.
 package dg
 
 import (
@@ -99,20 +126,36 @@ type NodeID int32
 // None is the absent node.
 const None NodeID = -1
 
-type node struct {
-	time     int64
-	critPred NodeID
-	critLat  int32
-	class    EdgeClass
-	kind     Kind
-	dynIdx   int32
-}
+// Per-node stream widths, for memory accounting: the time stream alone
+// (lean mode) and the four attribution streams (critPred int32 + critLat
+// int32 + class|kind uint8 + dynIdx int32).
+const (
+	leanNodeBytes   = 8
+	attribNodeBytes = 13
+)
 
 // Graph is a µDG being constructed and solved incrementally. Nodes must be
 // created after all their predecessors; AddEdge relaxes the target's time
 // immediately, so Time(id) of any already-constructed node is final.
+//
+// Storage is struct-of-arrays (see the package comment): time is always
+// maintained; pred/lat/ck/dyn only in attribution mode. All streams are
+// indexed by id − base, where base is the first resident node after any
+// Retire calls (0 for whole-trace graphs).
 type Graph struct {
-	nodes []node
+	time []int64 // node times; always maintained
+	pred []int32 // critical predecessor (attribution mode)
+	lat  []int32 // latency attributed to the step into the node
+	ck   []uint8 // EdgeClass<<3 | Kind
+	dyn  []int32 // dynamic-instruction index (-1 synthetic)
+
+	base NodeID // first resident node id; lower ids are retired
+	n    int    // total nodes created (next id); resident count is len(time)
+	lean bool
+
+	hwNodes int   // high-water resident node count
+	hwBytes int64 // high-water resident stream bytes
+
 	// rtFree recycles ResourceTables for transient users (accelerator
 	// dataflow engines create three per region); the rings are ~300KB
 	// each, so re-allocating them per region dominated evaluation cost.
@@ -125,21 +168,57 @@ func NewGraph() *Graph { return NewGraphN(0) }
 // NewGraphN returns a graph pre-sized for about hint nodes, so callers
 // that know the trace length (~5 µDG nodes per dynamic instruction) avoid
 // the append-doubling copies of incremental growth. hint <= 0 falls back
-// to the default capacity.
+// to the default capacity. The graph starts in attribution mode; see
+// ResetMode.
 func NewGraphN(hint int) *Graph {
 	if hint < 4096 {
 		hint = 4096
 	}
-	g := &Graph{nodes: make([]node, 1, hint)}
-	g.nodes[0] = node{critPred: None, kind: KindFetch, dynIdx: -1}
+	g := &Graph{
+		time: make([]int64, 0, hint),
+		pred: make([]int32, 0, hint),
+		lat:  make([]int32, 0, hint),
+		ck:   make([]uint8, 0, hint),
+		dyn:  make([]int32, 0, hint),
+	}
+	g.origin()
 	return g
 }
 
-// Reset clears the graph for reuse, keeping capacity.
-func (g *Graph) Reset() {
-	g.nodes = g.nodes[:1]
-	g.nodes[0] = node{critPred: None, kind: KindFetch, dynIdx: -1}
+// origin (re)creates node 0 on empty streams.
+func (g *Graph) origin() {
+	g.time = append(g.time, 0)
+	if !g.lean {
+		g.pred = append(g.pred, int32(None))
+		g.lat = append(g.lat, 0)
+		g.ck = append(g.ck, uint8(KindFetch))
+		g.dyn = append(g.dyn, -1)
+	}
+	g.n = 1
+	g.base = 0
 }
+
+// Reset clears the graph for reuse, keeping capacity and mode.
+func (g *Graph) Reset() { g.ResetMode(g.lean) }
+
+// ResetMode clears the graph for reuse in the given mode: lean graphs
+// maintain only node times (byte-identical to attribution mode, see the
+// package comment) and support Retire-based windowing; attribution
+// graphs additionally record the critical-path structure that
+// WalkCriticalPath and DynIdx/KindOf read.
+func (g *Graph) ResetMode(lean bool) {
+	g.noteHighWater()
+	g.lean = lean
+	g.time = g.time[:0]
+	g.pred = g.pred[:0]
+	g.lat = g.lat[:0]
+	g.ck = g.ck[:0]
+	g.dyn = g.dyn[:0]
+	g.origin()
+}
+
+// Lean reports whether the graph is in lean (time-only) mode.
+func (g *Graph) Lean() bool { return g.lean }
 
 // Origin returns the time-0 origin node.
 func (g *Graph) Origin() NodeID { return 0 }
@@ -147,24 +226,36 @@ func (g *Graph) Origin() NodeID { return 0 }
 // NewNode creates a node for dynamic-instruction index dynIdx (or -1 for
 // synthetic nodes) with no predecessors yet (time 0).
 func (g *Graph) NewNode(k Kind, dynIdx int32) NodeID {
-	id := NodeID(len(g.nodes))
-	g.nodes = append(g.nodes, node{critPred: None, kind: k, dynIdx: dynIdx})
+	id := NodeID(g.n)
+	g.n++
+	g.time = append(g.time, 0)
+	if !g.lean {
+		g.pred = append(g.pred, int32(None))
+		g.lat = append(g.lat, 0)
+		g.ck = append(g.ck, uint8(k))
+		g.dyn = append(g.dyn, dynIdx)
+	}
 	return id
 }
 
 // NewPipelineNodes appends the five pipeline-stage nodes of one dynamic
 // instruction — fetch, dispatch, execute, complete, commit, in that
-// order — in a single grow and returns the fetch node's ID; the others
-// follow at consecutive IDs. One batched append replaces five NewNode
-// calls on the hottest allocation path in the system (every GPP uop).
+// order — in a single grow per stream and returns the fetch node's ID;
+// the others follow at consecutive IDs. One batched append per stream
+// replaces five NewNode calls on the hottest allocation path in the
+// system (every GPP uop).
 func (g *Graph) NewPipelineNodes(dynIdx int32) NodeID {
-	id := NodeID(len(g.nodes))
-	g.nodes = append(g.nodes,
-		node{critPred: None, kind: KindFetch, dynIdx: dynIdx},
-		node{critPred: None, kind: KindDispatch, dynIdx: dynIdx},
-		node{critPred: None, kind: KindExecute, dynIdx: dynIdx},
-		node{critPred: None, kind: KindComplete, dynIdx: dynIdx},
-		node{critPred: None, kind: KindCommit, dynIdx: dynIdx})
+	id := NodeID(g.n)
+	g.n += 5
+	g.time = append(g.time, 0, 0, 0, 0, 0)
+	if !g.lean {
+		np := int32(None)
+		g.pred = append(g.pred, np, np, np, np, np)
+		g.lat = append(g.lat, 0, 0, 0, 0, 0)
+		g.ck = append(g.ck, uint8(KindFetch), uint8(KindDispatch),
+			uint8(KindExecute), uint8(KindComplete), uint8(KindCommit))
+		g.dyn = append(g.dyn, dynIdx, dynIdx, dynIdx, dynIdx, dynIdx)
+	}
 	return id
 }
 
@@ -175,13 +266,28 @@ func (g *Graph) AddEdge(from, to NodeID, lat int64, class EdgeClass) {
 	if from == None || to == None {
 		return
 	}
-	t := g.nodes[from].time + lat
-	n := &g.nodes[to]
-	if t > n.time || n.critPred == None {
-		n.time = t
-		n.critPred = from
-		n.critLat = int32(lat)
-		n.class = class
+	t := g.time[from-g.base] + lat
+	i := to - g.base
+	if g.lean {
+		// Pure max-relaxation: identical final times (the attribution
+		// branch below only differs in what it records on a first edge
+		// that ties the zero-initialized time). Kept small enough to
+		// inline at call sites — this is the hottest function in the
+		// system; the attribution path lives out of line.
+		if t > g.time[i] {
+			g.time[i] = t
+		}
+		return
+	}
+	g.relaxAttrib(i, t, from, lat, class)
+}
+
+func (g *Graph) relaxAttrib(i NodeID, t int64, from NodeID, lat int64, class EdgeClass) {
+	if t > g.time[i] || g.pred[i] == int32(None) {
+		g.time[i] = t
+		g.pred[i] = int32(from)
+		g.lat[i] = int32(lat)
+		g.ck[i] = uint8(class)<<3 | g.ck[i]&7
 	}
 }
 
@@ -189,15 +295,27 @@ func (g *Graph) AddEdge(from, to NodeID, lat int64, class EdgeClass) {
 // The structural critical predecessor is preserved so path backtracking
 // stays connected; the added wait is attributed to the given class.
 func (g *Graph) PushTime(id NodeID, t int64, class EdgeClass) {
-	n := &g.nodes[id]
-	if t > n.time {
-		if n.critPred == None {
-			n.critPred = 0
-		}
-		n.critLat += int32(t - n.time)
-		n.time = t
-		n.class = class
+	i := id - g.base
+	if t <= g.time[i] {
+		return
 	}
+	if !g.lean {
+		if g.pred[i] == int32(None) {
+			g.pred[i] = 0
+		}
+		g.lat[i] += int32(t - g.time[i])
+		g.ck[i] = uint8(class)<<3 | g.ck[i]&7
+	}
+	g.time[i] = t
+}
+
+// SetTime writes a node's final time directly. Lean-mode fast paths
+// compute a node's incoming maximum in a register and store it once,
+// instead of one relax call per edge; the caller must be on a lean graph
+// (there is no attribution state to update) and must not have relaxed
+// any edge into the node already.
+func (g *Graph) SetTime(id NodeID, t int64) {
+	g.time[id-g.base] = t
 }
 
 // Time returns a node's (final, once constructed) time.
@@ -205,24 +323,85 @@ func (g *Graph) Time(id NodeID) int64 {
 	if id == None {
 		return 0
 	}
-	return g.nodes[id].time
+	return g.time[id-g.base]
 }
 
-// Kind returns a node's kind.
-func (g *Graph) KindOf(id NodeID) Kind { return g.nodes[id].kind }
+// KindOf returns a node's kind (attribution mode only).
+func (g *Graph) KindOf(id NodeID) Kind { return Kind(g.ck[id-g.base] & 7) }
 
 // DynIdx returns the dynamic-instruction index a node belongs to (-1 for
-// synthetic nodes).
-func (g *Graph) DynIdx(id NodeID) int32 { return g.nodes[id].dynIdx }
+// synthetic nodes; attribution mode only).
+func (g *Graph) DynIdx(id NodeID) int32 { return g.dyn[id-g.base] }
 
-// Len returns the number of nodes including the origin.
-func (g *Graph) Len() int { return len(g.nodes) }
+// Len returns the number of nodes ever created, including the origin and
+// any retired by Retire.
+func (g *Graph) Len() int { return g.n }
 
-// MemBytes reports the node arena's allocated size plus the recycled
+// Resident returns the number of nodes currently held in memory.
+func (g *Graph) Resident() int { return len(g.time) }
+
+// Base returns the first resident node ID (0 unless Retire has run).
+func (g *Graph) Base() NodeID { return g.base }
+
+// Retire drops every node below minLive from the resident streams,
+// compacting the live suffix to the front. The caller must guarantee no
+// retired node is ever referenced again (their times are already final
+// and propagated). Only meaningful in lean mode — attribution walks need
+// the whole graph resident.
+func (g *Graph) Retire(minLive NodeID) {
+	if minLive <= g.base {
+		return
+	}
+	g.noteHighWater()
+	off := minLive - g.base
+	g.time = g.time[:copy(g.time, g.time[off:])]
+	if !g.lean {
+		g.pred = g.pred[:copy(g.pred, g.pred[off:])]
+		g.lat = g.lat[:copy(g.lat, g.lat[off:])]
+		g.ck = g.ck[:copy(g.ck, g.ck[off:])]
+		g.dyn = g.dyn[:copy(g.dyn, g.dyn[off:])]
+	}
+	g.base = minLive
+}
+
+// noteHighWater records the current resident footprint into the
+// high-water marks. Resident size only shrinks at Reset/Retire, so
+// sampling there (plus at read time) observes every peak exactly.
+func (g *Graph) noteHighWater() {
+	r := len(g.time)
+	b := int64(r) * leanNodeBytes
+	if !g.lean {
+		b += int64(r) * attribNodeBytes
+	}
+	if r > g.hwNodes {
+		g.hwNodes = r
+	}
+	if b > g.hwBytes {
+		g.hwBytes = b
+	}
+}
+
+// HighWaterNodes returns the maximum resident node count the graph has
+// reached over its lifetime (across Resets — pooled graphs report their
+// worst unit).
+func (g *Graph) HighWaterNodes() int {
+	g.noteHighWater()
+	return g.hwNodes
+}
+
+// HighWaterBytes returns the maximum resident stream footprint in bytes —
+// the observable form of the O(window) streaming-evaluation claim.
+func (g *Graph) HighWaterBytes() int64 {
+	g.noteHighWater()
+	return g.hwBytes
+}
+
+// MemBytes reports the stream arenas' allocated size plus the recycled
 // resource tables — the memory a pooled graph lets its next user skip
 // allocating.
 func (g *Graph) MemBytes() int64 {
-	b := int64(cap(g.nodes)) * int64(unsafe.Sizeof(node{}))
+	b := int64(cap(g.time))*8 + int64(cap(g.pred))*4 + int64(cap(g.lat))*4 +
+		int64(cap(g.ck)) + int64(cap(g.dyn))*4
 	for _, rt := range g.rtFree {
 		b += rt.MemBytes()
 	}
@@ -264,11 +443,19 @@ func (g *Graph) CriticalPathBreakdown(from NodeID) [NumEdgeClasses]int64 {
 // that step. Visiting every step lets callers attribute path latency at
 // finer granularity than the aggregate CriticalPathBreakdown — eg. per
 // region via DynIdx.
+//
+// Incremental construction guarantees pred[id] < id, so path IDs
+// strictly decrease: the walk is a single monotone backward sweep over
+// the flat pred/lat/ck streams (no node structs, no pointer chasing),
+// visiting exactly the path's entries of each stream in storage order.
+// Requires attribution mode.
 func (g *Graph) WalkCriticalPath(from NodeID, fn func(id NodeID, class EdgeClass, lat int64)) {
-	for id := from; id != None && id != 0; {
-		n := &g.nodes[id]
-		fn(id, n.class, int64(n.critLat))
-		id = n.critPred
+	pred, lat, ck := g.pred, g.lat, g.ck
+	base := g.base
+	for id := from; id > 0; {
+		i := id - base
+		fn(id, EdgeClass(ck[i]>>3), int64(lat[i]))
+		id = NodeID(pred[i])
 	}
 }
 
@@ -276,7 +463,7 @@ func (g *Graph) WalkCriticalPath(from NodeID, fn func(id NodeID, class EdgeClass
 // from, in reverse (from → origin) order. Used by tests and debugging.
 func (g *Graph) CriticalPathNodes(from NodeID) []NodeID {
 	var out []NodeID
-	for id := from; id != None; id = g.nodes[id].critPred {
+	for id := from; id != None; id = NodeID(g.pred[id-g.base]) {
 		out = append(out, id)
 		if id == 0 {
 			break
@@ -304,6 +491,13 @@ type ResourceTable struct {
 	// (~128KB; per-segment evaluation resets constantly).
 	offset int64
 	maxKey int64
+	// fullBelow is a monotone probe floor: every cycle below it is known
+	// to be booked to capacity. Occupancy only grows between Resets, so
+	// once a Book probe walks a full prefix the fact is permanent, and
+	// later probes skip it instead of re-scanning — on saturated tables
+	// (a width-2 issue ring at IPC ≈ 2) the linear probe otherwise
+	// re-walks the same full cycles on every booking.
+	fullBelow int64
 	// ring packs each slot's epoch tag and occupancy count as
 	// (key>>15)<<8 | count — one 4-byte load per probe, and half the
 	// cache footprint of 8-byte entries on a structure the booking loops
@@ -363,10 +557,50 @@ func (r *ResourceTable) incr(c int64) {
 }
 
 // Book finds the earliest cycle ≥ ready with a free unit, books it, and
-// returns the granted cycle.
+// returns the granted cycle. Grants are independent of the fullBelow
+// floor (cycles under it have no free unit by definition); the floor
+// only shortens the probe. The uncontended first probe is kept small
+// enough to inline at Exec call sites; contended probes continue in
+// bookSlow.
 func (r *ResourceTable) Book(ready int64) int64 {
+	c := ready
+	if c < r.fullBelow {
+		c = r.fullBelow
+	}
+	key := c + r.offset
+	tag := uint32(key>>15) << 8
+	v := r.ring[key&(resourceWindow-1)]
+	if v&^0xFF != tag {
+		v = tag
+	}
+	if v&0xFF < uint32(r.units) {
+		r.commit(key, c, v, c == r.fullBelow)
+		return c
+	}
+	return r.bookSlow(c+1, c == r.fullBelow)
+}
+
+// commit records a granted booking: occupancy, high-water key, and —
+// when the probe began at the floor, so [floor, c) is proven full — the
+// floor advance (past the grant cycle when this booking saturated it).
+func (r *ResourceTable) commit(key, c int64, v uint32, fromFloor bool) {
+	if key > r.maxKey {
+		r.maxKey = key
+	}
+	v++
+	r.ring[key&(resourceWindow-1)] = v
+	if fromFloor {
+		r.fullBelow = c
+		if v&0xFF >= uint32(r.units) {
+			r.fullBelow = c + 1
+		}
+	}
+}
+
+// bookSlow continues a probe whose first candidate cycle was full.
+func (r *ResourceTable) bookSlow(start int64, fromFloor bool) int64 {
 	units := uint32(r.units)
-	for c := ready; ; c++ {
+	for c := start; ; c++ {
 		key := c + r.offset
 		slot := key & (resourceWindow - 1)
 		tag := uint32(key>>15) << 8
@@ -375,10 +609,7 @@ func (r *ResourceTable) Book(ready int64) int64 {
 			v = tag
 		}
 		if v&0xFF < units {
-			if key > r.maxKey {
-				r.maxKey = key
-			}
-			r.ring[slot] = v + 1
+			r.commit(key, c, v, fromFloor)
 			return c
 		}
 	}
@@ -389,6 +620,9 @@ func (r *ResourceTable) Book(ready int64) int64 {
 func (r *ResourceTable) BookFor(ready, busy int64) int64 {
 	if busy < 1 {
 		busy = 1
+	}
+	if ready < r.fullBelow {
+		ready = r.fullBelow
 	}
 search:
 	for c := ready; ; c++ {
@@ -412,6 +646,7 @@ search:
 // from zero, restoring the fresh-table invariant that zeroed slots read
 // as empty.
 func (r *ResourceTable) Reset() {
+	r.fullBelow = 0
 	r.offset = r.maxKey + 1
 	if r.offset >= 1<<38 {
 		clear(r.ring[:])

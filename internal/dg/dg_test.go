@@ -1,6 +1,7 @@
 package dg
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -174,5 +175,206 @@ func TestEdgeClassStrings(t *testing.T) {
 		if k.String() == "?" {
 			t.Errorf("kind %d has no name", k)
 		}
+	}
+}
+
+// legacyNode mirrors the pre-SoA array-of-structs node, and legacyRelax
+// the pointer-walked relaxation it used: a reference implementation the
+// flat-slice wavefront walk must agree with exactly, including the
+// first-edge and tie-breaking rules that pick which predecessor is
+// recorded when times are equal.
+type legacyNode struct {
+	time     int64
+	critPred NodeID
+	critLat  int64
+	class    EdgeClass
+}
+
+func legacyRelax(nodes []legacyNode, from, to NodeID, lat int64, class EdgeClass) {
+	if from == None || to == None {
+		return
+	}
+	t := nodes[from].time + lat
+	n := &nodes[to]
+	if t > n.time || n.critPred == None {
+		n.time = t
+		n.critPred = from
+		n.critLat = lat
+		n.class = class
+	}
+}
+
+func legacyPush(nodes []legacyNode, id NodeID, t int64, class EdgeClass) {
+	n := &nodes[id]
+	if t <= n.time {
+		return
+	}
+	if n.critPred == None {
+		n.critPred = 0
+	}
+	n.critLat += t - n.time
+	n.class = class
+	n.time = t
+}
+
+// TestWalkCriticalPathMatchesLegacy builds randomized layered DAGs
+// through the Graph API while mirroring every operation into the legacy
+// node-struct reference, then checks node times and the full critical
+// path (ids, classes, step latencies) agree on every node.
+func TestWalkCriticalPathMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		g := NewGraphN(64)
+		ref := []legacyNode{{critPred: None}}
+		nNodes := 2 + rng.Intn(120)
+		for i := 0; i < nNodes; i++ {
+			id := g.NewNode(Kind(rng.Intn(6)), int32(i))
+			ref = append(ref, legacyNode{critPred: None})
+			// Edges only from already-constructed nodes (incremental
+			// construction invariant), with occasional ties (lat 0 from
+			// same-time sources) to exercise tie-breaking.
+			nEdges := 1 + rng.Intn(4)
+			for e := 0; e < nEdges; e++ {
+				from := NodeID(rng.Intn(int(id)))
+				lat := int64(rng.Intn(8))
+				class := EdgeClass(rng.Intn(int(NumEdgeClasses)))
+				g.AddEdge(from, id, lat, class)
+				legacyRelax(ref, from, id, lat, class)
+			}
+			if rng.Intn(4) == 0 {
+				push := ref[id].time + int64(rng.Intn(5)-1)
+				class := EdgeClass(rng.Intn(int(NumEdgeClasses)))
+				g.PushTime(id, push, class)
+				legacyPush(ref, id, push, class)
+			}
+		}
+		for id := NodeID(0); int(id) <= nNodes; id++ {
+			if g.Time(id) != ref[id].time {
+				t.Fatalf("trial %d node %d: time %d, legacy %d", trial, id, g.Time(id), ref[id].time)
+			}
+			type step struct {
+				id    NodeID
+				class EdgeClass
+				lat   int64
+			}
+			var got []step
+			g.WalkCriticalPath(id, func(n NodeID, c EdgeClass, l int64) {
+				got = append(got, step{n, c, l})
+			})
+			var want []step
+			for n := id; n != None && n != 0; n = ref[n].critPred {
+				want = append(want, step{n, ref[n].class, ref[n].critLat})
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d node %d: walk length %d, legacy %d", trial, id, len(got), len(want))
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("trial %d node %d step %d: %+v, legacy %+v", trial, id, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestLeanModeTimesIdentical checks the package-comment claim that lean
+// (time-only) relaxation computes bit-identical node times to
+// attribution mode on the same construction sequence.
+func TestLeanModeTimesIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type op struct {
+		push     bool
+		from, to NodeID
+		lat      int64
+		class    EdgeClass
+	}
+	for trial := 0; trial < 30; trial++ {
+		nNodes := 2 + rng.Intn(200)
+		var ops []op
+		for i := 1; i <= nNodes; i++ {
+			for e, n := 0, 1+rng.Intn(4); e < n; e++ {
+				ops = append(ops, op{
+					from:  NodeID(rng.Intn(i)),
+					to:    NodeID(i),
+					lat:   int64(rng.Intn(8)),
+					class: EdgeClass(rng.Intn(int(NumEdgeClasses))),
+				})
+			}
+			if rng.Intn(4) == 0 {
+				ops = append(ops, op{push: true, to: NodeID(i), lat: int64(rng.Intn(30))})
+			}
+		}
+		run := func(lean bool) []int64 {
+			g := NewGraphN(64)
+			g.ResetMode(lean)
+			for i := 0; i < nNodes; i++ {
+				g.NewNode(KindExecute, int32(i))
+			}
+			for _, o := range ops {
+				if o.push {
+					g.PushTime(o.to, o.lat, o.class)
+				} else {
+					g.AddEdge(o.from, o.to, o.lat, o.class)
+				}
+			}
+			times := make([]int64, nNodes+1)
+			for id := range times {
+				times[id] = g.Time(NodeID(id))
+			}
+			return times
+		}
+		attrib, lean := run(false), run(true)
+		for id := range attrib {
+			if attrib[id] != lean[id] {
+				t.Fatalf("trial %d node %d: attrib time %d, lean time %d", trial, id, attrib[id], lean[id])
+			}
+		}
+	}
+}
+
+// TestRetireRebasesIndexing checks that Retire drops retired nodes while
+// keeping live node IDs meaningful, that times keep relaxing correctly
+// across the rebased window, and that the high-water marks record the
+// pre-retirement peak.
+func TestRetireRebasesIndexing(t *testing.T) {
+	g := NewGraph()
+	g.ResetMode(true)
+	prev := g.Origin()
+	ids := []NodeID{prev}
+	for i := 0; i < 100; i++ {
+		id := g.NewNode(KindExecute, int32(i))
+		g.AddEdge(prev, id, 3, EdgeExec)
+		prev = id
+		ids = append(ids, id)
+	}
+	if got := g.Resident(); got != 101 {
+		t.Fatalf("Resident = %d, want 101", got)
+	}
+	g.Retire(ids[60])
+	if got := g.Resident(); got != 41 {
+		t.Fatalf("Resident after Retire = %d, want 41", got)
+	}
+	if got := g.Base(); got != ids[60] {
+		t.Fatalf("Base = %d, want %d", got, ids[60])
+	}
+	if got := g.Time(ids[60]); got != 180 {
+		t.Fatalf("Time(first live) = %d, want 180", got)
+	}
+	if got := g.Time(prev); got != 300 {
+		t.Fatalf("Time(last) = %d, want 300", got)
+	}
+	id := g.NewNode(KindExecute, -1)
+	g.AddEdge(prev, id, 5, EdgeExec)
+	if got := g.Time(id); got != 305 {
+		t.Fatalf("Time(post-retire node) = %d, want 305", got)
+	}
+	if got := g.Len(); got != 102 {
+		t.Fatalf("Len = %d, want 102 (retired nodes still counted)", got)
+	}
+	if hw := g.HighWaterNodes(); hw != 101 {
+		t.Fatalf("HighWaterNodes = %d, want 101", hw)
+	}
+	if hw := g.HighWaterBytes(); hw != 101*8 {
+		t.Fatalf("HighWaterBytes = %d, want %d", hw, 101*8)
 	}
 }

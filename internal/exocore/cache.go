@@ -188,7 +188,7 @@ type sigEdge struct {
 // ~5 µDG nodes per instruction).
 func NewCache(core cores.Config, traceLen int) *Cache {
 	c := &Cache{
-		core: core, hint: 5*traceLen + 64,
+		core: core, hint: graphHintFor(traceLen),
 		nameIdx: make(map[string]uint64, 4),
 		sigs:    make(map[sigEdge]uint32),
 		hits:    obs.NewCounter(), misses: obs.NewCounter(),
@@ -525,9 +525,12 @@ func newSegWorker(core cores.Config, hint int) *segWorker {
 }
 
 // reset prepares the worker for one unit evaluation from a drained
-// boundary, keeping all allocations.
-func (w *segWorker) reset() {
-	w.g.Reset()
+// boundary, keeping all allocations. classes selects the graph mode:
+// attribution when the evaluation will walk critical paths, lean
+// (time-only, windowing-capable) otherwise — sweeps never walk, so they
+// skip two thirds of the per-node write traffic.
+func (w *segWorker) reset(classes bool) {
+	w.g.ResetMode(!classes)
 	w.counts = energy.Counts{}
 	clear(w.state)
 	w.gpp.Reset(w.g, &w.counts)
@@ -559,6 +562,12 @@ type publisher struct {
 	// nodes[i] is the intern-trie node after descriptors 0..i, built
 	// lazily as prefixes are published.
 	nodes []uint32
+
+	// slab backs every published prefix outcome in one allocation. Each
+	// publish advances the cut cursor, so the remaining cut count bounds
+	// the number of publishes and the slab never reallocates (stored
+	// pointers stay stable).
+	slab []unitOutcome
 }
 
 // sigOfPrefix returns the signature of the unit's first nsegs segments.
@@ -583,13 +592,17 @@ func (p *publisher) sigOfPrefix(nsegs int) uint64 {
 // 0..nsegs-1 and ending at dynamic index end, with the final segment's
 // (possibly truncated) duration and counts supplied by the caller.
 func (p *publisher) publish(out *unitOutcome, nsegs int, end int32, lastDur int64, lastCounts energy.Counts) {
-	o := &unitOutcome{
+	if p.slab == nil {
+		p.slab = make([]unitOutcome, 0, len(p.cuts)-p.next)
+	}
+	p.slab = append(p.slab, unitOutcome{
 		segDurs:    out.segDurs[: nsegs-1 : nsegs-1],
 		segCounts:  out.segCounts[: nsegs-1 : nsegs-1],
 		nsegs:      nsegs,
 		lastDur:    lastDur,
 		lastCounts: lastCounts,
-	}
+	})
+	o := &p.slab[len(p.slab)-1]
 	p.cache.storePrefix(unitKey{p.start, end, p.sigOfPrefix(nsegs)}, o)
 }
 
@@ -606,10 +619,13 @@ func (p *publisher) publish(out *unitOutcome, nsegs int, end int32, lastDur int6
 // pub, when non-nil, publishes prefix outcomes at cut boundaries as the
 // evaluation passes them (prefix entries never carry classes; a later
 // class-attributed run re-evaluates and upgrades them).
+// window, when positive, bounds the resident µDG during the core-resident
+// instruction stream (see RunOpts.WindowNodes); it must be 0 when classes
+// is set.
 func evalUnit(w *segWorker, t *tdg.TDG, bsas map[string]tdg.BSA,
-	plans map[string]*tdg.Plan, u unit, sp obs.Span, classes bool, pub *publisher) unitOutcome {
+	plans map[string]*tdg.Plan, u unit, sp obs.Span, classes bool, window int, pub *publisher) unitOutcome {
 
-	w.reset()
+	w.reset(classes)
 	out := unitOutcome{
 		segDurs:   make([]int64, len(u.segs)),
 		segCounts: make([]energy.Counts, len(u.segs)),
@@ -651,7 +667,7 @@ func evalUnit(w *segWorker, t *tdg.TDG, bsas map[string]tdg.BSA,
 				}
 			}
 		} else {
-			tr := t.Trace
+			uops := t.UOps()
 			for j := seg.Start; j < seg.End; {
 				// Bound the run at the next publish cut so the hot
 				// instruction loop carries no per-uop cut test.
@@ -661,9 +677,22 @@ func evalUnit(w *segWorker, t *tdg.TDG, bsas map[string]tdg.BSA,
 						stop = c
 					}
 				}
-				for ; j < stop; j++ {
-					d := &tr.Insts[j]
-					w.gpp.Exec(cores.FromDyn(&tr.Prog.Insts[d.SI], d), int32(j))
+				for j < stop {
+					lim := stop
+					if window > 0 {
+						if l := j + compactStride; l < lim {
+							lim = l
+						}
+					}
+					for ; j < lim; j++ {
+						w.gpp.Exec(uops[j], int32(j))
+					}
+					// Between chunks no transform holds node references,
+					// so stale nodes can be retired; times are unchanged
+					// (CompactWindow pins the architectural anchors).
+					if window > 0 {
+						w.gpp.CompactWindow(window)
+					}
 				}
 				if j == seg.End {
 					break

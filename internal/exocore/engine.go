@@ -41,8 +41,9 @@ package exocore
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
+	"strings"
 
 	"exocore/internal/bsa/bsautil"
 	"exocore/internal/cores"
@@ -98,9 +99,45 @@ type RunOpts struct {
 	// zero Span disables tracing at nil-check cost.
 	Span obs.Span
 	// Reg, when non-nil, receives engine-level instruments: the
-	// "eval.segment_len" histogram and per-BSA
-	// "eval.offload_segments.<name>" counters.
+	// "eval.segment_len" histogram, per-BSA
+	// "eval.offload_segments.<name>" counters, and the
+	// "dg.graph_high_water_bytes" gauge (peak resident µDG footprint).
 	Reg *obs.Registry
+	// WindowNodes bounds the resident µDG during core-resident streaming:
+	// when the live graph exceeds the bound, nodes behind every
+	// architectural reference are retired (their times are already final
+	// — see cores.GPP.CompactWindow), making peak memory O(window)
+	// instead of O(trace) with byte-identical results. 0 selects
+	// DefaultWindowNodes; negative disables windowing (whole-trace
+	// graphs). Windowing is forced off when RecordRegions is set —
+	// critical-path attribution walks the whole unit graph.
+	WindowNodes int
+}
+
+const (
+	// DefaultWindowNodes is the resident-node bound streaming evaluation
+	// uses when RunOpts.WindowNodes is 0: ~2 MiB of time stream, far
+	// beyond any architectural horizon (the pipeline can reference at
+	// most the trailing 256-uop history plus pinned anchors), and large
+	// enough that sub-50K-instruction traces never trigger compaction.
+	DefaultWindowNodes = 1 << 18
+	// compactStride is how many core-resident instructions stream
+	// between window-compaction checks.
+	compactStride = 4096
+	// maxGraphHint caps the pre-sized graph arena: traces beyond this
+	// evaluate through the streaming window, so pre-allocating the full
+	// ~5-nodes-per-instruction arena would defeat the O(window) bound.
+	maxGraphHint = 2 * DefaultWindowNodes
+)
+
+// graphHintFor sizes a pooled evaluation graph for a trace: ~5 µDG nodes
+// per dynamic instruction, capped at the streaming-window scale.
+func graphHintFor(traceLen int) int {
+	h := 5*traceLen + 64
+	if h > maxGraphHint {
+		h = maxGraphHint
+	}
+	return h
 }
 
 // ModelStat attributes one model's share of a run ("" = general core).
@@ -217,25 +254,50 @@ func (r *RunResult) CyclesOf(name string) int64 {
 // Segmentize splits the trace into GPP and region segments under an
 // assignment. A dynamic instruction belongs to the outermost assigned
 // loop in its loop chain.
+//
+// The instruction's region depends only on its innermost loop, so the
+// split runs over the TDG's memoized innermost-loop atoms: one region
+// resolution per distinct loop (memoized in a nest-indexed scratch
+// slice), one merge pass over the atoms — O(atoms + loops × depth)
+// instead of the per-instruction nest walk this replaces, which was the
+// single largest cost of uncached evaluation.
 func Segmentize(t *tdg.TDG, assign Assignment) []Segment {
-	var segs []Segment
-	cur := Segment{LoopID: -2}
+	return segmentizeAtoms(t, assign, nil, nil)
+}
+
+// segmentizeAtoms is Segmentize with caller-owned scratch: segs becomes
+// the result's backing array and resolved the per-loop region memo
+// (grown as needed). Pass nil for fresh allocations.
+func segmentizeAtoms(t *tdg.TDG, assign Assignment, segs []Segment, resolved []int32) []Segment {
 	nest := t.Nest
-	for i := range t.Trace.Insts {
-		si := int(t.Trace.Insts[i].SI)
-		region := -1
-		for l := nest.InnermostOfInst(si); l != -1; l = nest.Loops[l].Parent {
-			if _, ok := assign[l]; ok {
-				region = l // keep walking: outermost assigned wins
+	atoms := t.LoopAtoms()
+	if cap(resolved) < len(nest.Loops)+1 {
+		resolved = make([]int32, len(nest.Loops)+1)
+	}
+	resolved = resolved[:len(nest.Loops)+1]
+	for i := range resolved {
+		resolved[i] = -2 // not yet resolved; -1 means "general core"
+	}
+	segs = segs[:0]
+	cur := Segment{LoopID: -2}
+	for _, a := range atoms {
+		region := resolved[a.Loop+1]
+		if region == -2 {
+			region = -1
+			for l := int(a.Loop); l != -1; l = nest.Loops[l].Parent {
+				if _, ok := assign[l]; ok {
+					region = int32(l) // keep walking: outermost assigned wins
+				}
 			}
+			resolved[a.Loop+1] = region
 		}
-		if region != cur.LoopID {
+		if int(region) != cur.LoopID {
 			if cur.LoopID != -2 {
 				segs = append(segs, cur)
 			}
-			cur = Segment{LoopID: region, Start: i, End: i + 1}
+			cur = Segment{LoopID: int(region), Start: int(a.Start), End: int(a.End)}
 		} else {
-			cur.End = i + 1
+			cur.End = int(a.End)
 		}
 	}
 	if cur.LoopID != -2 {
@@ -285,8 +347,25 @@ func Run(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA,
 		w = opts.Cache.getWorker()
 		defer opts.Cache.putWorker(w)
 	} else {
-		w = acquireWorker(core, 5*len(t.Trace.Insts)+64, nil)
+		w = acquireWorker(core, graphHintFor(len(t.Trace.Insts)), nil)
 		defer releaseWorker(core, w)
+	}
+
+	// Resolve the streaming window (0 = off from here on).
+	window := opts.WindowNodes
+	if window == 0 {
+		window = DefaultWindowNodes
+	}
+	if window < 0 || opts.RecordRegions {
+		window = 0
+	}
+	if opts.Reg != nil {
+		// Peak resident µDG footprint across this run's units (the
+		// worker samples its own peaks at reset/retire), folded into the
+		// engine-wide gauge with max semantics.
+		defer func() {
+			opts.Reg.Gauge("dg.graph_high_water_bytes").SetMax(w.g.HighWaterBytes())
+		}()
 	}
 
 	var segLen *obs.Histogram
@@ -350,7 +429,7 @@ func Run(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA,
 						}
 					}
 				}
-				o := evalUnit(w, t, bsas, plans, u, usp, opts.RecordRegions, pub)
+				o := evalUnit(w, t, bsas, plans, u, usp, opts.RecordRegions, window, pub)
 				out = opts.Cache.store(key, &o)
 				// Publish to the shared pool only when the evaluation proved
 				// itself core-independent: zero retired core µops means the
@@ -361,11 +440,11 @@ func Run(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA,
 			case opts.RecordRegions && out.segClasses == nil:
 				// Cached by a sweep without class attribution; re-evaluate
 				// once with it and upgrade the entry.
-				o := evalUnit(w, t, bsas, plans, u, usp, true, nil)
+				o := evalUnit(w, t, bsas, plans, u, usp, true, 0, nil)
 				out = opts.Cache.upgrade(key, &o)
 			}
 		} else {
-			o := evalUnit(w, t, bsas, plans, u, usp, opts.RecordRegions, nil)
+			o := evalUnit(w, t, bsas, plans, u, usp, opts.RecordRegions, window, nil)
 			out = &o
 		}
 
@@ -417,12 +496,12 @@ func Run(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA,
 		usp.End()
 	}
 	res.Cycles = lastEnd
-	sort.Slice(res.Models, func(i, j int) bool { return res.Models[i].Name < res.Models[j].Name })
-	sort.Slice(res.Regions, func(i, j int) bool {
-		if res.Regions[i].LoopID != res.Regions[j].LoopID {
-			return res.Regions[i].LoopID < res.Regions[j].LoopID
+	slices.SortFunc(res.Models, func(a, b ModelStat) int { return strings.Compare(a.Name, b.Name) })
+	slices.SortFunc(res.Regions, func(a, b RegionStat) int {
+		if a.LoopID != b.LoopID {
+			return a.LoopID - b.LoopID
 		}
-		return res.Regions[i].BSA < res.Regions[j].BSA
+		return strings.Compare(a.BSA, b.BSA)
 	})
 	return res, nil
 }
@@ -546,6 +625,6 @@ func (r *RunResult) BSAsUsed() []string {
 			out = append(out, m.Name)
 		}
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }

@@ -380,7 +380,7 @@ func TestMarkSpills(t *testing.T) {
 func TestEncodeDecodePath(t *testing.T) {
 	paths := [][]int{{0}, {1, 2, 3}, {5, 300, 7}, {}}
 	for _, p := range paths {
-		got := decodePath(encodePath(p))
+		got := decodePath(string(appendPath(nil, p)))
 		if len(got) != len(p) {
 			t.Errorf("roundtrip %v -> %v", p, got)
 			continue

@@ -108,22 +108,62 @@ func BuildProfile(cfg *CFG, nest *LoopNest, t *trace.Trace) *Profile {
 	strides := make(map[int]*strideAcc)
 	var stack []*loopState
 
+	// Path counts accumulate behind *int64 so the hot repeat case is a
+	// pure (non-allocating) byte-slice-keyed lookup; the string key is
+	// materialized only once per distinct path. Flattened into the
+	// exported PathCounts maps at finalize.
+	pathCounts := make([]map[string]*int64, len(nest.Loops))
+	var pathBuf []byte
+
 	recordPath := func(ls *loopState) {
 		if len(ls.iterBlocks) == 0 {
 			return
 		}
-		lp := &p.Loops[ls.id]
 		if nest.Loops[ls.id].Inner() {
-			key := encodePath(ls.iterBlocks)
-			lp.PathCounts[key]++
+			pathBuf = appendPath(pathBuf[:0], ls.iterBlocks)
+			pc := pathCounts[ls.id]
+			if pc == nil {
+				pc = make(map[string]*int64)
+				pathCounts[ls.id] = pc
+			}
+			if n, ok := pc[string(pathBuf)]; ok {
+				*n++
+			} else {
+				n := new(int64)
+				*n = 1
+				pc[string(pathBuf)] = n
+			}
 		}
 		ls.iterBlocks = ls.iterBlocks[:0]
+	}
+
+	// Loop states recycle through a free list: occurrences are frequent
+	// (every entry from outside the loop) and a fresh dependence map per
+	// occurrence was a top allocation site of a full DSE sweep. Maps are
+	// cleared on reuse, or dropped when an earlier occurrence grew them
+	// past any plausible steady-state size.
+	var freeLS []*loopState
+	newLS := func(l int) *loopState {
+		if n := len(freeLS); n > 0 {
+			ls := freeLS[n-1]
+			freeLS = freeLS[:n-1]
+			if len(ls.addrIter) > 4096 {
+				ls.addrIter = make(map[uint64]depRec)
+			} else {
+				clear(ls.addrIter)
+			}
+			ls.id, ls.iter = l, 0
+			ls.iterBlocks = ls.iterBlocks[:0]
+			return ls
+		}
+		return &loopState{id: l, addrIter: make(map[uint64]depRec)}
 	}
 
 	popTo := func(depth int) {
 		for len(stack) > depth {
 			ls := stack[len(stack)-1]
 			recordPath(ls)
+			freeLS = append(freeLS, ls)
 			stack = stack[:len(stack)-1]
 		}
 	}
@@ -160,7 +200,7 @@ func BuildProfile(cfg *CFG, nest *LoopNest, t *trace.Trace) *Profile {
 			}
 			popTo(common)
 			for _, l := range chain[common:] {
-				ls := &loopState{id: l, addrIter: make(map[uint64]depRec)}
+				ls := newLS(l)
 				stack = append(stack, ls)
 				p.Loops[l].Entries++
 			}
@@ -236,10 +276,11 @@ func BuildProfile(cfg *CFG, nest *LoopNest, t *trace.Trace) *Profile {
 		}
 		var best string
 		var bestN, total int64
-		for k, n := range lp.PathCounts {
-			total += n
-			if n > bestN {
-				best, bestN = k, n
+		for k, n := range pathCounts[i] {
+			lp.PathCounts[k] = *n
+			total += *n
+			if *n > bestN {
+				best, bestN = k, *n
 			}
 		}
 		if total > 0 {
@@ -286,14 +327,13 @@ func (p *Profile) LoopShare(loopID int) float64 {
 	return float64(p.Loops[loopID].DynInsts) / float64(p.TotalDyn)
 }
 
-func encodePath(blocks []int) string {
-	buf := make([]byte, 0, len(blocks)*2)
+func appendPath(buf []byte, blocks []int) []byte {
 	var tmp [binary.MaxVarintLen64]byte
 	for _, b := range blocks {
 		n := binary.PutUvarint(tmp[:], uint64(b))
 		buf = append(buf, tmp[:n]...)
 	}
-	return string(buf)
+	return buf
 }
 
 func decodePath(s string) []int {

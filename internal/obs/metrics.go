@@ -46,6 +46,21 @@ func (g *Gauge) Set(v int64) {
 	g.v.Store(v)
 }
 
+// SetMax raises the gauge to v if v is larger — a monotone high-water
+// mark safe under concurrent writers (eg. the peak resident µDG bytes
+// across parallel evaluations).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Value reads the gauge.
 func (g *Gauge) Value() int64 {
 	if g == nil {

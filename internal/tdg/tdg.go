@@ -31,6 +31,115 @@ type TDG struct {
 
 	dfMu     sync.Mutex
 	dataflow map[int]*ir.LoopDataflow
+
+	atomsOnce sync.Once
+	atoms     []LoopAtom
+
+	headOnce sync.Once
+	headOff  []int32 // len(Nest.Loops)+1 offsets into headIdx
+	headIdx  []int32 // dynamic indices of header-block entries, grouped by loop
+
+	uopsOnce sync.Once
+	uops     []cores.UOp
+}
+
+// LoopAtom is a maximal run of consecutive dynamic instructions sharing
+// one innermost loop — the finest granularity at which any assignment
+// can segment the trace. The atom list partitions the whole trace.
+type LoopAtom struct {
+	Start, End int32 // dynamic index, [Start, End)
+	Loop       int32 // innermost loop id, -1 outside any loop
+}
+
+// LoopAtoms returns (computing lazily, concurrency-safe) the trace's
+// innermost-loop partition. Segmentation under any assignment reduces to
+// one region resolution per distinct loop plus one merge pass over the
+// atoms — O(atoms) instead of O(trace × nest depth) per call, which
+// dominated uncached evaluation.
+func (t *TDG) LoopAtoms() []LoopAtom {
+	t.atomsOnce.Do(func() {
+		// Innermost loop per static instruction, then one scan of the
+		// dynamic trace merging consecutive same-loop instructions.
+		inner := make([]int32, len(t.Trace.Prog.Insts))
+		for si := range inner {
+			inner[si] = int32(t.Nest.InnermostOfInst(si))
+		}
+		atoms := make([]LoopAtom, 0, 1024)
+		cur := LoopAtom{Loop: -2}
+		for i := range t.Trace.Insts {
+			l := inner[t.Trace.Insts[i].SI]
+			if l != cur.Loop {
+				if cur.Loop != -2 {
+					atoms = append(atoms, cur)
+				}
+				cur = LoopAtom{Start: int32(i), End: int32(i + 1), Loop: l}
+			} else {
+				cur.End = int32(i + 1)
+			}
+		}
+		if cur.Loop != -2 {
+			atoms = append(atoms, cur)
+		}
+		t.atoms = atoms
+	})
+	return t.atoms
+}
+
+// HeaderEntries returns the ascending dynamic indices at which the given
+// loop's header block begins executing — the iteration boundaries every
+// transform model splits on. Computed lazily for all loops in one trace
+// scan (concurrency-safe), so per-occurrence iteration splitting becomes
+// a binary search instead of a scan of the occurrence span.
+func (t *TDG) HeaderEntries(loopID int) []int32 {
+	t.headOnce.Do(func() {
+		nl := len(t.Nest.Loops)
+		// Header block start SI -> loop ID. Loops sharing a header are
+		// merged during loop reconstruction, so the mapping is unique.
+		hl := make([]int32, len(t.Trace.Prog.Insts))
+		for si := range hl {
+			hl[si] = -1
+		}
+		for l := 0; l < nl; l++ {
+			hl[t.CFG.Blocks[t.Nest.Loops[l].Header].Start] = int32(l)
+		}
+		off := make([]int32, nl+1)
+		for i := range t.Trace.Insts {
+			if l := hl[t.Trace.Insts[i].SI]; l >= 0 {
+				off[l+1]++
+			}
+		}
+		for l := 0; l < nl; l++ {
+			off[l+1] += off[l]
+		}
+		idx := make([]int32, off[nl])
+		cur := append([]int32(nil), off[:nl]...)
+		for i := range t.Trace.Insts {
+			if l := hl[t.Trace.Insts[i].SI]; l >= 0 {
+				idx[cur[l]] = int32(i)
+				cur[l]++
+			}
+		}
+		t.headOff, t.headIdx = off, idx
+	})
+	return t.headIdx[t.headOff[loopID]:t.headOff[loopID+1]]
+}
+
+// UOps returns the trace decoded into the core micro-op stream, computed
+// lazily once (concurrency-safe). Every baseline segment of every
+// evaluation replays the same decode, so a sweep re-derived each µop
+// hundreds of times; the decoded stream is ~24 B/inst and shared by all
+// evaluations of this TDG.
+func (t *TDG) UOps() []cores.UOp {
+	t.uopsOnce.Do(func() {
+		tr := t.Trace
+		us := make([]cores.UOp, len(tr.Insts))
+		for i := range tr.Insts {
+			d := &tr.Insts[i]
+			us[i] = cores.FromDyn(&tr.Prog.Insts[d.SI], d)
+		}
+		t.uops = us
+	})
+	return t.uops
 }
 
 // Build constructs the TDG (IR reconstruction + profiling) from an

@@ -1,0 +1,64 @@
+# bench7json.awk — convert `go test -bench` output for the four tracked
+# benchmarks into BENCH_7.json, pairing each current measurement with its
+# frozen pre-data-oriented-µDG baseline (commit e50a287, measured on the
+# same machine the same day as the optimized numbers were recorded, so
+# the comparison is load-for-load honest). GraphExocoreRun joins the
+# tracked set in this round: the SoA graph kernel and lean execution path
+# serve the graph workload family through the same engine entry point,
+# so it must not regress silently.
+#
+# Usage: go test -bench 'BenchmarkExocoreRun|BenchmarkGraphExocoreRun|BenchmarkDSESweep|BenchmarkContextConstruction' \
+#        -benchmem . | awk -f scripts/bench7json.awk > BENCH_7.json
+
+BEGIN {
+    base_ns["ExocoreRun"] = 865702
+    base_b["ExocoreRun"] = 84277
+    base_allocs["ExocoreRun"] = 68
+    base_ns["GraphExocoreRun"] = 1246949
+    base_b["GraphExocoreRun"] = 114114
+    base_allocs["GraphExocoreRun"] = 48
+    base_ns["DSESweep"] = 157593635
+    base_b["DSESweep"] = 22038960
+    base_allocs["DSESweep"] = 61774
+    base_ns["ContextConstruction"] = 12129427
+    base_b["ContextConstruction"] = 659362
+    base_allocs["ContextConstruction"] = 2265
+    order[1] = "ExocoreRun"
+    order[2] = "GraphExocoreRun"
+    order[3] = "DSESweep"
+    order[4] = "ContextConstruction"
+    ntracked = 4
+}
+
+/^Benchmark(ExocoreRun|GraphExocoreRun|DSESweep|ContextConstruction)[-\t ]/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns[name] = $(i - 1)
+        if ($i == "B/op") b[name] = $(i - 1)
+        if ($i == "allocs/op") allocs[name] = $(i - 1)
+    }
+}
+
+END {
+    printf "{\n  \"schema\": \"exocore-bench/v1\",\n  \"benchmarks\": [\n"
+    n = 0
+    for (k = 1; k <= ntracked; k++) {
+        name = order[k]
+        if (!(name in ns)) continue
+        if (n++) printf ",\n"
+        printf "    {\n      \"name\": \"%s\",\n", name
+        printf "      \"baseline\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f},\n", \
+            base_ns[name], base_b[name], base_allocs[name]
+        printf "      \"current\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f},\n", \
+            ns[name], b[name], allocs[name]
+        printf "      \"speedup\": %.2f,\n", base_ns[name] / ns[name]
+        printf "      \"allocs_ratio\": %.2f\n    }", base_allocs[name] / allocs[name]
+    }
+    printf "\n  ]\n}\n"
+    if (n != ntracked) {
+        print "bench7json: missing tracked benchmark output" > "/dev/stderr"
+        exit 1
+    }
+}
