@@ -1,13 +1,15 @@
 GO ?= go
 
-.PHONY: check build vet test race tier1 bench benchdiff benchsmoke tracesmoke servesmoke graphsmoke memsmoke tools clean
+.PHONY: check build vet test race tier1 bench benchdiff benchsmoke tracesmoke servesmoke obssmoke graphsmoke memsmoke tools clean
 
 # The full pre-merge gate: vet + build + race-enabled tests + tier-1 +
 # a single-iteration pass over every benchmark so they can't rot + a
 # trace-export smoke test + the daemon end-to-end smoke test + the
-# graph-family sweep smoke test over the enlarged registry grid + the
-# streaming-evaluation memory gate on a 10M-instruction trace.
-check: vet build race tier1 benchsmoke tracesmoke servesmoke graphsmoke memsmoke
+# telemetry-plane smoke test (prom exposition, pprof, per-request trace
+# fragments) + the graph-family sweep smoke test over the enlarged
+# registry grid + the streaming-evaluation memory gate on a
+# 10M-instruction trace.
+check: vet build race tier1 benchsmoke tracesmoke servesmoke obssmoke graphsmoke memsmoke
 
 build:
 	$(GO) build ./...
@@ -69,6 +71,17 @@ servesmoke:
 	$(GO) build -o /tmp/exocore-servesmoke-bin/ ./cmd/exocored ./cmd/tdgsim ./cmd/dse
 	$(GO) run ./scripts/servesmoke /tmp/exocore-servesmoke-bin
 	@rm -rf /tmp/exocore-servesmoke-bin
+
+# Telemetry-plane smoke test: boot exocored with always-on ring tracing,
+# the runtime sampler and pprof, require evaluation responses to stay
+# byte-identical to tdgsim -json, the Prometheus exposition to carry the
+# golden series (including go_* runtime metrics), pprof to serve a
+# profile, and the per-request trace fragment to validate.
+obssmoke:
+	@rm -rf /tmp/exocore-obssmoke-bin
+	$(GO) build -o /tmp/exocore-obssmoke-bin/ ./cmd/exocored ./cmd/tdgsim
+	$(GO) run ./scripts/obssmoke /tmp/exocore-obssmoke-bin
+	@rm -rf /tmp/exocore-obssmoke-bin
 
 # Graph-family sweep smoke test: one graph benchmark through the full
 # 4-core × 32-subset grid of the five-model registry, validating the

@@ -12,6 +12,12 @@
 // The engine-shaping flags are the unified set (-maxdyn, -workers, -v,
 // -trace, ...); one daemon serves exactly one -maxdyn budget. SIGINT or
 // SIGTERM drains in-flight work within -drain and exits 0.
+//
+// The telemetry plane is always on: a bounded flight-recorder ring
+// tracer (-flight-spans) tags every span with its request ID and backs
+// GET /debug/requests/{id}/trace, a runtime sampler (-obs-interval)
+// feeds go.* instruments into /metricsz (scrapeable as Prometheus text
+// via ?format=prom), and -pprof mounts net/http/pprof.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 
 	"exocore/internal/cli"
 	"exocore/internal/cores"
+	"exocore/internal/obs"
 	"exocore/internal/serve"
 )
 
@@ -38,11 +45,24 @@ func main() {
 	timeout := app.Flags().Duration("timeout", 60*time.Second, "per-request evaluation deadline")
 	drain := app.Flags().Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	warm := app.Flags().Bool("warm", false, "pre-warm scheduling contexts for -bench across every core in the background")
+	flightSpans := app.Flags().Int("flight-spans", 4096, "flight-recorder span retention (ring capacity; 0 disables always-on tracing)")
+	obsInterval := app.Flags().Duration("obs-interval", 5*time.Second, "runtime/metrics sampling interval for go.* instruments (0 disables)")
+	pprofOn := app.Flags().Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	app.MustParse()
 	defer app.Close()
 
+	// Always-on tracing: a bounded ring unless -trace asked for a full
+	// dump tracer, which then serves both roles.
+	if *flightSpans > 0 {
+		app.SetTracer(obs.NewRingTracer("exocored", *flightSpans))
+	}
+
 	eng := app.Engine()
 	log := app.Log()
+	if *obsInterval > 0 {
+		sampler := obs.StartRuntimeSampler(eng.Registry(), *obsInterval)
+		defer sampler.Stop()
+	}
 	srv, err := serve.New(serve.Config{
 		Engine:         eng,
 		Concurrency:    *concurrency,
@@ -50,6 +70,7 @@ func main() {
 		RequestTimeout: *timeout,
 		Tracer:         app.Tracer(),
 		Log:            log,
+		EnablePprof:    *pprofOn,
 	})
 	if err != nil {
 		app.Fail(err)

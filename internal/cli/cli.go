@@ -218,7 +218,7 @@ func (a *App) Close() error {
 			keep(fmt.Errorf("-memprofile: %w", err))
 		}
 	}
-	if a.tracer != nil {
+	if a.tracer != nil && a.Trace != "" {
 		t := a.tracer
 		a.tracer = nil
 		if err := writeTrace(a.Trace, t); err != nil {
@@ -362,6 +362,18 @@ func (a *App) Engine() *runner.Engine {
 // Tools pass it to code paths that run outside the shared engine.
 func (a *App) Tracer() *obs.Tracer { return a.tracer }
 
+// SetTracer installs a tracer for tools that construct their own — the
+// daemon's always-on flight-recorder ring, for example. An explicit
+// -trace tracer wins (its spans still ride the same recorder machinery);
+// call before the first Engine() use so stage spans land on it. Returns
+// the active tracer.
+func (a *App) SetTracer(t *obs.Tracer) *obs.Tracer {
+	if a.tracer == nil {
+		a.tracer = t
+	}
+	return a.tracer
+}
+
 // Emit writes the document to Stdout as indented JSON, attaching the
 // engine metrics snapshot first (if an engine was used), and closes any
 // active profiles, failing the tool if finalization errors.
@@ -396,9 +408,30 @@ func (a *App) Finish() {
 			log.Info(fmt.Sprintf("  eval-cache hits=%-4d misses=%-4d entries=%-4d prefixes=%-4d sigs=%-4d shared=%-4d arena-reuse=%.1fMB",
 				c.Hits, c.Misses, c.Entries, c.PrefixEntries, c.InternedSigs, c.SharedHits, float64(c.BytesReused)/(1<<20)))
 		}
+		printHistogramQuantiles(log, m.Points)
 	}
 	if closeErr != nil {
 		a.Fail(closeErr)
+	}
+}
+
+// printHistogramQuantiles renders each populated histogram instrument as
+// one row of bucket-interpolated p50/p95/p99 estimates. Nanosecond
+// histograms (the *_ns convention) print in milliseconds; others print
+// the raw interpolated value.
+func printHistogramQuantiles(log *obs.Logger, points []obs.MetricPoint) {
+	for _, p := range points {
+		if p.Kind != "histogram" || p.Count == 0 {
+			continue
+		}
+		p50, p95, p99 := p.Quantile(0.50), p.Quantile(0.95), p.Quantile(0.99)
+		if strings.HasSuffix(p.Name, "_ns") {
+			log.Info(fmt.Sprintf("  %-26s n=%-6d p50=%9.3fms p95=%9.3fms p99=%9.3fms",
+				p.Name, p.Count, p50/1e6, p95/1e6, p99/1e6))
+		} else {
+			log.Info(fmt.Sprintf("  %-26s n=%-6d p50=%9.0f p95=%9.0f p99=%9.0f",
+				p.Name, p.Count, p50, p95, p99))
+		}
 	}
 }
 

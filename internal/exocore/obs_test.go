@@ -63,6 +63,38 @@ func TestObservationDoesNotPerturbResults(t *testing.T) {
 	if _, err := obs.ValidateTrace(buf.Bytes()); err != nil {
 		t.Errorf("emitted trace invalid: %v", err)
 	}
+
+	// The flight-recorder shape is just as free: a small ring that must
+	// wrap during the run still yields identical results and a valid
+	// (windowed) trace.
+	ring := obs.NewRingTracer("test", 2)
+	rsp := ring.Begin("stage", "eval cjpeg")
+	ringRun, err := Run(td, cores.OOO2, bsas, plans, assign, RunOpts{
+		Cache:         NewCache(cores.OOO2, td.Trace.Len()),
+		Span:          rsp,
+		Reg:           obs.NewRegistry(),
+		RecordRegions: true,
+	})
+	rsp.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Cycles != ringRun.Cycles || bare.Counts != ringRun.Counts {
+		t.Errorf("ring tracer perturbed the run: bare %d cycles, ring %d", bare.Cycles, ringRun.Cycles)
+	}
+	if !reflect.DeepEqual(bare.Models, ringRun.Models) {
+		t.Errorf("ring tracer perturbed model stats")
+	}
+	if ring.Dropped() == 0 {
+		t.Errorf("cap-2 ring never wrapped (retained %d): test not exercising eviction", ring.Len())
+	}
+	buf.Reset()
+	if err := ring.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateTrace(buf.Bytes()); err != nil {
+		t.Errorf("ring trace after wraparound invalid: %v", err)
+	}
 }
 
 // TestRegionAttributionSumsToTotals checks the per-region table is a

@@ -59,6 +59,32 @@ func (l *Logger) Debug(msg string, kvs ...any) {
 	l.s.Debug(msg, kvs...)
 }
 
+// DebugCtx is Debug with the request/trace ID (if ctx carries one)
+// appended as a trailing req= attribute, so log lines and flight-
+// recorder trace fragments correlate by ID.
+func (l *Logger) DebugCtx(ctx context.Context, msg string, kvs ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Debug(msg, withReq(ctx, kvs)...)
+}
+
+// InfoCtx is Info with the request/trace ID appended (see DebugCtx).
+func (l *Logger) InfoCtx(ctx context.Context, msg string, kvs ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Info(msg, withReq(ctx, kvs)...)
+}
+
+// withReq appends ("req", id) when ctx carries a request ID.
+func withReq(ctx context.Context, kvs []any) []any {
+	if id := RequestID(ctx); id != "" {
+		return append(kvs, "req", id)
+	}
+	return kvs
+}
+
 // Info logs at -v level.
 func (l *Logger) Info(msg string, kvs ...any) {
 	if l == nil {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -80,13 +81,74 @@ type Histogram struct {
 
 // Observe records one value.
 func (h *Histogram) Observe(v int64) {
-	if h == nil {
+	h.observeN(v, 1)
+}
+
+// observeN records n identical observations of v in one shot — the bulk
+// path behind the runtime sampler, which folds runtime/metrics bucket
+// deltas in without n individual Observe calls.
+func (h *Histogram) observeN(v, n int64) {
+	if h == nil || n <= 0 {
 		return
 	}
 	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
-	h.buckets[i].Add(1)
-	h.count.Add(1)
-	h.sum.Add(v)
+	h.buckets[i].Add(n)
+	h.count.Add(n)
+	h.sum.Add(v * n)
+}
+
+// Quantile returns the bucket-interpolated q-quantile (0 < q < 1) of the
+// observed distribution: the bucket holding the target rank is found
+// from the cumulative counts, then the value is linearly interpolated
+// inside the bucket's [lower, upper) bound window. Values in the
+// overflow bucket clamp to the highest finite bound (an underestimate,
+// as with any fixed-bucket histogram). Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return QuantileFromBuckets(h.bounds, counts, q)
+}
+
+// QuantileFromBuckets is Histogram.Quantile over an exported snapshot
+// (MetricPoint.Bounds/Counts): counts has one trailing overflow entry
+// beyond bounds.
+func QuantileFromBuckets(bounds, counts []int64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(counts) == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if float64(cum+c) >= rank && c > 0 {
+			if i >= len(bounds) { // overflow bucket: clamp
+				return float64(bounds[len(bounds)-1])
+			}
+			var lo float64
+			if i > 0 {
+				lo = float64(bounds[i-1])
+			}
+			hi := float64(bounds[i])
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return float64(bounds[len(bounds)-1])
 }
 
 // Count returns the number of observations.
@@ -163,8 +225,10 @@ func (r *Registry) Gauge(name string) *Gauge {
 }
 
 // Histogram returns the named histogram, creating it with the given
-// bucket bounds (ascending) on first use; later calls return the
-// existing histogram regardless of bounds.
+// bucket bounds (ascending) on first use. A later call for the same name
+// with different bounds is a programming error — the observations would
+// silently land in the first caller's buckets — and panics rather than
+// mis-aggregating.
 func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	if r == nil {
 		return nil
@@ -178,6 +242,20 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 			buckets: make([]atomic.Int64, len(bounds)+1),
 		}
 		r.hists[name] = h
+		return h
+	}
+	if len(bounds) == 0 {
+		return h // nil bounds on an existing name is a lookup
+	}
+	if len(h.bounds) != len(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q redeclared with %d bounds (registered with %d)",
+			name, len(bounds), len(h.bounds)))
+	}
+	for i, b := range bounds {
+		if h.bounds[i] != b {
+			panic(fmt.Sprintf("obs: histogram %q redeclared with bound[%d]=%d (registered with %d)",
+				name, i, b, h.bounds[i]))
+		}
 	}
 	return h
 }
@@ -194,6 +272,15 @@ type MetricPoint struct {
 	Sum    int64   `json:"sum,omitempty"`
 	Bounds []int64 `json:"bounds,omitempty"`
 	Counts []int64 `json:"counts,omitempty"`
+}
+
+// Quantile returns the bucket-interpolated q-quantile of a histogram
+// point's snapshot (0 for other kinds or an empty histogram).
+func (p MetricPoint) Quantile(q float64) float64 {
+	if p.Kind != "histogram" {
+		return 0
+	}
+	return QuantileFromBuckets(p.Bounds, p.Counts, q)
 }
 
 // Snapshot returns every instrument's current value, sorted by name (and

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PromContentType is the Prometheus text exposition format version this
+// package renders — the Content-Type a scrape endpoint must declare.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName sanitizes an instrument name into a legal Prometheus metric
+// name deterministically: every character outside [a-zA-Z0-9_:] becomes
+// '_' (so "stage.trace.calls" → "stage_trace_calls"), and a leading
+// digit gains a '_' prefix. Two registry names that sanitize to the same
+// series name render as two samples of that series — keep registry names
+// distinct under this mapping.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4). Counters gain the conventional
+// _total suffix; histograms render as cumulative _bucket series (with a
+// closing le="+Inf"), _sum and _count. Points arrive sorted from
+// Registry.Snapshot, so output is byte-deterministic for a given
+// snapshot.
+func WriteProm(w io.Writer, points []MetricPoint) error {
+	for _, p := range points {
+		name := PromName(p.Name)
+		var err error
+		switch p.Kind {
+		case "counter":
+			_, err = fmt.Fprintf(w, "# TYPE %s_total counter\n%s_total %d\n", name, name, p.Value)
+		case "gauge":
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, p.Value)
+		case "histogram":
+			err = writePromHistogram(w, name, p)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, p MetricPoint) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum int64
+	for i, b := range p.Bounds {
+		if i < len(p.Counts) {
+			cum += p.Counts[i]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b, cum); err != nil {
+			return err
+		}
+	}
+	// The overflow bucket closes the cumulative series at +Inf.
+	if len(p.Counts) > len(p.Bounds) {
+		cum += p.Counts[len(p.Bounds)]
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+		name, cum, name, p.Sum, name, p.Count)
+	return err
+}

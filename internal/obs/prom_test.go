@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"stage.trace.calls": "stage_trace_calls",
+		"go.heap_inuse":     "go_heap_inuse",
+		"serve:latency":     "serve:latency",
+		"a-b c/d":           "a_b_c_d",
+		"9lives":            "_9lives",
+		"ok_name":           "ok_name",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("stage.eval.calls").Add(7)
+	r.Gauge("evalcache.entries").Set(3)
+	h := r.Histogram("serve.latency_ns", []int64{10, 100})
+	for _, v := range []int64{1, 10, 11, 100, 1000} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE evalcache_entries gauge\nevalcache_entries 3\n",
+		"# TYPE serve_latency_ns histogram\n",
+		"serve_latency_ns_bucket{le=\"10\"} 2\n",
+		"serve_latency_ns_bucket{le=\"100\"} 4\n",  // cumulative
+		"serve_latency_ns_bucket{le=\"+Inf\"} 5\n", // closes at total
+		"serve_latency_ns_sum 1122\n",
+		"serve_latency_ns_count 5\n",
+		"# TYPE stage_eval_calls_total counter\nstage_eval_calls_total 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Counters carry the _total suffix; the raw name must not appear as a
+	// sample on its own line.
+	if strings.Contains(out, "\nstage_eval_calls ") {
+		t.Errorf("counter rendered without _total suffix:\n%s", out)
+	}
+
+	// Deterministic: same snapshot renders byte-identically.
+	var buf2 bytes.Buffer
+	if err := WriteProm(&buf2, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("exposition not deterministic across identical snapshots")
+	}
+}
+
+func TestQuantileFromBuckets(t *testing.T) {
+	// Uniform 1..1000 into bounds 100..1000: each bucket holds 100
+	// observations, so interpolation recovers the exact quantile.
+	bounds := []int64{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+	r := NewRegistry()
+	h := r.Histogram("u", bounds)
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0.5, 500}, {0.95, 950}, {0.99, 990}, {0.1, 100}, {1.0, 1000},
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+
+	// All mass in the overflow bucket clamps to the highest finite bound.
+	h2 := r.Histogram("o", []int64{10, 20})
+	h2.Observe(1000)
+	if got := h2.Quantile(0.5); got != 20 {
+		t.Errorf("overflow Quantile = %v, want 20", got)
+	}
+
+	// Empty histogram: 0.
+	h3 := r.Histogram("e", []int64{10})
+	if got := h3.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	var hn *Histogram
+	if got := hn.Quantile(0.5); got != 0 {
+		t.Errorf("nil Quantile = %v, want 0", got)
+	}
+
+	// The MetricPoint path agrees with the live histogram.
+	for _, p := range r.Snapshot() {
+		if p.Name != "u" {
+			continue
+		}
+		if got := p.Quantile(0.95); got != 950 {
+			t.Errorf("MetricPoint.Quantile = %v, want 950", got)
+		}
+	}
+}
+
+func TestHistogramBoundsMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", []int64{10, 100})
+
+	// Same bounds: fine. Nil bounds: a lookup, also fine.
+	r.Histogram("h", []int64{10, 100})
+	if got := r.Histogram("h", nil); got == nil {
+		t.Fatal("nil-bounds lookup returned nil")
+	}
+
+	mustPanic := func(name string, bounds []int64) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Histogram(%q, %v) did not panic", name, bounds)
+			}
+		}()
+		r.Histogram(name, bounds)
+	}
+	mustPanic("h", []int64{10, 100, 1000}) // different length
+	mustPanic("h", []int64{10, 200})       // different bound value
+}

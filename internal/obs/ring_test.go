@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRingTracerDropOldest(t *testing.T) {
+	tr := NewRingTracer("test", 4)
+	for i := 0; i < 10; i++ {
+		sp := tr.Begin("stage", fmt.Sprintf("work%d", i))
+		sp.End()
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Errorf("Dropped() = %d, want 6", got)
+	}
+	if got := tr.Len(); got != 4 {
+		t.Errorf("Len() = %d, want 4", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ValidateTrace: %v\n%s", err, buf.String())
+	}
+	if n != 4 {
+		t.Fatalf("retained spans = %d, want 4", n)
+	}
+	// The retained window is the newest four.
+	for i := 6; i < 10; i++ {
+		want := fmt.Sprintf("work%d", i)
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("retained window missing %q", want)
+		}
+	}
+}
+
+func TestRingTracerZeroCapIsUnbounded(t *testing.T) {
+	tr := NewRingTracer("test", 0)
+	for i := 0; i < 100; i++ {
+		tr.Begin("stage", "work").End()
+	}
+	if tr.Dropped() != 0 || tr.Len() != 100 {
+		t.Fatalf("cap 0: dropped=%d len=%d, want 0/100", tr.Dropped(), tr.Len())
+	}
+}
+
+func TestRingTracerWraparoundStaysValid(t *testing.T) {
+	// Nested families pushed through a small ring: eviction can remove a
+	// parent while its children survive, and the surviving subset must
+	// still be a properly nested trace.
+	tr := NewRingTracer("test", 5)
+	for i := 0; i < 8; i++ {
+		top := tr.Begin("stage", "outer")
+		seg := top.Child("segment", "mid")
+		seg.Child("transform", "leaf").End()
+		seg.End()
+		top.End()
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ValidateTrace after wraparound: %v\n%s", err, buf.String())
+	}
+	if n != 5 {
+		t.Fatalf("retained spans = %d, want 5", n)
+	}
+	if got := tr.Dropped(); got != 24-5 {
+		t.Errorf("Dropped() = %d, want %d", got, 24-5)
+	}
+}
+
+func TestRingTracerEvictedSpanIsSafe(t *testing.T) {
+	tr := NewRingTracer("test", 1)
+	a := tr.Begin("stage", "a")
+	// The child evicts a's event from the one-slot ring.
+	b := a.Child("segment", "b")
+	a.Arg("k", "v") // no-op on an evicted event; must not corrupt b
+	b.End()
+	a.End() // evicted, but must still release lane 0
+	c := tr.Begin("stage", "c")
+	if c.lane != 0 {
+		t.Fatalf("lane after evicted End = %d, want 0 (lane not released)", c.lane)
+	}
+	c.End()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateTrace: %v", err)
+	}
+}
+
+func TestRingTracerConcurrent(t *testing.T) {
+	tr := NewRingTracer("test", 16)
+	const workers, spans = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := WithRequestID(context.Background(), fmt.Sprintf("r%d", w))
+			for i := 0; i < spans; i++ {
+				sp := tr.BeginCtx(ctx, "stage", "work")
+				sp.Child("segment", "inner").ArgInt("i", int64(i)).End()
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := int64(workers * spans * 2)
+	if got := tr.Dropped() + int64(tr.Len()); got != total {
+		t.Errorf("dropped+retained = %d, want %d", got, total)
+	}
+	if tr.Len() > 16 {
+		t.Errorf("Len() = %d exceeds cap 16", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateTrace: %v\n%s", err, buf.String())
+	}
+}
+
+func TestWriteRequestExtractsFragment(t *testing.T) {
+	tr := NewRingTracer("test", 64)
+	ctxA := WithRequestID(context.Background(), "req-a")
+	ctxB := WithRequestID(context.Background(), "req-b")
+
+	spA := tr.BeginCtx(ctxA, "http", "GET /v1/evaluate")
+	spB := tr.BeginCtx(ctxB, "http", "GET /healthz")
+	chA := spA.Child("stage", "eval") // inherits req-a
+	chA.End()
+	spB.End()
+	spA.End()
+	tr.Begin("stage", "untagged").End()
+
+	var buf bytes.Buffer
+	n, err := tr.WriteRequest(&buf, "req-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("fragment spans = %d, want 2", n)
+	}
+	if _, err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateTrace: %v\n%s", err, buf.String())
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev["ph"] != "X" {
+			continue
+		}
+		args, _ := ev["args"].(map[string]any)
+		if args == nil || args["req"] != "req-a" {
+			t.Errorf("span %v: req arg = %v, want req-a", ev["name"], args)
+		}
+		if ev["name"] == "GET /healthz" || ev["name"] == "untagged" {
+			t.Errorf("foreign span %v leaked into fragment", ev["name"])
+		}
+	}
+
+	// Unknown ID: empty but valid fragment.
+	buf.Reset()
+	if n, err := tr.WriteRequest(&buf, "req-zzz"); err != nil || n != 0 {
+		t.Fatalf("unknown id: n=%d err=%v", n, err)
+	}
+	if _, err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateTrace empty fragment: %v", err)
+	}
+
+	// Nil tracer and empty ID both degrade to an empty array.
+	var nilTr *Tracer
+	buf.Reset()
+	if n, err := nilTr.WriteRequest(&buf, "x"); err != nil || n != 0 {
+		t.Fatalf("nil tracer: n=%d err=%v", n, err)
+	}
+	if buf.String() != "[]\n" {
+		t.Fatalf("nil tracer wrote %q, want []", buf.String())
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if got := RequestID(ctx); got != "" {
+		t.Errorf("RequestID(bare ctx) = %q, want empty", got)
+	}
+	if got := WithRequestID(ctx, ""); got != ctx {
+		t.Error("WithRequestID with empty id should return ctx unchanged")
+	}
+	tagged := WithRequestID(ctx, "r42")
+	if got := RequestID(tagged); got != "r42" {
+		t.Errorf("RequestID = %q, want r42", got)
+	}
+	// Begin (no ctx) leaves spans untagged even on a ctx-capable tracer.
+	tr := NewRingTracer("test", 8)
+	tr.Begin("stage", "plain").End()
+	var buf bytes.Buffer
+	if n, err := tr.WriteRequest(&buf, "r42"); err != nil || n != 0 {
+		t.Fatalf("untagged span matched: n=%d err=%v", n, err)
+	}
+}

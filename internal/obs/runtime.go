@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"time"
+)
+
+// Runtime-metric instrument names. All land in the shared registry, so
+// they ride the same Snapshot / Prometheus exposition as every other
+// instrument (go.goroutines → go_goroutines, and so on).
+const (
+	GoGoroutines     = "go.goroutines"
+	GoHeapInuseBytes = "go.heap_inuse_bytes"
+	GoMemTotalBytes  = "go.mem_total_bytes"
+	GoGCCycles       = "go.gc_cycles"
+	GoGCPauseNS      = "go.gc_pause_ns"
+	GoSchedLatencyNS = "go.sched_latency_ns"
+)
+
+// GoPauseBounds buckets GC pauses and scheduling latencies: nanosecond
+// bounds from 1µs to 1s (these distributions live well below the 10µs
+// floor of DefaultWallBounds).
+var GoPauseBounds = []int64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+
+// runtime/metrics sample names the sampler reads, in the fixed order the
+// sample slice is laid out.
+const (
+	smpGoroutines = iota
+	smpHeapObjects
+	smpHeapUnused
+	smpMemTotal
+	smpGCCycles
+	smpGCPauses
+	smpSchedLat
+	smpCount
+)
+
+var runtimeSampleNames = [smpCount]string{
+	smpGoroutines:  "/sched/goroutines:goroutines",
+	smpHeapObjects: "/memory/classes/heap/objects:bytes",
+	smpHeapUnused:  "/memory/classes/heap/unused:bytes",
+	smpMemTotal:    "/memory/classes/total:bytes",
+	smpGCCycles:    "/gc/cycles/total:gc-cycles",
+	smpGCPauses:    "/gc/pauses:seconds",
+	smpSchedLat:    "/sched/latencies:seconds",
+}
+
+// RuntimeSampler polls runtime/metrics into go.* instruments on a shared
+// registry: heap in-use and total memory gauges, goroutine and GC-cycle
+// counts, and GC-pause / scheduler-latency histograms (folded in as
+// bucket deltas between polls, so restarts and long gaps never
+// double-count). Start with StartRuntimeSampler; Stop to halt.
+type RuntimeSampler struct {
+	gGoroutines *Gauge
+	gHeapInuse  *Gauge
+	gMemTotal   *Gauge
+	gGCCycles   *Gauge
+	hGCPause    *Histogram
+	hSchedLat   *Histogram
+
+	samples []metrics.Sample
+	// Previous cumulative runtime histogram counts, for delta folding.
+	prevPause, prevSched []uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartRuntimeSampler begins polling runtime/metrics into reg every
+// interval (minimum 10ms; 0 defaults to 5s). One sample is taken
+// synchronously before it returns, so the go.* series exist immediately.
+// Call Stop to halt the sampler goroutine.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) *RuntimeSampler {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	s := &RuntimeSampler{
+		gGoroutines: reg.Gauge(GoGoroutines),
+		gHeapInuse:  reg.Gauge(GoHeapInuseBytes),
+		gMemTotal:   reg.Gauge(GoMemTotalBytes),
+		gGCCycles:   reg.Gauge(GoGCCycles),
+		hGCPause:    reg.Histogram(GoGCPauseNS, GoPauseBounds),
+		hSchedLat:   reg.Histogram(GoSchedLatencyNS, GoPauseBounds),
+		samples:     make([]metrics.Sample, smpCount),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	for i := range s.samples {
+		s.samples[i].Name = runtimeSampleNames[i]
+	}
+	s.sample()
+	go s.loop(interval)
+	return s
+}
+
+// Stop halts the sampler goroutine and waits for it to exit. Idempotent
+// is not required; call once (nil-safe).
+func (s *RuntimeSampler) Stop() {
+	if s == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+}
+
+func (s *RuntimeSampler) loop(interval time.Duration) {
+	defer close(s.done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.sample()
+		}
+	}
+}
+
+// sample reads every runtime metric once and updates the instruments.
+func (s *RuntimeSampler) sample() {
+	metrics.Read(s.samples)
+	if v := &s.samples[smpGoroutines].Value; v.Kind() == metrics.KindUint64 {
+		s.gGoroutines.Set(int64(v.Uint64()))
+	}
+	var heapInuse int64
+	if v := &s.samples[smpHeapObjects].Value; v.Kind() == metrics.KindUint64 {
+		heapInuse += int64(v.Uint64())
+	}
+	if v := &s.samples[smpHeapUnused].Value; v.Kind() == metrics.KindUint64 {
+		heapInuse += int64(v.Uint64())
+	}
+	if heapInuse > 0 {
+		s.gHeapInuse.Set(heapInuse)
+	}
+	if v := &s.samples[smpMemTotal].Value; v.Kind() == metrics.KindUint64 {
+		s.gMemTotal.Set(int64(v.Uint64()))
+	}
+	if v := &s.samples[smpGCCycles].Value; v.Kind() == metrics.KindUint64 {
+		s.gGCCycles.Set(int64(v.Uint64()))
+	}
+	if v := &s.samples[smpGCPauses].Value; v.Kind() == metrics.KindFloat64Histogram {
+		s.prevPause = foldHistogramDelta(s.hGCPause, v.Float64Histogram(), s.prevPause)
+	}
+	if v := &s.samples[smpSchedLat].Value; v.Kind() == metrics.KindFloat64Histogram {
+		s.prevSched = foldHistogramDelta(s.hSchedLat, v.Float64Histogram(), s.prevSched)
+	}
+}
+
+// foldHistogramDelta adds the growth of a cumulative runtime/metrics
+// histogram since the previous poll into an obs histogram, valuing each
+// runtime bucket at its upper boundary in nanoseconds (clamped for the
+// +Inf tail). Returns the new cumulative counts to carry forward.
+func foldHistogramDelta(h *Histogram, rh *metrics.Float64Histogram, prev []uint64) []uint64 {
+	counts := rh.Counts
+	if len(prev) != len(counts) {
+		// First poll (or a runtime resize): baseline without observing, so
+		// pauses from before the sampler started are not attributed to it.
+		return append([]uint64(nil), counts...)
+	}
+	for i, c := range counts {
+		d := int64(c - prev[i])
+		if d <= 0 {
+			continue
+		}
+		// Buckets[i+1] is the bucket's upper boundary in seconds.
+		ub := rh.Buckets[i+1]
+		if math.IsInf(ub, +1) {
+			ub = rh.Buckets[i]
+		}
+		h.observeN(int64(ub*1e9), d)
+		prev[i] = c
+	}
+	copy(prev, counts)
+	return prev
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSampler(t *testing.T) {
+	r := NewRegistry()
+	s := StartRuntimeSampler(r, 10*time.Millisecond)
+	defer s.Stop()
+
+	// The constructor samples synchronously, so the series exist now.
+	if got := r.Gauge(GoGoroutines).Value(); got < 1 {
+		t.Errorf("%s = %d, want >= 1", GoGoroutines, got)
+	}
+	if got := r.Gauge(GoHeapInuseBytes).Value(); got <= 0 {
+		t.Errorf("%s = %d, want > 0", GoHeapInuseBytes, got)
+	}
+	if got := r.Gauge(GoMemTotalBytes).Value(); got <= 0 {
+		t.Errorf("%s = %d, want > 0", GoMemTotalBytes, got)
+	}
+
+	// Force GC cycles and let at least one poll fold the pause histogram.
+	runtime.GC()
+	runtime.GC()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.Histogram(GoGCPauseNS, nil).Count() > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := r.Histogram(GoGCPauseNS, nil).Count(); got == 0 {
+		t.Errorf("%s never observed a pause after runtime.GC", GoGCPauseNS)
+	}
+	if got := r.Gauge(GoGCCycles).Value(); got < 2 {
+		t.Errorf("%s = %d, want >= 2", GoGCCycles, got)
+	}
+}
+
+func TestRuntimeSamplerStopNilSafe(t *testing.T) {
+	var s *RuntimeSampler
+	s.Stop() // must not panic
+}

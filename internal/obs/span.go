@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -13,6 +14,13 @@ import (
 // them out as a Chrome trace-event JSON array. Safe for concurrent use
 // from any number of goroutines.
 //
+// A Tracer runs in one of two retention modes. NewTracer retains every
+// span until Write — the right shape for a CLI tool that records one
+// bounded run and dumps it at exit. NewRingTracer retains at most the
+// last cap spans, dropping the oldest (and counting the drops) as new
+// ones arrive — the flight-recorder shape that a long-lived daemon can
+// leave on forever at O(cap) memory.
+//
 // A nil *Tracer is the disabled tracer: Begin returns an inert Span and
 // every downstream call is a nil-check. Instrumentation sites therefore
 // never test whether tracing is on.
@@ -20,15 +28,22 @@ type Tracer struct {
 	proc  string
 	start time.Time
 
-	mu     sync.Mutex
-	events []spanEvent
-	lanes  []bool // lane occupancy; index = trace tid
+	mu    sync.Mutex
+	cap   int         // ring capacity; 0 = retain everything
+	ring  []spanEvent // circular when cap > 0, append-only otherwise
+	head  int         // ring slot of the oldest retained event
+	n     int         // retained events (ring mode)
+	base  int64       // seq of the oldest retained event
+	drops int64       // events evicted by the ring
+
+	lanes []bool // lane occupancy; index = trace tid
 }
 
 // spanEvent is one complete ("X") trace event being built.
 type spanEvent struct {
 	name    string
 	cat     string
+	req     string // request/trace ID; children inherit it
 	lane    int32
 	startNS int64
 	durNS   int64 // -1 while the span is open
@@ -41,10 +56,45 @@ type Arg struct {
 	Val string
 }
 
-// NewTracer creates a tracer; proc names the process in the trace viewer
-// (usually the tool name).
+// NewTracer creates an unbounded tracer; proc names the process in the
+// trace viewer (usually the tool name).
 func NewTracer(proc string) *Tracer {
 	return &Tracer{proc: proc, start: time.Now()}
+}
+
+// NewRingTracer creates a flight-recorder tracer that retains at most
+// cap spans, evicting the oldest as new spans begin. Evictions are
+// counted (Dropped); an evicted span's later End/Arg calls are no-ops
+// except that a top-level span still releases its lane. cap <= 0 falls
+// back to unbounded retention.
+func NewRingTracer(proc string, cap int) *Tracer {
+	if cap <= 0 {
+		return NewTracer(proc)
+	}
+	return &Tracer{proc: proc, start: time.Now(), cap: cap}
+}
+
+// ctxKey carries the per-request trace ID through a context.
+type ctxKey struct{}
+
+// WithRequestID returns a context carrying the given request/trace ID.
+// Spans begun via BeginCtx under it (and their children) are tagged with
+// the ID, which is what lets WriteRequest extract one request's span
+// tree from a shared flight-recorder tracer.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// RequestID returns the request/trace ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
 }
 
 // Begin opens a new top-level span. Top-level spans are assigned the
@@ -52,6 +102,19 @@ func NewTracer(proc string) *Tracer {
 // while sequential ones share a track; nested work belongs in
 // Span.Child. End the span to release its lane.
 func (t *Tracer) Begin(cat, name string) Span {
+	return t.beginReq(cat, name, "")
+}
+
+// BeginCtx is Begin with the request/trace ID (if any) taken from ctx:
+// the span and all its children are tagged with the ID for WriteRequest.
+func (t *Tracer) BeginCtx(ctx context.Context, cat, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return t.beginReq(cat, name, RequestID(ctx))
+}
+
+func (t *Tracer) beginReq(cat, name, req string) Span {
 	if t == nil {
 		return Span{}
 	}
@@ -65,17 +128,69 @@ func (t *Tracer) Begin(cat, name string) Span {
 	} else {
 		t.lanes[lane] = true
 	}
-	idx := t.push(cat, name, lane, now)
+	seq := t.push(cat, name, req, lane, now)
 	t.mu.Unlock()
-	return Span{t: t, idx: idx, lane: lane, owns: true}
+	return Span{t: t, seq: seq, lane: lane, owns: true}
 }
 
-// push appends an open event; the caller holds t.mu.
-func (t *Tracer) push(cat, name string, lane int32, startNS int64) int32 {
-	t.events = append(t.events, spanEvent{
-		name: name, cat: cat, lane: lane, startNS: startNS, durNS: -1,
-	})
-	return int32(len(t.events) - 1)
+// push appends an open event and returns its sequence number; the caller
+// holds t.mu. In ring mode a full buffer evicts its oldest event.
+func (t *Tracer) push(cat, name, req string, lane int32, startNS int64) int64 {
+	ev := spanEvent{
+		name: name, cat: cat, req: req, lane: lane, startNS: startNS, durNS: -1,
+	}
+	if t.cap == 0 {
+		t.ring = append(t.ring, ev)
+		return int64(len(t.ring)) - 1
+	}
+	if t.ring == nil {
+		t.ring = make([]spanEvent, t.cap)
+	}
+	if t.n < t.cap {
+		t.ring[(t.head+t.n)%t.cap] = ev
+		t.n++
+	} else {
+		t.ring[t.head] = ev
+		t.head = (t.head + 1) % t.cap
+		t.base++
+		t.drops++
+	}
+	return t.base + int64(t.n) - 1
+}
+
+// lookup resolves a sequence number to its retained event, or nil if the
+// ring has evicted it; the caller holds t.mu.
+func (t *Tracer) lookup(seq int64) *spanEvent {
+	if t.cap == 0 {
+		return &t.ring[seq]
+	}
+	if seq < t.base {
+		return nil
+	}
+	return &t.ring[(t.head+int(seq-t.base))%t.cap]
+}
+
+// Dropped returns the number of spans evicted by the ring so far.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drops
+}
+
+// Len returns the number of spans currently retained.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cap == 0 {
+		return len(t.ring)
+	}
+	return t.n
 }
 
 // Span is one open (or finished) trace span. The zero Span is inert:
@@ -83,7 +198,7 @@ func (t *Tracer) push(cat, name string, lane int32, startNS int64) int32 {
 // be threaded unconditionally through code that may run untraced.
 type Span struct {
 	t    *Tracer
-	idx  int32
+	seq  int64
 	lane int32
 	owns bool // this span acquired its lane and must release it
 }
@@ -91,17 +206,22 @@ type Span struct {
 // Active reports whether the span records anything (ie. tracing is on).
 func (s Span) Active() bool { return s.t != nil }
 
-// Child opens a span nested under s, on the same lane. Children must end
-// before their parent for the trace to nest correctly.
+// Child opens a span nested under s, on the same lane and tagged with
+// the same request ID. Children must end before their parent for the
+// trace to nest correctly.
 func (s Span) Child(cat, name string) Span {
 	if s.t == nil {
 		return Span{}
 	}
 	now := int64(time.Since(s.t.start))
 	s.t.mu.Lock()
-	idx := s.t.push(cat, name, s.lane, now)
+	req := ""
+	if ev := s.t.lookup(s.seq); ev != nil {
+		req = ev.req
+	}
+	seq := s.t.push(cat, name, req, s.lane, now)
 	s.t.mu.Unlock()
-	return Span{t: s.t, idx: idx, lane: s.lane}
+	return Span{t: s.t, seq: seq, lane: s.lane}
 }
 
 // Arg annotates the span with a key/value pair and returns it for
@@ -111,8 +231,9 @@ func (s Span) Arg(key, val string) Span {
 		return s
 	}
 	s.t.mu.Lock()
-	ev := &s.t.events[s.idx]
-	ev.args = append(ev.args, Arg{Key: key, Val: val})
+	if ev := s.t.lookup(s.seq); ev != nil {
+		ev.args = append(ev.args, Arg{Key: key, Val: val})
+	}
 	s.t.mu.Unlock()
 	return s
 }
@@ -126,19 +247,23 @@ func (s Span) ArgInt(key string, v int64) Span {
 }
 
 // End closes the span, fixing its duration; a top-level span also
-// releases its lane. End on an already-ended or inert span is a no-op.
+// releases its lane (even if the ring has already evicted the event).
+// End on an already-ended or inert span is a no-op.
 func (s Span) End() {
 	if s.t == nil {
 		return
 	}
 	now := int64(time.Since(s.t.start))
 	s.t.mu.Lock()
-	ev := &s.t.events[s.idx]
-	if ev.durNS < 0 {
-		ev.durNS = now - ev.startNS
-		if s.owns {
-			s.t.lanes[s.lane] = false
+	if ev := s.t.lookup(s.seq); ev != nil {
+		if ev.durNS < 0 {
+			ev.durNS = now - ev.startNS
+			if s.owns {
+				s.t.lanes[s.lane] = false
+			}
 		}
+	} else if s.owns {
+		s.t.lanes[s.lane] = false
 	}
 	s.t.mu.Unlock()
 }
@@ -156,45 +281,93 @@ type traceEvent struct {
 	Args map[string]string `json:"args,omitempty"`
 }
 
-// Write emits every span as a Chrome trace-event JSON array. Spans still
-// open are emitted with their duration measured up to now and an
-// "unfinished" arg. Write may be called more than once; each call
-// snapshots the current state.
+// render converts one retained event to the wire format; open spans get
+// their duration measured up to now and an "unfinished" arg.
+func (ev *spanEvent) render(nowNS int64) traceEvent {
+	dur := ev.durNS
+	var args map[string]string
+	if dur < 0 {
+		dur = nowNS - ev.startNS
+		args = map[string]string{"unfinished": "true"}
+	}
+	if ev.req != "" {
+		if args == nil {
+			args = make(map[string]string, len(ev.args)+1)
+		}
+		args["req"] = ev.req
+	}
+	if len(ev.args) > 0 {
+		if args == nil {
+			args = make(map[string]string, len(ev.args))
+		}
+		for _, a := range ev.args {
+			args[a.Key] = a.Val
+		}
+	}
+	d := float64(dur) / 1e3
+	return traceEvent{
+		Name: ev.name, Cat: ev.cat, Ph: "X", PID: 1, TID: ev.lane,
+		TS: float64(ev.startNS) / 1e3, Dur: &d, Args: args,
+	}
+}
+
+// snapshot renders the retained events (oldest first) matching filter
+// (nil = all); the caller holds t.mu.
+func (t *Tracer) snapshot(nowNS int64, filter func(*spanEvent) bool) []traceEvent {
+	count := len(t.ring)
+	if t.cap != 0 {
+		count = t.n
+	}
+	out := make([]traceEvent, 0, count+1)
+	out = append(out, traceEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]string{"name": t.proc},
+	})
+	for i := 0; i < count; i++ {
+		ev := &t.ring[i]
+		if t.cap != 0 {
+			ev = &t.ring[(t.head+i)%t.cap]
+		}
+		if filter == nil || filter(ev) {
+			out = append(out, ev.render(nowNS))
+		}
+	}
+	return out
+}
+
+// Write emits every retained span as a Chrome trace-event JSON array.
+// Spans still open are emitted with their duration measured up to now
+// and an "unfinished" arg. Write may be called more than once; each call
+// snapshots the current state. In ring mode only the retained window is
+// emitted — evicted spans are gone (see Dropped).
 func (t *Tracer) Write(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
 	now := int64(time.Since(t.start))
 	t.mu.Lock()
-	out := make([]traceEvent, 0, len(t.events)+1)
-	out = append(out, traceEvent{
-		Name: "process_name", Ph: "M", PID: 1,
-		Args: map[string]string{"name": t.proc},
-	})
-	for _, ev := range t.events {
-		dur := ev.durNS
-		var args map[string]string
-		if dur < 0 {
-			dur = now - ev.startNS
-			args = map[string]string{"unfinished": "true"}
-		}
-		if len(ev.args) > 0 {
-			if args == nil {
-				args = make(map[string]string, len(ev.args))
-			}
-			for _, a := range ev.args {
-				args[a.Key] = a.Val
-			}
-		}
-		d := float64(dur) / 1e3
-		out = append(out, traceEvent{
-			Name: ev.name, Cat: ev.cat, Ph: "X", PID: 1, TID: ev.lane,
-			TS: float64(ev.startNS) / 1e3, Dur: &d, Args: args,
-		})
-	}
+	out := t.snapshot(now, nil)
 	t.mu.Unlock()
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// WriteRequest emits the trace fragment of one request: every retained
+// span tagged with the given request ID (via BeginCtx under
+// WithRequestID, plus inherited children). The fragment is a complete,
+// ValidateTrace-clean Chrome trace-event array on its own. Returns the
+// number of spans written.
+func (t *Tracer) WriteRequest(w io.Writer, id string) (int, error) {
+	if t == nil || id == "" {
+		_, err := w.Write([]byte("[]\n"))
+		return 0, err
+	}
+	now := int64(time.Since(t.start))
+	t.mu.Lock()
+	out := t.snapshot(now, func(ev *spanEvent) bool { return ev.req == id })
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return len(out) - 1, enc.Encode(out)
 }
 
 // ValidateTrace parses data as a Chrome trace-event JSON array and

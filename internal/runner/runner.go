@@ -286,7 +286,9 @@ func (e *Engine) emit(ev Event) {
 }
 
 // account records one lookup's counters and fires the progress callback.
-func (e *Engine) account(stage, key string, hit bool, wall time.Duration, insts int64) {
+// The debug record carries ctx's request ID (if any), so daemon stage
+// lookups correlate with their request's trace fragment and access log.
+func (e *Engine) account(ctx context.Context, stage, key string, hit bool, wall time.Duration, insts int64) {
 	c := e.stages[stage]
 	c.calls.Add(1)
 	if hit {
@@ -296,7 +298,7 @@ func (e *Engine) account(stage, key string, hit bool, wall time.Duration, insts 
 		c.wall.Observe(int64(wall))
 		c.insts.Add(insts)
 	}
-	e.log.Debug("stage lookup", "stage", stage, "key", key, "hit", hit, "wall", wall)
+	e.log.DebugCtx(ctx, "stage lookup", "stage", stage, "key", key, "hit", hit, "wall", wall)
 	e.emit(Event{Stage: stage, Key: key, CacheHit: hit, Wall: wall})
 }
 
@@ -316,7 +318,7 @@ func (e *Engine) TraceCtx(ctx context.Context, w *workloads.Workload) (*trace.Tr
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		sp := e.tracer.Begin("stage", StageTrace+" "+key)
+		sp := e.tracer.BeginCtx(ctx, "stage", StageTrace+" "+key)
 		defer sp.End()
 		return w.Trace(e.maxDyn)
 	})
@@ -324,7 +326,7 @@ func (e *Engine) TraceCtx(ctx context.Context, w *workloads.Workload) (*trace.Tr
 	if tr != nil {
 		insts = int64(tr.Len())
 	}
-	e.account(StageTrace, key, hit, wall, insts)
+	e.account(ctx, StageTrace, key, hit, wall, insts)
 	return tr, err
 }
 
@@ -345,7 +347,7 @@ func (e *Engine) TDGCtx(ctx context.Context, w *workloads.Workload) (*tdg.TDG, e
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		sp := e.tracer.Begin("stage", StageTDG+" "+key)
+		sp := e.tracer.BeginCtx(ctx, "stage", StageTDG+" "+key)
 		defer sp.End()
 		return tdg.Build(tr)
 	})
@@ -353,7 +355,7 @@ func (e *Engine) TDGCtx(ctx context.Context, w *workloads.Workload) (*tdg.TDG, e
 	if td != nil {
 		insts = int64(td.Trace.Len())
 	}
-	e.account(StageTDG, key, hit, wall, insts)
+	e.account(ctx, StageTDG, key, hit, wall, insts)
 	return td, err
 }
 
@@ -368,7 +370,7 @@ func (e *Engine) TDGFor(key string, tr *trace.Trace) (*tdg.TDG, error) {
 		defer sp.End()
 		return tdg.Build(tr)
 	})
-	e.account(StageTDG, k, hit, wall, int64(tr.Len()))
+	e.account(context.Background(), StageTDG, k, hit, wall, int64(tr.Len()))
 	return td, err
 }
 
@@ -391,7 +393,7 @@ func (e *Engine) ContextCtx(ctx context.Context, w *workloads.Workload, core cor
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		sp := e.tracer.Begin("stage", StageSched+" "+key)
+		sp := e.tracer.BeginCtx(ctx, "stage", StageSched+" "+key)
 		defer sp.End()
 		sc, err := sched.NewContextWith(td, core, e.bsaReg.New(),
 			sched.ContextOpts{NoSegmentCache: e.noSegCache, NoDelta: e.noDelta,
@@ -410,7 +412,7 @@ func (e *Engine) ContextCtx(ctx context.Context, w *workloads.Workload, core cor
 	if sc != nil {
 		insts = int64(sc.TDG.Trace.Len())
 	}
-	e.account(StageSched, key, hit, wall, insts)
+	e.account(ctx, StageSched, key, hit, wall, insts)
 	return sc, err
 }
 
@@ -453,7 +455,7 @@ func (e *Engine) EvaluateCtx(ctx context.Context, w *workloads.Workload, core co
 		if err := ctx.Err(); err != nil {
 			return evalResult{}, err
 		}
-		sp := e.tracer.Begin("stage", StageEval+" "+key)
+		sp := e.tracer.BeginCtx(ctx, "stage", StageEval+" "+key)
 		defer sp.End()
 		cycles, energy, err := sc.EvaluateSpan(assign, sp)
 		if err != nil {
@@ -461,7 +463,7 @@ func (e *Engine) EvaluateCtx(ctx context.Context, w *workloads.Workload, core co
 		}
 		return evalResult{cycles: cycles, energyNJ: energy}, nil
 	})
-	e.account(StageEval, key, hit, wall, 0)
+	e.account(ctx, StageEval, key, hit, wall, 0)
 	if err != nil {
 		return 0, 0, err
 	}

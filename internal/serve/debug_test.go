@@ -1,0 +1,273 @@
+// Tests for the telemetry plane: the /debug/requests flight recorder,
+// per-request trace fragments, Prometheus exposition, access-log
+// correlation fields, and the pprof gate.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"exocore/internal/obs"
+	"exocore/internal/runner"
+)
+
+// TestDebugRequestsAndTraceFragment drives one evaluation through a
+// ring-traced server, then checks the request shows up in the flight
+// recorder and its trace fragment validates.
+func TestDebugRequestsAndTraceFragment(t *testing.T) {
+	tr := obs.NewRingTracer("test", 1024)
+	eng := runner.New(runner.Options{MaxDyn: testMaxDyn, Tracer: tr})
+	_, hs := newTestServer(t, Config{Engine: eng, Tracer: tr})
+
+	resp, body := post(t, hs.URL+"/v1/evaluate", `{"bench":"mm","core":"IO2"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate = %d %s", resp.StatusCode, body)
+	}
+	reqID := resp.Header.Get("X-Request-Id")
+	if reqID == "" {
+		t.Fatal("evaluate response missing X-Request-Id")
+	}
+
+	resp, body = get(t, hs.URL+"/debug/requests")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/requests = %d", resp.StatusCode)
+	}
+	var dbg struct {
+		Recent        []RequestRecord `json:"recent"`
+		Slowest       []RequestRecord `json:"slowest"`
+		DroppedSpans  int64           `json:"dropped_spans"`
+		RetainedSpans int             `json:"retained_spans"`
+	}
+	if err := json.Unmarshal(body, &dbg); err != nil {
+		t.Fatalf("debug/requests body: %v\n%s", err, body)
+	}
+	var rec *RequestRecord
+	for i := range dbg.Recent {
+		if dbg.Recent[i].ID == reqID {
+			rec = &dbg.Recent[i]
+		}
+	}
+	if rec == nil {
+		t.Fatalf("request %s not in recent ring: %s", reqID, body)
+	}
+	if rec.Path != "/v1/evaluate" || rec.Status != http.StatusOK {
+		t.Errorf("record = %+v", rec)
+	}
+	if !strings.HasPrefix(rec.Key, "eval|mm|IO2|") {
+		t.Errorf("record key = %q, want eval|mm|IO2|... prefix", rec.Key)
+	}
+	if rec.LatencyNS <= 0 {
+		t.Errorf("record latency = %d, want > 0", rec.LatencyNS)
+	}
+	if dbg.RetainedSpans <= 0 {
+		t.Errorf("retained_spans = %d, want > 0", dbg.RetainedSpans)
+	}
+	// An evaluation outlasts the ring-tracer retention counters shown in
+	// /debug/requests; the same request appears on the slowest board too
+	// (it is the only request).
+	if len(dbg.Slowest) == 0 || dbg.Slowest[0].ID != reqID {
+		t.Errorf("slowest board = %+v, want to lead with %s", dbg.Slowest, reqID)
+	}
+
+	// The per-request fragment is a valid Chrome trace with spans.
+	resp, body = get(t, hs.URL+"/debug/requests/"+reqID+"/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fragment = %d %s", resp.StatusCode, body)
+	}
+	n, err := obs.ValidateTrace(body)
+	if err != nil {
+		t.Fatalf("ValidateTrace: %v\n%s", err, body)
+	}
+	if n < 1 {
+		t.Fatalf("trace fragment has %d spans, want >= 1", n)
+	}
+	// Every span in the fragment is tagged with this request's ID.
+	var events []map[string]any
+	if err := json.Unmarshal(body, &events); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev["ph"] != "X" {
+			continue
+		}
+		args, _ := ev["args"].(map[string]any)
+		if args == nil || args["req"] != reqID {
+			t.Errorf("span %v not tagged with %s: %v", ev["name"], reqID, args)
+		}
+	}
+
+	// Unknown IDs are 404, not empty traces.
+	resp, _ = get(t, hs.URL+"/debug/requests/r999999/trace")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id trace = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMetricszPromFormat checks the Prometheus exposition branch: right
+// content type, engine and server series present, counters suffixed.
+func TestMetricszPromFormat(t *testing.T) {
+	tr := obs.NewRingTracer("test", 256)
+	eng := runner.New(runner.Options{MaxDyn: testMaxDyn, Tracer: tr})
+	_, hs := newTestServer(t, Config{Engine: eng, Tracer: tr})
+
+	if resp, b := post(t, hs.URL+"/v1/evaluate", `{"bench":"mm"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate = %d %s", resp.StatusCode, b)
+	}
+	resp, body := get(t, hs.URL+"/metricsz?format=prom")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metricsz prom = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"serve_requests_total ",
+		"serve_latency_ns_bucket{le=\"+Inf\"} ",
+		"serve_latency_ns_count ",
+		"stage_eval_calls_total ",
+		"obs_retained_spans ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom exposition missing %q", want)
+		}
+	}
+	// Default (no format param) stays the JSON snapshot.
+	resp, _ = get(t, hs.URL+"/metricsz")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default metricsz Content-Type = %q", ct)
+	}
+}
+
+// TestHealthzLatencyQuantiles: after traffic, /healthz carries a
+// latency_ns summary with non-decreasing quantiles.
+func TestHealthzLatencyQuantiles(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	for i := 0; i < 3; i++ {
+		if resp, b := post(t, hs.URL+"/v1/evaluate", `{"bench":"mm"}`); resp.StatusCode != http.StatusOK {
+			t.Fatalf("evaluate = %d %s", resp.StatusCode, b)
+		}
+	}
+	_, body := get(t, hs.URL+"/healthz")
+	var h struct {
+		LatencyNS map[string]float64 `json:"latency_ns"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	p50, p95, p99 := h.LatencyNS["p50"], h.LatencyNS["p95"], h.LatencyNS["p99"]
+	if p50 <= 0 {
+		t.Fatalf("healthz p50 = %v, want > 0 after traffic (%s)", p50, body)
+	}
+	if p95 < p50 || p99 < p95 {
+		t.Fatalf("quantiles not monotone: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+}
+
+// TestPprofGate: the profiler endpoints exist only under EnablePprof.
+func TestPprofGate(t *testing.T) {
+	_, off := newTestServer(t, Config{})
+	resp, _ := get(t, off.URL+"/debug/pprof/")
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof served without EnablePprof")
+	}
+
+	_, on := newTestServer(t, Config{EnablePprof: true})
+	resp, body := get(t, on.URL+"/debug/pprof/goroutine?debug=1")
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("pprof goroutine = %d (%d bytes)", resp.StatusCode, len(body))
+	}
+}
+
+// TestAccessLogLine: each request emits one structured log line carrying
+// the request ID, route, status and latency, correlated by req=.
+func TestAccessLogLine(t *testing.T) {
+	var buf syncBuffer
+	log := obs.NewLogger(&buf, "exocored", 1) // -v: access log is Info level
+	_, hs := newTestServer(t, Config{Log: log})
+
+	resp, _ := post(t, hs.URL+"/v1/evaluate", `{"bench":"mm","core":"IO2"}`)
+	reqID := resp.Header.Get("X-Request-Id")
+	waitFor(t, func() bool { return strings.Contains(buf.String(), "request method=") })
+
+	var line string
+	for _, l := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(l, "request method=") {
+			line = l
+			break
+		}
+	}
+	if line == "" {
+		t.Fatalf("no access log line in:\n%s", buf.String())
+	}
+	for _, want := range []string{
+		"method=POST",
+		"path=/v1/evaluate",
+		"key=eval|mm|IO2|",
+		"status=200",
+		"queue_wait=",
+		"wall=",
+		"coalesced=false",
+		"req=" + reqID,
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access log line missing %q:\n%s", want, line)
+		}
+	}
+}
+
+// TestRecorderRingAndLeaderboard unit-tests the bounded views.
+func TestRecorderRingAndLeaderboard(t *testing.T) {
+	r := newRecorder(4, 2)
+	for i := 1; i <= 10; i++ {
+		r.record(RequestRecord{
+			ID:        fmt.Sprintf("r%d", i),
+			LatencyNS: int64(i * 1000),
+			Start:     time.Unix(int64(i), 0),
+		})
+	}
+	recent := r.recent()
+	if len(recent) != 4 {
+		t.Fatalf("recent len = %d, want 4", len(recent))
+	}
+	for i, want := range []string{"r10", "r9", "r8", "r7"} { // newest first
+		if recent[i].ID != want {
+			t.Errorf("recent[%d] = %s, want %s", i, recent[i].ID, want)
+		}
+	}
+	slow := r.slow()
+	if len(slow) != 2 || slow[0].ID != "r10" || slow[1].ID != "r9" {
+		t.Fatalf("slowest = %+v, want r10,r9", slow)
+	}
+	// r9 fell out of the ring? No — r7..r10 retained; r5 did. But r5 is
+	// not on the leaderboard either, so lookup misses.
+	if _, ok := r.lookup("r5"); ok {
+		t.Error("evicted, unranked record still found")
+	}
+	if rec, ok := r.lookup("r8"); !ok || rec.LatencyNS != 8000 {
+		t.Errorf("lookup(r8) = %+v, %v", rec, ok)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes buffer for log capture.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -209,7 +209,7 @@ func EvaluateDocument(ctx context.Context, eng *runner.Engine, tool string,
 		// Reuse the context's models and unit cache: the reporting run is
 		// then served almost entirely from the outcomes the scheduler
 		// already computed.
-		sp := tracer.Begin("stage", "report "+wl.Name)
+		sp := tracer.BeginCtx(ctx, "stage", "report "+wl.Name)
 		res, err := exocore.Run(td, core, sc.BSAs, sc.Plans, assign, exocore.RunOpts{
 			Cache: sc.Cache, RecordRegions: true, Span: sp, Reg: eng.Registry(),
 		})

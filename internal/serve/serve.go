@@ -15,8 +15,18 @@
 //	                       (names + design-code letters), workloads,
 //	                       cores, schedulers, warmed maxdyn
 //	GET  /resultz/{id}     fetch an async sweep's document
-//	GET  /healthz          liveness + queue/inflight snapshot
-//	GET  /metricsz         the engine's internal/obs registry snapshot
+//	GET  /healthz          liveness + queue/inflight snapshot + latency
+//	                       p50/p95/p99
+//	GET  /metricsz         the engine's internal/obs registry snapshot;
+//	                       ?format=prom renders the Prometheus text
+//	                       exposition format instead of JSON
+//	GET  /debug/requests   flight recorder: bounded ring of recent and
+//	                       slowest request summaries (id, key, status,
+//	                       queue wait, latency, cache hits)
+//	GET  /debug/requests/{id}/trace
+//	                       one request's Chrome-trace fragment from the
+//	                       shared ring tracer
+//	GET  /debug/pprof/...  net/http/pprof profiles (Config.EnablePprof)
 //
 // Evaluation responses are the versioned exocore-result/v1 schema,
 // byte-identical to the equivalent cmd/tdgsim / cmd/dse -json output
@@ -39,6 +49,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -71,10 +82,17 @@ type Config struct {
 	// RetryAfter is the hint sent with 429 responses (0 = 1s).
 	RetryAfter time.Duration
 	// Tracer, if non-nil, records one span per request plus the engine's
-	// stage/segment spans underneath.
+	// stage/segment spans underneath, each tagged with the request ID.
+	// Pass an obs.NewRingTracer for always-on flight-recorder tracing.
 	Tracer *obs.Tracer
-	// Log, if non-nil, receives request-level records.
+	// Log, if non-nil, receives the per-request access-log line (info
+	// level) and request-level debug records.
 	Log *obs.Logger
+	// DebugRequests bounds the flight recorder's recent-request ring
+	// (0 = 64).
+	DebugRequests int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 }
 
 // Server is the evaluation service. Create with New, mount via Handler,
@@ -99,12 +117,16 @@ type Server struct {
 	jobSeq  atomic.Int64
 	asyncWG sync.WaitGroup
 
-	start time.Time
+	start  time.Time
+	reqSeq atomic.Int64
+	rec    *recorder
 
 	mRequests, mEvaluations, mCoalesced, mRejected *obs.Counter
 	mStatus2xx, mStatus4xx, mStatus5xx             *obs.Counter
 	gInflight, gQueued                             *obs.Gauge
+	gDroppedSpans, gRetainedSpans                  *obs.Gauge
 	hLatency, hQueueWait                           *obs.Histogram
+	stageHits                                      []*obs.Counter
 }
 
 // sweepJob is one async sweep: body/err are written once before done is
@@ -149,18 +171,26 @@ func New(cfg Config) (*Server, error) {
 		retryAfter: retry,
 		jobs:       make(map[string]*sweepJob),
 		start:      time.Now(),
+		rec:        newRecorder(cfg.DebugRequests, 16),
 
-		mRequests:    reg.Counter("serve.requests"),
-		mEvaluations: reg.Counter("serve.evaluations"),
-		mCoalesced:   reg.Counter("serve.coalesced"),
-		mRejected:    reg.Counter("serve.rejected"),
-		mStatus2xx:   reg.Counter("serve.status.2xx"),
-		mStatus4xx:   reg.Counter("serve.status.4xx"),
-		mStatus5xx:   reg.Counter("serve.status.5xx"),
-		gInflight:    reg.Gauge("serve.inflight"),
-		gQueued:      reg.Gauge("serve.queued"),
-		hLatency:     reg.Histogram("serve.latency_ns", obs.DefaultWallBounds),
-		hQueueWait:   reg.Histogram("serve.queue_wait_ns", obs.DefaultWallBounds),
+		mRequests:      reg.Counter("serve.requests"),
+		mEvaluations:   reg.Counter("serve.evaluations"),
+		mCoalesced:     reg.Counter("serve.coalesced"),
+		mRejected:      reg.Counter("serve.rejected"),
+		mStatus2xx:     reg.Counter("serve.status.2xx"),
+		mStatus4xx:     reg.Counter("serve.status.4xx"),
+		mStatus5xx:     reg.Counter("serve.status.5xx"),
+		gInflight:      reg.Gauge("serve.inflight"),
+		gQueued:        reg.Gauge("serve.queued"),
+		gDroppedSpans:  reg.Gauge("obs.dropped_spans"),
+		gRetainedSpans: reg.Gauge("obs.retained_spans"),
+		hLatency:       reg.Histogram("serve.latency_ns", obs.DefaultWallBounds),
+		hQueueWait:     reg.Histogram("serve.queue_wait_ns", obs.DefaultWallBounds),
+	}
+	// The engine-stage hit counters, resolved once: the flight recorder
+	// attributes their growth across a request as its cache-hit count.
+	for _, st := range []string{runner.StageTrace, runner.StageTDG, runner.StageSched, runner.StageEval} {
+		s.stageHits = append(s.stageHits, reg.Counter("stage."+st+".hits"))
 	}
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -168,7 +198,26 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("GET /resultz/{id}", s.handleResultz)
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("GET /debug/requests/{id}/trace", s.handleDebugTrace)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
+}
+
+// engineHits sums the engine's stage cache-hit counters.
+func (s *Server) engineHits() int64 {
+	var n int64
+	for _, c := range s.stageHits {
+		n += c.Value()
+	}
+	return n
 }
 
 // statusWriter captures the response code for metrics and logging.
@@ -183,14 +232,22 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 // Handler returns the server's HTTP handler: the route mux wrapped with
-// per-request accounting (request counter, latency histogram, status
-// class counters, span, debug log record).
+// per-request accounting — a generated request ID threaded through the
+// context into every span and log record below, the latency/status
+// instruments, the flight-recorder summary and one access-log line.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.mRequests.Add(1)
-		sp := s.tracer.Begin("http", r.Method+" "+r.URL.Path)
+		id := "r" + strconv.FormatInt(s.reqSeq.Add(1), 10)
+		st := &reqStats{}
+		ctx := context.WithValue(obs.WithRequestID(r.Context(), id), statsKey{}, st)
+		r = r.WithContext(ctx)
+		w.Header().Set("X-Request-Id", id)
+		hitsBefore := s.engineHits()
+		sp := s.tracer.BeginCtx(ctx, "http", r.Method+" "+r.URL.Path)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		start := time.Now()
+		startWall := time.Now()
+		start := startWall
 		s.mux.ServeHTTP(sw, r)
 		wall := time.Since(start)
 		s.hLatency.Observe(int64(wall))
@@ -203,8 +260,18 @@ func (s *Server) Handler() http.Handler {
 			s.mStatus2xx.Add(1)
 		}
 		sp.ArgInt("status", int64(sw.code)).End()
-		s.log.Debug("request", "method", r.Method, "path", r.URL.Path,
-			"status", sw.code, "wall", wall)
+		queueWait := time.Duration(st.queueWaitNS.Load())
+		s.rec.record(RequestRecord{
+			ID: id, Method: r.Method, Path: r.URL.Path, Key: st.key,
+			Status: sw.code, Coalesced: st.coalesced,
+			QueueWaitNS: int64(queueWait), LatencyNS: int64(wall),
+			CacheHits: s.engineHits() - hitsBefore, Start: startWall,
+		})
+		// The access-log line: one per request, correlated with the trace
+		// fragment and flight-recorder summary by req=.
+		s.log.InfoCtx(ctx, "request", "method", r.Method, "path", r.URL.Path,
+			"key", st.key, "status", sw.code, "queue_wait", queueWait,
+			"wall", wall, "coalesced", st.coalesced)
 	})
 }
 
@@ -234,8 +301,9 @@ var errBusy = errors.New("serve: admission queue full")
 // admit acquires one of the bounded evaluation slots, waiting in the
 // admission queue if all are busy. It fails fast with errBusy when the
 // queue itself is full — the backpressure signal behind 429 — and with
-// ctx.Err() when the caller gives up while queued.
-func (s *Server) admit(ctx context.Context) (release func(), err error) {
+// ctx.Err() when the caller gives up while queued. wait reports how long
+// the caller sat in the queue (zero on immediate admission).
+func (s *Server) admit(ctx context.Context) (release func(), wait time.Duration, err error) {
 	acquired := false
 	select {
 	case s.slots <- struct{}{}:
@@ -246,26 +314,27 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 		if s.waiting.Add(1) > int64(s.queueDepth) {
 			s.waiting.Add(-1)
 			s.mRejected.Add(1)
-			return nil, errBusy
+			return nil, 0, errBusy
 		}
 		s.gQueued.Set(s.waiting.Load())
 		start := time.Now()
 		defer func() {
+			wait = time.Since(start)
 			s.waiting.Add(-1)
 			s.gQueued.Set(s.waiting.Load())
-			s.hQueueWait.Observe(int64(time.Since(start)))
+			s.hQueueWait.Observe(int64(wait))
 		}()
 		select {
 		case s.slots <- struct{}{}:
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, 0, ctx.Err()
 		}
 	}
 	s.gInflight.Set(int64(len(s.slots)))
 	return func() {
 		<-s.slots
 		s.gInflight.Set(int64(len(s.slots)))
-	}, nil
+	}, wait, nil
 }
 
 // timeoutFor resolves a request's deadline: the server default, lowered
@@ -281,19 +350,27 @@ func (s *Server) timeoutFor(deadlineMS int) time.Duration {
 // buildBytes is the shared execution path of every evaluation request:
 // coalesce on the canonical key, pass admission control inside the
 // flight (so joined requests don't consume extra slots), run the
-// builder under the flight's detached context.
+// builder under the flight's detached context. The initiating request's
+// ID is re-attached to the detached flight context so the engine's spans
+// and log records stay correlated; joined requests keep their own ID on
+// their (idle) handler context and are marked coalesced.
 func (s *Server) buildBytes(ctx context.Context, key string, timeout time.Duration, build func(context.Context) ([]byte, error)) ([]byte, error) {
+	st := statsFrom(ctx)
+	reqID := obs.RequestID(ctx)
 	body, shared, err := s.flights.do(ctx, key, timeout, func(fctx context.Context) ([]byte, error) {
-		release, err := s.admit(fctx)
+		fctx = obs.WithRequestID(fctx, reqID)
+		release, wait, err := s.admit(fctx)
 		if err != nil {
 			return nil, err
 		}
 		defer release()
+		st.setQueueWait(wait)
 		s.mEvaluations.Add(1)
 		return build(fctx)
 	})
 	if shared {
 		s.mCoalesced.Add(1)
+		st.setCoalesced()
 	}
 	return body, err
 }
@@ -343,6 +420,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	statsFrom(r.Context()).setKey(q.key())
 	s.serveFlight(w, r, q.key(), req.DeadlineMS, func(fctx context.Context) ([]byte, error) {
 		doc, err := EvaluateDocument(fctx, s.eng, "exocored", q.wls, q.core, q.bsas, q.sched, s.tracer)
 		if err != nil {
@@ -367,6 +445,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	statsFrom(r.Context()).setKey(q.key())
 	build := func(fctx context.Context) ([]byte, error) {
 		doc, err := SweepDocument(fctx, s.eng, "exocored", q.wls, q.designs, q.sched)
 		if err != nil {
@@ -385,9 +464,25 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer s.asyncWG.Done()
 			defer close(job.done)
-			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			// The job ID doubles as the trace/request ID, so the sweep's
+			// spans are retrievable from /debug/requests/{id}/trace and a
+			// completion record lands in the flight recorder.
+			st := &reqStats{key: q.key()}
+			ctx := context.WithValue(obs.WithRequestID(context.Background(), id), statsKey{}, st)
+			ctx, cancel := context.WithTimeout(ctx, timeout)
 			defer cancel()
+			start := time.Now()
 			job.body, job.err = s.buildBytes(ctx, q.key(), timeout, build)
+			status := http.StatusOK
+			if job.err != nil {
+				status = http.StatusInternalServerError
+			}
+			s.rec.record(RequestRecord{
+				ID: id, Method: "ASYNC", Path: "/v1/sweep", Key: q.key(),
+				Status: status, Coalesced: st.coalesced,
+				QueueWaitNS: st.queueWaitNS.Load(),
+				LatencyNS:   int64(time.Since(start)), Start: start,
+			})
 		}()
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)
@@ -476,15 +571,58 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"inflight":  len(s.slots),
 		"queued":    s.waiting.Load(),
 		"maxdyn":    s.eng.MaxDyn(),
+		"latency_ns": map[string]float64{
+			"p50": s.hLatency.Quantile(0.50),
+			"p95": s.hLatency.Quantile(0.95),
+			"p99": s.hLatency.Quantile(0.99),
+		},
 	})
 }
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	s.gDroppedSpans.Set(s.tracer.Dropped())
+	s.gRetainedSpans.Set(int64(s.tracer.Len()))
 	m := s.eng.Metrics()
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		obs.WriteProm(w, m.Points)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(m)
+}
+
+// handleDebugRequests serves the flight recorder: the bounded ring of
+// recent requests (newest first), the slowest-request leaderboard, and
+// the ring tracer's retention counters.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	s.gDroppedSpans.Set(s.tracer.Dropped())
+	s.gRetainedSpans.Set(int64(s.tracer.Len()))
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{
+		"recent":         s.rec.recent(),
+		"slowest":        s.rec.slow(),
+		"dropped_spans":  s.tracer.Dropped(),
+		"retained_spans": s.tracer.Len(),
+	})
+}
+
+// handleDebugTrace serves one request's Chrome-trace fragment from the
+// shared ring tracer. 404 for IDs the flight recorder no longer (or
+// never) knew; a known request whose spans have been evicted from the
+// ring yields a valid, possibly empty, fragment.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.rec.lookup(id); !ok {
+		jsonError(w, http.StatusNotFound, "unknown request id "+strconv.Quote(id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.tracer.WriteRequest(w, id)
 }
 
 // renderDoc serializes a document exactly as the CLI tools do (sorted,

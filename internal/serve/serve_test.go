@@ -165,7 +165,7 @@ func TestConcurrentClientsShareOneAnswer(t *testing.T) {
 func TestQueueOverflowRejectsWith429(t *testing.T) {
 	s, hs := newTestServer(t, Config{Concurrency: 1, QueueDepth: 1, RetryAfter: 2 * time.Second})
 
-	release, err := s.admit(context.Background())
+	release, _, err := s.admit(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestQueueOverflowRejectsWith429(t *testing.T) {
 	qctx, qcancel := context.WithCancel(context.Background())
 	defer qcancel()
 	go func() {
-		rel, err := s.admit(qctx)
+		rel, _, err := s.admit(qctx)
 		if err == nil {
 			rel()
 		}
@@ -206,7 +206,7 @@ func TestQueueOverflowRejectsWith429(t *testing.T) {
 func TestQueuedRequestDeadline504(t *testing.T) {
 	s, hs := newTestServer(t, Config{Concurrency: 1, QueueDepth: 4})
 
-	release, err := s.admit(context.Background())
+	release, _, err := s.admit(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

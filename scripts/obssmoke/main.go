@@ -1,0 +1,335 @@
+// Command obssmoke is the end-to-end gate for the telemetry plane: it
+// boots a real exocored with always-on flight-recorder tracing, the
+// runtime sampler on a fast interval and pprof enabled, then requires
+//
+//   - /v1/evaluate to stay byte-identical to tdgsim -json (tracing and
+//     sampling must not perturb results),
+//   - /metricsz?format=prom to expose a well-formed Prometheus text
+//     page with at least 20 distinct series including the go_* runtime
+//     metrics and every name on the golden list,
+//   - /debug/pprof/goroutine to serve a non-empty profile,
+//   - /debug/requests to retain the evaluation's summary, and its
+//     /debug/requests/{id}/trace fragment to pass obs.ValidateTrace
+//     with at least one span,
+//   - SIGTERM to drain cleanly: exit 0.
+//
+// Usage: go run ./scripts/obssmoke <bindir>
+//
+// where <bindir> holds exocored and tdgsim binaries (the Makefile
+// target builds them). Exits non-zero on the first violation.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"exocore/internal/obs"
+	"exocore/internal/report"
+)
+
+const maxDyn = "15000"
+
+// goldenSeries are Prometheus series names that must appear in the
+// exposition: server counters and latency histogram, engine stage
+// instruments, the evaluation cache, ring-tracer retention, and the
+// runtime sampler's go_* metrics.
+var goldenSeries = []string{
+	"serve_requests_total",
+	"serve_status_2xx_total",
+	"serve_latency_ns_bucket",
+	"serve_latency_ns_sum",
+	"serve_latency_ns_count",
+	"stage_trace_calls_total",
+	"stage_tdg_calls_total",
+	"stage_eval_wall_ns_sum",
+	"evalcache_entries",
+	"obs_retained_spans",
+	"go_goroutines",
+	"go_heap_inuse_bytes",
+	"go_mem_total_bytes",
+	"go_gc_cycles",
+	"go_gc_pause_ns_count",
+	"go_sched_latency_ns_bucket",
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: obssmoke <bindir>")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "obssmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("obssmoke: ok")
+}
+
+func run(bindir string) error {
+	portFile := filepath.Join(os.TempDir(), fmt.Sprintf("exocore-obssmoke-%d.addr", os.Getpid()))
+	defer os.Remove(portFile)
+
+	daemon := exec.Command(filepath.Join(bindir, "exocored"),
+		"-addr", "127.0.0.1:0", "-portfile", portFile, "-maxdyn", maxDyn,
+		"-pprof", "-obs-interval", "50ms")
+	daemon.Stdout = os.Stderr
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return fmt.Errorf("start exocored: %w", err)
+	}
+	stopped := false
+	defer func() {
+		if !stopped {
+			daemon.Process.Kill()
+			daemon.Wait()
+		}
+	}()
+
+	addr, err := waitForAddr(portFile, daemon)
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+
+	// Byte identity under always-on telemetry: the traced, sampled
+	// daemon must emit exactly what the untraced CLI emits.
+	evalBody, reqID, err := postJSON(base+"/v1/evaluate",
+		`{"bench":"mm","core":"OOO2","bsas":"all","sched":"oracle","maxdyn":`+maxDyn+`}`)
+	if err != nil {
+		return fmt.Errorf("evaluate: %w", err)
+	}
+	if reqID == "" {
+		return fmt.Errorf("evaluate response has no X-Request-Id header")
+	}
+	cliBody, err := runTool(filepath.Join(bindir, "tdgsim"),
+		"-bench", "mm", "-core", "OOO2", "-bsas", "all", "-sched", "oracle",
+		"-maxdyn", maxDyn, "-json")
+	if err != nil {
+		return err
+	}
+	if err := compareDocs("evaluate vs tdgsim", evalBody, cliBody); err != nil {
+		return err
+	}
+
+	if err := checkProm(base); err != nil {
+		return err
+	}
+	if err := checkPprof(base); err != nil {
+		return err
+	}
+	if err := checkDebugRequests(base, reqID); err != nil {
+		return err
+	}
+
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signal: %w", err)
+	}
+	stopped = true
+	waited := make(chan error, 1)
+	go func() { waited <- daemon.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			return fmt.Errorf("exocored did not exit 0 after SIGTERM: %w", err)
+		}
+	case <-time.After(30 * time.Second):
+		daemon.Process.Kill()
+		return fmt.Errorf("exocored did not exit within 30s of SIGTERM")
+	}
+	return nil
+}
+
+// checkProm scrapes the Prometheus exposition and verifies content
+// type, series breadth and the golden names.
+func checkProm(base string) error {
+	resp, err := http.Get(base + "/metricsz?format=prom")
+	if err != nil {
+		return fmt.Errorf("metricsz prom: %w", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metricsz prom: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		return fmt.Errorf("metricsz prom: Content-Type %q, want %q", ct, obs.PromContentType)
+	}
+
+	series := make(map[string]bool)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if name == "" {
+			return fmt.Errorf("metricsz prom: malformed sample line %q", line)
+		}
+		series[name] = true
+	}
+	if len(series) < 20 {
+		return fmt.Errorf("metricsz prom: %d distinct series, want >= 20", len(series))
+	}
+	for _, want := range goldenSeries {
+		if !series[want] {
+			return fmt.Errorf("metricsz prom: missing golden series %q (have %d series)", want, len(series))
+		}
+	}
+	return nil
+}
+
+// checkPprof fetches a goroutine profile through the -pprof gate.
+func checkPprof(base string) error {
+	resp, err := http.Get(base + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		return fmt.Errorf("pprof: %w", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		return fmt.Errorf("pprof goroutine: status %d, %d bytes", resp.StatusCode, len(body))
+	}
+	return nil
+}
+
+// checkDebugRequests finds the evaluation in the flight recorder and
+// validates its per-request trace fragment.
+func checkDebugRequests(base, reqID string) error {
+	resp, err := http.Get(base + "/debug/requests")
+	if err != nil {
+		return fmt.Errorf("debug/requests: %w", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("debug/requests: status %d", resp.StatusCode)
+	}
+	var dbg struct {
+		Recent []struct {
+			ID        string `json:"id"`
+			Key       string `json:"key"`
+			Status    int    `json:"status"`
+			LatencyNS int64  `json:"latency_ns"`
+		} `json:"recent"`
+	}
+	if err := json.Unmarshal(body, &dbg); err != nil {
+		return fmt.Errorf("debug/requests: %w", err)
+	}
+	found := false
+	for _, rec := range dbg.Recent {
+		if rec.ID != reqID {
+			continue
+		}
+		found = true
+		if !strings.HasPrefix(rec.Key, "eval|mm|") {
+			return fmt.Errorf("debug/requests: record %s key %q, want eval|mm| prefix", reqID, rec.Key)
+		}
+		if rec.Status != http.StatusOK || rec.LatencyNS <= 0 {
+			return fmt.Errorf("debug/requests: record %s status=%d latency=%d", reqID, rec.Status, rec.LatencyNS)
+		}
+	}
+	if !found {
+		return fmt.Errorf("debug/requests: evaluation %s not in recent ring", reqID)
+	}
+
+	resp, err = http.Get(base + "/debug/requests/" + reqID + "/trace")
+	if err != nil {
+		return fmt.Errorf("trace fragment: %w", err)
+	}
+	defer resp.Body.Close()
+	frag, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace fragment: status %d: %s", resp.StatusCode, frag)
+	}
+	n, err := obs.ValidateTrace(frag)
+	if err != nil {
+		return fmt.Errorf("trace fragment invalid: %w", err)
+	}
+	if n < 1 {
+		return fmt.Errorf("trace fragment has %d spans, want >= 1", n)
+	}
+	return nil
+}
+
+func waitForAddr(portFile string, daemon *exec.Cmd) (string, error) {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(portFile); err == nil && len(bytes.TrimSpace(b)) > 0 {
+			return string(bytes.TrimSpace(b)), nil
+		}
+		if daemon.ProcessState != nil {
+			return "", fmt.Errorf("exocored exited before listening")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return "", fmt.Errorf("exocored did not write %s within 30s", portFile)
+}
+
+func postJSON(url, body string) ([]byte, string, error) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("status %d: %s", resp.StatusCode, b)
+	}
+	return b, resp.Header.Get("X-Request-Id"), nil
+}
+
+func runTool(bin string, args ...string) ([]byte, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(bin), err)
+	}
+	return out, nil
+}
+
+// compareDocs decodes both sides under the strict versioned-schema
+// decoder, clears the fields that legitimately differ (tool name,
+// run-local engine metrics) and requires the re-rendered documents to
+// be byte-identical.
+func compareDocs(what string, a, b []byte) error {
+	na, err := normalize(a)
+	if err != nil {
+		return fmt.Errorf("%s: left: %w", what, err)
+	}
+	nb, err := normalize(b)
+	if err != nil {
+		return fmt.Errorf("%s: right: %w", what, err)
+	}
+	if !bytes.Equal(na, nb) {
+		return fmt.Errorf("%s: documents differ after normalization\n--- daemon ---\n%.2000s\n--- cli ---\n%.2000s", what, na, nb)
+	}
+	return nil
+}
+
+func normalize(raw []byte) ([]byte, error) {
+	d, err := report.Decode(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	d.Tool = ""
+	d.Metrics = nil
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
