@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race tier1 bench benchdiff benchsmoke tracesmoke servesmoke obssmoke graphsmoke memsmoke tools clean
+.PHONY: check build vet test race tier1 bench benchdiff benchsmoke tracesmoke servesmoke obssmoke graphsmoke memsmoke scalesmoke tools clean
 
 # The full pre-merge gate: vet + build + race-enabled tests + tier-1 +
 # a single-iteration pass over every benchmark so they can't rot + a
@@ -8,8 +8,9 @@ GO ?= go
 # telemetry-plane smoke test (prom exposition, pprof, per-request trace
 # fragments) + the graph-family sweep smoke test over the enlarged
 # registry grid + the streaming-evaluation memory gate on a
-# 10M-instruction trace.
-check: vet build race tier1 benchsmoke tracesmoke servesmoke obssmoke graphsmoke memsmoke
+# 10M-instruction trace + the paper-scale streaming gate (200M
+# instructions, never materialized, inside the same budget).
+check: vet build race tier1 benchsmoke tracesmoke servesmoke obssmoke graphsmoke memsmoke scalesmoke
 
 build:
 	$(GO) build ./...
@@ -31,24 +32,26 @@ tier1:
 test:
 	$(GO) test ./...
 
-# Run the tracked benchmarks and record them (with the frozen
-# pre-data-oriented-µDG baselines) in BENCH_7.json. BENCH_4.json remains
-# as the record of the previous optimization round; its "current" values
-# were re-measured as this round's baselines on the same machine.
+# Run the tracked benchmarks and record them in BENCH_9.json.
+# BENCH_7.json remains as the record of the previous optimization round;
+# its "current" values carry over as this round's baselines (same
+# machine). StreamedExocoreRun joins the tracked set: its frozen
+# baseline is the materialized-path equivalent of the same work,
+# measured at the commit that introduced streaming.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkExocoreRun|BenchmarkGraphExocoreRun|BenchmarkDSESweep|BenchmarkContextConstruction|BenchmarkServeEvaluate' \
+	$(GO) test -run '^$$' -bench 'BenchmarkExocoreRun|BenchmarkGraphExocoreRun|BenchmarkStreamedExocoreRun|BenchmarkDSESweep|BenchmarkContextConstruction|BenchmarkServeEvaluate' \
 		-benchmem -benchtime=3x . | tee bench.out
-	awk -f scripts/bench7json.awk bench.out > BENCH_7.json
+	awk -f scripts/bench9json.awk bench.out > BENCH_9.json
 	@rm -f bench.out
-	@cat BENCH_7.json
+	@cat BENCH_9.json
 
 # Regression gate: re-measure the tracked benchmarks and fail when any is
-# slower than the value recorded in BENCH_7.json by more than the
+# slower than the value recorded in BENCH_9.json by more than the
 # tolerance band.
 benchdiff:
-	$(GO) test -run '^$$' -bench 'BenchmarkExocoreRun|BenchmarkGraphExocoreRun|BenchmarkDSESweep|BenchmarkContextConstruction|BenchmarkServeEvaluate' \
+	$(GO) test -run '^$$' -bench 'BenchmarkExocoreRun|BenchmarkGraphExocoreRun|BenchmarkStreamedExocoreRun|BenchmarkDSESweep|BenchmarkContextConstruction|BenchmarkServeEvaluate' \
 		-benchmem -benchtime=3x -count=4 . > bench.out
-	awk -f scripts/benchdiff.awk BENCH_7.json bench.out
+	awk -f scripts/benchdiff.awk BENCH_9.json bench.out
 	@rm -f bench.out
 
 # One iteration of every benchmark: catches compile breaks and panics.
@@ -98,6 +101,15 @@ graphsmoke:
 # measurement.
 memsmoke:
 	GOMEMLIMIT=512MiB $(GO) run ./scripts/memsmoke
+
+# Paper-scale streaming gate: 200M generator-driven instructions through
+# the chunked source → pipelined annotation → streaming-TDG →
+# windowed-µDG path, never materialized, inside the same 512 MiB budget
+# memsmoke holds a 20× shorter materialized trace to. Also checks the
+# streamed arm against the materialized arm for byte-identical results
+# at an overlapping size before trusting the long run.
+scalesmoke:
+	GOMEMLIMIT=512MiB $(GO) run ./scripts/scalesmoke
 
 # Build the drivers into ./bin.
 tools:

@@ -24,6 +24,7 @@ import (
 	"exocore/internal/serve"
 	"exocore/internal/stats"
 	"exocore/internal/tdg"
+	"exocore/internal/trace"
 	"exocore/internal/validate"
 	"exocore/internal/workloads"
 )
@@ -124,6 +125,34 @@ func BenchmarkGraphExocoreRun(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(tr.Len()))
+}
+
+// BenchmarkStreamedExocoreRun measures the streaming baseline end to
+// end: chunked generator source (functional simulation + cache/bpred
+// annotation on a producer goroutine) pipelined into RunStream's
+// windowed-µDG evaluation — the whole trace→eval path with the trace
+// never materialized. Comparable work to trace synthesis + tdg.Build +
+// the materialized baseline Run, which is the frozen baseline recorded
+// in BENCH_9.json. Tracked in BENCH_9.json (ns/op, allocs/op).
+func BenchmarkStreamedExocoreRun(b *testing.B) {
+	w, err := workloads.ByName("cjpeg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := trace.NewPipelined(
+			w.Source(workloads.SourceConfig{MaxDyn: benchDyn, ChunkInsts: 1 << 12}), 2)
+		res, err := exocore.RunStream(src, cores.OOO2, exocore.RunOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cycles <= 0 {
+			b.Fatalf("implausible cycles %d", res.Cycles)
+		}
+	}
+	b.SetBytes(benchDyn)
 }
 
 // BenchmarkDSESweep measures the paper's headline experiment end to end:

@@ -6,7 +6,10 @@
 // Alpha-21264-class predictor the paper's validation benchmarks target.
 package bpred
 
-import "exocore/internal/trace"
+import (
+	"exocore/internal/prog"
+	"exocore/internal/trace"
+)
 
 // Config sizes the predictor tables (entries must be powers of two).
 type Config struct {
@@ -122,9 +125,16 @@ func (p *Predictor) MissRate() float64 {
 // Annotate replays all conditional branches in t through the predictor,
 // setting the misprediction flag on each dynamic branch.
 func (p *Predictor) Annotate(t *trace.Trace) {
-	for i := range t.Insts {
-		d := &t.Insts[i]
-		op := t.Prog.Insts[d.SI].Op
+	p.AnnotateInsts(t.Prog, t.Insts)
+}
+
+// AnnotateInsts is Annotate over one chunk of a dynamic trace. Predictor
+// state (tables, global history) carries across calls, so chunked
+// annotation is byte-identical to the whole-trace scan at any chunk size.
+func (p *Predictor) AnnotateInsts(pr *prog.Program, insts []trace.DynInst) {
+	for i := range insts {
+		d := &insts[i]
+		op := pr.Insts[d.SI].Op
 		if !op.IsBranch() {
 			continue
 		}

@@ -7,6 +7,7 @@
 package cache
 
 import (
+	"exocore/internal/prog"
 	"exocore/internal/trace"
 )
 
@@ -147,9 +148,17 @@ func (h *Hierarchy) Prefetches() uint64 { return h.prefetches }
 // hierarchy configuration, setting MemLat and Level on each. Non-memory
 // instructions are untouched.
 func (h *Hierarchy) Annotate(t *trace.Trace) {
-	for i := range t.Insts {
-		d := &t.Insts[i]
-		op := t.Prog.Insts[d.SI].Op
+	h.AnnotateInsts(t.Prog, t.Insts)
+}
+
+// AnnotateInsts is Annotate over one chunk of a dynamic trace. Cache
+// state (tags, LRU clocks, hit/miss counters) lives in the hierarchy and
+// carries across calls, so annotating a trace chunk-by-chunk produces
+// exactly the bytes the whole-trace scan does, at any chunk size.
+func (h *Hierarchy) AnnotateInsts(p *prog.Program, insts []trace.DynInst) {
+	for i := range insts {
+		d := &insts[i]
+		op := p.Insts[d.SI].Op
 		if !op.IsMem() {
 			continue
 		}

@@ -20,6 +20,7 @@ import (
 	"exocore/internal/obs"
 	"exocore/internal/report"
 	"exocore/internal/runner"
+	"exocore/internal/trace"
 	"exocore/internal/workloads"
 )
 
@@ -43,6 +44,11 @@ type App struct {
 	VV      bool   // debug-level logging (implies -v)
 	MaxDyn  int    // dynamic-instruction budget per benchmark
 	Workers int    // worker-pool bound (0 = GOMAXPROCS)
+
+	// ChunkInsts is the -chunk-insts value: dynamic instructions per
+	// streaming chunk for trace synthesis (0 = materialize the whole
+	// trace in one pass, the legacy path).
+	ChunkInsts int
 
 	// Profiling and measurement flags.
 	CPUProfile string // write a CPU profile to this file
@@ -89,6 +95,8 @@ func New(tool, benchDefault string) *App {
 	a.fs.BoolVar(&a.VV, "vv", false, "debug-level logging on stderr (implies -v)")
 	a.fs.IntVar(&a.MaxDyn, "maxdyn", runner.DefaultMaxDyn, "dynamic instruction budget per benchmark")
 	a.fs.IntVar(&a.Workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	a.fs.IntVar(&a.ChunkInsts, "chunk-insts", trace.DefaultChunkInsts,
+		"dynamic instructions per streaming trace chunk (0 = materialize whole trace)")
 	a.fs.StringVar(&a.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	a.fs.StringVar(&a.MemProfile, "memprofile", "", "write an allocation profile to this file at exit")
 	a.fs.StringVar(&a.Trace, "trace", "", "write a Chrome trace-event JSON file (load in Perfetto) at exit")
@@ -170,6 +178,9 @@ func (a *App) Parse(args []string) error {
 	}
 	if a.MaxDyn <= 0 {
 		a.MaxDyn = runner.DefaultMaxDyn
+	}
+	if err := checkChunkInsts(a.ChunkInsts); err != nil {
+		return err
 	}
 	if a.VV {
 		a.Verbose = true
@@ -319,6 +330,32 @@ func ResolveBSASpecWith(reg *bsa.Registry, spec string) ([]string, error) {
 	return out, nil
 }
 
+// checkChunkInsts validates a -chunk-insts value with did-you-mean
+// guidance: 0 is the materialized whole-trace path, everything else must
+// land in [trace.MinChunkInsts, trace.MaxChunkInsts].
+func checkChunkInsts(n int) error {
+	switch {
+	case n < 0:
+		return fmt.Errorf("-chunk-insts %d is negative; did you mean 0 (materialize the whole trace)?", n)
+	case n > 0 && n < trace.MinChunkInsts:
+		return fmt.Errorf("-chunk-insts %d is below the minimum %d; did you mean %d, or 0 to materialize the whole trace?",
+			n, trace.MinChunkInsts, trace.MinChunkInsts)
+	case n > trace.MaxChunkInsts:
+		return fmt.Errorf("-chunk-insts %d exceeds the maximum %d; did you mean the default %d?",
+			n, trace.MaxChunkInsts, trace.DefaultChunkInsts)
+	}
+	return nil
+}
+
+// EngineChunkInsts maps the validated -chunk-insts flag to the runner
+// option encoding (flag 0 = materialized = negative option value).
+func (a *App) EngineChunkInsts() int {
+	if a.ChunkInsts == 0 {
+		return -1
+	}
+	return a.ChunkInsts
+}
+
 // CoreConfig returns the validated -core config.
 func (a *App) CoreConfig() cores.Config { return a.core }
 
@@ -342,6 +379,7 @@ func (a *App) Engine() *runner.Engine {
 	if a.engine == nil {
 		opts := runner.Options{MaxDyn: a.MaxDyn, Workers: a.Workers,
 			BSAs:           a.Registry(),
+			ChunkInsts:     a.EngineChunkInsts(),
 			NoSegmentCache: a.NoSegCache, NoDelta: a.NoDelta,
 			Tracer: a.tracer, Log: a.Log()}
 		if a.Verbose {

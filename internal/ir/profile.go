@@ -93,88 +93,132 @@ const maxDepTrack = 1 << 15 // bound the per-occurrence address map
 
 // BuildProfile derives the dynamic profile of t given its CFG and loops.
 func BuildProfile(cfg *CFG, nest *LoopNest, t *trace.Trace) *Profile {
+	b := NewProfileBuilder(cfg, nest)
+	b.Feed(t.Insts)
+	return b.Finish()
+}
+
+// ProfileBuilder accumulates a Profile incrementally from consecutive
+// chunks of one dynamic trace: the streaming TDG hands it each chunk as
+// it is synthesized, and the whole-trace BuildProfile is one Feed over
+// the full instruction array. All carried state (the live loop stack,
+// stride accumulators, path counts, the previous block/static index for
+// block re-entry detection) persists across Feed calls, so partitioning
+// the trace at any boundary produces the same Profile as one scan.
+// Resident memory is O(static program + distinct paths + loop depth),
+// never O(trace).
+type ProfileBuilder struct {
+	cfg  *CFG
+	nest *LoopNest
+	p    *Profile
+
+	strides    map[int]*strideAcc
+	stack      []*loopState
+	pathCounts []map[string]*int64
+	pathBuf    []byte
+	freeLS     []*loopState
+	chain      []int // reused across instructions: loop chains are shallow
+	prevBlock  int
+	prevSI     int
+	first      bool // next instruction is dynamic index 0
+}
+
+// NewProfileBuilder returns a builder for one dynamic execution of the
+// program cfg was built from.
+func NewProfileBuilder(cfg *CFG, nest *LoopNest) *ProfileBuilder {
 	p := &Profile{
 		CFG:        cfg,
 		Nest:       nest,
 		BlockCount: make([]int64, len(cfg.Blocks)),
 		Strides:    make(map[int]StrideInfo),
-		TotalDyn:   int64(len(t.Insts)),
 	}
 	p.Loops = make([]LoopProfile, len(nest.Loops))
 	for i := range p.Loops {
 		p.Loops[i] = LoopProfile{LoopID: i, PathCounts: make(map[string]int64)}
 	}
+	return &ProfileBuilder{
+		cfg:     cfg,
+		nest:    nest,
+		p:       p,
+		strides: make(map[int]*strideAcc),
+		// Path counts accumulate behind *int64 so the hot repeat case is
+		// a pure (non-allocating) byte-slice-keyed lookup; the string key
+		// is materialized only once per distinct path. Flattened into the
+		// exported PathCounts maps at Finish.
+		pathCounts: make([]map[string]*int64, len(nest.Loops)),
+		prevBlock:  -1,
+		first:      true,
+	}
+}
 
-	strides := make(map[int]*strideAcc)
-	var stack []*loopState
-
-	// Path counts accumulate behind *int64 so the hot repeat case is a
-	// pure (non-allocating) byte-slice-keyed lookup; the string key is
-	// materialized only once per distinct path. Flattened into the
-	// exported PathCounts maps at finalize.
-	pathCounts := make([]map[string]*int64, len(nest.Loops))
-	var pathBuf []byte
-
-	recordPath := func(ls *loopState) {
-		if len(ls.iterBlocks) == 0 {
-			return
+func (pb *ProfileBuilder) recordPath(ls *loopState) {
+	if len(ls.iterBlocks) == 0 {
+		return
+	}
+	if pb.nest.Loops[ls.id].Inner() {
+		pb.pathBuf = appendPath(pb.pathBuf[:0], ls.iterBlocks)
+		pc := pb.pathCounts[ls.id]
+		if pc == nil {
+			pc = make(map[string]*int64)
+			pb.pathCounts[ls.id] = pc
 		}
-		if nest.Loops[ls.id].Inner() {
-			pathBuf = appendPath(pathBuf[:0], ls.iterBlocks)
-			pc := pathCounts[ls.id]
-			if pc == nil {
-				pc = make(map[string]*int64)
-				pathCounts[ls.id] = pc
-			}
-			if n, ok := pc[string(pathBuf)]; ok {
-				*n++
-			} else {
-				n := new(int64)
-				*n = 1
-				pc[string(pathBuf)] = n
-			}
+		if n, ok := pc[string(pb.pathBuf)]; ok {
+			*n++
+		} else {
+			n := new(int64)
+			*n = 1
+			pc[string(pb.pathBuf)] = n
 		}
+	}
+	ls.iterBlocks = ls.iterBlocks[:0]
+}
+
+// newLS recycles loop states through a free list: occurrences are
+// frequent (every entry from outside the loop) and a fresh dependence
+// map per occurrence was a top allocation site of a full DSE sweep.
+// Maps are cleared on reuse, or dropped when an earlier occurrence grew
+// them past any plausible steady-state size.
+func (pb *ProfileBuilder) newLS(l int) *loopState {
+	if n := len(pb.freeLS); n > 0 {
+		ls := pb.freeLS[n-1]
+		pb.freeLS = pb.freeLS[:n-1]
+		if len(ls.addrIter) > 4096 {
+			ls.addrIter = make(map[uint64]depRec)
+		} else {
+			clear(ls.addrIter)
+		}
+		ls.id, ls.iter = l, 0
 		ls.iterBlocks = ls.iterBlocks[:0]
+		return ls
 	}
+	return &loopState{id: l, addrIter: make(map[uint64]depRec)}
+}
 
-	// Loop states recycle through a free list: occurrences are frequent
-	// (every entry from outside the loop) and a fresh dependence map per
-	// occurrence was a top allocation site of a full DSE sweep. Maps are
-	// cleared on reuse, or dropped when an earlier occurrence grew them
-	// past any plausible steady-state size.
-	var freeLS []*loopState
-	newLS := func(l int) *loopState {
-		if n := len(freeLS); n > 0 {
-			ls := freeLS[n-1]
-			freeLS = freeLS[:n-1]
-			if len(ls.addrIter) > 4096 {
-				ls.addrIter = make(map[uint64]depRec)
-			} else {
-				clear(ls.addrIter)
-			}
-			ls.id, ls.iter = l, 0
-			ls.iterBlocks = ls.iterBlocks[:0]
-			return ls
-		}
-		return &loopState{id: l, addrIter: make(map[uint64]depRec)}
+func (pb *ProfileBuilder) popTo(depth int) {
+	for len(pb.stack) > depth {
+		ls := pb.stack[len(pb.stack)-1]
+		pb.recordPath(ls)
+		pb.freeLS = append(pb.freeLS, ls)
+		pb.stack = pb.stack[:len(pb.stack)-1]
 	}
+}
 
-	popTo := func(depth int) {
-		for len(stack) > depth {
-			ls := stack[len(stack)-1]
-			recordPath(ls)
-			freeLS = append(freeLS, ls)
-			stack = stack[:len(stack)-1]
-		}
-	}
-
-	prevBlock := -1
-	var chain []int // reused across instructions: loop chains are shallow
-	for i := range t.Insts {
-		d := &t.Insts[i]
+// Feed accumulates one chunk of consecutive dynamic instructions. Chunks
+// must arrive in trace order.
+func (pb *ProfileBuilder) Feed(insts []trace.DynInst) {
+	cfg, nest, p := pb.cfg, pb.nest, pb.p
+	p.TotalDyn += int64(len(insts))
+	for i := range insts {
+		d := &insts[i]
 		si := int(d.SI)
 		b := cfg.BlockOf[si]
-		enteredBlock := si == cfg.Blocks[b].Start && (i == 0 || b != prevBlock || isBlockReentry(cfg, t, i))
+		// A block is (re-)entered at its first instruction when control
+		// arrived from elsewhere, or from the block's own end or later
+		// (single-block loops branching back to themselves): a backwards
+		// or same static step means re-entry.
+		enteredBlock := si == cfg.Blocks[b].Start &&
+			(pb.first || b != pb.prevBlock || pb.prevSI >= si)
+		pb.first = false
 		if enteredBlock {
 			p.BlockCount[b]++
 		}
@@ -182,10 +226,10 @@ func BuildProfile(cfg *CFG, nest *LoopNest, t *trace.Trace) *Profile {
 		// Reconcile the loop stack with the innermost loop of this block.
 		inner := nest.InnermostOf[b]
 		if inner == -1 {
-			popTo(0)
+			pb.popTo(0)
 		} else {
 			// Desired stack: ancestors of inner from outermost to inner.
-			chain = chain[:0]
+			chain := pb.chain[:0]
 			for l := inner; l != -1; l = nest.Loops[l].Parent {
 				chain = append(chain, l)
 			}
@@ -193,37 +237,38 @@ func BuildProfile(cfg *CFG, nest *LoopNest, t *trace.Trace) *Profile {
 			for l, r := 0, len(chain)-1; l < r; l, r = l+1, r-1 {
 				chain[l], chain[r] = chain[r], chain[l]
 			}
+			pb.chain = chain
 			// Find common prefix with current stack.
 			common := 0
-			for common < len(stack) && common < len(chain) && stack[common].id == chain[common] {
+			for common < len(pb.stack) && common < len(chain) && pb.stack[common].id == chain[common] {
 				common++
 			}
-			popTo(common)
+			pb.popTo(common)
 			for _, l := range chain[common:] {
-				ls := newLS(l)
-				stack = append(stack, ls)
+				ls := pb.newLS(l)
+				pb.stack = append(pb.stack, ls)
 				p.Loops[l].Entries++
 			}
 		}
 
 		// Attribute the instruction to every active loop.
-		for _, ls := range stack {
+		for _, ls := range pb.stack {
 			p.Loops[ls.id].DynInsts++
 		}
 
 		// Header re-entry = new iteration of the innermost matching loop.
 		if enteredBlock {
-			for _, ls := range stack {
+			for _, ls := range pb.stack {
 				if nest.Loops[ls.id].Header == b {
 					if ls.iter > 0 {
-						recordPath(ls)
+						pb.recordPath(ls)
 					}
 					ls.iter++
 					p.Loops[ls.id].Iterations++
 				}
 			}
-			if len(stack) > 0 {
-				top := stack[len(stack)-1]
+			if len(pb.stack) > 0 {
+				top := pb.stack[len(pb.stack)-1]
 				if nest.Loops[top.id].Inner() {
 					top.iterBlocks = append(top.iterBlocks, b)
 				}
@@ -231,12 +276,12 @@ func BuildProfile(cfg *CFG, nest *LoopNest, t *trace.Trace) *Profile {
 		}
 
 		// Stride + memory-dependence tracking.
-		op := t.Prog.Insts[si].Op
+		op := cfg.Prog.Insts[si].Op
 		if op.IsMem() {
-			sa := strides[si]
+			sa := pb.strides[si]
 			if sa == nil {
 				sa = &strideAcc{deltas: make(map[int64]int64)}
-				strides[si] = sa
+				pb.strides[si] = sa
 			}
 			if sa.seen {
 				sa.deltas[int64(d.Addr)-int64(sa.lastAddr)]++
@@ -245,8 +290,8 @@ func BuildProfile(cfg *CFG, nest *LoopNest, t *trace.Trace) *Profile {
 			sa.lastAddr = d.Addr
 			sa.seen = true
 
-			if len(stack) > 0 {
-				top := stack[len(stack)-1]
+			if len(pb.stack) > 0 {
+				top := pb.stack[len(pb.stack)-1]
 				if rec, ok := top.addrIter[d.Addr]; ok && rec.iter < top.iter &&
 					(rec.isStore || op.IsStore()) {
 					p.Loops[top.id].CarriedMemDep = true
@@ -258,9 +303,16 @@ func BuildProfile(cfg *CFG, nest *LoopNest, t *trace.Trace) *Profile {
 			}
 		}
 
-		prevBlock = b
+		pb.prevBlock = b
+		pb.prevSI = si
 	}
-	popTo(0)
+}
+
+// Finish closes open loops and finalizes the profile. The builder must
+// not be fed afterwards.
+func (pb *ProfileBuilder) Finish() *Profile {
+	p := pb.p
+	pb.popTo(0)
 
 	// Finalize loop stats.
 	for i := range p.Loops {
@@ -276,7 +328,7 @@ func BuildProfile(cfg *CFG, nest *LoopNest, t *trace.Trace) *Profile {
 		}
 		var best string
 		var bestN, total int64
-		for k, n := range pathCounts[i] {
+		for k, n := range pb.pathCounts[i] {
 			lp.PathCounts[k] = *n
 			total += *n
 			if *n > bestN {
@@ -289,12 +341,15 @@ func BuildProfile(cfg *CFG, nest *LoopNest, t *trace.Trace) *Profile {
 		}
 	}
 
-	// Finalize strides.
-	for si, sa := range strides {
+	// Finalize strides. Ties on frequency break toward the smaller
+	// magnitude (then negative) delta: map iteration order must not leak
+	// into the profile, which is compared byte-for-byte across the
+	// materialized and streamed build paths.
+	for si, sa := range pb.strides {
 		info := StrideInfo{Samples: sa.samples}
 		var bestN int64
 		for delta, n := range sa.deltas {
-			if n > bestN {
+			if n > bestN || (n == bestN && bestN > 0 && lessDelta(delta, info.Dominant)) {
 				info.Dominant, bestN = delta, n
 			}
 		}
@@ -306,16 +361,21 @@ func BuildProfile(cfg *CFG, nest *LoopNest, t *trace.Trace) *Profile {
 	return p
 }
 
-// isBlockReentry reports whether dynamic instruction i begins a fresh
-// execution of its block even though the previous instruction was in the
-// same block (single-block loops branching back to themselves).
-func isBlockReentry(cfg *CFG, t *trace.Trace, i int) bool {
-	if i == 0 {
-		return true
+// lessDelta orders stride deltas for dominant-stride tie-breaking:
+// smaller absolute value first, negative before positive on equal
+// magnitude.
+func lessDelta(a, b int64) bool {
+	aa, ab := a, b
+	if aa < 0 {
+		aa = -aa
 	}
-	prevSI := int(t.Insts[i-1].SI)
-	curSI := int(t.Insts[i].SI)
-	return prevSI >= curSI // backwards (or same) means re-entry
+	if ab < 0 {
+		ab = -ab
+	}
+	if aa != ab {
+		return aa < ab
+	}
+	return a < b
 }
 
 // LoopShare returns the fraction of all dynamic instructions spent in the

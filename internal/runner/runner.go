@@ -58,6 +58,14 @@ type Options struct {
 	// DefaultMaxDyn). It is part of every cache key's identity, so one
 	// Engine serves exactly one budget.
 	MaxDyn int
+	// ChunkInsts selects how traces are synthesized. 0 (the default)
+	// streams workload generators in chunks of trace.DefaultChunkInsts;
+	// a positive value sets an explicit chunk size; a negative value
+	// selects the legacy materialized whole-trace path (workload
+	// generators fill one array in a single pass). Chunked and
+	// materialized synthesis are byte-identical, so ChunkInsts is NOT
+	// part of cache-key identity.
+	ChunkInsts int
 	// Workers bounds concurrent jobs in ForEach/Map (0 = GOMAXPROCS).
 	Workers int
 	// BSAs is the registry of accelerator models the engine builds
@@ -156,6 +164,7 @@ type evalResult struct {
 // Engine is the shared evaluation engine. Safe for concurrent use.
 type Engine struct {
 	maxDyn     int
+	chunkInsts int // <0 = materialized path, 0 = default chunk size
 	workers    int
 	bsaReg     *bsa.Registry
 	noSegCache bool
@@ -168,10 +177,11 @@ type Engine struct {
 	reg    *obs.Registry
 	log    *obs.Logger
 
-	traces memo[*trace.Trace]
-	tdgs   memo[*tdg.TDG]
-	scheds memo[*sched.Context]
-	evals  memo[evalResult]
+	traces  memo[*trace.Trace]
+	tdgs    memo[*tdg.TDG]
+	scheds  memo[*sched.Context]
+	evals   memo[evalResult]
+	streams memo[*StreamBaselineResult]
 
 	stages map[string]*stageInstruments
 
@@ -199,6 +209,7 @@ func New(opts Options) *Engine {
 	}
 	e := &Engine{
 		maxDyn:     maxDyn,
+		chunkInsts: opts.ChunkInsts,
 		workers:    workers,
 		bsaReg:     bsaReg,
 		noSegCache: opts.NoSegmentCache,
@@ -320,7 +331,15 @@ func (e *Engine) TraceCtx(ctx context.Context, w *workloads.Workload) (*trace.Tr
 		}
 		sp := e.tracer.BeginCtx(ctx, "stage", StageTrace+" "+key)
 		defer sp.End()
-		return w.Trace(e.maxDyn)
+		if e.chunkInsts < 0 {
+			return w.Trace(e.maxDyn) // legacy whole-trace path
+		}
+		// Default: drain the workload's generator-driven chunk source.
+		// Byte-identical to the whole-trace path (all model state
+		// carries across chunk boundaries), and the same code large
+		// streamed runs exercise, so the tier-1 suite gates it.
+		src := w.Source(workloads.SourceConfig{MaxDyn: e.maxDyn, ChunkInsts: e.chunkInsts})
+		return trace.Materialize(src, min(e.maxDyn, 1<<16))
 	})
 	var insts int64
 	if tr != nil {
@@ -468,6 +487,87 @@ func (e *Engine) EvaluateCtx(ctx context.Context, w *workloads.Workload, core co
 		return 0, 0, err
 	}
 	return res.cycles, res.energyNJ, nil
+}
+
+// StreamBaselineResult is the memoized outcome of one streamed baseline
+// run: the general-core evaluation plus the streaming TDG summary
+// (profile + statistics) of the trace that was never materialized.
+type StreamBaselineResult struct {
+	Res    *exocore.RunResult
+	Stream *tdg.Stream
+}
+
+// Dyn returns the number of dynamic instructions the streamed run
+// evaluated.
+func (r *StreamBaselineResult) Dyn() int { return r.Stream.Dyn }
+
+// StreamBaseline evaluates the workload's general-core baseline on a
+// chunked generator-driven source: functional simulation and annotation
+// run on a producer goroutine, pipelined behind a bounded channel with
+// the µDG evaluation, while the streaming TDG builder observes every
+// chunk in passing — peak memory is O(chunk + window) end to end, so
+// paper-scale budgets (-maxdyn 200000000) fit in a fixed process
+// footprint. loop selects the steady-state repeated-kernel mode (see
+// workloads.SourceConfig.Loop) for budgets beyond the kernel's natural
+// execution.
+//
+// The engine memoizes the result, not a trace: the source is replayable
+// (same workload, same seed, same bytes), so re-deriving anything else
+// later costs one more streaming pass rather than 16 bytes per
+// instruction of residency. Results are byte-identical to the
+// materialized exocore.Run baseline at overlapping trace sizes.
+func (e *Engine) StreamBaseline(w *workloads.Workload, core cores.Config, loop bool) (*StreamBaselineResult, error) {
+	return e.StreamBaselineCtx(context.Background(), w, core, loop)
+}
+
+// StreamBaselineCtx is StreamBaseline with cancellation (see TraceCtx
+// for the semantics).
+func (e *Engine) StreamBaselineCtx(ctx context.Context, w *workloads.Workload, core cores.Config, loop bool) (*StreamBaselineResult, error) {
+	key := w.Name + "/" + core.Name
+	if loop {
+		key += "/loop"
+	}
+	res, hit, wall, err := e.streams.getCtx(ctx, key, func(ctx context.Context) (*StreamBaselineResult, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sp := e.tracer.BeginCtx(ctx, "stage", "stream "+key)
+		defer sp.End()
+
+		gen := w.Source(workloads.SourceConfig{
+			MaxDyn: e.maxDyn, ChunkInsts: e.chunkInsts, Loop: loop,
+		})
+		sb, err := tdg.NewStreamBuilder(gen.Prog())
+		if err != nil {
+			return nil, err
+		}
+		// The tee runs on the producer side of the pipeline, so profile
+		// construction overlaps evaluation along with chunk synthesis.
+		src := trace.NewPipelined(trace.Tee(gen, sb.Feed), 0)
+		rr, err := exocore.RunStream(src, core, exocore.RunOpts{Reg: e.reg})
+		if err != nil {
+			src.Stop()
+			return nil, err
+		}
+		return &StreamBaselineResult{Res: rr, Stream: sb.Finish()}, nil
+	})
+	var insts int64
+	if res != nil {
+		insts = int64(res.Stream.Dyn)
+	}
+	// Streamed runs account under their own lazily-created instruments:
+	// stageOrder instruments are part of every tool's metrics snapshot,
+	// which must not change shape for runs that never stream.
+	c := e.reg.Counter("stream.baseline.calls")
+	c.Add(1)
+	if !hit {
+		e.reg.Counter("stream.baseline.misses").Add(1)
+		e.reg.Histogram("stream.baseline.wall_ns", obs.DefaultWallBounds).Observe(int64(wall))
+		e.reg.Counter("stream.baseline.insts").Add(insts)
+	}
+	e.log.DebugCtx(ctx, "stage lookup", "stage", "stream", "key", key, "hit", hit, "wall", wall)
+	e.emit(Event{Stage: "stream", Key: key, CacheHit: hit, Wall: wall})
+	return res, err
 }
 
 // ForEach runs fn(0..n-1) over the bounded worker pool and waits for all

@@ -1,0 +1,107 @@
+package runner
+
+import (
+	"reflect"
+	"testing"
+
+	"exocore/internal/cores"
+	"exocore/internal/exocore"
+)
+
+// TestStreamBaselineMatchesMaterialized pins the engine-level identity:
+// the streamed baseline (generator source, pipelined, never a whole
+// trace) must agree exactly with exocore.Run on the materialized TDG,
+// and the streamed TDG summary must match the materialized build.
+func TestStreamBaselineMatchesMaterialized(t *testing.T) {
+	for _, chunk := range []int{0, 1 << 12} { // 0 = DefaultChunkInsts
+		e := New(Options{MaxDyn: testMaxDyn, ChunkInsts: chunk})
+		for _, bench := range []string{"cjpeg", "bfs"} {
+			w := testWorkload(t, bench)
+			td, err := e.TDG(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			whole, err := exocore.Run(td, cores.OOO2, nil, nil, nil, exocore.RunOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.StreamBaseline(w, cores.OOO2, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Res.Cycles != whole.Cycles || got.Res.Counts != whole.Counts {
+				t.Errorf("%s chunk %d: streamed baseline (%d cycles) != materialized (%d)",
+					bench, chunk, got.Res.Cycles, whole.Cycles)
+			}
+			if got.Stream.Dyn != td.Trace.Len() {
+				t.Errorf("%s chunk %d: streamed dyn %d != trace len %d",
+					bench, chunk, got.Stream.Dyn, td.Trace.Len())
+			}
+			if got.Stream.Stats != td.Trace.ComputeStats() {
+				t.Errorf("%s chunk %d: streamed stats diverge", bench, chunk)
+			}
+			if !reflect.DeepEqual(got.Stream.Prof.BlockCount, td.Prof.BlockCount) {
+				t.Errorf("%s chunk %d: streamed profile diverges", bench, chunk)
+			}
+		}
+	}
+}
+
+// TestStreamBaselineMemoized: the second call must be a cache hit
+// returning the same instance, and the chunk high-water gauge must show
+// a bounded (few-buffer) footprint rather than a whole-trace residency.
+func TestStreamBaselineMemoized(t *testing.T) {
+	e := New(Options{MaxDyn: testMaxDyn, ChunkInsts: 1 << 12})
+	w := testWorkload(t, "mm")
+
+	first, err := e.StreamBaseline(w, cores.IO2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.StreamBaseline(w, cores.IO2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("second StreamBaseline call did not hit the memo")
+	}
+	reg := e.Registry()
+	if got := reg.Counter("stream.baseline.calls").Value(); got != 2 {
+		t.Errorf("stream.baseline.calls = %d, want 2", got)
+	}
+	if got := reg.Counter("stream.baseline.misses").Value(); got != 1 {
+		t.Errorf("stream.baseline.misses = %d, want 1", got)
+	}
+	hw := reg.Gauge("trace.chunk_high_water_bytes").Value()
+	const instBytes = 16
+	if hw <= 0 || hw > 8*(1<<12)*instBytes {
+		t.Errorf("chunk high water = %d bytes, want bounded few-buffer footprint", hw)
+	}
+}
+
+// TestStreamBaselineLoopFillsBudget: loop mode must extend a short
+// kernel to the full dynamic budget (the paper-scale steady-state mode),
+// memoized separately from the single-execution baseline.
+func TestStreamBaselineLoopFillsBudget(t *testing.T) {
+	const budget = 50_000 // fft's natural execution is ~18k insts
+	e := New(Options{MaxDyn: budget, ChunkInsts: 1 << 12})
+	w := testWorkload(t, "fft")
+
+	single, err := e.StreamBaseline(w, cores.OOO2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Dyn() >= budget {
+		t.Fatalf("fft natural execution %d insts, need < %d for this test", single.Dyn(), budget)
+	}
+	looped, err := e.StreamBaseline(w, cores.OOO2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if looped.Dyn() != budget {
+		t.Errorf("looped dyn = %d, want full budget %d", looped.Dyn(), budget)
+	}
+	if looped == single {
+		t.Error("loop and single baselines share a memo entry")
+	}
+}

@@ -83,13 +83,73 @@ func Run(p *prog.Program, st *State, cfg Config) (*trace.Trace, error) {
 		maxDyn = DefaultMaxDyn
 	}
 	out := &trace.Trace{Prog: p, Insts: make([]trace.DynInst, 0, min(maxDyn, 1<<16))}
-	n := len(p.Insts)
+	sp := NewStepper(p, st)
 	for len(out.Insts) < maxDyn {
-		if st.PC < 0 || st.PC >= n {
+		n := len(out.Insts)
+		if cap(out.Insts) == n {
+			// Force the usual append growth, then retract: Fill writes
+			// straight into the trace's backing array.
+			out.Insts = append(out.Insts, trace.DynInst{})[:n]
+		}
+		room := cap(out.Insts) - n
+		if rem := maxDyn - n; room > rem {
+			room = rem
+		}
+		w, running := sp.Fill(out.Insts[n : n+room])
+		out.Insts = out.Insts[:n+w]
+		if err := sp.Err(); err != nil {
+			return nil, err
+		}
+		if !running {
 			break // program exit
 		}
+	}
+	return out, nil
+}
+
+// Stepper is a resumable functional execution: the same interpreter as
+// Run, broken at arbitrary instruction boundaries so trace sources can
+// synthesize bounded chunks on demand. Architectural state lives in the
+// caller-provided State and persists across Fill calls, so chunk size
+// never changes the instruction stream.
+type Stepper struct {
+	p       *prog.Program
+	st      *State
+	stopped bool
+	err     error
+}
+
+// NewStepper returns a stepper over p starting from st (typically PC 0
+// with a prepared memory image, exactly as Run expects).
+func NewStepper(p *prog.Program, st *State) *Stepper {
+	return &Stepper{p: p, st: st}
+}
+
+// Err returns the execution error that stopped the stepper, if any.
+func (s *Stepper) Err() error { return s.err }
+
+// Running reports whether the program can still make progress.
+func (s *Stepper) Running() bool { return !s.stopped }
+
+// Fill executes instructions into buf until it is full, the program
+// exits, or execution faults, returning the count written and whether
+// the program is still running. After a fault, Err is non-nil and the
+// partial fill up to the faulting instruction is returned.
+func (s *Stepper) Fill(buf []trace.DynInst) (int, bool) {
+	if s.stopped {
+		return 0, false
+	}
+	p, st := s.p, s.st
+	n := len(p.Insts)
+	w := 0
+	for w < len(buf) {
+		if st.PC < 0 || st.PC >= n {
+			s.stopped = true
+			return w, false // program exit
+		}
 		in := &p.Insts[st.PC]
-		d := trace.DynInst{SI: int32(st.PC)}
+		buf[w] = trace.DynInst{SI: int32(st.PC)}
+		d := &buf[w]
 		next := st.PC + 1
 
 		switch in.Op {
@@ -206,14 +266,16 @@ func Run(p *prog.Program, st *State, cfg Config) (*trace.Trace, error) {
 			next = int(in.Imm)
 
 		default:
-			return nil, fmt.Errorf("sim: program %q: unexecutable opcode %s at %d (vector ops are transform-only)",
+			s.stopped = true
+			s.err = fmt.Errorf("sim: program %q: unexecutable opcode %s at %d (vector ops are transform-only)",
 				p.Name, in.Op, st.PC)
+			return w, false
 		}
 
-		out.Insts = append(out.Insts, d)
+		w++
 		st.PC = next
 	}
-	return out, nil
+	return w, true
 }
 
 func boolToInt(b bool) int64 {

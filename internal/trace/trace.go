@@ -89,7 +89,10 @@ func (t *Trace) Static(i int) *isa.Inst { return &t.Prog.Insts[t.Insts[i].SI] }
 // StaticOf returns the static instruction for a dynamic instruction.
 func (t *Trace) StaticOf(d *DynInst) *isa.Inst { return &t.Prog.Insts[d.SI] }
 
-// Stats summarizes a trace for reports and sanity tests.
+// Stats summarizes a trace for reports and sanity tests. Every field is
+// an additive tally over instructions, so per-chunk Stats merge with a
+// plain field-wise sum (Merge) — what lets the streaming pipeline keep
+// statistics without a whole-trace scan.
 type Stats struct {
 	Dyn          int
 	Loads        int
@@ -103,21 +106,35 @@ type Stats struct {
 	FpOps        int
 }
 
-// ComputeStats tallies Stats, scanning the trace on the first call and
-// serving the memoized result afterwards. Traces are immutable once
-// built and shared across goroutines, so the memoization is guarded by
-// a sync.Once.
-func (t *Trace) ComputeStats() Stats {
-	t.statsOnce.Do(func() { t.stats = t.computeStats() })
-	return t.stats
+// Merge adds o's tallies into s. Merging the per-chunk Stats of a
+// partitioned trace, in any order, equals the whole-scan Stats.
+func (s *Stats) Merge(o Stats) {
+	s.Dyn += o.Dyn
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.Branches += o.Branches
+	s.Taken += o.Taken
+	s.Mispredicted += o.Mispredicted
+	s.L1Hits += o.L1Hits
+	s.L2Hits += o.L2Hits
+	s.MemAccesses += o.MemAccesses
+	s.FpOps += o.FpOps
 }
 
-func (t *Trace) computeStats() Stats {
-	var s Stats
-	s.Dyn = len(t.Insts)
-	for i := range t.Insts {
-		d := &t.Insts[i]
-		op := t.Prog.Insts[d.SI].Op
+// Accumulate tallies insts (dynamic instructions of p) into s. Both the
+// whole-trace scan and the per-chunk streaming accumulator go through
+// this one loop, so the two paths cannot drift.
+//
+// FpOps counts FP *compute* only: an op that is both FP-typed and a
+// memory access (an FP load/store, should the ISA grow one) tallies as a
+// load/store, not an FpOp — each instruction lands in exactly one
+// class-count, which is what makes the per-chunk merge equal the
+// whole-scan without double counting.
+func (s *Stats) Accumulate(p *prog.Program, insts []DynInst) {
+	s.Dyn += len(insts)
+	for i := range insts {
+		d := &insts[i]
+		op := p.Insts[d.SI].Op
 		switch {
 		case op.IsLoad():
 			s.Loads++
@@ -131,8 +148,7 @@ func (t *Trace) computeStats() Stats {
 			if d.Mispredicted() {
 				s.Mispredicted++
 			}
-		}
-		if op.IsFp() {
+		case op.IsFp():
 			s.FpOps++
 		}
 		switch d.Level {
@@ -144,5 +160,19 @@ func (t *Trace) computeStats() Stats {
 			s.MemAccesses++
 		}
 	}
+}
+
+// ComputeStats tallies Stats, scanning the trace on the first call and
+// serving the memoized result afterwards. Traces are immutable once
+// built and shared across goroutines, so the memoization is guarded by
+// a sync.Once.
+func (t *Trace) ComputeStats() Stats {
+	t.statsOnce.Do(func() { t.stats = t.computeStats() })
+	return t.stats
+}
+
+func (t *Trace) computeStats() Stats {
+	var s Stats
+	s.Accumulate(t.Prog, t.Insts)
 	return s
 }

@@ -235,3 +235,7 @@ var _ = register(&Workload{
 		}
 	},
 })
+
+// bfs is the graph family's streaming exemplar: frontier-driven CSR
+// traversal whose pointer-chasing addresses exercise chunked cache state.
+var _ = exemplar("bfs")

@@ -389,3 +389,7 @@ var (
 	_ = register(jpeg2000Kernel("jpg2000dec", 8))
 	_ = register(jpeg2000Kernel("jpg2000enc", 5))
 )
+
+// cjpeg is the Mediabench streaming exemplar: the biased VLC symbol
+// loop keeps the branch predictor's cross-chunk history load-bearing.
+var _ = exemplar("cjpeg")

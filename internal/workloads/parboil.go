@@ -217,3 +217,7 @@ var _ = register(&Workload{
 		}
 	},
 })
+
+// mm is the Parboil family's streaming exemplar: the canonical blocked
+// dense kernel the paper-scale smoke gate tiles to 200M instructions.
+var _ = exemplar("mm")

@@ -354,3 +354,7 @@ var _ = register(&Workload{
 		}
 	},
 })
+
+// fft is the second Parboil file's streaming exemplar: strided
+// butterflies give the cache model non-trivial cross-chunk state.
+var _ = exemplar("fft")

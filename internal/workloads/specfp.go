@@ -368,3 +368,7 @@ var _ = register(&Workload{
 		}
 	},
 })
+
+// milc is the SPECfp streaming exemplar: long FP dependence chains over
+// a working set big enough to keep L2 state live across chunks.
+var _ = exemplar("milc")

@@ -592,3 +592,7 @@ var _ = register(&Workload{
 		}
 	},
 })
+
+// gzip is the SPECint streaming exemplar: irregular control with
+// data-dependent branches — the hardest case for chunked bpred identity.
+var _ = exemplar("gzip")

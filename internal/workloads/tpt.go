@@ -313,3 +313,7 @@ var _ = register(&Workload{
 		}
 	},
 })
+
+// conv is the TPT family's streaming exemplar: a dense unit-stride DLP
+// kernel whose repeated execution is exactly its steady state.
+var _ = exemplar("conv")

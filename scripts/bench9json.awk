@@ -1,0 +1,69 @@
+# bench9json.awk — convert `go test -bench` output for the five tracked
+# benchmarks into BENCH_9.json. The four carried benchmarks keep the
+# BENCH_7.json "current" values as this round's frozen baselines (same
+# machine, re-anchored per the convention BENCH_7 itself followed).
+# StreamedExocoreRun joins the tracked set in this round: its frozen
+# baseline is the materialized-path equivalent of the same work — trace
+# synthesis + tdg.Build + baseline Run at the same budget — measured
+# min-of-4 at the commit that introduced streaming, so the speedup
+# column reads "streamed pipeline vs what this path cost before".
+#
+# Usage: go test -bench 'BenchmarkExocoreRun|BenchmarkGraphExocoreRun|BenchmarkStreamedExocoreRun|BenchmarkDSESweep|BenchmarkContextConstruction' \
+#        -benchmem . | awk -f scripts/bench9json.awk > BENCH_9.json
+
+BEGIN {
+    base_ns["ExocoreRun"] = 486611
+    base_b["ExocoreRun"] = 87504
+    base_allocs["ExocoreRun"] = 61
+    base_ns["GraphExocoreRun"] = 924493
+    base_b["GraphExocoreRun"] = 105904
+    base_allocs["GraphExocoreRun"] = 47
+    base_ns["StreamedExocoreRun"] = 1839562
+    base_b["StreamedExocoreRun"] = 1306880
+    base_allocs["StreamedExocoreRun"] = 292
+    base_ns["DSESweep"] = 104173713
+    base_b["DSESweep"] = 24943178
+    base_allocs["DSESweep"] = 35971
+    base_ns["ContextConstruction"] = 8721232
+    base_b["ContextConstruction"] = 768050
+    base_allocs["ContextConstruction"] = 1420
+    order[1] = "ExocoreRun"
+    order[2] = "GraphExocoreRun"
+    order[3] = "StreamedExocoreRun"
+    order[4] = "DSESweep"
+    order[5] = "ContextConstruction"
+    ntracked = 5
+}
+
+/^Benchmark(ExocoreRun|GraphExocoreRun|StreamedExocoreRun|DSESweep|ContextConstruction)[-\t ]/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns[name] = $(i - 1)
+        if ($i == "B/op") b[name] = $(i - 1)
+        if ($i == "allocs/op") allocs[name] = $(i - 1)
+    }
+}
+
+END {
+    printf "{\n  \"schema\": \"exocore-bench/v1\",\n  \"benchmarks\": [\n"
+    n = 0
+    for (k = 1; k <= ntracked; k++) {
+        name = order[k]
+        if (!(name in ns)) continue
+        if (n++) printf ",\n"
+        printf "    {\n      \"name\": \"%s\",\n", name
+        printf "      \"baseline\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f},\n", \
+            base_ns[name], base_b[name], base_allocs[name]
+        printf "      \"current\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f},\n", \
+            ns[name], b[name], allocs[name]
+        printf "      \"speedup\": %.2f,\n", base_ns[name] / ns[name]
+        printf "      \"allocs_ratio\": %.2f\n    }", base_allocs[name] / allocs[name]
+    }
+    printf "\n  ]\n}\n"
+    if (n != ntracked) {
+        print "bench9json: missing tracked benchmark output" > "/dev/stderr"
+        exit 1
+    }
+}

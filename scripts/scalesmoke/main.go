@@ -1,0 +1,151 @@
+// scalesmoke is the paper-scale streaming gate: it evaluates a
+// 200M-instruction generator-driven run — the trace-length regime the
+// original paper models, 3.2 GB of DynInst if materialized — through the
+// chunked source → pipelined annotation → streaming-TDG → windowed-µDG
+// path, and fails if the process ever needed more than 512 MiB from the
+// OS. The Makefile runs it under GOMEMLIMIT=512MiB so the heap target is
+// enforced for the whole run, not just sampled at the end.
+//
+// Two budgets are asserted from the instrument plane rather than
+// inferred from totals: dg.graph_high_water_bytes (the µDG window must
+// stay O(window), as established by memsmoke) and the new
+// trace.chunk_high_water_bytes (resident trace buffers must stay at
+// pipeline-depth chunks, never O(trace)).
+//
+// Before the long run, an overlap check replays a smaller budget down
+// both arms — materialized Build+Run versus streamed
+// Tee+BuildStream+RunStream from an identical generator — and requires
+// identical cycles, energy counts, statistics and block profile, so the
+// 200M numbers are trusted to mean what the materialized path would have
+// said.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"reflect"
+	"runtime"
+
+	"exocore/internal/cores"
+	"exocore/internal/exocore"
+	"exocore/internal/obs"
+	"exocore/internal/tdg"
+	"exocore/internal/trace"
+	"exocore/internal/workloads"
+)
+
+const (
+	wantDyn    = 200_000_000
+	overlapDyn = 1_000_000
+	// sysBudget bounds total memory obtained from the OS for the whole
+	// 200M-instruction run. Nothing scales with trace length: chunks are
+	// recycled, the µDG windows, the profile is O(static program).
+	sysBudget = 512 << 20
+	// graphBudget bounds the µDG high-water mark (window + compaction
+	// slack), same bar memsmoke holds the materialized path to.
+	graphBudget = 64 << 20
+	// chunkBudget bounds resident trace buffers: producer + bounded
+	// channel + consumer is a handful of chunks (16 MiB each at the
+	// default size), with headroom for pool churn.
+	chunkBudget = 8 * trace.DefaultChunkInsts * 16
+)
+
+// stream builds the streamed arm for one budget: generator source teed
+// into a streaming TDG builder, pipelined behind a producer goroutine,
+// evaluated by RunStream.
+func stream(w *workloads.Workload, maxDyn, chunkInsts int, reg *obs.Registry) (*exocore.RunResult, *tdg.Stream, error) {
+	gen := w.Source(workloads.SourceConfig{MaxDyn: maxDyn, ChunkInsts: chunkInsts, Loop: true})
+	sb, err := tdg.NewStreamBuilder(gen.Prog())
+	if err != nil {
+		return nil, nil, err
+	}
+	src := trace.NewPipelined(trace.Tee(gen, sb.Feed), 0)
+	res, err := exocore.RunStream(src, cores.OOO4, exocore.RunOpts{Reg: reg})
+	if err != nil {
+		src.Stop()
+		return nil, nil, err
+	}
+	return res, sb.Finish(), nil
+}
+
+func main() {
+	w, err := workloads.ByName("mm")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Overlap identity: both arms at a size the materialized path can
+	// comfortably hold.
+	gen := w.Source(workloads.SourceConfig{MaxDyn: overlapDyn, Loop: true})
+	tr, err := trace.Materialize(gen, overlapDyn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	td, err := tdg.Build(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	whole, err := exocore.Run(td, cores.OOO4, nil, nil, nil, exocore.RunOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sres, s, err := stream(w, overlapDyn, 1<<16, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch {
+	case sres.Cycles != whole.Cycles:
+		log.Fatalf("scalesmoke: overlap cycles diverge: streamed %d, materialized %d", sres.Cycles, whole.Cycles)
+	case sres.Counts != whole.Counts:
+		log.Fatal("scalesmoke: overlap energy counts diverge")
+	case s.Dyn != tr.Len():
+		log.Fatalf("scalesmoke: overlap dyn %d != %d", s.Dyn, tr.Len())
+	case s.Stats != tr.ComputeStats():
+		log.Fatal("scalesmoke: overlap trace statistics diverge")
+	case !reflect.DeepEqual(s.Prof.BlockCount, td.Prof.BlockCount):
+		log.Fatal("scalesmoke: overlap block profile diverges")
+	}
+
+	// The paper-scale run: 200M instructions, never materialized.
+	reg := obs.NewRegistry()
+	res, sum, err := stream(w, wantDyn, 0, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sum.Dyn != wantDyn {
+		log.Fatalf("scalesmoke: streamed %d insts, want %d", sum.Dyn, wantDyn)
+	}
+	if res.Cycles <= 0 {
+		log.Fatalf("scalesmoke: implausible cycles %d", res.Cycles)
+	}
+
+	graphHigh := reg.Gauge("dg.graph_high_water_bytes").Value()
+	if graphHigh <= 0 {
+		log.Fatal("scalesmoke: graph high-water gauge never set")
+	}
+	if graphHigh > graphBudget {
+		log.Fatalf("scalesmoke: µDG high-water %d B exceeds %d B — windowing is not bounding the graph",
+			graphHigh, int64(graphBudget))
+	}
+	chunkHigh := reg.Gauge("trace.chunk_high_water_bytes").Value()
+	if chunkHigh <= 0 {
+		log.Fatal("scalesmoke: chunk high-water gauge never set")
+	}
+	if chunkHigh > chunkBudget {
+		log.Fatalf("scalesmoke: chunk high-water %d B exceeds %d B — buffers are not being recycled",
+			chunkHigh, int64(chunkBudget))
+	}
+
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.Sys > sysBudget {
+		log.Fatalf("scalesmoke: %d B obtained from OS exceeds budget %d B", ms.Sys, int64(sysBudget))
+	}
+
+	fmt.Fprintf(os.Stdout,
+		"scalesmoke ok: %d insts, %d cycles, µDG high-water %.1f MiB, chunk high-water %.1f MiB, sys %.1f MiB (budget %d MiB)\n",
+		sum.Dyn, res.Cycles, float64(graphHigh)/(1<<20), float64(chunkHigh)/(1<<20),
+		float64(ms.Sys)/(1<<20), sysBudget>>20)
+}
