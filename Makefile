@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race tier1 bench benchdiff benchsmoke tracesmoke servesmoke obssmoke graphsmoke memsmoke scalesmoke tools clean
+.PHONY: check build vet test race tier1 bench benchdiff benchsmoke tracesmoke servesmoke obssmoke graphsmoke memsmoke scalesmoke fabricsmoke tools clean
 
 # The full pre-merge gate: vet + build + race-enabled tests + tier-1 +
 # a single-iteration pass over every benchmark so they can't rot + a
@@ -10,7 +10,7 @@ GO ?= go
 # registry grid + the streaming-evaluation memory gate on a
 # 10M-instruction trace + the paper-scale streaming gate (200M
 # instructions, never materialized, inside the same budget).
-check: vet build race tier1 benchsmoke tracesmoke servesmoke obssmoke graphsmoke memsmoke scalesmoke
+check: vet build race tier1 benchsmoke tracesmoke servesmoke obssmoke graphsmoke memsmoke scalesmoke fabricsmoke
 
 build:
 	$(GO) build ./...
@@ -20,10 +20,12 @@ vet:
 
 # Race-enabled run of the concurrency-sensitive packages (the runner
 # engine, the exploration that fans out over it, the evaluation cache
-# with its sharded outcome map and cross-core shared pool, and the
-# serving layer's singleflight/admission machinery).
+# with its sharded outcome map and cross-core shared pool, the serving
+# layer's singleflight/admission machinery, the fabric's shard
+# dispatcher with its work-stealing workers, and the persistent store's
+# locked LRU index).
 race:
-	$(GO) test -race -count=1 ./internal/runner ./internal/dse ./internal/exocore ./internal/serve
+	$(GO) test -race -count=1 ./internal/runner ./internal/dse ./internal/exocore ./internal/serve ./internal/fabric ./internal/store
 
 # Tier-1 suite (ROADMAP.md): everything must build and all tests pass.
 tier1:
@@ -93,6 +95,18 @@ graphsmoke:
 	$(GO) run ./cmd/dse -bench bfs -maxdyn 8000 -json > /tmp/exocore-graphsmoke.json
 	$(GO) run ./scripts/graphsmoke /tmp/exocore-graphsmoke.json
 	@rm -f /tmp/exocore-graphsmoke.json
+
+# Fabric end-to-end smoke test: a coordinator over two real replica
+# daemons (one with a persistent -store) must answer sweeps
+# byte-identically to a single daemon, survive a replica SIGKILLed
+# mid-sweep, come back warm when the stored replica restarts (nonzero
+# store occupancy and store.hits), and reject bad -role/-replicas/-store
+# flags with helpful messages.
+fabricsmoke:
+	@rm -rf /tmp/exocore-fabricsmoke-bin
+	$(GO) build -o /tmp/exocore-fabricsmoke-bin/ ./cmd/exocored
+	$(GO) run ./scripts/fabricsmoke /tmp/exocore-fabricsmoke-bin
+	@rm -rf /tmp/exocore-fabricsmoke-bin
 
 # Streaming-evaluation memory gate: a 10M-instruction trace through the
 # baseline engine must stay inside a fixed memory budget — the µDG is

@@ -18,6 +18,15 @@
 // GET /debug/requests/{id}/trace, a runtime sampler (-obs-interval)
 // feeds go.* instruments into /metricsz (scrapeable as Prometheus text
 // via ?format=prom), and -pprof mounts net/http/pprof.
+//
+// Fabric roles (-role): "single" (the default) serves everything
+// itself; "replica" is the same daemon acknowledging it sits behind a
+// coordinator; "coordinator" evaluates nothing — it shards /v1/sweep
+// across -replicas by consistent-hashing each (benchmark, core) cell,
+// merges the partial results into bytes identical to a single daemon's
+// answer, and proxies /v1/evaluate to the owning replica. Replicas
+// (and single daemons) may add -store DIR for a persistent
+// evaluation-unit store, so a restarted process comes up warm.
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 
 	"exocore/internal/cli"
 	"exocore/internal/cores"
+	"exocore/internal/fabric"
 	"exocore/internal/obs"
 	"exocore/internal/serve"
 )
@@ -48,8 +58,22 @@ func main() {
 	flightSpans := app.Flags().Int("flight-spans", 4096, "flight-recorder span retention (ring capacity; 0 disables always-on tracing)")
 	obsInterval := app.Flags().Duration("obs-interval", 5*time.Second, "runtime/metrics sampling interval for go.* instruments (0 disables)")
 	pprofOn := app.Flags().Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	role := app.Flags().String("role", "single", "fabric role: single | replica | coordinator")
+	replicas := app.Flags().String("replicas", "", "comma-separated replica base URLs (required with -role coordinator)")
+	hedge := app.Flags().Duration("hedge", 10*time.Second, "coordinator: duplicate a straggling shard onto the next replica after this long (0 disables)")
 	app.MustParse()
 	defer app.Close()
+
+	if err := cli.CheckEnum("-role", *role, "single", "replica", "coordinator"); err != nil {
+		app.Fail(err)
+	}
+	if *role != "coordinator" && *replicas != "" {
+		app.Fail(errors.New("-replicas is only meaningful with -role coordinator"))
+	}
+	if *role == "coordinator" {
+		runCoordinator(app, *replicas, *addr, *portFile, *timeout, *drain, *hedge)
+		return
+	}
 
 	// Always-on tracing: a bounded ring unless -trace asked for a full
 	// dump tracer, which then serves both roles.
@@ -71,6 +95,8 @@ func main() {
 		Tracer:         app.Tracer(),
 		Log:            log,
 		EnablePprof:    *pprofOn,
+		Role:           *role,
+		Store:          app.Store(),
 	})
 	if err != nil {
 		app.Fail(err)
@@ -110,6 +136,62 @@ func main() {
 		shutdownErr <- err
 	}()
 
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		app.Fail(err)
+	}
+	if err := <-shutdownErr; err != nil {
+		app.Fail(err)
+	}
+	log.Info("exocored stopped")
+	app.Finish()
+}
+
+// runCoordinator serves the fabric coordinator: no engine, no store —
+// just the ring, the shard dispatcher and the merge path over the
+// replica set.
+func runCoordinator(app *cli.App, replicaSpec, addr, portFile string, timeout, drain, hedge time.Duration) {
+	if app.StoreDir != "" {
+		app.Fail(errors.New("-store is for daemons that evaluate; the coordinator computes nothing (start the replicas with -store instead)"))
+	}
+	reps, err := fabric.ParseReplicas(replicaSpec)
+	if err != nil {
+		app.Fail(err)
+	}
+	log := app.Log()
+	coord, err := fabric.New(fabric.Config{
+		Replicas:       reps,
+		RequestTimeout: timeout,
+		HedgeAfter:     hedge,
+		Reg:            obs.NewRegistry(),
+		Log:            log,
+	})
+	if err != nil {
+		app.Fail(err)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		app.Fail(err)
+	}
+	if portFile != "" {
+		if err := os.WriteFile(portFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			app.Fail(err)
+		}
+	}
+	log.Info("exocored coordinating", "addr", ln.Addr().String(), "replicas", len(reps))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Handler: coord.Handler()}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		stop()
+		log.Info("draining", "budget", drain)
+		dctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		shutdownErr <- hs.Shutdown(dctx)
+	}()
 	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		app.Fail(err)
 	}

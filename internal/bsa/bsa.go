@@ -265,6 +265,14 @@ func (r *Registry) lettersString() string {
 	return sb.String()
 }
 
+// Nearest returns the candidate closest to name by case-insensitive
+// edit distance, or "" when nothing is plausibly close. Exported so
+// other flag surfaces (eg. internal/cli's enum validation) produce the
+// same did-you-mean hints this registry does.
+func Nearest(name string, candidates []string) string {
+	return nearest(name, candidates)
+}
+
 // nearest returns the candidate with the smallest edit distance to name
 // under a conservative threshold, or "" — the shared did-you-mean
 // helper (case-insensitive, so "simd" suggests "SIMD").

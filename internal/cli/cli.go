@@ -17,9 +17,11 @@ import (
 
 	"exocore/internal/bsa"
 	"exocore/internal/cores"
+	"exocore/internal/exocore"
 	"exocore/internal/obs"
 	"exocore/internal/report"
 	"exocore/internal/runner"
+	"exocore/internal/store"
 	"exocore/internal/trace"
 	"exocore/internal/workloads"
 )
@@ -50,6 +52,12 @@ type App struct {
 	// trace in one pass, the legacy path).
 	ChunkInsts int
 
+	// StoreDir is the -store value: a directory for the persistent
+	// content-addressed evaluation-unit store ("" = no durable tier).
+	// Opened and validated during Parse, so an unwritable or
+	// format-mismatched directory fails fast with a clear error.
+	StoreDir string
+
 	// Profiling and measurement flags.
 	CPUProfile string // write a CPU profile to this file
 	MemProfile string // write an allocation profile to this file on Close
@@ -68,6 +76,8 @@ type App struct {
 	log      *obs.Logger
 	tracer   *obs.Tracer
 	cpuProfF *os.File // open while CPU profiling is active
+	store    *store.Store
+	obsReg   *obs.Registry // shared engine/store registry when -store is set
 
 	// Resolved during Parse.
 	core cores.Config
@@ -97,6 +107,8 @@ func New(tool, benchDefault string) *App {
 	a.fs.IntVar(&a.Workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	a.fs.IntVar(&a.ChunkInsts, "chunk-insts", trace.DefaultChunkInsts,
 		"dynamic instructions per streaming trace chunk (0 = materialize whole trace)")
+	a.fs.StringVar(&a.StoreDir, "store", "",
+		"persistent evaluation-unit store directory (created if missing; a restarted process comes up warm)")
 	a.fs.StringVar(&a.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	a.fs.StringVar(&a.MemProfile, "memprofile", "", "write an allocation profile to this file at exit")
 	a.fs.StringVar(&a.Trace, "trace", "", "write a Chrome trace-event JSON file (load in Perfetto) at exit")
@@ -188,6 +200,17 @@ func (a *App) Parse(args []string) error {
 	a.log = obs.NewLogger(a.Stderr, a.Tool, a.Verbosity())
 	if a.Trace != "" {
 		a.tracer = obs.NewTracer(a.Tool)
+	}
+	if a.StoreDir != "" {
+		// The store shares one metrics registry with the engine, so
+		// store.* instruments ride every metrics snapshot (-v, result
+		// JSON, the daemon's /metricsz).
+		a.obsReg = obs.NewRegistry()
+		st, err := store.Open(a.StoreDir, store.Options{Reg: a.obsReg})
+		if err != nil {
+			return fmt.Errorf("-store: %w", err)
+		}
+		a.store = st
 	}
 	if a.CPUProfile != "" {
 		f, err := os.Create(a.CPUProfile)
@@ -381,7 +404,8 @@ func (a *App) Engine() *runner.Engine {
 			BSAs:           a.Registry(),
 			ChunkInsts:     a.EngineChunkInsts(),
 			NoSegmentCache: a.NoSegCache, NoDelta: a.NoDelta,
-			Tracer: a.tracer, Log: a.Log()}
+			Tracer: a.tracer, Log: a.Log(),
+			Persist: a.persist(), Reg: a.obsReg}
 		if a.Verbose {
 			log := a.Log()
 			opts.Progress = func(ev runner.Event) {
@@ -394,6 +418,36 @@ func (a *App) Engine() *runner.Engine {
 		a.engine = runner.New(opts)
 	}
 	return a.engine
+}
+
+// Store returns the opened -store directory, or nil when no durable
+// tier was requested.
+func (a *App) Store() *store.Store { return a.store }
+
+// persist adapts the optional store to the engine's Persist interface,
+// keeping the interface value truly nil (not a typed nil) when -store
+// is unset.
+func (a *App) persist() exocore.Persist {
+	if a.store == nil {
+		return nil
+	}
+	return a.store
+}
+
+// CheckEnum validates a flag value against its allowed set, with the
+// same did-you-mean guidance the BSA registry gives for -bsas. The
+// flag name is included verbatim in the error.
+func CheckEnum(flagName, val string, allowed ...string) error {
+	for _, ok := range allowed {
+		if val == ok {
+			return nil
+		}
+	}
+	msg := fmt.Sprintf("%s: unknown value %q (have %s)", flagName, val, strings.Join(allowed, ", "))
+	if near := bsa.Nearest(val, allowed); near != "" {
+		msg += fmt.Sprintf(" — did you mean %q?", near)
+	}
+	return fmt.Errorf("%s", msg)
 }
 
 // Tracer returns the -trace span tracer, or nil when tracing is off.

@@ -167,41 +167,9 @@ func ExploreCtx(ctx context.Context, opts Options) (*Exploration, error) {
 
 	// Resolve the design grid: the full cores × 2^N-subset cross product
 	// over the engine's registry, or an explicit design-code list.
-	cs := opts.Cores
-	if cs == nil {
-		cs = cores.Configs
-	}
-	type point struct {
-		core cores.Config
-		mask int
-	}
-	var points []point
-	if len(opts.Designs) > 0 {
-		seen := make(map[string]bool, len(opts.Designs))
-		csSeen := make(map[string]bool)
-		cs = nil
-		for _, code := range opts.Designs {
-			core, mask, err := parseDesignCode(reg, code)
-			if err != nil {
-				return nil, err
-			}
-			if canon := designCode(reg, core, mask); seen[canon] {
-				continue
-			} else {
-				seen[canon] = true
-			}
-			points = append(points, point{core, mask})
-			if !csSeen[core.Name] {
-				csSeen[core.Name] = true
-				cs = append(cs, core)
-			}
-		}
-	} else {
-		for _, core := range cs {
-			for mask := 0; mask < 1<<reg.Len(); mask++ {
-				points = append(points, point{core, mask})
-			}
-		}
+	protos, cs, err := designGrid(reg, opts.Designs, opts.Cores)
+	if err != nil {
+		return nil, err
 	}
 
 	// Phase 1: warm the per-(bench, core) scheduling contexts in
@@ -227,25 +195,6 @@ func ExploreCtx(ctx context.Context, opts Options) (*Exploration, error) {
 	// fixed order and filled by index, so the result is identical
 	// regardless of worker count or completion order; the engine's eval
 	// cache deduplicates identical assignments across subsets.
-	// Area accounting is stateless, so one BSA set and one model slice
-	// per mask serve every core instead of being rebuilt per design.
-	set := reg.New()
-	maskModels := make([][]tdg.BSA, 1<<reg.Len())
-	for mask := 1; mask < len(maskModels); mask++ {
-		for _, n := range reg.SubsetNames(mask) {
-			maskModels[mask] = append(maskModels[mask], set[n])
-		}
-	}
-	protos := make([]DesignResult, 0, len(points))
-	for _, p := range points {
-		protos = append(protos, DesignResult{
-			Core: p.core, Mask: p.mask,
-			BSAs:    reg.SubsetNames(p.mask),
-			Code:    designCode(reg, p.core, p.mask),
-			AreaMM2: area.Total(p.core, maskModels[p.mask]),
-		})
-	}
-
 	designs, err := runner.MapCtx(ctx, eng, len(protos), func(di int) (DesignResult, error) {
 		d := protos[di]
 		avail := d.BSAs
@@ -277,12 +226,134 @@ func ExploreCtx(ctx context.Context, opts Options) (*Exploration, error) {
 	}
 
 	exp := &Exploration{Designs: designs, Reference: "IO2"}
-	exp.normalize()
+	exp.Normalize()
 	return exp, nil
 }
 
-// normalize computes Rel* aggregates against the reference design.
-func (e *Exploration) normalize() {
+// designGrid resolves a design list into evaluation-ready prototypes
+// (code, BSA names, area — everything but the measurements) plus the
+// distinct cores involved. An explicit code list is kept in order with
+// canonical duplicates collapsed; an empty list expands to the full
+// cs × 2^N-subset cross product (cs nil = all four cores). This is the
+// single grid-resolution path, shared by ExploreCtx and by the fabric
+// coordinator's shell (NewShell), so both agree on design identity,
+// order and area to the last bit.
+func designGrid(reg *bsa.Registry, designs []string, cs []cores.Config) ([]DesignResult, []cores.Config, error) {
+	if cs == nil {
+		cs = cores.Configs
+	}
+	type point struct {
+		core cores.Config
+		mask int
+	}
+	var points []point
+	if len(designs) > 0 {
+		seen := make(map[string]bool, len(designs))
+		csSeen := make(map[string]bool)
+		cs = nil
+		for _, code := range designs {
+			core, mask, err := parseDesignCode(reg, code)
+			if err != nil {
+				return nil, nil, err
+			}
+			if canon := designCode(reg, core, mask); seen[canon] {
+				continue
+			} else {
+				seen[canon] = true
+			}
+			points = append(points, point{core, mask})
+			if !csSeen[core.Name] {
+				csSeen[core.Name] = true
+				cs = append(cs, core)
+			}
+		}
+	} else {
+		for _, core := range cs {
+			for mask := 0; mask < 1<<reg.Len(); mask++ {
+				points = append(points, point{core, mask})
+			}
+		}
+	}
+
+	// Area accounting is stateless, so one BSA set and one model slice
+	// per mask serve every core instead of being rebuilt per design.
+	set := reg.New()
+	maskModels := make([][]tdg.BSA, 1<<reg.Len())
+	for mask := 1; mask < len(maskModels); mask++ {
+		for _, n := range reg.SubsetNames(mask) {
+			maskModels[mask] = append(maskModels[mask], set[n])
+		}
+	}
+	protos := make([]DesignResult, 0, len(points))
+	for _, p := range points {
+		protos = append(protos, DesignResult{
+			Core: p.core, Mask: p.mask,
+			BSAs:    reg.SubsetNames(p.mask),
+			Code:    designCode(reg, p.core, p.mask),
+			AreaMM2: area.Total(p.core, maskModels[p.mask]),
+		})
+	}
+	return protos, cs, nil
+}
+
+// GridCodes enumerates the design codes a sweep would evaluate: the
+// explicit list canonicalized with duplicates collapsed, or (for an
+// empty list) the full cores × subsets grid over reg. The fabric
+// coordinator uses it to shard exactly the grid a single daemon would
+// sweep.
+func GridCodes(reg *bsa.Registry, designs []string, cs []cores.Config) ([]string, error) {
+	protos, _, err := designGrid(reg, designs, cs)
+	if err != nil {
+		return nil, err
+	}
+	codes := make([]string, len(protos))
+	for i := range protos {
+		codes[i] = protos[i].Code
+	}
+	return codes, nil
+}
+
+// NewShell builds an Exploration over the given design codes with
+// every measurement still missing: the grid-derived identity (codes,
+// BSA lists, areas) is filled in, PerBench is empty. The fabric
+// coordinator reassembles sharded sweep results into a shell via
+// AddBench + Normalize, reproducing ExploreCtx's aggregates bit for
+// bit without re-evaluating anything.
+func NewShell(reg *bsa.Registry, designs []string, cs []cores.Config) (*Exploration, error) {
+	protos, _, err := designGrid(reg, designs, cs)
+	if err != nil {
+		return nil, err
+	}
+	return &Exploration{Designs: protos, Reference: "IO2"}, nil
+}
+
+// AddBench appends one benchmark observation to the named design
+// (call Normalize once all observations are in).
+func (e *Exploration) AddBench(code string, b BenchResult) error {
+	d := e.Design(code)
+	if d == nil {
+		return fmt.Errorf("dse: AddBench: unknown design %q", code)
+	}
+	for _, have := range d.PerBench {
+		if have.Bench == b.Bench {
+			return fmt.Errorf("dse: AddBench: design %q already has bench %q", code, b.Bench)
+		}
+	}
+	d.PerBench = append(d.PerBench, b)
+	return nil
+}
+
+// Normalize sorts each design's per-benchmark results by benchmark
+// name and computes the Rel* aggregates against the reference design
+// (zero when the reference is absent). Exported because the fabric
+// coordinator must reproduce a single daemon's aggregates over
+// reassembled shards: the bench-name sort fixes the geomean's operand
+// order, so coordinator and single-daemon floats agree bit for bit.
+func (e *Exploration) Normalize() {
+	for i := range e.Designs {
+		d := &e.Designs[i]
+		sort.Slice(d.PerBench, func(a, b int) bool { return d.PerBench[a].Bench < d.PerBench[b].Bench })
+	}
 	ref := e.Design(e.Reference)
 	if ref == nil {
 		return
@@ -369,14 +440,33 @@ func (e *Exploration) CategoryAggregate(code string, cat workloads.Category) (fl
 // reference) and one row per (design, benchmark) observation. This is
 // the single serialization used by cmd/dse's -json mode and the
 // evaluation daemon's /v1/sweep endpoint, so their documents are
-// byte-identical for the same inputs.
+// byte-identical for the same inputs. It is exactly AppendAggregates +
+// AppendPerBench: the document's stable sort makes the interleaving
+// immaterial, which is what lets report.Merge reassemble a sharded
+// sweep (per-bench rows from replicas, aggregates from the
+// coordinator's shell) into the same bytes.
 func (e *Exploration) AppendTo(doc *report.Document) {
+	e.AppendAggregates(doc)
+	e.AppendPerBench(doc)
+}
+
+// AppendAggregates appends the per-design aggregate rows (empty Bench:
+// area plus the Rel* metrics Normalize computed).
+func (e *Exploration) AppendAggregates(doc *report.Document) {
 	for _, d := range e.Designs {
 		doc.Add(report.Result{
 			Design: d.Code, Core: d.Core.Name, BSAs: d.BSAs,
 			AreaMM2: d.AreaMM2,
 			RelPerf: d.RelPerf, RelEnergyEff: d.RelEnergyEff, RelArea: d.RelArea,
 		})
+	}
+}
+
+// AppendPerBench appends the per-(design, benchmark) observation rows
+// — the shard-local content of a partial sweep, which carries no
+// normalization and therefore needs no view of other shards.
+func (e *Exploration) AppendPerBench(doc *report.Document) {
+	for _, d := range e.Designs {
 		for _, b := range d.PerBench {
 			doc.Add(report.Result{
 				Design: d.Code, Core: d.Core.Name, Bench: b.Bench,

@@ -171,6 +171,14 @@ type Cache struct {
 	// it); nil until composerFor runs.
 	shared *sharedPool
 
+	// persist is the optional durable tier under this cache (see
+	// AttachPersist): misses consult it before evaluating and fresh
+	// outcomes are written through, so a restarted process re-reads
+	// instead of re-deriving. persistNS scopes its keys to this cache's
+	// (trace, core, BSA set) tuple.
+	persist   Persist
+	persistNS string
+
 	// Counters are obs instruments so a cache slots into the shared
 	// metrics registry; standalone (unregistered) instances keep the
 	// cache usable without one.

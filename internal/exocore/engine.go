@@ -376,6 +376,7 @@ func Run(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA,
 
 	var lastEnd int64
 	var descScratch []uint64
+	var pkeyScratch, pvalScratch []byte
 	for _, u := range units {
 		usp := obs.Span{}
 		if opts.Span.Active() {
@@ -412,7 +413,33 @@ func Run(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA,
 						(!opts.RecordRegions || so.segClasses != nil) {
 						out = opts.Cache.store(key, so)
 						opts.Cache.sharedHits.Add(1)
+						// Write shared hits through too: the sibling core's
+						// evaluation persisted under its own namespace, so
+						// without this a restart of this core goes cold.
+						if opts.Cache.persist != nil && !opts.RecordRegions {
+							pkeyScratch = opts.Cache.persistKey(&u, pkeyScratch)
+							pvalScratch = encodeOutcome(out, pvalScratch)
+							opts.Cache.persist.Put(pkeyScratch, pvalScratch)
+						}
 						break
+					}
+				}
+				// Durable tier: a restarted daemon re-reads outcomes its
+				// predecessor (or a sibling replica sharing the directory)
+				// already derived. Class-attributed runs bypass it — classes
+				// are never persisted, and storing a classless outcome here
+				// would only be upgraded away again.
+				persist := opts.Cache.persist
+				if persist != nil && opts.RecordRegions {
+					persist = nil
+				}
+				if persist != nil {
+					pkeyScratch = opts.Cache.persistKey(&u, pkeyScratch)
+					if raw, ok := persist.Get(pkeyScratch); ok {
+						if po := decodeOutcome(raw); po != nil && po.n() == len(u.segs) {
+							out = opts.Cache.store(key, po)
+							break
+						}
 					}
 				}
 				// On the delta path, evaluating this unit also publishes
@@ -431,6 +458,10 @@ func Run(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA,
 				}
 				o := evalUnit(w, t, bsas, plans, u, usp, opts.RecordRegions, window, pub)
 				out = opts.Cache.store(key, &o)
+				if persist != nil {
+					pvalScratch = encodeOutcome(out, pvalScratch)
+					persist.Put(pkeyScratch, pvalScratch)
+				}
 				// Publish to the shared pool only when the evaluation proved
 				// itself core-independent: zero retired core µops means the
 				// transform never consulted the host pipeline.

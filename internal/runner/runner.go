@@ -94,6 +94,13 @@ type Options struct {
 	Reg *obs.Registry
 	// Log, if non-nil, receives debug-level stage-lookup records.
 	Log *obs.Logger
+	// Persist, if non-nil, is a durable evaluation-unit store (eg.
+	// *store.Store behind -store DIR) attached under every scheduling
+	// context's unit cache: misses consult it before evaluating and
+	// fresh outcomes write through, so a restarted process comes up
+	// warm. The engine namespaces keys by (workload, core, MaxDyn).
+	// Ignored with NoSegmentCache.
+	Persist exocore.Persist
 }
 
 // StageMetrics aggregates one pipeline stage's counters.
@@ -169,6 +176,7 @@ type Engine struct {
 	bsaReg     *bsa.Registry
 	noSegCache bool
 	noDelta    bool
+	persist    exocore.Persist
 
 	progressMu sync.Mutex
 	progress   ProgressFunc
@@ -214,6 +222,7 @@ func New(opts Options) *Engine {
 		bsaReg:     bsaReg,
 		noSegCache: opts.NoSegmentCache,
 		noDelta:    opts.NoDelta,
+		persist:    opts.Persist,
 		progress:   opts.Progress,
 		tracer:     opts.Tracer,
 		reg:        reg,
@@ -416,7 +425,8 @@ func (e *Engine) ContextCtx(ctx context.Context, w *workloads.Workload, core cor
 		defer sp.End()
 		sc, err := sched.NewContextWith(td, core, e.bsaReg.New(),
 			sched.ContextOpts{NoSegmentCache: e.noSegCache, NoDelta: e.noDelta,
-				Workers: e.workers, Reg: e.reg, Span: sp})
+				Workers: e.workers, Reg: e.reg, Span: sp,
+				Persist: e.persist, PersistNS: e.persistNS(key)})
 		if err != nil {
 			return nil, err
 		}
@@ -433,6 +443,16 @@ func (e *Engine) ContextCtx(ctx context.Context, w *workloads.Workload, core cor
 	}
 	e.account(ctx, StageSched, key, hit, wall, insts)
 	return sc, err
+}
+
+// persistNS derives the durable-store namespace for one scheduling
+// context: the format tag, the context key (workload/core) and the
+// engine's instruction budget. ChunkInsts is deliberately absent —
+// chunked and materialized synthesis are byte-identical — and the BSA
+// registry needs no component because unit signatures carry the model
+// names themselves.
+func (e *Engine) persistNS(contextKey string) string {
+	return "u1|" + contextKey + "/" + fmt.Sprint(e.maxDyn) + "|"
 }
 
 // AssignmentKey renders an assignment as a canonical signature usable as

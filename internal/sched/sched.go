@@ -74,6 +74,12 @@ type ContextOpts struct {
 	// an active Span also forces serial measurement because child spans
 	// share the parent's trace lane and must not overlap.
 	Workers int
+	// Persist, when non-nil, attaches a durable unit-outcome store under
+	// the context's cache, namespaced by PersistNS (which must uniquely
+	// identify the (trace, core, BSA set) tuple across restarts — see
+	// exocore.Cache.AttachPersist). Ignored with NoSegmentCache.
+	Persist   exocore.Persist
+	PersistNS string
 }
 
 // NewContext analyzes the TDG with every BSA and measures the baseline
@@ -87,6 +93,9 @@ func NewContextWith(t *tdg.TDG, core cores.Config, bsas map[string]tdg.BSA, opts
 	ctx := &Context{TDG: t, Core: core, BSAs: bsas, Plans: make(map[string]*tdg.Plan), reg: opts.Reg, noDelta: opts.NoDelta}
 	if !opts.NoSegmentCache {
 		ctx.Cache = exocore.NewCache(core, t.Trace.Len())
+		if opts.Persist != nil {
+			ctx.Cache.AttachPersist(opts.Persist, opts.PersistNS)
+		}
 	}
 	for name, b := range bsas {
 		ctx.Plans[name] = b.Analyze(t)

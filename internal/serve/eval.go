@@ -49,7 +49,13 @@ type SweepRequest struct {
 	Designs []string `json:"designs,omitempty"`
 	// Async makes the POST return 202 with a result id immediately; the
 	// document is fetched from /resultz/{id} when the sweep finishes.
-	Async      bool `json:"async,omitempty"`
+	Async bool `json:"async,omitempty"`
+	// Partial returns only the per-(design, benchmark) observation rows,
+	// omitting the per-design aggregate rows (Rel* are normalized against
+	// the whole grid, which one shard of a fabric sweep cannot see). The
+	// fabric coordinator sets this on every shard it dispatches and
+	// recomputes the aggregates itself.
+	Partial    bool `json:"partial,omitempty"`
 	MaxDyn     int  `json:"maxdyn,omitempty"`
 	DeadlineMS int  `json:"deadline_ms,omitempty"`
 }
@@ -139,6 +145,7 @@ type sweepQuery struct {
 	wls     []*workloads.Workload
 	designs []string
 	sched   string
+	partial bool
 }
 
 func resolveSweep(req SweepRequest, eng *runner.Engine) (sweepQuery, error) {
@@ -163,7 +170,7 @@ func resolveSweep(req SweepRequest, eng *runner.Engine) (sweepQuery, error) {
 	if err := checkMaxDyn(req.MaxDyn, eng); err != nil {
 		return q, err
 	}
-	q = sweepQuery{wls: wls, designs: req.Designs, sched: sched}
+	q = sweepQuery{wls: wls, designs: req.Designs, sched: sched, partial: req.Partial}
 	return q, nil
 }
 
@@ -172,8 +179,12 @@ func (q sweepQuery) key() string {
 	for i, w := range q.wls {
 		names[i] = w.Name
 	}
-	return "sweep|" + strings.Join(names, ",") + "|" +
+	k := "sweep|" + strings.Join(names, ",") + "|" +
 		strings.Join(q.designs, ",") + "|" + q.sched
+	if q.partial {
+		k += "|partial"
+	}
+	return k
 }
 
 // EvaluateDocument evaluates each workload on one design point and
@@ -252,9 +263,12 @@ func EvaluateDocument(ctx context.Context, eng *runner.Engine, tool string,
 
 // SweepDocument runs a (possibly design-restricted) DSE sweep on the
 // shared engine and returns the document cmd/dse emits under -json
-// (without the engine-metrics attachment).
+// (without the engine-metrics attachment). With partial set, only the
+// per-(design, benchmark) observation rows are emitted — the shard
+// payload of a fabric sweep, whose aggregates the coordinator
+// recomputes over the full grid.
 func SweepDocument(ctx context.Context, eng *runner.Engine, tool string,
-	wls []*workloads.Workload, designs []string, sched string) (*report.Document, error) {
+	wls []*workloads.Workload, designs []string, sched string, partial bool) (*report.Document, error) {
 
 	exp, err := dse.ExploreCtx(ctx, dse.Options{
 		Workloads: wls,
@@ -266,7 +280,11 @@ func SweepDocument(ctx context.Context, eng *runner.Engine, tool string,
 		return nil, err
 	}
 	doc := report.New(tool)
-	exp.AppendTo(doc)
+	if partial {
+		exp.AppendPerBench(doc)
+	} else {
+		exp.AppendTo(doc)
+	}
 	return doc, nil
 }
 

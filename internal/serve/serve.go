@@ -59,6 +59,7 @@ import (
 	"exocore/internal/obs"
 	"exocore/internal/report"
 	"exocore/internal/runner"
+	"exocore/internal/store"
 	"exocore/internal/workloads"
 )
 
@@ -93,6 +94,14 @@ type Config struct {
 	DebugRequests int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// Role is this daemon's place in a sweep fabric ("single" when it
+	// stands alone, "replica" behind a coordinator); surfaced through
+	// /healthz and /v1/capabilities so operators and coordinators can
+	// tell the topology apart. Empty defaults to "single".
+	Role string
+	// Store, if non-nil, is the persistent evaluation-unit store backing
+	// the engine; /healthz reports its occupancy.
+	Store *store.Store
 }
 
 // Server is the evaluation service. Create with New, mount via Handler,
@@ -103,6 +112,8 @@ type Server struct {
 	tracer *obs.Tracer
 	log    *obs.Logger
 	mux    *http.ServeMux
+	role   string
+	store  *store.Store
 
 	flights    group
 	slots      chan struct{}
@@ -158,6 +169,10 @@ func New(cfg Config) (*Server, error) {
 	if retry <= 0 {
 		retry = time.Second
 	}
+	role := cfg.Role
+	if role == "" {
+		role = "single"
+	}
 	reg := cfg.Engine.Registry()
 	s := &Server{
 		eng:        cfg.Engine,
@@ -165,6 +180,8 @@ func New(cfg Config) (*Server, error) {
 		tracer:     cfg.Tracer,
 		log:        cfg.Log,
 		mux:        http.NewServeMux(),
+		role:       role,
+		store:      cfg.Store,
 		slots:      make(chan struct{}, conc),
 		queueDepth: depth,
 		reqTimeout: timeout,
@@ -447,7 +464,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	statsFrom(r.Context()).setKey(q.key())
 	build := func(fctx context.Context) ([]byte, error) {
-		doc, err := SweepDocument(fctx, s.eng, "exocored", q.wls, q.designs, q.sched)
+		doc, err := SweepDocument(fctx, s.eng, "exocored", q.wls, q.designs, q.sched, q.partial)
 		if err != nil {
 			return nil, err
 		}
@@ -556,6 +573,7 @@ func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 		"cores":      coreNames,
 		"schedulers": []string{"oracle", "amdahl"},
 		"maxdyn":     s.eng.MaxDyn(),
+		"fabric":     map[string]any{"role": s.role},
 	})
 }
 
@@ -565,8 +583,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	h := map[string]any{
 		"status":    status,
+		"role":      s.role,
 		"uptime_ms": time.Since(s.start).Milliseconds(),
 		"inflight":  len(s.slots),
 		"queued":    s.waiting.Load(),
@@ -576,7 +595,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"p95": s.hLatency.Quantile(0.95),
 			"p99": s.hLatency.Quantile(0.99),
 		},
-	})
+	}
+	if s.store != nil {
+		h["store"] = s.store.Occupancy()
+	}
+	json.NewEncoder(w).Encode(h)
 }
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {

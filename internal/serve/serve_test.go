@@ -16,6 +16,7 @@ import (
 	"exocore/internal/cores"
 	"exocore/internal/report"
 	"exocore/internal/runner"
+	"exocore/internal/store"
 )
 
 // testMaxDyn keeps evaluations fast; all caches still exercise for real.
@@ -111,7 +112,7 @@ func TestSweepMatchesDirectDocument(t *testing.T) {
 		t.Fatal(err)
 	}
 	doc, err := SweepDocument(context.Background(), eng, "exocored",
-		wls, []string{"IO2", "OOO2-SDN"}, "oracle")
+		wls, []string{"IO2", "OOO2-SDN"}, "oracle", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,6 +358,12 @@ func TestHealthzAndMetricsz(t *testing.T) {
 	if _, ok := h["maxdyn"]; !ok {
 		t.Fatal("healthz missing maxdyn")
 	}
+	if h["role"] != "single" {
+		t.Fatalf("healthz role = %v, want single by default", h["role"])
+	}
+	if _, ok := h["store"]; ok {
+		t.Fatal("healthz reports a store without one configured")
+	}
 
 	// One evaluation so stage counters move.
 	if resp, b := post(t, hs.URL+"/v1/evaluate", `{"bench":"mm"}`); resp.StatusCode != http.StatusOK {
@@ -377,6 +384,46 @@ func TestHealthzAndMetricsz(t *testing.T) {
 	}
 	if len(m.Stages) == 0 {
 		t.Fatal("metricsz has no stage counters")
+	}
+}
+
+// TestFabricFieldsSurface: a replica-role daemon with a store reports
+// both through /healthz, and /v1/capabilities names its fabric role.
+func TestFabricFieldsSurface(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hs := newTestServer(t, Config{Role: "replica", Store: st})
+
+	_, body := get(t, hs.URL+"/healthz")
+	var h struct {
+		Role  string `json:"role"`
+		Store *struct {
+			Dir string `json:"dir"`
+		} `json:"store"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Role != "replica" {
+		t.Fatalf("healthz role = %q", h.Role)
+	}
+	if h.Store == nil || h.Store.Dir == "" {
+		t.Fatalf("healthz store occupancy missing: %s", body)
+	}
+
+	_, body = get(t, hs.URL+"/v1/capabilities")
+	var caps struct {
+		Fabric struct {
+			Role string `json:"role"`
+		} `json:"fabric"`
+	}
+	if err := json.Unmarshal(body, &caps); err != nil {
+		t.Fatal(err)
+	}
+	if caps.Fabric.Role != "replica" {
+		t.Fatalf("capabilities fabric role = %q", caps.Fabric.Role)
 	}
 }
 

@@ -1,0 +1,392 @@
+// Command fabricsmoke is the end-to-end gate for the sharded sweep
+// fabric: it boots two replica exocored daemons (one backed by a
+// persistent -store), a coordinator in front of them, and a reference
+// single daemon, then requires
+//
+//  1. a coordinated sweep to be byte-identical to the single daemon's
+//     answer for the same request;
+//  2. the same identity to hold when one replica is SIGKILLed in the
+//     middle of a sweep (the coordinator must retry/steal the lost
+//     shards), with the coordinator's /healthz degrading honestly;
+//  3. a replica restarted with the same -store to come up warm: its
+//     store occupancy is nonzero at boot, a repeated shard-shaped
+//     partial sweep returns the pre-kill bytes, and /metricsz shows
+//     nonzero store.hits — the engine answered from the persistent
+//     store instead of re-simulating;
+//  4. the role/replica flag validation to fail fast with helpful
+//     messages (did-you-mean on -role, duplicate/empty -replicas,
+//     unwritable -store);
+//  5. SIGTERM to drain every surviving process to a clean exit 0.
+//
+// Usage: go run ./scripts/fabricsmoke <bindir>   (bindir holds exocored)
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+const maxDyn = "12000"
+
+// sweepDesigns spans three cores so the grid shards across replicas.
+const sweepDesigns = `["IO2","IO2-SD","OOO2","OOO2-S","OOO2-SDN","OOO4-N","OOO4-SD"]`
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: fabricsmoke <bindir>")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "fabricsmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("fabricsmoke: ok")
+}
+
+// daemon is one exocored process under test.
+type daemon struct {
+	name string
+	cmd  *exec.Cmd
+	addr string
+	base string
+}
+
+func startDaemon(bin, name string, extra ...string) (*daemon, error) {
+	portFile := filepath.Join(os.TempDir(), fmt.Sprintf("exocore-fabricsmoke-%d-%s.addr", os.Getpid(), name))
+	os.Remove(portFile)
+	args := append([]string{"-portfile", portFile, "-maxdyn", maxDyn}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", name, err)
+	}
+	addr, err := waitForAddr(portFile, cmd)
+	os.Remove(portFile)
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return &daemon{name: name, cmd: cmd, addr: addr, base: "http://" + addr}, nil
+}
+
+func (d *daemon) kill() {
+	if d.cmd.ProcessState == nil {
+		d.cmd.Process.Kill()
+		d.cmd.Wait()
+	}
+}
+
+// drain sends SIGTERM and requires a clean exit 0.
+func (d *daemon) drain() error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("%s: signal: %w", d.name, err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- d.cmd.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			return fmt.Errorf("%s did not exit 0 after SIGTERM: %w", d.name, err)
+		}
+		return nil
+	case <-time.After(30 * time.Second):
+		d.cmd.Process.Kill()
+		return fmt.Errorf("%s did not exit within 30s of SIGTERM", d.name)
+	}
+}
+
+func run(bindir string) error {
+	bin := filepath.Join(bindir, "exocored")
+	storeDir := filepath.Join(os.TempDir(), fmt.Sprintf("exocore-fabricsmoke-%d-store", os.Getpid()))
+	defer os.RemoveAll(storeDir)
+
+	// Phase 4 first: flag validation fails fast, before any daemon boots.
+	rejectDir := filepath.Join(os.TempDir(), fmt.Sprintf("exocore-fabricsmoke-%d-reject", os.Getpid()))
+	defer os.RemoveAll(rejectDir)
+	if err := checkFlagValidation(bin, rejectDir); err != nil {
+		return err
+	}
+
+	// The cast: two replicas (r1 with a persistent store), a coordinator,
+	// and the single-daemon reference.
+	r1, err := startDaemon(bin, "replica1", "-addr", "127.0.0.1:0", "-role", "replica", "-store", storeDir)
+	if err != nil {
+		return err
+	}
+	defer r1.kill()
+	r2, err := startDaemon(bin, "replica2", "-addr", "127.0.0.1:0", "-role", "replica")
+	if err != nil {
+		return err
+	}
+	defer r2.kill()
+	coord, err := startDaemon(bin, "coordinator", "-addr", "127.0.0.1:0",
+		"-role", "coordinator", "-replicas", r1.base+","+r2.base)
+	if err != nil {
+		return err
+	}
+	defer coord.kill()
+	single, err := startDaemon(bin, "single", "-addr", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer single.kill()
+
+	// Phase 1: coordinated sweep == single-daemon sweep, byte for byte.
+	sweepReq := `{"bench":"mm,fft","designs":` + sweepDesigns + `,"maxdyn":` + maxDyn + `}`
+	fabricBody, err := postJSON(coord.base+"/v1/sweep", sweepReq)
+	if err != nil {
+		return fmt.Errorf("coordinated sweep: %w", err)
+	}
+	singleBody, err := postJSON(single.base+"/v1/sweep", sweepReq)
+	if err != nil {
+		return fmt.Errorf("single-daemon sweep: %w", err)
+	}
+	if !bytes.Equal(fabricBody, singleBody) {
+		return fmt.Errorf("coordinated sweep is not byte-identical to the single daemon\n--- fabric ---\n%.2000s\n--- single ---\n%.2000s", fabricBody, singleBody)
+	}
+	if err := checkCoordHealth(coord.base, 2, "ok"); err != nil {
+		return err
+	}
+
+	// Seed r1's store with a shard-shaped partial sweep before the kill:
+	// this is the exact unit of work a restarted replica must serve warm.
+	shardReq := `{"bench":"mm","designs":["OOO2","OOO2-S","OOO2-SDN"],"partial":true,"maxdyn":` + maxDyn + `}`
+	shardBefore, err := postJSON(r1.base+"/v1/sweep", shardReq)
+	if err != nil {
+		return fmt.Errorf("seed shard on replica1: %w", err)
+	}
+
+	// Phase 2: SIGKILL replica2 mid-sweep; the coordinator must finish
+	// on the survivor with identical bytes. The amdahl sweep over a
+	// fresh benchmark is slow enough that the kill lands mid-flight.
+	killReq := `{"bench":"mm,fft,gzip","designs":` + sweepDesigns + `,"sched":"amdahl","maxdyn":` + maxDyn + `}`
+	type sweepResult struct {
+		body []byte
+		err  error
+	}
+	done := make(chan sweepResult, 1)
+	go func() {
+		b, err := postJSON(coord.base+"/v1/sweep", killReq)
+		done <- sweepResult{b, err}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	r2.cmd.Process.Signal(syscall.SIGKILL)
+	r2.cmd.Wait()
+	res := <-done
+	if res.err != nil {
+		return fmt.Errorf("sweep with replica2 killed mid-flight: %w", res.err)
+	}
+	wantKill, err := postJSON(single.base+"/v1/sweep", killReq)
+	if err != nil {
+		return fmt.Errorf("single-daemon amdahl sweep: %w", err)
+	}
+	if !bytes.Equal(res.body, wantKill) {
+		return fmt.Errorf("sweep completed after replica kill but diverges from the single daemon")
+	}
+	if err := checkCoordHealth(coord.base, 1, "degraded"); err != nil {
+		return err
+	}
+
+	// Phase 3: kill replica1 and restart it on its ORIGINAL address with
+	// the same -store; the ring (keyed by URL) is unchanged, and the
+	// replica must come up warm.
+	r1.cmd.Process.Signal(syscall.SIGKILL)
+	r1.cmd.Wait()
+	r1b, err := startDaemon(bin, "replica1-restarted", "-addr", r1.addr, "-role", "replica", "-store", storeDir)
+	if err != nil {
+		return fmt.Errorf("restart replica1 on %s: %w", r1.addr, err)
+	}
+	defer r1b.kill()
+	if entries, err := storeEntries(r1b.base); err != nil {
+		return err
+	} else if entries == 0 {
+		return fmt.Errorf("restarted replica reports an empty store; expected the pre-kill entries")
+	}
+	shardAfter, err := postJSON(r1b.base+"/v1/sweep", shardReq)
+	if err != nil {
+		return fmt.Errorf("shard on restarted replica: %w", err)
+	}
+	if !bytes.Equal(shardBefore, shardAfter) {
+		return fmt.Errorf("restarted replica's shard differs from the pre-kill shard")
+	}
+	hits, err := storeHits(r1b.base)
+	if err != nil {
+		return err
+	}
+	if hits == 0 {
+		return fmt.Errorf("restarted replica served its first shard with store.hits = 0; the persistent store was not used")
+	}
+	fmt.Fprintf(os.Stderr, "fabricsmoke: restarted replica served the shard with %d store hits\n", hits)
+
+	// The fabric still answers (degraded to one live replica) and still
+	// matches the single daemon.
+	fabricAgain, err := postJSON(coord.base+"/v1/sweep", sweepReq)
+	if err != nil {
+		return fmt.Errorf("coordinated sweep after restart: %w", err)
+	}
+	if !bytes.Equal(fabricAgain, singleBody) {
+		return fmt.Errorf("coordinated sweep after replica restart diverges from the single daemon")
+	}
+
+	// Phase 5: everyone left drains cleanly.
+	for _, d := range []*daemon{coord, r1b, single} {
+		if err := d.drain(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkFlagValidation requires the misuse cases to exit non-zero with
+// a message naming the problem. Each case runs under a timeout: a case
+// that validation wrongly accepts would start serving and never exit.
+func checkFlagValidation(bin, rejectDir string) error {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"typoed role", []string{"-role", "cordinator"}, `did you mean "coordinator"?`},
+		{"coordinator without replicas", []string{"-role", "coordinator"}, "empty replica list"},
+		{"duplicate replicas", []string{"-role", "coordinator", "-replicas", "http://a:1,http://a:1"}, "duplicate replica"},
+		{"blank replica entry", []string{"-role", "coordinator", "-replicas", "http://a:1,,http://b:1"}, "empty replica entry"},
+		{"replicas without coordinator", []string{"-replicas", "http://a:1"}, "only meaningful with -role coordinator"},
+		{"store on coordinator", []string{"-role", "coordinator", "-replicas", "http://a:1", "-store", rejectDir}, "coordinator computes nothing"},
+		{"unwritable store", []string{"-store", "/proc/exocore-fabricsmoke-unwritable"}, "-store"},
+	}
+	for _, c := range cases {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		cmd := exec.CommandContext(ctx, bin, append([]string{"-addr", "127.0.0.1:0"}, c.args...)...)
+		out, err := cmd.CombinedOutput()
+		timedOut := ctx.Err() != nil
+		cancel()
+		if err == nil || timedOut {
+			return fmt.Errorf("flag validation (%s): exocored accepted %v", c.name, c.args)
+		}
+		if !strings.Contains(string(out), c.want) {
+			return fmt.Errorf("flag validation (%s): error output %q does not mention %q", c.name, out, c.want)
+		}
+	}
+	return nil
+}
+
+// checkCoordHealth asserts the coordinator's role, status and live
+// replica count.
+func checkCoordHealth(base string, wantAlive int, wantStatus string) error {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("coordinator healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status   string `json:"status"`
+		Role     string `json:"role"`
+		Replicas []struct {
+			Alive bool `json:"alive"`
+		} `json:"replicas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return fmt.Errorf("coordinator healthz: %w", err)
+	}
+	if h.Role != "coordinator" {
+		return fmt.Errorf("coordinator healthz role = %q", h.Role)
+	}
+	if h.Status != wantStatus {
+		return fmt.Errorf("coordinator healthz status = %q, want %q", h.Status, wantStatus)
+	}
+	alive := 0
+	for _, r := range h.Replicas {
+		if r.Alive {
+			alive++
+		}
+	}
+	if alive != wantAlive {
+		return fmt.Errorf("coordinator healthz reports %d live replicas, want %d", alive, wantAlive)
+	}
+	return nil
+}
+
+// storeEntries reads the store occupancy a replica reports in /healthz.
+func storeEntries(base string) (int, error) {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return 0, fmt.Errorf("replica healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Store struct {
+			Entries int `json:"entries"`
+		} `json:"store"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return 0, fmt.Errorf("replica healthz: %w", err)
+	}
+	return h.Store.Entries, nil
+}
+
+// storeHits reads the store.hits counter from a replica's /metricsz.
+func storeHits(base string) (int64, error) {
+	resp, err := http.Get(base + "/metricsz")
+	if err != nil {
+		return 0, fmt.Errorf("metricsz: %w", err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Points []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"points"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return 0, fmt.Errorf("metricsz: %w", err)
+	}
+	for _, p := range m.Points {
+		if p.Name == "store.hits" {
+			return p.Value, nil
+		}
+	}
+	return 0, fmt.Errorf("metricsz has no store.hits point")
+}
+
+// waitForAddr polls the portfile the daemon writes once listening.
+func waitForAddr(portFile string, daemon *exec.Cmd) (string, error) {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(portFile); err == nil && len(bytes.TrimSpace(b)) > 0 {
+			return string(bytes.TrimSpace(b)), nil
+		}
+		if daemon.ProcessState != nil {
+			return "", fmt.Errorf("exocored exited before listening")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return "", fmt.Errorf("exocored did not write %s within 30s", portFile)
+}
+
+func postJSON(url, body string) ([]byte, error) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, b)
+	}
+	return b, nil
+}
